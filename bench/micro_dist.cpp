@@ -1,0 +1,98 @@
+// Distributed-runtime micro-benchmarks (google-benchmark): transport
+// point-to-point, ring vs naive AllReduce (ablation §5 of DESIGN.md), and
+// 1F1B vs GPipe end-to-end on the executed engine.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+#include "pipeline/runners.hpp"
+
+namespace {
+
+using namespace pac;
+
+void BM_TransportPingPong(benchmark::State& state) {
+  dist::Transport transport(2, dist::LinkModel{});
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor payload = Tensor::randn({n}, rng);
+  for (auto _ : state) {
+    transport.send(0, 1, 0, payload.clone());
+    Tensor r = transport.recv(1, 0, 0);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 4);
+}
+BENCHMARK(BM_TransportPingPong)->Arg(1024)->Arg(1 << 16);
+
+template <dist::AllReduceAlgo Algo>
+void BM_AllReduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const auto n = state.range(1);
+  dist::EdgeCluster cluster(world,
+                            std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group(static_cast<std::size_t>(world));
+  std::iota(group.begin(), group.end(), 0);
+  for (auto _ : state) {
+    cluster.run([&](dist::DeviceContext& ctx) {
+      Tensor t = Tensor::full({n}, 1.0F);
+      ctx.comm.allreduce_sum(t, group, 100, Algo);
+      benchmark::DoNotOptimize(t.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * world * n * 4);
+}
+BENCHMARK(BM_AllReduce<dist::AllReduceAlgo::kRing>)
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+BENCHMARK(BM_AllReduce<dist::AllReduceAlgo::kNaive>)
+    ->Args({4, 1 << 14})
+    ->Args({8, 1 << 14})
+    ->Args({4, 1 << 18});
+
+void run_schedule_bench(benchmark::State& state,
+                        pipeline::ScheduleKind schedule) {
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 32;
+  dcfg.eval_samples = 8;
+  dcfg.seq_len = 8;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);
+  auto factory = [] {
+    model::TechniqueConfig tc;
+    tc.technique = model::Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(model::tiny(4, 16, 2, 32, 8), tc,
+                                          model::TaskSpec{}, 12);
+  };
+  for (auto _ : state) {
+    dist::EdgeCluster cluster(2,
+                              std::numeric_limits<std::uint64_t>::max());
+    pipeline::RunConfig cfg;
+    cfg.plan = pipeline::ParallelPlan::pure_pipeline(6, 2, 4);
+    cfg.schedule = schedule;
+    cfg.batch_size = 16;
+    cfg.epochs = 1;
+    cfg.run_eval = false;
+    auto r = run_training(cluster, ds, factory, cfg);
+    benchmark::DoNotOptimize(r.epoch_losses.data());
+  }
+}
+
+void BM_Pipeline1F1B(benchmark::State& state) {
+  run_schedule_bench(state, pipeline::ScheduleKind::k1F1B);
+}
+BENCHMARK(BM_Pipeline1F1B);
+
+void BM_PipelineGPipe(benchmark::State& state) {
+  run_schedule_bench(state, pipeline::ScheduleKind::kGPipe);
+}
+BENCHMARK(BM_PipelineGPipe);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Kernel micro-benchmarks (google-benchmark): the primitives whose cost
+// the analytic model abstracts — GEMM, softmax, LayerNorm, attention, and
+// a full encoder-layer forward/backward at executed scale.
+#include <benchmark/benchmark.h>
+
+#include "nn/attention.hpp"
+#include "nn/transformer_layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace pac;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = ops::matmul_nt(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransposed)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({state.range(0), 128}, rng);
+  for (auto _ : state) {
+    Tensor y = ops::softmax_lastdim(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(512);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(4);
+  Tensor x = Tensor::randn({state.range(0), 128}, rng);
+  Tensor gamma = Tensor::full({128}, 1.0F);
+  Tensor beta = Tensor::zeros({128});
+  for (auto _ : state) {
+    Tensor y = ops::layernorm(x, gamma, beta, 1e-5F, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(512);
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(5);
+  nn::MultiHeadAttention attn("bench", 64, 4, rng);
+  attn.set_context_enabled(false);
+  Tensor x = Tensor::randn({4, state.range(0), 64}, rng);
+  for (auto _ : state) {
+    Tensor y = attn.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(64);
+
+void BM_EncoderLayerForwardBackward(benchmark::State& state) {
+  Rng rng(6);
+  nn::TransformerEncoderLayer layer("bench", 64, 4, 256, rng);
+  Tensor x = Tensor::randn({4, 16, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = layer.forward(x);
+    Tensor dx = layer.backward(Tensor::zeros(y.shape()));
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_EncoderLayerForwardBackward);
+
+void BM_EncoderLayerForwardOnly(benchmark::State& state) {
+  // Forward-only (context disabled) — what the frozen backbone costs under
+  // Parallel Adapters.
+  Rng rng(7);
+  nn::TransformerEncoderLayer layer("bench", 64, 4, 256, rng);
+  layer.set_context_enabled(false);
+  Tensor x = Tensor::randn({4, 16, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = layer.forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_EncoderLayerForwardOnly);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// §5.1 claim — planning completes within 3 seconds on-device.
+// Times the DP planner on every paper-scale model over 2-16 devices.
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "planner/planner.hpp"
+
+int main() {
+  using namespace pac;
+  std::printf("planner runtime (paper claim: < 3 s end to end)\n");
+  double total = 0.0;
+  for (const auto& cfg :
+       {model::t5_base(), model::bart_large(), model::t5_large()}) {
+    for (int devices : {2, 4, 8, 16}) {
+      auto input = planner::analytic_planner_input(
+          cfg,
+          model::paper_technique_config(
+              model::Technique::kParallelAdapters),
+          costmodel::SeqShape{1, 128, 16}, costmodel::jetson_nano(),
+          costmodel::edge_lan(), devices, 16, true);
+      WallTimer t;
+      auto est = planner::plan_hybrid(input);
+      const double s = t.seconds();
+      total += s;
+      std::printf("  %-12s %2d devices: %7.3f s (%s)\n", cfg.name.c_str(),
+                  devices, s,
+                  est.feasible ? "feasible" : est.note.c_str());
+    }
+  }
+  std::printf("total for all 12 configurations: %.3f s — %s\n", total,
+              total < 3.0 ? "within the paper's 3 s budget"
+                          : "EXCEEDS the paper's 3 s budget");
+  return 0;
+}

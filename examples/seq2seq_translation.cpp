@@ -1,0 +1,92 @@
+// Sequence-to-sequence demo on the full encoder-decoder architecture
+// (the structure of the paper's T5/BART models, Table 4): train a tiny
+// model on a synthetic "reverse the sequence" translation task, then
+// decode greedily — comparing the quadratic reference decoder with the
+// KV-cached incremental decoder.
+//
+//   ./examples/seq2seq_translation
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "model/seq2seq.hpp"
+#include "nn/lr_schedule.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace pac;
+
+  const std::int64_t vocab = 32;
+  const std::int64_t seq = 8;
+  model::ModelConfig cfg = model::tiny(/*layers=*/2, /*hidden=*/32,
+                                       /*heads=*/2, vocab, /*max_seq=*/16);
+  model::Seq2SeqModel m(cfg, model::TechniqueConfig{model::Technique::kFull},
+                        7);
+
+  // Task: target = source reversed.  Teacher forcing with <bos> = 0.
+  Rng rng(3);
+  const std::int64_t n = 24;
+  Tensor src({n, seq});
+  Tensor tgt_in({n, seq});
+  Tensor tgt_out({n, seq});
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::vector<std::int64_t> tokens(static_cast<std::size_t>(seq));
+    for (auto& t : tokens) t = rng.integer(1, vocab - 1);
+    for (std::int64_t s = 0; s < seq; ++s) {
+      src.at({i, s}) = static_cast<float>(tokens[static_cast<std::size_t>(s)]);
+      const std::int64_t rev =
+          tokens[static_cast<std::size_t>(seq - 1 - s)];
+      tgt_out.at({i, s}) = static_cast<float>(rev);
+      tgt_in.at({i, s}) =
+          s == 0 ? 0.0F : tgt_out.at({i, s - 1});
+    }
+  }
+
+  nn::Adam opt(8e-3F);
+  nn::WarmupCosineLr sched(8e-3F, 20, 400);
+  float loss = 0.0F;
+  for (int step = 0; step < 400; ++step) {
+    opt.set_lr(sched.lr(step));
+    m.zero_grad();
+    Tensor logits = m.forward(src, tgt_in);
+    auto r = m.loss(logits, tgt_out);
+    loss = r.loss;
+    m.backward(r.dlogits);
+    nn::clip_grad_norm(m.trainable_parameters(), 1.0F);
+    opt.step(m.trainable_parameters());
+  }
+  std::printf("trained 400 steps on the reverse task, final loss %.4f\n",
+              loss);
+
+  // Decode and compare the two decoders.
+  WallTimer t1;
+  Tensor ref = m.generate(src, seq, /*bos_id=*/0);
+  const double ref_s = t1.seconds();
+  WallTimer t2;
+  Tensor cached = m.generate_cached(src, seq, /*bos_id=*/0);
+  const double cached_s = t2.seconds();
+  std::printf("reference decode %.1f ms, KV-cached %.1f ms (%.1fx), "
+              "outputs identical: %s\n",
+              1e3 * ref_s, 1e3 * cached_s, ref_s / cached_s,
+              ops::max_abs_diff(ref, cached) == 0.0F ? "yes" : "NO");
+
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    if (ref.data()[i] == tgt_out.data()[i]) ++correct;
+  }
+  std::printf("token accuracy of greedy decode vs reversed source: "
+              "%.1f%%\n",
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(ref.numel()));
+  // Show one example.
+  std::printf("src: ");
+  for (std::int64_t s = 0; s < seq; ++s) {
+    std::printf("%2d ", static_cast<int>(src.at({0, s})));
+  }
+  std::printf("\nout: ");
+  for (std::int64_t s = 0; s < seq; ++s) {
+    std::printf("%2d ", static_cast<int>(cached.at({0, s})));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Executed-scale baseline systems (paper §6.1), all expressed as plans on
+// the shared hybrid engine:
+//   Standalone — single device;
+//   EDDL       — pure data parallelism (Hao & Zhang 2021);
+//   Eco-FL     — pure pipeline parallelism, GPipe scheduling (Ye et al.
+//                2022; the paper notes baselines run without 1F1B);
+//   PAC phase-1 plan comes from the planner instead (see pac::core).
+// Combine any of them with any fine-tuning technique, exactly as Table 2
+// does.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "pipeline/runners.hpp"
+
+namespace pac::baselines {
+
+enum class System { kStandalone, kEddl, kEcoFl };
+
+const char* system_name(System system);
+
+struct BaselineConfig {
+  System system = System::kStandalone;
+  model::Technique technique = model::Technique::kParallelAdapters;
+  std::int64_t batch_size = 8;
+  std::int64_t num_micro_batches = 4;
+  int epochs = 1;
+  float lr = 1e-2F;
+  std::uint64_t shuffle_seed = 77;
+  bool run_eval = true;
+};
+
+// Builds the system's plan for a model with `num_blocks` blocks over the
+// cluster and runs training end to end.
+pipeline::RunResult run_baseline(dist::EdgeCluster& cluster,
+                                 const data::Dataset& dataset,
+                                 const pipeline::ModelFactory& factory,
+                                 const BaselineConfig& config);
+
+// The plan the system would use (exposed for tests and benches).
+pipeline::ParallelPlan baseline_plan(System system, std::int64_t num_blocks,
+                                     int world_size,
+                                     std::int64_t num_micro_batches);
+
+}  // namespace pac::baselines

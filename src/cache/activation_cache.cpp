@@ -1,0 +1,256 @@
+#include "cache/activation_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/serialize.hpp"
+
+namespace pac::cache {
+
+ActivationCache::ActivationCache(CacheConfig config)
+    : config_(std::move(config)) {
+  PAC_CHECK(config_.num_blocks > 0, "cache needs num_blocks > 0");
+  if (config_.disk_backed) {
+    PAC_CHECK(!config_.directory.empty(),
+              "disk-backed cache needs a directory");
+    std::filesystem::create_directories(config_.directory);
+  }
+}
+
+ActivationCache::~ActivationCache() {
+  // clear() refunds the ledger and removes spill files.
+  try {
+    clear();
+  } catch (...) {
+    // Destructor must not throw; ledger refunds cannot fail here in
+    // practice (we only release what we charged).
+  }
+}
+
+std::string ActivationCache::sample_path(std::int64_t sample_id) const {
+  return config_.directory + "/sample_" + std::to_string(sample_id) + ".bin";
+}
+
+void ActivationCache::charge(std::uint64_t bytes) {
+  if (config_.ledger != nullptr) {
+    config_.ledger->allocate(dist::MemClass::kCache, bytes);
+  }
+  memory_bytes_ += bytes;
+}
+
+void ActivationCache::refund(std::uint64_t bytes) {
+  if (config_.ledger != nullptr) {
+    config_.ledger->release(dist::MemClass::kCache, bytes);
+  }
+  memory_bytes_ -= bytes;
+}
+
+void ActivationCache::record(const std::vector<std::int64_t>& sample_ids,
+                             std::int64_t block_index, const Tensor& hidden) {
+  PAC_CHECK(hidden.dim() == 3, "record expects [n, T, H] activations");
+  PAC_CHECK(hidden.size(0) == static_cast<std::int64_t>(sample_ids.size()),
+            "record: " << sample_ids.size() << " ids for " << hidden.size(0)
+                       << " rows");
+  for (std::size_t r = 0; r < sample_ids.size(); ++r) {
+    Tensor row = hidden.slice0(static_cast<std::int64_t>(r),
+                               static_cast<std::int64_t>(r) + 1)
+                     .clone()
+                     .reshape({hidden.size(1), hidden.size(2)});
+    put_block(sample_ids[r], block_index, std::move(row));
+  }
+}
+
+void ActivationCache::put_block(std::int64_t sample_id,
+                                std::int64_t block_index, Tensor activation) {
+  PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
+            "block index " << block_index << " out of range");
+  Entry& entry = entries_[sample_id];
+  if (entry.blocks.empty()) {
+    entry.blocks.resize(static_cast<std::size_t>(config_.num_blocks));
+  }
+  PAC_CHECK(!entry.spilled, "put_block on spilled sample " << sample_id);
+  Tensor& slot = entry.blocks[static_cast<std::size_t>(block_index)];
+  PAC_CHECK(!slot.defined(), "duplicate record for sample "
+                                 << sample_id << " block " << block_index);
+  charge(activation.byte_size());
+  slot = std::move(activation);
+  ++entry.present;
+  maybe_spill(sample_id, entry);
+}
+
+void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
+  if (!config_.disk_backed || entry.present < config_.num_blocks) return;
+  std::ofstream out(sample_path(sample_id), std::ios::binary);
+  PAC_CHECK(out.good(), "cannot open spill file for sample " << sample_id);
+  BinaryWriter w(out);
+  w.write_u64(static_cast<std::uint64_t>(config_.num_blocks));
+  std::uint64_t freed = 0;
+  for (Tensor& block : entry.blocks) {
+    w.write_u64(static_cast<std::uint64_t>(block.size(0)));
+    w.write_u64(static_cast<std::uint64_t>(block.size(1)));
+    w.write_floats(block.data(), static_cast<std::size_t>(block.numel()));
+    freed += block.byte_size();
+    block = Tensor();
+  }
+  refund(freed);
+  entry.spilled = true;
+  entry.spilled_bytes = freed;
+  spilled_bytes_ += freed;
+}
+
+ActivationCache::Entry ActivationCache::load_spilled(
+    std::int64_t sample_id) const {
+  std::ifstream in(sample_path(sample_id), std::ios::binary);
+  if (!in.good()) {
+    throw CacheMissError("spill file missing for sample " +
+                         std::to_string(sample_id));
+  }
+  BinaryReader r(in);
+  const std::uint64_t blocks = r.read_u64();
+  Entry entry;
+  entry.blocks.resize(blocks);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    const std::int64_t t = static_cast<std::int64_t>(r.read_u64());
+    const std::int64_t h = static_cast<std::int64_t>(r.read_u64());
+    Tensor block({t, h});
+    r.read_floats(block.data(), static_cast<std::size_t>(block.numel()));
+    entry.blocks[b] = std::move(block);
+  }
+  entry.present = static_cast<std::int64_t>(blocks);
+  return entry;
+}
+
+std::vector<Tensor> ActivationCache::fetch(
+    const std::vector<std::int64_t>& sample_ids) const {
+  PAC_CHECK(!sample_ids.empty(), "fetch with no sample ids");
+  std::vector<Tensor> out;
+  // Assemble per-block batches [n, T, H] from per-sample rows.
+  std::vector<Entry> loaded;  // spilled samples materialized on demand
+  loaded.reserve(sample_ids.size());  // pointers into it must stay stable
+  std::vector<const Entry*> sources;
+  for (std::int64_t id : sample_ids) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      throw CacheMissError("sample " + std::to_string(id) +
+                           " not in this cache shard");
+    }
+    if (it->second.spilled) {
+      loaded.push_back(load_spilled(id));
+      sources.push_back(&loaded.back());
+    } else {
+      PAC_CHECK(it->second.present == config_.num_blocks,
+                "sample " << id << " is incomplete ("
+                          << it->second.present << "/" << config_.num_blocks
+                          << " blocks)");
+      sources.push_back(&it->second);
+    }
+  }
+  const std::int64_t n = static_cast<std::int64_t>(sample_ids.size());
+  for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
+    const Tensor& ref =
+        sources[0]->blocks[static_cast<std::size_t>(b)];
+    Tensor batch({n, ref.size(0), ref.size(1)});
+    for (std::int64_t r = 0; r < n; ++r) {
+      const Tensor& row = sources[static_cast<std::size_t>(r)]
+                              ->blocks[static_cast<std::size_t>(b)];
+      PAC_CHECK(row.numel() == ref.numel(),
+                "inconsistent cached shapes across samples");
+      batch.slice0(r, r + 1).copy_from(row.reshape({1, row.size(0),
+                                                    row.size(1)}));
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+bool ActivationCache::has_block(std::int64_t sample_id,
+                                std::int64_t block_index) const {
+  auto it = entries_.find(sample_id);
+  if (it == entries_.end()) return false;
+  if (it->second.spilled) return true;  // spill implies complete
+  if (block_index < 0 || block_index >= config_.num_blocks) return false;
+  return it->second.blocks[static_cast<std::size_t>(block_index)].defined();
+}
+
+bool ActivationCache::complete(std::int64_t sample_id) const {
+  auto it = entries_.find(sample_id);
+  return it != entries_.end() &&
+         (it->second.spilled || it->second.present == config_.num_blocks);
+}
+
+std::vector<std::int64_t> ActivationCache::sample_ids() const {
+  std::vector<std::int64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>>
+ActivationCache::held_blocks() const {
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.spilled) {
+      for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
+        out.emplace_back(id, b);
+      }
+      continue;
+    }
+    for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
+      if (entry.blocks[static_cast<std::size_t>(b)].defined()) {
+        out.emplace_back(id, b);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ActivationCache::get_block(std::int64_t sample_id,
+                                  std::int64_t block_index) const {
+  auto it = entries_.find(sample_id);
+  if (it == entries_.end()) {
+    throw CacheMissError("sample " + std::to_string(sample_id) +
+                         " not in this cache shard");
+  }
+  PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
+            "block index out of range");
+  if (it->second.spilled) {
+    Entry entry = load_spilled(sample_id);
+    return entry.blocks[static_cast<std::size_t>(block_index)];
+  }
+  const Tensor& block =
+      it->second.blocks[static_cast<std::size_t>(block_index)];
+  if (!block.defined()) {
+    throw CacheMissError("block " + std::to_string(block_index) +
+                         " of sample " + std::to_string(sample_id) +
+                         " not recorded");
+  }
+  return block;
+}
+
+void ActivationCache::drop_sample(std::int64_t sample_id) {
+  auto it = entries_.find(sample_id);
+  if (it == entries_.end()) return;
+  std::uint64_t resident = 0;
+  for (const Tensor& block : it->second.blocks) {
+    if (block.defined()) resident += block.byte_size();
+  }
+  refund(resident);
+  if (it->second.spilled) {
+    spilled_bytes_ -= it->second.spilled_bytes;
+    std::filesystem::remove(sample_path(sample_id));
+  }
+  entries_.erase(it);
+}
+
+std::uint64_t ActivationCache::memory_bytes() const { return memory_bytes_; }
+
+std::uint64_t ActivationCache::total_bytes() const {
+  return memory_bytes_ + spilled_bytes_;
+}
+
+void ActivationCache::clear() {
+  std::vector<std::int64_t> ids = sample_ids();
+  for (std::int64_t id : ids) drop_sample(id);
+}
+
+}  // namespace pac::cache

@@ -1,0 +1,87 @@
+// PAC activation cache (paper §4.2).
+//
+// Because the backbone is frozen, the activations [b_0 .. b_L] for a given
+// sample never change; epoch 1 records them and later epochs train the side
+// network without any backbone forward.  One cache instance is one device's
+// shard.  Two backends:
+//   memory — everything held in RAM, charged to the device ledger (kCache);
+//   disk   — completed samples are spilled to one file each and evicted
+//            from RAM; fetch() reloads on demand.  This models the paper's
+//            flash-storage cache ("reloaded from disk per micro-batch",
+//            storage §5.2) and keeps the DRAM ledger honest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/memory_ledger.hpp"
+#include "pipeline/activation_io.hpp"
+
+namespace pac::cache {
+
+struct CacheConfig {
+  std::int64_t num_blocks = 0;  // activations per sample (= L + 1)
+  bool disk_backed = false;
+  std::string directory;  // required when disk_backed
+  // Optional ledger to charge in-memory cache bytes against.
+  dist::MemoryLedger* ledger = nullptr;
+};
+
+class ActivationCache : public pipeline::ActivationRecorder,
+                        public pipeline::ActivationSource {
+ public:
+  explicit ActivationCache(CacheConfig config);
+  ~ActivationCache() override;
+
+  ActivationCache(const ActivationCache&) = delete;
+  ActivationCache& operator=(const ActivationCache&) = delete;
+
+  // ---- recording (phase 1) ----
+  void record(const std::vector<std::int64_t>& sample_ids,
+              std::int64_t block_index, const Tensor& hidden) override;
+
+  // ---- serving (phase 2) ----
+  std::vector<Tensor> fetch(
+      const std::vector<std::int64_t>& sample_ids) const override;
+
+  // ---- shard management / redistribution ----
+  bool has_block(std::int64_t sample_id, std::int64_t block_index) const;
+  bool complete(std::int64_t sample_id) const;
+  std::vector<std::int64_t> sample_ids() const;
+  // (sample, block) pairs currently held (complete or not).
+  std::vector<std::pair<std::int64_t, std::int64_t>> held_blocks() const;
+  // Single cached activation [T, H]; throws CacheMissError if absent.
+  Tensor get_block(std::int64_t sample_id, std::int64_t block_index) const;
+  void put_block(std::int64_t sample_id, std::int64_t block_index,
+                 Tensor activation);
+  // Drops a sample's blocks from this shard (after shipping them away).
+  void drop_sample(std::int64_t sample_id);
+
+  std::int64_t num_blocks() const { return config_.num_blocks; }
+  std::uint64_t memory_bytes() const;  // resident RAM bytes
+  std::uint64_t total_bytes() const;   // RAM + spilled
+  void clear();
+
+ private:
+  struct Entry {
+    std::vector<Tensor> blocks;     // per-block activations [T, H]
+    std::int64_t present = 0;       // how many blocks are defined
+    bool spilled = false;           // on disk, RAM copy evicted
+    std::uint64_t spilled_bytes = 0;
+  };
+
+  std::string sample_path(std::int64_t sample_id) const;
+  void maybe_spill(std::int64_t sample_id, Entry& entry);
+  Entry load_spilled(std::int64_t sample_id) const;
+  void charge(std::uint64_t bytes);
+  void refund(std::uint64_t bytes);
+
+  CacheConfig config_;
+  std::map<std::int64_t, Entry> entries_;
+  std::uint64_t memory_bytes_ = 0;
+  std::uint64_t spilled_bytes_ = 0;
+};
+
+}  // namespace pac::cache

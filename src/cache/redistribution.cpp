@@ -1,0 +1,76 @@
+#include "cache/redistribution.hpp"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "pipeline/stage_worker.hpp"  // tag constants
+
+namespace pac::cache {
+
+RedistStats redistribute_cache(
+    dist::DeviceContext& ctx, ActivationCache& shard,
+    const std::function<int(std::int64_t)>& target_of_sample) {
+  RedistStats stats;
+  const int world = ctx.world_size;
+  const int me = ctx.rank;
+  const int tag_count = pipeline::tags::kRedistCacheBase;
+  const int tag_header = pipeline::tags::kRedistCacheBase + 1;
+  const int tag_payload = pipeline::tags::kRedistCacheBase + 2;
+
+  // Partition held blocks by destination.
+  std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> outgoing;
+  std::set<std::int64_t> shipped_samples;
+  for (const auto& [sample, block] : shard.held_blocks()) {
+    const int dst = target_of_sample(sample);
+    PAC_CHECK(dst >= 0 && dst < world, "bad redistribution target " << dst);
+    if (dst == me) continue;
+    outgoing[dst].emplace_back(sample, block);
+    shipped_samples.insert(sample);
+  }
+
+  // Announce counts, then stream items.  Sends never block, so issuing all
+  // sends before any recv is deadlock-free.
+  for (int peer = 0; peer < world; ++peer) {
+    if (peer == me) continue;
+    const auto it = outgoing.find(peer);
+    const std::int64_t n =
+        it == outgoing.end() ? 0
+                             : static_cast<std::int64_t>(it->second.size());
+    ctx.comm.send(peer, tag_count,
+                  Tensor::full({1}, static_cast<float>(n)));
+    if (it == outgoing.end()) continue;
+    for (const auto& [sample, block] : it->second) {
+      Tensor header = Tensor::from_vector(
+          {2}, {static_cast<float>(sample), static_cast<float>(block)});
+      Tensor payload = shard.get_block(sample, block);
+      stats.payload_bytes_sent += payload.byte_size();
+      ++stats.items_sent;
+      ctx.comm.send(peer, tag_header, std::move(header));
+      ctx.comm.send(peer, tag_payload, payload.clone());
+    }
+  }
+
+  // Receive from every peer.
+  for (int peer = 0; peer < world; ++peer) {
+    if (peer == me) continue;
+    const auto n = static_cast<std::int64_t>(
+        ctx.comm.recv(peer, tag_count).at({0}));
+    for (std::int64_t i = 0; i < n; ++i) {
+      Tensor header = ctx.comm.recv(peer, tag_header);
+      Tensor payload = ctx.comm.recv(peer, tag_payload);
+      const auto sample = static_cast<std::int64_t>(header.at({0}));
+      const auto block = static_cast<std::int64_t>(header.at({1}));
+      shard.put_block(sample, block, std::move(payload));
+      ++stats.items_received;
+    }
+  }
+
+  // Drop everything we shipped away.
+  for (std::int64_t sample : shipped_samples) {
+    shard.drop_sample(sample);
+  }
+  return stats;
+}
+
+}  // namespace pac::cache

@@ -1,0 +1,51 @@
+// Minimal leveled logger.  Thread-safe, writes to stderr.  Default level is
+// kWarn so tests and benches stay quiet; examples raise it to kInfo.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace pac {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets / reads the process-wide log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, os_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace pac
+
+#define PAC_LOG(level)                                     \
+  if (static_cast<int>(::pac::log_level()) <=              \
+      static_cast<int>(::pac::LogLevel::level))            \
+  ::pac::detail::LogMessage(::pac::LogLevel::level)
+
+#define PAC_LOG_DEBUG PAC_LOG(kDebug)
+#define PAC_LOG_INFO PAC_LOG(kInfo)
+#define PAC_LOG_WARN PAC_LOG(kWarn)
+#define PAC_LOG_ERROR PAC_LOG(kError)

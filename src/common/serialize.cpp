@@ -1,0 +1,100 @@
+#include "common/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pac {
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_i64(std::int64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_floats(const float* data, std::size_t count) {
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void BinaryWriter::write_i64s(const std::int64_t* data, std::size_t count) {
+  out_.write(reinterpret_cast<const char*>(data),
+             static_cast<std::streamsize>(count * sizeof(std::int64_t)));
+}
+
+namespace {
+
+void check_stream(const std::istream& in, const char* what) {
+  if (!in.good()) {
+    throw Error(std::string("BinaryReader: stream failure while reading ") +
+                what);
+  }
+}
+
+}  // namespace
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check_stream(in_, "u32");
+  return v;
+}
+
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check_stream(in_, "u64");
+  return v;
+}
+
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check_stream(in_, "i64");
+  return v;
+}
+
+float BinaryReader::read_f32() {
+  float v = 0;
+  in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+  check_stream(in_, "f32");
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t size = read_u64();
+  std::string s(size, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(size));
+  check_stream(in_, "string");
+  return s;
+}
+
+void BinaryReader::read_floats(float* data, std::size_t count) {
+  in_.read(reinterpret_cast<char*>(data),
+           static_cast<std::streamsize>(count * sizeof(float)));
+  check_stream(in_, "float block");
+}
+
+void BinaryReader::read_i64s(std::int64_t* data, std::size_t count) {
+  in_.read(reinterpret_cast<char*>(data),
+           static_cast<std::streamsize>(count * sizeof(std::int64_t)));
+  check_stream(in_, "i64 block");
+}
+
+}  // namespace pac

@@ -1,0 +1,45 @@
+// Little binary serialization layer used by the activation cache and the
+// message transport.  Plain length-prefixed records; no endianness handling
+// (cache files are host-local scratch, never shipped between machines).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pac {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_floats(const float* data, std::size_t count);
+  void write_i64s(const std::int64_t* data, std::size_t count);
+
+ private:
+  std::ostream& out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  std::string read_string();
+  void read_floats(float* data, std::size_t count);
+  void read_i64s(std::int64_t* data, std::size_t count);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace pac

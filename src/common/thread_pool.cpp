@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pac {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer
+  // worker than the requested width.
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> stop_guard(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> wait_lock(mutex_);
+      task_ready_.wait(wait_lock,
+                       [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const std::int64_t width = static_cast<std::int64_t>(workers_.size()) + 1;
+  // Dispatch is only worth it for reasonably large ranges.
+  constexpr std::int64_t kMinPerThread = 1024;
+  if (width == 1 || n < 2 * kMinPerThread) {
+    fn(0, n);
+    return;
+  }
+
+  const std::int64_t chunks = std::min<std::int64_t>(width, (n + kMinPerThread - 1) / kMinPerThread);
+  const std::int64_t per_chunk = (n + chunks - 1) / chunks;
+
+  std::atomic<std::int64_t> remaining{chunks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  {
+    std::lock_guard<std::mutex> enqueue_guard(mutex_);
+    for (std::int64_t c = 1; c < chunks; ++c) {
+      const std::int64_t begin = c * per_chunk;
+      const std::int64_t end = std::min(n, begin + per_chunk);
+      tasks_.push([&, begin, end] {
+        fn(begin, end);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> done_guard(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  task_ready_.notify_all();
+
+  // The calling thread takes the first chunk.
+  fn(0, std::min(n, per_chunk));
+
+  std::unique_lock<std::mutex> done_lock(done_mutex);
+  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pac

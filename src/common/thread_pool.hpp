@@ -1,0 +1,49 @@
+// Fixed-size work-sharing thread pool used by the tensor kernels.
+//
+// Design notes (Core Guidelines CP.*): tasks, not raw threads; all waits use
+// condition variables with predicates; the pool joins its workers in the
+// destructor so no thread outlives the object (CP.23/CP.26).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pac {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Splits [0, n) into contiguous ranges, runs fn(begin, end) on the pool
+  // plus the calling thread, and returns when every range is done.  If n is
+  // small or the pool has one worker, runs inline (no dispatch overhead).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  // Process-wide pool shared by the tensor kernels.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+}  // namespace pac

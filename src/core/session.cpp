@@ -1,0 +1,246 @@
+#include "core/session.hpp"
+
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "planner/profiler.hpp"
+
+namespace pac::core {
+
+Session::Session(dist::EdgeCluster& cluster,
+                 const data::Dataset& dataset,
+                 SessionConfig config)
+    : cluster_(cluster), dataset_(dataset), config_(std::move(config)) {
+  const data::TaskInfo& info = dataset_.info();
+  task_ = model::TaskSpec{info.kind, info.num_classes};
+  PAC_CHECK(config_.model.vocab == dataset_.vocab(),
+            "model vocab " << config_.model.vocab << " != dataset vocab "
+                           << dataset_.vocab());
+  PAC_CHECK(config_.epochs >= 1, "need at least one epoch");
+}
+
+pipeline::ModelFactory Session::make_factory(
+    const std::map<std::string, Tensor>* overrides) const {
+  const SessionConfig& cfg = config_;
+  const model::TaskSpec task = task_;
+  if (overrides == nullptr) {
+    return [cfg, task] {
+      return std::make_unique<model::Model>(cfg.model, cfg.technique, task,
+                                            cfg.model_seed);
+    };
+  }
+  const std::map<std::string, Tensor> values = *overrides;  // by value
+  return [cfg, task, values] {
+    auto m = std::make_unique<model::Model>(cfg.model, cfg.technique, task,
+                                            cfg.model_seed);
+    model::apply_parameter_overrides(*m, values);
+    return m;
+  };
+}
+
+std::vector<planner::BlockProfile> Session::profile() {
+  auto m = make_factory(nullptr)();
+  const std::int64_t micro_rows = std::max<std::int64_t>(
+      1, config_.batch_size / std::max<std::int64_t>(
+                                  1, config_.num_micro_batches));
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(
+      std::min<std::int64_t>(micro_rows, dataset_.train_size())));
+  std::iota(idx.begin(), idx.end(), 0);
+  auto batch = dataset_.make_train_batch(idx);
+  return planner::profile_model(*m, batch.tokens, /*iters=*/3);
+}
+
+planner::PlanEstimate Session::plan() {
+  WallTimer profile_timer;
+  planner::PlannerInput input;
+  input.blocks = profile();
+  const double profile_s = profile_timer.seconds();
+
+  input.num_devices = cluster_.size();
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  for (int r = 0; r < cluster_.size(); ++r) {
+    budget = std::min(budget, cluster_.ledger(r).budget());
+  }
+  input.device_budget_bytes = budget;
+  input.num_micro_batches = config_.num_micro_batches;
+  input.network = config_.network;
+  for (int r = 0; r < cluster_.size(); ++r) {
+    input.device_scales.push_back(cluster_.spec(r).compute_scale);
+  }
+
+  WallTimer plan_timer;
+  planner::PlanEstimate est = planner::plan_hybrid(input);
+  PAC_LOG_INFO << "profiling " << profile_s << "s, planning "
+               << plan_timer.seconds() << "s: " << est.note;
+  return est;
+}
+
+SessionReport Session::run() {
+  const std::int64_t original_batch = config_.batch_size;
+  int retries = 0;
+  for (;;) {
+    try {
+      SessionReport report = run_attempt();
+      report.oom_retries = retries;
+      report.effective_batch_size = config_.batch_size;
+      config_.batch_size = original_batch;
+      return report;
+    } catch (const DeviceOomError&) {
+      if (retries >= config_.max_oom_retries || config_.batch_size <= 1) {
+        config_.batch_size = original_batch;
+        throw;
+      }
+      ++retries;
+      config_.batch_size = std::max<std::int64_t>(1, config_.batch_size / 2);
+      config_.num_micro_batches = std::min<std::int64_t>(
+          config_.num_micro_batches, config_.batch_size);
+      PAC_LOG_WARN << "OOM; retrying with batch " << config_.batch_size
+                   << " (retry " << retries << ")";
+    }
+  }
+}
+
+SessionReport Session::run_attempt() {
+  SessionReport report;
+  WallTimer total_timer;
+
+  // ---- steps 1-2: profile + plan ----
+  {
+    WallTimer t;
+    planner::PlannerInput input;
+    input.blocks = profile();
+    report.profile_seconds = t.seconds();
+    input.num_devices = cluster_.size();
+    std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+    for (int r = 0; r < cluster_.size(); ++r) {
+      budget = std::min(budget, cluster_.ledger(r).budget());
+    }
+    input.device_budget_bytes = budget;
+    input.num_micro_batches = config_.num_micro_batches;
+    input.network = config_.network;
+    for (int r = 0; r < cluster_.size(); ++r) {
+      input.device_scales.push_back(cluster_.spec(r).compute_scale);
+    }
+    WallTimer t2;
+    report.plan = planner::plan_hybrid(input);
+    report.planning_seconds = t2.seconds();
+  }
+  if (!report.plan.feasible) {
+    // Surfaced as a device OOM so the retry loop (and callers) treat
+    // planner infeasibility and runtime OOM uniformly.
+    std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+    for (int r = 0; r < cluster_.size(); ++r) {
+      budget = std::min(budget, cluster_.ledger(r).budget());
+    }
+    std::uint64_t worst = 0;
+    for (std::uint64_t m : report.plan.stage_memory_bytes) {
+      worst = std::max(worst, m);
+    }
+    throw DeviceOomError(/*device_id=*/0, std::max(worst, budget + 1),
+                         budget);
+  }
+
+  const bool cache_phase =
+      config_.use_activation_cache &&
+      config_.technique.technique ==
+          model::Technique::kParallelAdapters &&
+      config_.epochs > 1;
+  report.cache_used = cache_phase;
+
+  // ---- steps 3-4: phase-1 hybrid fine-tuning (with recording) ----
+  const std::int64_t blocks_per_sample =
+      config_.model.encoder_layers + 1;  // b_0 .. b_L
+  std::vector<std::unique_ptr<cache::ActivationCache>> shards;
+  std::vector<pipeline::ActivationRecorder*> recorders(
+      static_cast<std::size_t>(cluster_.size()), nullptr);
+  if (cache_phase) {
+    for (int r = 0; r < cluster_.size(); ++r) {
+      cache::CacheConfig cc;
+      cc.num_blocks = blocks_per_sample;
+      cc.disk_backed = config_.cache_disk_backed;
+      if (cc.disk_backed) {
+        PAC_CHECK(!config_.cache_directory.empty(),
+                  "disk-backed cache needs cache_directory");
+        cc.directory =
+            config_.cache_directory + "/device_" + std::to_string(r);
+      }
+      cc.ledger = &cluster_.ledger(r);
+      shards.push_back(std::make_unique<cache::ActivationCache>(cc));
+      recorders[static_cast<std::size_t>(r)] = shards.back().get();
+    }
+  }
+
+  {
+    pipeline::RunConfig run;
+    run.plan = report.plan.plan;
+    run.schedule = config_.schedule;
+    run.allreduce = config_.allreduce;
+    run.batch_size = config_.batch_size;
+    run.epochs = cache_phase ? 1 : config_.epochs;
+    run.lr = config_.lr;
+    run.shuffle_seed = config_.shuffle_seed;
+    run.run_eval = config_.run_eval && !cache_phase;
+    report.phase1 = pipeline::run_training(
+        cluster_, dataset_, make_factory(nullptr), run,
+        cache_phase ? &recorders : nullptr);
+  }
+  report.epoch_losses = report.phase1.epoch_losses;
+
+  if (!cache_phase) {
+    report.eval_metric = report.phase1.eval_metric;
+    report.total_seconds = total_timer.seconds();
+    return report;
+  }
+
+  // ---- step 5a: redistribute cache shards + adapter parameters ----
+  {
+    WallTimer t;
+    auto target = cache::modulo_sharding(cluster_.size());
+    std::mutex stats_mutex;
+    cluster_.run([&](dist::DeviceContext& ctx) {
+      cache::RedistStats stats = cache::redistribute_cache(
+          ctx, *shards[static_cast<std::size_t>(ctx.rank)], target);
+      std::lock_guard<std::mutex> stats_guard(stats_mutex);
+      report.redistribution.items_sent += stats.items_sent;
+      report.redistribution.items_received += stats.items_received;
+      report.redistribution.payload_bytes_sent += stats.payload_bytes_sent;
+    });
+    report.redistribution_seconds = t.seconds();
+  }
+  for (const auto& shard : shards) {
+    report.cache_bytes_total += shard->total_bytes();
+  }
+
+  // ---- step 5b: cached data-parallel epochs ----
+  {
+    std::vector<std::vector<std::int64_t>> assignments(
+        static_cast<std::size_t>(cluster_.size()));
+    for (std::int64_t s = 0; s < dataset_.train_size(); ++s) {
+      assignments[static_cast<std::size_t>(s % cluster_.size())].push_back(
+          s);
+    }
+    std::vector<const pipeline::ActivationSource*> sources;
+    for (const auto& shard : shards) sources.push_back(shard.get());
+
+    pipeline::CachedRunConfig run;
+    run.device_batch_size = std::max<std::int64_t>(
+        1, config_.batch_size / cluster_.size());
+    run.epochs = config_.epochs - 1;
+    run.lr = config_.lr;
+    run.allreduce = config_.allreduce;
+    run.shuffle_seed = config_.shuffle_seed + 991;
+    run.run_eval = config_.run_eval;
+    report.phase2 = pipeline::run_cached_data_parallel(
+        cluster_, dataset_, make_factory(&report.phase1.trainable_values),
+        sources, assignments, run);
+  }
+  report.epoch_losses.insert(report.epoch_losses.end(),
+                             report.phase2.epoch_losses.begin(),
+                             report.phase2.epoch_losses.end());
+  report.eval_metric = report.phase2.eval_metric;
+  report.total_seconds = total_timer.seconds();
+  return report;
+}
+
+}  // namespace pac::core

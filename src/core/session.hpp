@@ -1,0 +1,108 @@
+// pac::core::Session — the public PAC API (paper Fig. 4, steps 0-5).
+//
+//   0. The target model is equipped with Parallel Adapters (technique
+//      config) and the backbone frozen.
+//   1. The profiler fine-tunes on a calibration micro-batch and records
+//      per-block runtime and tensor sizes.
+//   2. The planner turns profiles + cluster shape into a hybrid
+//      data/pipeline plan (stage boundaries + device groups).
+//   3/4. Phase 1: one epoch of hybrid-parallel fine-tuning across the
+//      cluster, recording every backbone activation into per-device cache
+//      shards.
+//   5. Phase 2: cache and adapter parameters are redistributed; remaining
+//      epochs train the side network with pure data parallelism from the
+//      cache — no backbone forward or backward at all.
+//
+// Sessions run any fine-tuning technique; the activation-cache phases
+// engage only under Parallel Adapters (other techniques train all epochs
+// under the hybrid plan, like the paper's baselines).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "cache/activation_cache.hpp"
+#include "cache/redistribution.hpp"
+#include "data/dataset.hpp"
+#include "pipeline/runners.hpp"
+#include "planner/planner.hpp"
+
+namespace pac::core {
+
+struct SessionConfig {
+  model::ModelConfig model;
+  model::TechniqueConfig technique;  // default: Parallel Adapters, k = 8
+  std::uint64_t model_seed = 42;
+
+  std::int64_t batch_size = 8;
+  std::int64_t num_micro_batches = 4;
+  int epochs = 3;
+  float lr = 1e-2F;
+  std::uint64_t shuffle_seed = 77;
+
+  bool use_activation_cache = true;
+  bool cache_disk_backed = false;
+  std::string cache_directory;  // required when disk-backed
+
+  pipeline::ScheduleKind schedule = pipeline::ScheduleKind::k1F1B;
+  dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
+  bool run_eval = true;
+
+  // Communication model the planner uses for this cluster.  Executed
+  // clusters are in-process (memcpy-speed links); swap in
+  // costmodel::edge_lan() when planning for a real 128 Mbps edge LAN.
+  costmodel::NetworkModel network = costmodel::in_process_network();
+
+  // Resilience: when planning finds no feasible configuration or a device
+  // OOMs mid-run, halve the mini-batch (activations shrink proportionally)
+  // and re-plan, up to this many times before giving up.
+  int max_oom_retries = 2;
+};
+
+struct SessionReport {
+  planner::PlanEstimate plan;
+  int oom_retries = 0;                 // re-planning rounds that were needed
+  std::int64_t effective_batch_size = 0;  // batch actually used
+  double profile_seconds = 0.0;
+  double planning_seconds = 0.0;
+
+  pipeline::RunResult phase1;
+  bool cache_used = false;
+  cache::RedistStats redistribution;  // summed over devices
+  double redistribution_seconds = 0.0;
+  std::uint64_t cache_bytes_total = 0;
+  pipeline::RunResult phase2;  // empty when cache unused
+
+  std::vector<double> epoch_losses;  // all epochs, both phases
+  double eval_metric = 0.0;
+  double total_seconds = 0.0;
+};
+
+class Session {
+ public:
+  Session(dist::EdgeCluster& cluster,
+          const data::Dataset& dataset, SessionConfig config);
+
+  // Profiles, plans, and runs both fine-tuning phases.  On OOM (planner
+  // infeasibility or a runtime device OOM) retries with a halved batch up
+  // to config.max_oom_retries times, then rethrows.
+  SessionReport run();
+
+  // The plan only (steps 1-2), without training.
+  planner::PlanEstimate plan();
+
+ private:
+  SessionReport run_attempt();
+  pipeline::ModelFactory make_factory(
+      const std::map<std::string, Tensor>* overrides) const;
+  std::vector<planner::BlockProfile> profile();
+
+  dist::EdgeCluster& cluster_;
+  const data::Dataset& dataset_;
+  SessionConfig config_;
+  model::TaskSpec task_;
+};
+
+}  // namespace pac::core

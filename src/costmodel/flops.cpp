@@ -1,0 +1,157 @@
+#include "costmodel/flops.hpp"
+
+#include "common/error.hpp"
+
+namespace pac::costmodel {
+namespace {
+
+using model::Technique;
+
+struct LayerTerms {
+  double weight_gemms = 0.0;  // parameterized GEMMs (proj + FFN)
+  double attn_bmms = 0.0;     // parameter-free attention batched GEMMs
+};
+
+// Per mini-batch forward cost terms of one encoder layer.
+LayerTerms encoder_terms(const model::ModelConfig& c, const SeqShape& s) {
+  const double b = static_cast<double>(s.batch);
+  const double t = static_cast<double>(s.seq);
+  const double h = static_cast<double>(c.hidden);
+  const double f = static_cast<double>(c.ffn);
+  LayerTerms terms;
+  terms.weight_gemms = b * (8.0 * t * h * h + 4.0 * t * h * f);
+  terms.attn_bmms = b * 4.0 * t * t * h;
+  return terms;
+}
+
+LayerTerms decoder_terms(const model::ModelConfig& c, const SeqShape& s) {
+  const double b = static_cast<double>(s.batch);
+  const double te = static_cast<double>(s.seq);      // encoder memory length
+  const double td = static_cast<double>(s.dec_seq);  // target length
+  const double h = static_cast<double>(c.hidden);
+  const double f = static_cast<double>(c.ffn);
+  LayerTerms terms;
+  // Causal self-attention (q,k,v,o on t_d) + cross-attention (q,o on t_d;
+  // k,v on t_e) + FFN on t_d.
+  terms.weight_gemms =
+      b * ((8.0 * td + 4.0 * td + 4.0 * te) * h * h + 4.0 * td * h * f);
+  terms.attn_bmms = b * (4.0 * td * td * h + 4.0 * td * te * h);
+  return terms;
+}
+
+// Extra trainable structures inside the backbone layer.
+Flops peft_extra(const model::ModelConfig& c,
+                 const model::TechniqueConfig& tc, const SeqShape& s,
+                 bool decoder) {
+  const double b = static_cast<double>(s.batch);
+  const double t = static_cast<double>(s.seq);
+  const double h = static_cast<double>(c.hidden);
+  Flops extra;
+  if (tc.technique == Technique::kAdapters) {
+    const double bn = h / static_cast<double>(tc.adapter_reduction);
+    const double fwd = b * 4.0 * t * h * bn;  // down + up
+    extra.forward += fwd;
+    extra.backward += 2.0 * fwd;  // trainable: dX + dW
+  } else if (tc.technique == Technique::kLora) {
+    const double r = static_cast<double>(tc.lora.rank);
+    // LoRA on Wq and Wv: two bypasses of (down r + up r) per layer; the
+    // decoder has two attention blocks.
+    const double bypasses = decoder ? 4.0 : 2.0;
+    const double fwd = b * bypasses * 4.0 * t * h * r;
+    extra.forward += fwd;
+    extra.backward += 2.0 * fwd;
+  }
+  return extra;
+}
+
+Flops layer_flops(const LayerTerms& terms,
+                  const model::TechniqueConfig& tc) {
+  Flops out;
+  out.forward = terms.weight_gemms + terms.attn_bmms;
+  switch (tc.technique) {
+    case Technique::kFull:
+      // dX + dW on every weight GEMM; bmms cost 2x forward in backward.
+      out.backward = 2.0 * terms.weight_gemms + 2.0 * terms.attn_bmms;
+      break;
+    case Technique::kAdapters:
+    case Technique::kLora:
+      // Frozen backbone weights: dX only, no dW.
+      out.backward = terms.weight_gemms + 2.0 * terms.attn_bmms;
+      break;
+    case Technique::kParallelAdapters:
+    case Technique::kInference:
+      // No backward through the backbone at all.
+      out.backward = 0.0;
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Flops encoder_layer_flops(const model::ModelConfig& config,
+                          const model::TechniqueConfig& technique,
+                          const SeqShape& shape) {
+  Flops out = layer_flops(encoder_terms(config, shape), technique);
+  out += peft_extra(config, technique, shape, /*decoder=*/false);
+  return out;
+}
+
+Flops decoder_layer_flops(const model::ModelConfig& config,
+                          const model::TechniqueConfig& technique,
+                          const SeqShape& shape) {
+  Flops out = layer_flops(decoder_terms(config, shape), technique);
+  out += peft_extra(config, technique, shape, /*decoder=*/true);
+  return out;
+}
+
+Flops side_block_flops(const model::ModelConfig& config,
+                       const model::TechniqueConfig& technique,
+                       const SeqShape& shape) {
+  PAC_CHECK(technique.pa_reduction > 0, "bad pa_reduction");
+  const double b = static_cast<double>(shape.batch);
+  const double t = static_cast<double>(shape.seq);
+  const double h = static_cast<double>(config.hidden);
+  const double r = h / static_cast<double>(technique.pa_reduction);
+  // down_i (H -> r) + two r x r MLP linears.
+  const double fwd = b * (2.0 * t * h * r + 4.0 * t * r * r);
+  return {fwd, 2.0 * fwd};
+}
+
+Flops head_flops(const model::ModelConfig& config, const SeqShape& shape,
+                 std::int64_t num_outputs) {
+  const double b = static_cast<double>(shape.batch);
+  const double h = static_cast<double>(config.hidden);
+  const double c = static_cast<double>(num_outputs);
+  const double fwd = b * 2.0 * h * c;
+  return {fwd, 2.0 * fwd};
+}
+
+Flops model_flops(const model::ModelConfig& config,
+                  const model::TechniqueConfig& technique,
+                  const SeqShape& shape, bool include_decoder,
+                  bool cached_epoch) {
+  PAC_CHECK(!cached_epoch ||
+                technique.technique == Technique::kParallelAdapters,
+            "cached epochs require Parallel Adapters");
+  Flops total;
+  const std::int64_t layers =
+      config.encoder_layers +
+      (include_decoder ? config.decoder_layers : 0);
+  if (!cached_epoch) {
+    Flops enc = encoder_layer_flops(config, technique, shape);
+    total += enc.scaled(static_cast<double>(config.encoder_layers));
+    if (include_decoder) {
+      Flops dec = decoder_layer_flops(config, technique, shape);
+      total += dec.scaled(static_cast<double>(config.decoder_layers));
+    }
+  }
+  if (technique.technique == Technique::kParallelAdapters) {
+    Flops side = side_block_flops(config, technique, shape);
+    total += side.scaled(static_cast<double>(layers));
+  }
+  total += head_flops(config, shape, 2);
+  return total;
+}
+
+}  // namespace pac::costmodel

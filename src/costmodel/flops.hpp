@@ -1,0 +1,65 @@
+// Analytic FLOP counts for transformer fine-tuning (Figure 3 and the
+// simulator's compute durations).
+//
+// Conventions: one multiply-accumulate = 2 FLOPs; elementwise work
+// (LayerNorm, softmax, residuals) is negligible next to the GEMMs and is
+// ignored.  Backward of y = xW costs one GEMM for dx and one for dW; the
+// dW GEMM is skipped for frozen weights — this asymmetry is exactly why
+// PEFT techniques that still backprop the backbone (Adapters, LoRA) see
+// forward FLOPs rise to ~half of the total (paper Fig. 3: 54 %), while
+// full fine-tuning sits at one third.
+#pragma once
+
+#include "model/config.hpp"
+
+namespace pac::costmodel {
+
+struct Flops {
+  double forward = 0.0;
+  double backward = 0.0;
+
+  double total() const { return forward + backward; }
+  Flops& operator+=(const Flops& o) {
+    forward += o.forward;
+    backward += o.backward;
+    return *this;
+  }
+  Flops scaled(double k) const { return {forward * k, backward * k}; }
+};
+
+struct SeqShape {
+  std::int64_t batch = 16;
+  std::int64_t seq = 128;      // encoder input length
+  std::int64_t dec_seq = 16;   // decoder target length (GLUE labels are a
+                               // few tokens; 16 covers label + padding)
+};
+
+// One encoder layer processing `shape`, under the given technique
+// (technique decides which dW GEMMs run and what adapter work is added).
+Flops encoder_layer_flops(const model::ModelConfig& config,
+                          const model::TechniqueConfig& technique,
+                          const SeqShape& shape);
+
+// One decoder layer (adds causal self-attention + cross-attention).
+Flops decoder_layer_flops(const model::ModelConfig& config,
+                          const model::TechniqueConfig& technique,
+                          const SeqShape& shape);
+
+// One Parallel Adapter side block at width r = hidden / pa_reduction
+// (always fully trained: dX + dW).
+Flops side_block_flops(const model::ModelConfig& config,
+                       const model::TechniqueConfig& technique,
+                       const SeqShape& shape);
+
+// Task head (pool + classifier) — tiny but kept for completeness.
+Flops head_flops(const model::ModelConfig& config, const SeqShape& shape,
+                 std::int64_t num_outputs);
+
+// Whole-model totals for one mini-batch.  `cached_epoch` (Parallel Adapters
+// only) drops the backbone forward entirely — the activation-cache path.
+Flops model_flops(const model::ModelConfig& config,
+                  const model::TechniqueConfig& technique,
+                  const SeqShape& shape, bool include_decoder,
+                  bool cached_epoch = false);
+
+}  // namespace pac::costmodel

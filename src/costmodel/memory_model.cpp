@@ -1,0 +1,196 @@
+#include "costmodel/memory_model.hpp"
+
+#include "common/error.hpp"
+
+namespace pac::costmodel {
+
+using model::Technique;
+
+namespace {
+
+constexpr std::uint64_t kF32 = 4;
+
+std::uint64_t side_block_param_bytes(const model::ModelConfig& c,
+                                     const model::TechniqueConfig& tc) {
+  const std::int64_t r =
+      std::max<std::int64_t>(1, c.hidden / tc.pa_reduction);
+  // down [r, H] + bias r, LN 2r, w1/w2 [r, r] + biases.
+  return kF32 * static_cast<std::uint64_t>(r * c.hidden + r + 2 * r +
+                                           2 * (r * r + r));
+}
+
+std::uint64_t houlsby_param_bytes(const model::ModelConfig& c,
+                                  const model::TechniqueConfig& tc) {
+  const std::int64_t bn =
+      std::max<std::int64_t>(1, c.hidden / tc.adapter_reduction);
+  return kF32 * static_cast<std::uint64_t>(2 * c.hidden * bn + bn + c.hidden);
+}
+
+std::uint64_t lora_param_bytes(const model::ModelConfig& c,
+                               const model::TechniqueConfig& tc,
+                               bool decoder) {
+  const std::int64_t r = tc.lora.rank;
+  const std::int64_t bypasses = decoder ? 4 : 2;  // Wq + Wv per attention
+  return kF32 * static_cast<std::uint64_t>(bypasses * 2 * c.hidden * r);
+}
+
+std::uint64_t head_param_bytes(const model::ModelConfig& c,
+                               const model::TechniqueConfig& tc) {
+  std::uint64_t bytes =
+      kF32 * static_cast<std::uint64_t>(c.hidden * 2 + 2 + 2 * c.hidden);
+  if (tc.technique == Technique::kParallelAdapters) {
+    const std::int64_t r =
+        std::max<std::int64_t>(1, c.hidden / tc.pa_reduction);
+    // side entry (H->r) + side exit (r->H).
+    bytes += kF32 * static_cast<std::uint64_t>(2 * r * c.hidden + r +
+                                               c.hidden);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t layer_activation_bytes(const model::ModelConfig& config,
+                                     const model::TechniqueConfig& technique,
+                                     const SeqShape& shape, bool decoder) {
+  const std::uint64_t te = static_cast<std::uint64_t>(shape.seq);
+  // Encoder layers run on the input length; decoder layers on the (short)
+  // target length, with cross-attention saves on the encoder memory.
+  const std::uint64_t t =
+      decoder ? static_cast<std::uint64_t>(shape.dec_seq) : te;
+  const std::uint64_t h = static_cast<std::uint64_t>(config.hidden);
+  const std::uint64_t f = static_cast<std::uint64_t>(config.ffn);
+  const std::uint64_t nh = static_cast<std::uint64_t>(config.heads);
+  const std::uint64_t b = static_cast<std::uint64_t>(shape.batch);
+  std::uint64_t elems = 0;
+  switch (technique.technique) {
+    case Technique::kFull:
+      elems = 8 * t * h + nh * t * t + 2 * t * f;
+      if (decoder) elems += 3 * te * h + nh * t * te;  // cross k/v + probs
+      break;
+    case Technique::kAdapters:
+    case Technique::kLora:
+      elems = 5 * t * h + nh * t * t + t * f;
+      if (decoder) elems += 2 * te * h + nh * t * te;
+      break;
+    case Technique::kParallelAdapters:
+    case Technique::kInference:
+      return 0;  // forward-only backbone retains nothing
+  }
+  return kF32 * b * elems;
+}
+
+std::uint64_t side_block_activation_bytes(
+    const model::ModelConfig& config,
+    const model::TechniqueConfig& technique, const SeqShape& shape) {
+  if (technique.technique != Technique::kParallelAdapters) return 0;
+  const std::uint64_t r = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(1, config.hidden / technique.pa_reduction));
+  return kF32 * static_cast<std::uint64_t>(shape.batch) * 4 *
+         static_cast<std::uint64_t>(shape.seq) * r;
+}
+
+std::uint64_t trainable_param_bytes(const model::ModelConfig& config,
+                                    const model::TechniqueConfig& technique,
+                                    bool include_decoder) {
+  const std::uint64_t layers = static_cast<std::uint64_t>(
+      config.encoder_layers +
+      (include_decoder ? config.decoder_layers : 0));
+  switch (technique.technique) {
+    case Technique::kFull:
+      return kF32 * static_cast<std::uint64_t>(
+                        config.full_param_count()) +
+             head_param_bytes(config, technique);
+    case Technique::kAdapters:
+      return layers * houlsby_param_bytes(config, technique) +
+             head_param_bytes(config, technique);
+    case Technique::kLora: {
+      std::uint64_t bytes =
+          static_cast<std::uint64_t>(config.encoder_layers) *
+          lora_param_bytes(config, technique, false);
+      if (include_decoder) {
+        bytes += static_cast<std::uint64_t>(config.decoder_layers) *
+                 lora_param_bytes(config, technique, true);
+      }
+      return bytes + head_param_bytes(config, technique);
+    }
+    case Technique::kParallelAdapters:
+      return layers * side_block_param_bytes(config, technique) +
+             head_param_bytes(config, technique);
+    case Technique::kInference:
+      return 0;
+  }
+  return 0;
+}
+
+MemoryBreakdown standalone_memory(const model::ModelConfig& config,
+                                  const model::TechniqueConfig& technique,
+                                  const SeqShape& shape,
+                                  bool include_decoder, bool cached_phase) {
+  PAC_CHECK(!cached_phase ||
+                technique.technique == Technique::kParallelAdapters,
+            "cached phase requires Parallel Adapters");
+  MemoryBreakdown mem;
+  const std::uint64_t layers = static_cast<std::uint64_t>(
+      config.encoder_layers +
+      (include_decoder ? config.decoder_layers : 0));
+  const std::uint64_t backbone_bytes =
+      kF32 * static_cast<std::uint64_t>(config.full_param_count());
+
+  mem.gradients = trainable_param_bytes(config, technique, include_decoder);
+  mem.optimizer = technique.technique == Technique::kInference
+                      ? 0
+                      : 2 * mem.gradients;
+
+  // Resident weights: frozen backbone + trainable structures — except in
+  // the cached phase, where the backbone is released entirely.
+  std::uint64_t trainable_structs = mem.gradients;
+  switch (technique.technique) {
+    case Technique::kFull:
+      mem.weights = trainable_structs;  // the backbone IS trainable
+      break;
+    case Technique::kParallelAdapters:
+      mem.weights =
+          (cached_phase ? 0 : backbone_bytes) + trainable_structs;
+      break;
+    case Technique::kInference:
+      mem.weights = backbone_bytes;
+      break;
+    default:
+      mem.weights = backbone_bytes + trainable_structs;
+  }
+  if (technique.technique == Technique::kInference) {
+    mem.gradients = 0;
+  }
+
+  if (!cached_phase) {
+    std::uint64_t act = 0;
+    act += static_cast<std::uint64_t>(config.encoder_layers) *
+           layer_activation_bytes(config, technique, shape, false);
+    if (include_decoder) {
+      act += static_cast<std::uint64_t>(config.decoder_layers) *
+             layer_activation_bytes(config, technique, shape, true);
+    }
+    act += layers * side_block_activation_bytes(config, technique, shape);
+    mem.activations = act;
+  } else {
+    // Cached phase: side-block activations plus the resident cached inputs
+    // of one mini-batch.
+    mem.activations =
+        layers * side_block_activation_bytes(config, technique, shape);
+    mem.cache = static_cast<std::uint64_t>(shape.batch) *
+                cache_bytes_per_sample(config, shape.seq, include_decoder);
+  }
+  return mem;
+}
+
+std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
+                                     std::int64_t seq, bool include_decoder) {
+  const std::uint64_t layers = static_cast<std::uint64_t>(
+      config.encoder_layers +
+      (include_decoder ? config.decoder_layers : 0));
+  return kF32 * (layers + 1) * static_cast<std::uint64_t>(seq) *
+         static_cast<std::uint64_t>(config.hidden);
+}
+
+}  // namespace pac::costmodel

@@ -1,0 +1,63 @@
+// Analytic memory model (Table 1, Fig. 8b, Fig. 9b and the planner's OOM
+// checks).
+//
+// Retention rules (fp32, bytes = 4 * elements, per retained micro-batch):
+//   full backprop      — every GEMM input is saved for dW, plus attention
+//                        probabilities and FFN pre-activations:
+//                            (8 T H + 2 T F + heads T^2) per layer
+//   frozen backbone    — (Adapters/LoRA) dW GEMMs are skipped, so GEMM
+//                        inputs need not be retained; what remains is
+//                            (5 T H + T F + heads T^2) per layer
+//   parallel adapters  — the backbone retains nothing; each side block
+//                        keeps ~4 T r
+// Optimizer state is Adam (2x trainable bytes), matching the executed
+// trainers.  Weights/gradients follow the parameter counts exactly.
+#pragma once
+
+#include "costmodel/flops.hpp"
+#include "model/config.hpp"
+
+namespace pac::costmodel {
+
+struct MemoryBreakdown {
+  std::uint64_t weights = 0;
+  std::uint64_t gradients = 0;
+  std::uint64_t optimizer = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t cache = 0;
+
+  std::uint64_t total() const {
+    return weights + gradients + optimizer + activations + cache;
+  }
+};
+
+// Retained activation bytes of one backbone layer for one micro-batch.
+std::uint64_t layer_activation_bytes(const model::ModelConfig& config,
+                                     const model::TechniqueConfig& technique,
+                                     const SeqShape& shape, bool decoder);
+
+// Retained bytes of one Parallel Adapter side block.
+std::uint64_t side_block_activation_bytes(
+    const model::ModelConfig& config,
+    const model::TechniqueConfig& technique, const SeqShape& shape);
+
+// Trainable parameter bytes of the whole model under a technique.
+std::uint64_t trainable_param_bytes(const model::ModelConfig& config,
+                                    const model::TechniqueConfig& technique,
+                                    bool include_decoder);
+
+// Whole-model single-device footprint for one resident mini-batch.
+// `cached_phase` models PAC's phase 2: backbone weights released, only the
+// side network + head resident, no backbone activations.
+MemoryBreakdown standalone_memory(const model::ModelConfig& config,
+                                  const model::TechniqueConfig& technique,
+                                  const SeqShape& shape,
+                                  bool include_decoder,
+                                  bool cached_phase = false);
+
+// Activation-cache storage per sample: (L+1) tensors of T x H fp32
+// (paper §5.2 storage analysis).
+std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
+                                     std::int64_t seq, bool include_decoder);
+
+}  // namespace pac::costmodel

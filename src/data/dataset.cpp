@@ -1,0 +1,231 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pac::data {
+
+const char* task_name(GlueTask task) {
+  switch (task) {
+    case GlueTask::kMrpc: return "MRPC";
+    case GlueTask::kStsb: return "STS-B";
+    case GlueTask::kSst2: return "SST-2";
+    case GlueTask::kQnli: return "QNLI";
+  }
+  return "?";
+}
+
+TaskInfo task_info(GlueTask task) {
+  switch (task) {
+    case GlueTask::kMrpc:
+      return {task, "MRPC", 3668, 3, model::TaskKind::kClassification, 2,
+              "acc/F1 mean"};
+    case GlueTask::kStsb:
+      return {task, "STS-B", 5749, 3, model::TaskKind::kRegression, 1,
+              "Pearson-Spearman"};
+    case GlueTask::kSst2:
+      return {task, "SST-2", 67349, 1, model::TaskKind::kClassification, 2,
+              "accuracy"};
+    case GlueTask::kQnli:
+      return {task, "QNLI", 104743, 1, model::TaskKind::kClassification, 2,
+              "accuracy"};
+  }
+  throw InvalidArgument("unknown GLUE task");
+}
+
+std::vector<GlueTask> all_tasks() {
+  return {GlueTask::kMrpc, GlueTask::kStsb, GlueTask::kSst2, GlueTask::kQnli};
+}
+
+SyntheticGlueDataset::SyntheticGlueDataset(DatasetConfig config)
+    : config_(config), info_(task_info(config.task)) {
+  PAC_CHECK(config_.vocab >= 16, "vocab too small for synthetic generation");
+  PAC_CHECK(config_.seq_len >= 4, "seq_len too small");
+  PAC_CHECK(config_.train_samples > 0 && config_.eval_samples > 0,
+            "dataset sizes must be positive");
+  sep_token_ = config_.vocab - 1;
+  // Two disjoint signal-token pools near the top of the vocab (below SEP).
+  signal_base_ = config_.vocab - 1 - 8;
+  PAC_CHECK(signal_base_ > 4, "vocab too small for signal tokens");
+
+  Rng rng(config_.seed);
+  train_.reserve(static_cast<std::size_t>(config_.train_samples));
+  for (std::int64_t i = 0; i < config_.train_samples; ++i) {
+    train_.push_back(generate(rng));
+  }
+  eval_.reserve(static_cast<std::size_t>(config_.eval_samples));
+  for (std::int64_t i = 0; i < config_.eval_samples; ++i) {
+    eval_.push_back(generate(rng));
+  }
+}
+
+Sample SyntheticGlueDataset::generate(Rng& rng) const {
+  switch (config_.task) {
+    case GlueTask::kSst2:
+      return generate_sentiment(rng);
+    case GlueTask::kMrpc:
+      // Paraphrases: half/half segment split, moderate copy noise.
+      return generate_pair(rng, /*copy_noise=*/0.25, config_.seq_len / 2);
+    case GlueTask::kQnli:
+      // Question shorter than context; cleaner topic signal than MRPC.
+      return generate_pair(rng, /*copy_noise=*/0.05, config_.seq_len / 3);
+    case GlueTask::kStsb:
+      return generate_similarity(rng);
+  }
+  throw InvalidArgument("unknown GLUE task");
+}
+
+Sample SyntheticGlueDataset::generate_sentiment(Rng& rng) const {
+  Sample s;
+  s.label = rng.integer(0, 1);
+  s.tokens.resize(static_cast<std::size_t>(config_.seq_len));
+  // Signal pool: 4 tokens per class.
+  const std::int64_t base = signal_base_ + 4 * s.label;
+  for (auto& tok : s.tokens) {
+    if (rng.bernoulli(0.35)) {
+      tok = base + rng.integer(0, 3);
+    } else {
+      tok = rng.integer(0, signal_base_ - 1);
+    }
+  }
+  return s;
+}
+
+Sample SyntheticGlueDataset::generate_pair(Rng& rng, double copy_noise,
+                                           std::int64_t first_len) const {
+  // Topic-token construction: each segment is a mix of one "topic" token
+  // and noise.  Paraphrase/entailment pairs share the topic; negatives use
+  // two distinct topics.  The pooled embedding then concentrates on one
+  // topic (positive) or splits across two (negative), which a small
+  // transformer decodes reliably.
+  Sample s;
+  s.label = rng.integer(0, 1);
+  s.tokens.resize(static_cast<std::size_t>(config_.seq_len));
+  const std::int64_t second_begin = first_len + 1;
+  // Two fixed topic tokens: the match/mismatch evidence lives along fixed
+  // embedding directions, which a small pooled transformer can decode.
+  const std::int64_t topic_a = signal_base_ + rng.integer(0, 1);
+  const std::int64_t topic_b =
+      s.label == 1 ? topic_a
+                   : signal_base_ + (1 - (topic_a - signal_base_));
+  auto fill = [&](std::int64_t begin, std::int64_t end,
+                  std::int64_t topic) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      s.tokens[static_cast<std::size_t>(i)] =
+          rng.bernoulli(0.5 * (1.0 - copy_noise))
+              ? topic
+              : rng.integer(0, signal_base_ - 1);
+    }
+  };
+  fill(0, first_len, topic_a);
+  s.tokens[static_cast<std::size_t>(first_len)] = sep_token_;
+  fill(second_begin, config_.seq_len, topic_b);
+  return s;
+}
+
+Sample SyntheticGlueDataset::generate_similarity(Rng& rng) const {
+  // Similarity regression: segment A commits to topic t1; segment B draws
+  // its topic tokens from t1 with probability q and from a distractor t2
+  // otherwise.  The target is q scaled to STS-B's [0, 5] range — linear in
+  // the pooled topic mass, so regressable yet graded.
+  Sample s;
+  s.tokens.resize(static_cast<std::size_t>(config_.seq_len));
+  const std::int64_t first_len = config_.seq_len / 2;
+  const std::int64_t second_begin = first_len + 1;
+  const float q = rng.uniform(0.0F, 1.0F);
+  s.target = 5.0F * q;
+  // Fixed topic/distractor tokens keep the graded signal along one
+  // embedding direction (pooled t1 mass is linear in q).
+  const std::int64_t t1 = signal_base_;
+  const std::int64_t t2 = signal_base_ + 1;
+  for (std::int64_t i = 0; i < first_len; ++i) {
+    s.tokens[static_cast<std::size_t>(i)] =
+        rng.bernoulli(0.5) ? t1 : rng.integer(0, signal_base_ - 1);
+  }
+  s.tokens[static_cast<std::size_t>(first_len)] = sep_token_;
+  for (std::int64_t i = second_begin; i < config_.seq_len; ++i) {
+    std::int64_t tok;
+    if (rng.bernoulli(0.5)) {
+      tok = rng.bernoulli(q) ? t1 : t2;
+    } else {
+      tok = rng.integer(0, signal_base_ - 1);
+    }
+    s.tokens[static_cast<std::size_t>(i)] = tok;
+  }
+  return s;
+}
+
+const Sample& SyntheticGlueDataset::train_sample(std::int64_t i) const {
+  PAC_CHECK(i >= 0 && i < train_size(), "train sample " << i
+                                                        << " out of range");
+  return train_[static_cast<std::size_t>(i)];
+}
+
+const Sample& SyntheticGlueDataset::eval_sample(std::int64_t i) const {
+  PAC_CHECK(i >= 0 && i < eval_size(), "eval sample " << i << " out of range");
+  return eval_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+
+Batch make_batch(const std::vector<Sample>& pool,
+                 const std::vector<std::int64_t>& idx,
+                 std::int64_t seq_len) {
+  Batch batch;
+  const std::int64_t n = static_cast<std::int64_t>(idx.size());
+  PAC_CHECK(n > 0, "empty batch");
+  batch.tokens = Tensor({n, seq_len});
+  batch.labels.reserve(idx.size());
+  batch.targets.reserve(idx.size());
+  batch.sample_ids = idx;
+  float* pt = batch.tokens.data();
+  for (std::int64_t r = 0; r < n; ++r) {
+    const std::int64_t i = idx[static_cast<std::size_t>(r)];
+    PAC_CHECK(i >= 0 && i < static_cast<std::int64_t>(pool.size()),
+              "batch index " << i << " out of range");
+    const Sample& s = pool[static_cast<std::size_t>(i)];
+    for (std::int64_t c = 0; c < seq_len; ++c) {
+      pt[r * seq_len + c] =
+          static_cast<float>(s.tokens[static_cast<std::size_t>(c)]);
+    }
+    batch.labels.push_back(s.label);
+    batch.targets.push_back(s.target);
+  }
+  return batch;
+}
+
+}  // namespace
+
+Batch SyntheticGlueDataset::make_train_batch(
+    const std::vector<std::int64_t>& indices) const {
+  return make_batch(train_, indices, config_.seq_len);
+}
+
+Batch SyntheticGlueDataset::make_eval_batch(
+    const std::vector<std::int64_t>& indices) const {
+  return make_batch(eval_, indices, config_.seq_len);
+}
+
+BatchPlan::BatchPlan(std::int64_t n, std::int64_t batch_size,
+                     std::uint64_t seed) {
+  PAC_CHECK(n > 0 && batch_size > 0, "bad batch plan: n=" << n << " batch="
+                                                          << batch_size);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  for (std::int64_t begin = 0; begin < n; begin += batch_size) {
+    const std::int64_t end = std::min(n, begin + batch_size);
+    batches_.emplace_back(order.begin() + begin, order.begin() + end);
+  }
+}
+
+const std::vector<std::int64_t>& BatchPlan::batch(std::int64_t i) const {
+  PAC_CHECK(i >= 0 && i < num_batches(), "batch " << i << " out of range");
+  return batches_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace pac::data

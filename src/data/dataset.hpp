@@ -1,0 +1,141 @@
+// Synthetic GLUE-like datasets (substitute for MRPC / STS-B / SST-2 / QNLI).
+//
+// The paper fine-tunes on four GLUE tasks.  We cannot ship GLUE, so each
+// task is replaced by a seeded synthetic generator with the same *shape*:
+//   SST-2  — single-segment sentiment:  class-specific signal tokens are
+//            planted among noise; the label is which signal set dominates.
+//   MRPC   — sequence-pair paraphrase:  segment B is either a noisy copy of
+//            segment A (paraphrase) or an independent draw.
+//   QNLI   — sequence-pair entailment, same pair construction with a
+//            different token budget split (question short, context long).
+//   STS-B  — sequence-pair similarity regression: segment B copies a random
+//            fraction q of A's tokens; the target is q scaled to [0, 5].
+// All four are learnable by a pooled transformer classifier, separate the
+// techniques the same way GLUE does (harder tasks need more epochs), and —
+// what the timing experiments actually depend on — carry the *paper's real
+// sample counts* so durations scale identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pac::data {
+
+enum class GlueTask { kMrpc, kStsb, kSst2, kQnli };
+
+const char* task_name(GlueTask task);
+
+struct TaskInfo {
+  GlueTask task;
+  std::string name;
+  std::int64_t paper_train_samples;  // real GLUE training-set size
+  std::int64_t paper_epochs;         // epochs used in the paper's Table 2
+  model::TaskKind kind;
+  std::int64_t num_classes;          // regression: 1
+  std::string metric;                // what Table 3 reports for this task
+};
+
+// Paper workload parameters for each task (sizes from GLUE, epochs from §6.2).
+TaskInfo task_info(GlueTask task);
+std::vector<GlueTask> all_tasks();
+
+struct Sample {
+  std::vector<std::int64_t> tokens;  // fixed length seq_len
+  std::int64_t label = 0;            // classification
+  float target = 0.0F;               // regression
+};
+
+// A materialized mini-batch: tokens [n, seq_len] plus labels/targets and
+// the dataset indices (cache keys) of its rows.
+struct Batch {
+  Tensor tokens;
+  std::vector<std::int64_t> labels;
+  std::vector<float> targets;
+  std::vector<std::int64_t> sample_ids;
+};
+
+// Abstract training corpus.  The trainers, Session and baselines operate on
+// this interface; SyntheticGlueDataset provides the paper's workloads and
+// TextClassificationDataset adapts real user text (see data/tokenizer.hpp).
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual const TaskInfo& info() const = 0;
+  virtual std::int64_t vocab() const = 0;
+  virtual std::int64_t train_size() const = 0;
+  virtual std::int64_t eval_size() const = 0;
+  virtual Batch make_train_batch(
+      const std::vector<std::int64_t>& indices) const = 0;
+  virtual Batch make_eval_batch(
+      const std::vector<std::int64_t>& indices) const = 0;
+};
+
+struct DatasetConfig {
+  GlueTask task = GlueTask::kMrpc;
+  std::int64_t train_samples = 128;  // executed-scale override
+  std::int64_t eval_samples = 64;
+  std::int64_t seq_len = 16;
+  std::int64_t vocab = 64;           // must match the model's vocab
+  std::uint64_t seed = 1234;
+};
+
+class SyntheticGlueDataset : public Dataset {
+ public:
+  explicit SyntheticGlueDataset(DatasetConfig config);
+
+  const DatasetConfig& config() const { return config_; }
+  const TaskInfo& info() const override { return info_; }
+  std::int64_t vocab() const override { return config_.vocab; }
+
+  std::int64_t train_size() const override {
+    return static_cast<std::int64_t>(train_.size());
+  }
+  std::int64_t eval_size() const override {
+    return static_cast<std::int64_t>(eval_.size());
+  }
+
+  const Sample& train_sample(std::int64_t i) const;
+  const Sample& eval_sample(std::int64_t i) const;
+
+  Batch make_train_batch(
+      const std::vector<std::int64_t>& indices) const override;
+  Batch make_eval_batch(
+      const std::vector<std::int64_t>& indices) const override;
+
+ private:
+  Sample generate(Rng& rng) const;
+  Sample generate_sentiment(Rng& rng) const;
+  Sample generate_pair(Rng& rng, double copy_noise,
+                       std::int64_t first_len) const;
+  Sample generate_similarity(Rng& rng) const;
+
+  DatasetConfig config_;
+  TaskInfo info_;
+  std::vector<Sample> train_;
+  std::vector<Sample> eval_;
+  // Reserved structural tokens.
+  std::int64_t sep_token_;
+  std::int64_t signal_base_;
+};
+
+// Round-robin micro-batch index planner: splits [0, n) into shuffled
+// mini-batches of `batch` and subdivides each into micro-batches.
+class BatchPlan {
+ public:
+  BatchPlan(std::int64_t n, std::int64_t batch_size, std::uint64_t seed);
+
+  std::int64_t num_batches() const {
+    return static_cast<std::int64_t>(batches_.size());
+  }
+  const std::vector<std::int64_t>& batch(std::int64_t i) const;
+
+ private:
+  std::vector<std::vector<std::int64_t>> batches_;
+};
+
+}  // namespace pac::data

@@ -1,0 +1,94 @@
+#include "data/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace pac::data {
+
+double accuracy(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth) {
+  PAC_CHECK(pred.size() == truth.size() && !pred.empty(),
+            "accuracy: size mismatch or empty");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double f1_binary(const std::vector<std::int64_t>& pred,
+                 const std::vector<std::int64_t>& truth) {
+  PAC_CHECK(pred.size() == truth.size() && !pred.empty(),
+            "f1: size mismatch or empty");
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == 1 && truth[i] == 1) ++tp;
+    if (pred[i] == 1 && truth[i] == 0) ++fp;
+    if (pred[i] == 0 && truth[i] == 1) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double pearson(const std::vector<float>& a, const std::vector<float>& b) {
+  PAC_CHECK(a.size() == b.size() && a.size() >= 2,
+            "pearson: need matched vectors of size >= 2");
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+namespace {
+
+std::vector<float> ranks(const std::vector<float>& v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+  std::vector<float> rank(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const float avg_rank = static_cast<float>(i + j) / 2.0F + 1.0F;
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return rank;
+}
+
+}  // namespace
+
+double spearman(const std::vector<float>& a, const std::vector<float>& b) {
+  PAC_CHECK(a.size() == b.size() && a.size() >= 2,
+            "spearman: need matched vectors of size >= 2");
+  return pearson(ranks(a), ranks(b));
+}
+
+}  // namespace pac::data

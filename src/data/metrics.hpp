@@ -1,0 +1,24 @@
+// Evaluation metrics matching the paper's Table 3:
+//   MRPC  — mean of F1 and accuracy
+//   STS-B — mean of Pearson and Spearman correlation
+//   SST-2 / QNLI — accuracy
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pac::data {
+
+double accuracy(const std::vector<std::int64_t>& pred,
+                const std::vector<std::int64_t>& truth);
+
+// Binary F1 with class 1 as the positive class.
+double f1_binary(const std::vector<std::int64_t>& pred,
+                 const std::vector<std::int64_t>& truth);
+
+double pearson(const std::vector<float>& a, const std::vector<float>& b);
+
+// Spearman rank correlation (average ranks on ties).
+double spearman(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace pac::data

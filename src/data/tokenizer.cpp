@@ -1,0 +1,173 @@
+#include "data/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace pac::data {
+
+std::vector<std::string> Tokenizer::split_words(const std::string& text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+Tokenizer Tokenizer::build(const std::vector<std::string>& corpus,
+                           std::int64_t max_vocab) {
+  PAC_CHECK(max_vocab > kNumSpecials,
+            "max_vocab must exceed the " << kNumSpecials << " specials");
+  std::map<std::string, std::int64_t> counts;  // ordered: deterministic ties
+  for (const std::string& text : corpus) {
+    for (const std::string& w : split_words(text)) ++counts[w];
+  }
+  std::vector<std::pair<std::string, std::int64_t>> ranked(counts.begin(),
+                                                           counts.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+
+  Tokenizer t;
+  t.id_to_token_ = {"<pad>", "<unk>", "<bos>", "<sep>"};
+  for (const auto& [word, count] : ranked) {
+    if (static_cast<std::int64_t>(t.id_to_token_.size()) >= max_vocab) {
+      break;
+    }
+    t.id_to_token_.push_back(word);
+  }
+  for (std::size_t i = 0; i < t.id_to_token_.size(); ++i) {
+    t.token_to_id_[t.id_to_token_[i]] = static_cast<std::int64_t>(i);
+  }
+  return t;
+}
+
+namespace {
+
+void append_words(const Tokenizer& t,
+                  const std::unordered_map<std::string, std::int64_t>& map,
+                  const std::string& text,
+                  std::vector<std::int64_t>& out) {
+  (void)t;
+  for (const std::string& w : Tokenizer::split_words(text)) {
+    auto it = map.find(w);
+    out.push_back(it == map.end() ? Tokenizer::kUnk : it->second);
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> Tokenizer::encode(const std::string& text,
+                                            std::int64_t max_len) const {
+  PAC_CHECK(max_len >= 1, "encode needs max_len >= 1");
+  std::vector<std::int64_t> ids{kBos};
+  append_words(*this, token_to_id_, text, ids);
+  ids.resize(static_cast<std::size_t>(max_len), kPad);
+  return ids;
+}
+
+std::vector<std::int64_t> Tokenizer::encode_pair(
+    const std::string& a, const std::string& b,
+    std::int64_t max_len) const {
+  PAC_CHECK(max_len >= 2, "encode_pair needs max_len >= 2");
+  std::vector<std::int64_t> ids{kBos};
+  append_words(*this, token_to_id_, a, ids);
+  ids.push_back(kSep);
+  append_words(*this, token_to_id_, b, ids);
+  ids.resize(static_cast<std::size_t>(max_len), kPad);
+  return ids;
+}
+
+const std::string& Tokenizer::token(std::int64_t id) const {
+  PAC_CHECK(id >= 0 && id < vocab_size(), "token id " << id
+                                                      << " out of vocab");
+  return id_to_token_[static_cast<std::size_t>(id)];
+}
+
+TextClassificationDataset::TextClassificationDataset(
+    std::vector<Example> examples, const Tokenizer& tokenizer,
+    std::int64_t seq_len)
+    : TextClassificationDataset(examples, examples, tokenizer, seq_len) {}
+
+TextClassificationDataset::TextClassificationDataset(
+    std::vector<Example> train_examples, std::vector<Example> eval_examples,
+    const Tokenizer& tokenizer, std::int64_t seq_len,
+    std::int64_t num_classes)
+    : seq_len_(seq_len), vocab_(tokenizer.vocab_size()) {
+  PAC_CHECK(!train_examples.empty() && !eval_examples.empty(),
+            "empty text dataset");
+  auto encode_all = [&](const std::vector<Example>& in,
+                        std::vector<Encoded>& out) {
+    out.reserve(in.size());
+    for (const Example& e : in) {
+      PAC_CHECK(e.label >= 0 && e.label < num_classes,
+                "label " << e.label << " outside [0, " << num_classes << ")");
+      out.push_back(Encoded{tokenizer.encode(e.text, seq_len_), e.label});
+    }
+  };
+  encode_all(train_examples, train_);
+  encode_all(eval_examples, eval_);
+  info_ = TaskInfo{GlueTask::kSst2,
+                   "user-text",
+                   static_cast<std::int64_t>(train_.size()),
+                   1,
+                   model::TaskKind::kClassification,
+                   num_classes,
+                   "accuracy"};
+}
+
+Batch TextClassificationDataset::make_batch(
+    const std::vector<Encoded>& pool,
+    const std::vector<std::int64_t>& indices, std::int64_t seq_len) {
+  PAC_CHECK(!indices.empty(), "empty batch");
+  Batch batch;
+  batch.tokens = Tensor({static_cast<std::int64_t>(indices.size()), seq_len});
+  batch.sample_ids = indices;
+  float* p = batch.tokens.data();
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::int64_t i = indices[r];
+    PAC_CHECK(i >= 0 && i < static_cast<std::int64_t>(pool.size()),
+              "example index out of range");
+    const Encoded& e = pool[static_cast<std::size_t>(i)];
+    for (std::int64_t c = 0; c < seq_len; ++c) {
+      p[static_cast<std::int64_t>(r) * seq_len + c] =
+          static_cast<float>(e.tokens[static_cast<std::size_t>(c)]);
+    }
+    batch.labels.push_back(e.label);
+    batch.targets.push_back(static_cast<float>(e.label));
+  }
+  return batch;
+}
+
+Batch TextClassificationDataset::make_train_batch(
+    const std::vector<std::int64_t>& indices) const {
+  return make_batch(train_, indices, seq_len_);
+}
+
+Batch TextClassificationDataset::make_eval_batch(
+    const std::vector<std::int64_t>& indices) const {
+  return make_batch(eval_, indices, seq_len_);
+}
+
+Tensor TextClassificationDataset::batch_tokens(
+    const std::vector<std::int64_t>& indices) const {
+  return make_train_batch(indices).tokens;
+}
+
+std::vector<std::int64_t> TextClassificationDataset::batch_labels(
+    const std::vector<std::int64_t>& indices) const {
+  return make_train_batch(indices).labels;
+}
+
+}  // namespace pac::data

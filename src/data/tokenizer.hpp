@@ -1,0 +1,115 @@
+// Word-level tokenizer and text dataset adapter.
+//
+// The synthetic GLUE generators drive the benchmarks, but a personal-LLM
+// library must also ingest the user's actual text.  This is a
+// frequency-ranked word tokenizer (lowercased, split on non-alphanumerics)
+// with reserved ids <pad>=0, <unk>=1, <bos>=2, <sep>=3, plus an adapter
+// that turns (text, label) pairs into model-ready batches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pac::data {
+
+class Tokenizer {
+ public:
+  static constexpr std::int64_t kPad = 0;
+  static constexpr std::int64_t kUnk = 1;
+  static constexpr std::int64_t kBos = 2;
+  static constexpr std::int64_t kSep = 3;
+  static constexpr std::int64_t kNumSpecials = 4;
+
+  // Builds a vocabulary of at most `max_vocab` entries (specials included)
+  // from the corpus, keeping the most frequent words (ties break
+  // lexicographically for determinism).
+  static Tokenizer build(const std::vector<std::string>& corpus,
+                         std::int64_t max_vocab);
+
+  // Lowercases, splits on non-alphanumerics, maps OOV words to <unk>,
+  // prepends <bos>, pads with <pad> / truncates to exactly max_len.
+  std::vector<std::int64_t> encode(const std::string& text,
+                                   std::int64_t max_len) const;
+  // Pair encoding: <bos> a ... <sep> b ... padded/truncated to max_len.
+  std::vector<std::int64_t> encode_pair(const std::string& a,
+                                        const std::string& b,
+                                        std::int64_t max_len) const;
+
+  // Token string for an id (specials render as "<pad>" etc.).
+  const std::string& token(std::int64_t id) const;
+  std::int64_t vocab_size() const {
+    return static_cast<std::int64_t>(id_to_token_.size());
+  }
+
+  // Normalized word list of a text (exposed for tests).
+  static std::vector<std::string> split_words(const std::string& text);
+
+ private:
+  Tokenizer() = default;
+
+  std::unordered_map<std::string, std::int64_t> token_to_id_;
+  std::vector<std::string> id_to_token_;
+};
+
+// Labeled text examples -> a full data::Dataset, so real user text runs
+// through every trainer (including pac::core::Session) unchanged.  Models
+// consuming it should set ModelConfig::pad_token = Tokenizer::kPad.
+class TextClassificationDataset : public Dataset {
+ public:
+  struct Example {
+    std::string text;
+    std::int64_t label = 0;
+  };
+
+  // Single-split convenience: the same examples serve train and eval.
+  TextClassificationDataset(std::vector<Example> examples,
+                            const Tokenizer& tokenizer,
+                            std::int64_t seq_len);
+  TextClassificationDataset(std::vector<Example> train_examples,
+                            std::vector<Example> eval_examples,
+                            const Tokenizer& tokenizer, std::int64_t seq_len,
+                            std::int64_t num_classes = 2);
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(train_.size());
+  }
+  // tokens [n, seq_len] + labels for the given train-example indices.
+  Tensor batch_tokens(const std::vector<std::int64_t>& indices) const;
+  std::vector<std::int64_t> batch_labels(
+      const std::vector<std::int64_t>& indices) const;
+
+  // ---- data::Dataset ----
+  const TaskInfo& info() const override { return info_; }
+  std::int64_t vocab() const override { return vocab_; }
+  std::int64_t train_size() const override { return size(); }
+  std::int64_t eval_size() const override {
+    return static_cast<std::int64_t>(eval_.size());
+  }
+  Batch make_train_batch(
+      const std::vector<std::int64_t>& indices) const override;
+  Batch make_eval_batch(
+      const std::vector<std::int64_t>& indices) const override;
+
+ private:
+  struct Encoded {
+    std::vector<std::int64_t> tokens;
+    std::int64_t label = 0;
+  };
+
+  static Batch make_batch(const std::vector<Encoded>& pool,
+                          const std::vector<std::int64_t>& indices,
+                          std::int64_t seq_len);
+
+  std::vector<Encoded> train_;
+  std::vector<Encoded> eval_;
+  std::int64_t seq_len_;
+  std::int64_t vocab_;
+  TaskInfo info_;
+};
+
+}  // namespace pac::data

@@ -1,0 +1,74 @@
+#include "dist/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hpp"
+
+namespace pac::dist {
+
+EdgeCluster::EdgeCluster(std::vector<DeviceSpec> devices, LinkModel link)
+    : devices_(std::move(devices)), link_(link) {
+  PAC_CHECK(!devices_.empty(), "cluster needs at least one device");
+  for (int i = 0; i < size(); ++i) {
+    ledgers_.push_back(
+        std::make_unique<MemoryLedger>(i, devices_[static_cast<std::size_t>(i)]
+                                              .memory_budget));
+  }
+}
+
+EdgeCluster::EdgeCluster(int n, std::uint64_t memory_budget_bytes,
+                         LinkModel link)
+    : EdgeCluster(std::vector<DeviceSpec>(
+                      static_cast<std::size_t>(n),
+                      DeviceSpec{1.0, memory_budget_bytes}),
+                  link) {}
+
+MemoryLedger& EdgeCluster::ledger(int rank) {
+  PAC_CHECK(rank >= 0 && rank < size(), "ledger rank out of range");
+  return *ledgers_[static_cast<std::size_t>(rank)];
+}
+
+const DeviceSpec& EdgeCluster::spec(int rank) const {
+  PAC_CHECK(rank >= 0 && rank < size(), "spec rank out of range");
+  return devices_[static_cast<std::size_t>(rank)];
+}
+
+void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
+  transport_ = std::make_unique<Transport>(size(), link_);
+
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  auto rank_main = [&](int rank) {
+    Communicator comm(*transport_, rank);
+    DeviceContext ctx{rank, size(), comm,
+                      *ledgers_[static_cast<std::size_t>(rank)],
+                      devices_[static_cast<std::size_t>(rank)]};
+    try {
+      fn(ctx);
+    } catch (const ChannelClosedError&) {
+      // Secondary failure caused by another rank's close(); swallow.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> failure_guard(failure_mutex);
+        if (!first_failure) first_failure = std::current_exception();
+      }
+      PAC_LOG_WARN << "device " << rank
+                   << " failed; closing transport to unwind peers";
+      transport_->close();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size()));
+  for (int r = 0; r < size(); ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,61 @@
+// The simulated edge cluster: N devices (threads) with memory ledgers and
+// compute-speed scales, wired through a shared Transport.
+//
+// `run` launches one thread per device executing the same SPMD function
+// (MPI-style).  If any device throws — DeviceOomError being the interesting
+// case — the transport is closed so peers blocked on recv unwind with
+// ChannelClosedError, and the *first real* exception is rethrown to the
+// caller.  This is the failure-injection path the tests exercise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/communicator.hpp"
+#include "dist/memory_ledger.hpp"
+#include "dist/transport.hpp"
+
+namespace pac::dist {
+
+struct DeviceSpec {
+  double compute_scale = 1.0;  // relative speed (1.0 = reference Jetson)
+  std::uint64_t memory_budget =
+      std::numeric_limits<std::uint64_t>::max();  // bytes
+};
+
+// Everything a rank's SPMD function can touch.
+struct DeviceContext {
+  int rank;
+  int world_size;
+  Communicator& comm;
+  MemoryLedger& ledger;
+  const DeviceSpec& spec;
+};
+
+class EdgeCluster {
+ public:
+  explicit EdgeCluster(std::vector<DeviceSpec> devices, LinkModel link = {});
+  // Homogeneous cluster of `n` reference devices.
+  EdgeCluster(int n, std::uint64_t memory_budget_bytes, LinkModel link = {});
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  MemoryLedger& ledger(int rank);
+  const DeviceSpec& spec(int rank) const;
+
+  // Runs fn on every rank; blocks until all complete.  Rethrows the first
+  // non-ChannelClosed exception raised by any rank.
+  void run(const std::function<void(DeviceContext&)>& fn);
+
+  // Transport of the most recent run (traffic statistics).
+  const Transport* last_transport() const { return transport_.get(); }
+
+ private:
+  std::vector<DeviceSpec> devices_;
+  LinkModel link_;
+  std::vector<std::unique_ptr<MemoryLedger>> ledgers_;
+  std::unique_ptr<Transport> transport_;
+};
+
+}  // namespace pac::dist

@@ -1,0 +1,148 @@
+#include "dist/communicator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+int Communicator::group_index(const std::vector<int>& group) const {
+  PAC_CHECK(!group.empty(), "empty collective group");
+  PAC_CHECK(std::is_sorted(group.begin(), group.end()),
+            "collective group must be sorted");
+  PAC_CHECK(std::adjacent_find(group.begin(), group.end()) == group.end(),
+            "collective group has duplicates");
+  auto it = std::find(group.begin(), group.end(), rank_);
+  PAC_CHECK(it != group.end(), "rank " << rank_
+                                       << " not a member of the group");
+  return static_cast<int>(it - group.begin());
+}
+
+void Communicator::barrier(const std::vector<int>& group, int tag) {
+  const int me = group_index(group);
+  const int root = group[0];
+  Tensor token({1});
+  if (rank_ == root) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      recv(group[i], tag);
+    }
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      send(group[i], tag, token.clone());
+    }
+  } else {
+    (void)me;
+    send(root, tag, token.clone());
+    recv(root, tag);
+  }
+}
+
+Tensor Communicator::broadcast(Tensor payload, int root,
+                               const std::vector<int>& group, int tag) {
+  group_index(group);
+  PAC_CHECK(std::find(group.begin(), group.end(), root) != group.end(),
+            "broadcast root " << root << " not in group");
+  if (rank_ == root) {
+    for (int peer : group) {
+      if (peer == root) continue;
+      send(peer, tag, payload.clone());
+    }
+    return payload;
+  }
+  return recv(root, tag);
+}
+
+void Communicator::allreduce_sum(Tensor& t, const std::vector<int>& group,
+                                 int tag, AllReduceAlgo algo) {
+  group_index(group);
+  if (group.size() == 1) return;
+  PAC_CHECK(t.defined(), "allreduce on undefined tensor");
+  // Tiny tensors do not chunk well; the ring degenerates gracefully but the
+  // naive path is simpler and equally cheap.
+  if (algo == AllReduceAlgo::kRing &&
+      t.numel() >= static_cast<std::int64_t>(group.size())) {
+    allreduce_ring(t, group, tag);
+  } else {
+    allreduce_naive(t, group, tag);
+  }
+}
+
+void Communicator::allreduce_naive(Tensor& t, const std::vector<int>& group,
+                                   int tag) {
+  const int root = group[0];
+  if (rank_ == root) {
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      Tensor part = recv(group[i], tag);
+      t.add_(part);
+    }
+    for (std::size_t i = 1; i < group.size(); ++i) {
+      send(group[i], tag, t.clone());
+    }
+  } else {
+    send(root, tag, t.clone());
+    Tensor summed = recv(root, tag);
+    t.copy_from(summed);
+  }
+}
+
+void Communicator::allreduce_ring(Tensor& t, const std::vector<int>& group,
+                                  int tag) {
+  const int g = static_cast<int>(group.size());
+  const int me = group_index(group);
+  const int next = group[static_cast<std::size_t>((me + 1) % g)];
+  const int prev = group[static_cast<std::size_t>((me - 1 + g) % g)];
+  const std::int64_t n = t.numel();
+  const std::int64_t chunk = (n + g - 1) / g;
+  Tensor flat = t.reshape({n});
+
+  auto chunk_range = [&](int c) {
+    const std::int64_t begin = std::min<std::int64_t>(n, c * chunk);
+    const std::int64_t end = std::min<std::int64_t>(n, begin + chunk);
+    return std::make_pair(begin, end);
+  };
+
+  // Reduce-scatter: after g-1 steps, chunk (me+1) mod g holds the full sum.
+  for (int step = 0; step < g - 1; ++step) {
+    const int send_chunk = ((me - step) % g + g) % g;
+    const int recv_chunk = ((me - step - 1) % g + g) % g;
+    auto [sb, se] = chunk_range(send_chunk);
+    send(next, tag, flat.slice0(sb, se).clone());
+    Tensor in = recv(prev, tag);
+    auto [rb, re] = chunk_range(recv_chunk);
+    Tensor dst = flat.slice0(rb, re);
+    PAC_CHECK(in.numel() == dst.numel(), "ring allreduce chunk mismatch");
+    if (in.numel() > 0) dst.add_(in);
+  }
+  // All-gather the reduced chunks.
+  for (int step = 0; step < g - 1; ++step) {
+    const int send_chunk = ((me + 1 - step) % g + g) % g;
+    const int recv_chunk = ((me - step) % g + g) % g;
+    auto [sb, se] = chunk_range(send_chunk);
+    send(next, tag, flat.slice0(sb, se).clone());
+    Tensor in = recv(prev, tag);
+    auto [rb, re] = chunk_range(recv_chunk);
+    Tensor dst = flat.slice0(rb, re);
+    PAC_CHECK(in.numel() == dst.numel(), "ring allgather chunk mismatch");
+    if (in.numel() > 0) dst.copy_from(in);
+  }
+}
+
+std::vector<Tensor> Communicator::allgather(const Tensor& t,
+                                            const std::vector<int>& group,
+                                            int tag) {
+  const int me = group_index(group);
+  std::vector<Tensor> out(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (group[i] == rank_) continue;
+    send(group[i], tag, t.clone());
+  }
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (static_cast<int>(i) == me) {
+      out[i] = t.clone();
+    } else {
+      out[i] = recv(group[i], tag);
+    }
+  }
+  return out;
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,57 @@
+// Rank-scoped communication handle with group collectives.
+//
+// Collectives operate over an explicit, sorted group of ranks (PAC's hybrid
+// parallelism synchronizes adapters *within a stage's device group*, not
+// across the world).  Two AllReduce algorithms are provided — ring
+// (bandwidth-optimal, the default) and naive gather+broadcast — as the
+// ablation pair for the micro benches.
+//
+// Tag discipline: a collective call consumes its `tag` for every internal
+// message; callers must not run two collectives with the same tag
+// concurrently on overlapping groups.  The trainers carve disjoint tag
+// ranges per purpose (see pipeline/tags.hpp).
+#pragma once
+
+#include <vector>
+
+#include "dist/transport.hpp"
+
+namespace pac::dist {
+
+enum class AllReduceAlgo { kRing, kNaive };
+
+class Communicator {
+ public:
+  Communicator(Transport& transport, int rank)
+      : transport_(&transport), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int world_size() const { return transport_->world_size(); }
+
+  void send(int to, int tag, Tensor payload) {
+    transport_->send(rank_, to, tag, std::move(payload));
+  }
+  Tensor recv(int from, int tag) { return transport_->recv(rank_, from, tag); }
+
+  // All collectives require `group` sorted, unique, containing rank().
+  void barrier(const std::vector<int>& group, int tag);
+  // Returns the root's tensor on every rank (root passes its payload).
+  Tensor broadcast(Tensor payload, int root, const std::vector<int>& group,
+                   int tag);
+  // In-place sum across the group.
+  void allreduce_sum(Tensor& t, const std::vector<int>& group, int tag,
+                     AllReduceAlgo algo = AllReduceAlgo::kRing);
+  // Returns every rank's tensor, in group order.
+  std::vector<Tensor> allgather(const Tensor& t, const std::vector<int>& group,
+                                int tag);
+
+ private:
+  int group_index(const std::vector<int>& group) const;
+  void allreduce_ring(Tensor& t, const std::vector<int>& group, int tag);
+  void allreduce_naive(Tensor& t, const std::vector<int>& group, int tag);
+
+  Transport* transport_;
+  int rank_;
+};
+
+}  // namespace pac::dist

@@ -1,0 +1,70 @@
+#include "dist/memory_ledger.hpp"
+
+#include <numeric>
+
+namespace pac::dist {
+
+const char* mem_class_name(MemClass c) {
+  switch (c) {
+    case MemClass::kWeights: return "weights";
+    case MemClass::kGradients: return "gradients";
+    case MemClass::kOptimizer: return "optimizer";
+    case MemClass::kActivations: return "activations";
+    case MemClass::kCache: return "cache";
+    case MemClass::kComm: return "comm";
+    case MemClass::kNumClasses: break;
+  }
+  return "?";
+}
+
+void MemoryLedger::allocate(MemClass cls, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  const int i = static_cast<int>(cls);
+  const std::uint64_t total =
+      std::accumulate(current_.begin(), current_.end(), std::uint64_t{0});
+  if (total + bytes > budget_) {
+    throw DeviceOomError(device_id_, total + bytes, budget_);
+  }
+  current_[i] += bytes;
+  peak_[i] = std::max(peak_[i], current_[i]);
+  peak_total_ = std::max(peak_total_, total + bytes);
+}
+
+void MemoryLedger::release(MemClass cls, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  const int i = static_cast<int>(cls);
+  PAC_CHECK(current_[i] >= bytes, "ledger underflow on device "
+                                      << device_id_ << " class "
+                                      << mem_class_name(cls));
+  current_[i] -= bytes;
+}
+
+std::uint64_t MemoryLedger::current(MemClass cls) const {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  return current_[static_cast<int>(cls)];
+}
+
+std::uint64_t MemoryLedger::current_total() const {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  return std::accumulate(current_.begin(), current_.end(), std::uint64_t{0});
+}
+
+std::uint64_t MemoryLedger::peak(MemClass cls) const {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  return peak_[static_cast<int>(cls)];
+}
+
+std::uint64_t MemoryLedger::peak_total() const {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  return peak_total_;
+}
+
+void MemoryLedger::reset_peaks() {
+  std::lock_guard<std::mutex> ledger_guard(mutex_);
+  peak_ = current_;
+  std::uint64_t total =
+      std::accumulate(current_.begin(), current_.end(), std::uint64_t{0});
+  peak_total_ = total;
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,81 @@
+// Per-device memory accounting.
+//
+// Each simulated edge device has a byte budget (Jetson-Nano-class devices
+// give ~2.8 GB to the training process after the OS).  Components register
+// allocations by category; exceeding the budget throws DeviceOomError —
+// which the planner interprets as "configuration infeasible" and Table 2
+// reports as OOM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+enum class MemClass : int {
+  kWeights = 0,
+  kGradients,
+  kOptimizer,
+  kActivations,
+  kCache,
+  kComm,
+  kNumClasses,
+};
+
+const char* mem_class_name(MemClass c);
+
+class MemoryLedger {
+ public:
+  MemoryLedger(int device_id,
+               std::uint64_t budget_bytes =
+                   std::numeric_limits<std::uint64_t>::max())
+      : device_id_(device_id), budget_(budget_bytes) {}
+
+  // Thread-safe; throws DeviceOomError when the new total exceeds budget.
+  void allocate(MemClass cls, std::uint64_t bytes);
+  void release(MemClass cls, std::uint64_t bytes);
+
+  std::uint64_t current(MemClass cls) const;
+  std::uint64_t current_total() const;
+  std::uint64_t peak(MemClass cls) const;
+  std::uint64_t peak_total() const;
+  std::uint64_t budget() const { return budget_; }
+  int device_id() const { return device_id_; }
+
+  void reset_peaks();
+
+ private:
+  static constexpr int kN = static_cast<int>(MemClass::kNumClasses);
+
+  int device_id_;
+  std::uint64_t budget_;
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kN> current_{};
+  std::array<std::uint64_t, kN> peak_{};
+  std::uint64_t peak_total_ = 0;
+};
+
+// RAII allocation.
+class ScopedAlloc {
+ public:
+  ScopedAlloc(MemoryLedger& ledger, MemClass cls, std::uint64_t bytes)
+      : ledger_(ledger), cls_(cls), bytes_(bytes) {
+    ledger_.allocate(cls_, bytes_);
+  }
+  ~ScopedAlloc() { ledger_.release(cls_, bytes_); }
+
+  ScopedAlloc(const ScopedAlloc&) = delete;
+  ScopedAlloc& operator=(const ScopedAlloc&) = delete;
+
+ private:
+  MemoryLedger& ledger_;
+  MemClass cls_;
+  std::uint64_t bytes_;
+};
+
+}  // namespace pac::dist

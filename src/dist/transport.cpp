@@ -1,0 +1,97 @@
+#include "dist/transport.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+Transport::Transport(int world_size, LinkModel link)
+    : world_size_(world_size), link_(link) {
+  PAC_CHECK(world_size > 0, "transport needs at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Transport::check_rank(int rank, const char* what) const {
+  PAC_CHECK(rank >= 0 && rank < world_size_,
+            what << " rank " << rank << " out of range [0, " << world_size_
+                 << ")");
+}
+
+void Transport::send(int from, int to, int tag, Tensor payload) {
+  check_rank(from, "send source");
+  check_rank(to, "send destination");
+  if (closed_.load()) {
+    throw ChannelClosedError("send on closed transport");
+  }
+  const std::uint64_t bytes =
+      payload.defined() ? payload.byte_size() : 0;
+  if (link_.simulate_delay && from != to) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(link_.transfer_seconds(bytes)));
+  }
+  {
+    std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+    LinkStats& s = stats_[{from, to}];
+    ++s.messages;
+    s.bytes += bytes;
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  {
+    std::lock_guard<std::mutex> box_guard(box.mutex);
+    box.queues[{from, tag}].push_back(Message{from, tag, std::move(payload)});
+  }
+  box.arrived.notify_all();
+}
+
+Tensor Transport::recv(int to, int from, int tag) {
+  check_rank(to, "recv destination");
+  check_rank(from, "recv source");
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  std::unique_lock<std::mutex> box_lock(box.mutex);
+  const auto key = std::make_pair(from, tag);
+  box.arrived.wait(box_lock, [&] {
+    if (closed_.load()) return true;
+    auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  if (closed_.load()) {
+    throw ChannelClosedError("recv aborted: transport closed");
+  }
+  auto& queue = box.queues[key];
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  return std::move(msg.payload);
+}
+
+void Transport::close() {
+  closed_.store(true);
+  for (auto& box : mailboxes_) {
+    // Lock/unlock pairs with waiting receivers to avoid lost wakeups.
+    std::lock_guard<std::mutex> box_guard(box->mutex);
+  }
+  for (auto& box : mailboxes_) box->arrived.notify_all();
+}
+
+bool Transport::closed() const { return closed_.load(); }
+
+LinkStats Transport::stats(int from, int to) const {
+  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+std::uint64_t Transport::total_bytes() const {
+  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [edge, s] : stats_) {
+    if (edge.first != edge.second) total += s.bytes;
+  }
+  return total;
+}
+
+}  // namespace pac::dist

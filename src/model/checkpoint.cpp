@@ -1,0 +1,95 @@
+#include "model/checkpoint.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "common/serialize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pac::model {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50414331;  // "PAC1"
+
+void save_impl(const nn::ParameterList& params, const std::string& path,
+               bool trainable_only) {
+  std::ofstream out(path, std::ios::binary);
+  PAC_CHECK(out.good(), "cannot open checkpoint for writing: " << path);
+  BinaryWriter w(out);
+  w.write_u32(kMagic);
+  std::uint64_t count = 0;
+  for (const nn::Parameter* p : params) {
+    if (!trainable_only || p->trainable()) ++count;
+  }
+  w.write_u64(count);
+  for (const nn::Parameter* p : params) {
+    if (trainable_only && !p->trainable()) continue;
+    w.write_string(p->name());
+    const Shape& shape = p->value().shape();
+    w.write_u64(shape.size());
+    for (std::int64_t d : shape) w.write_i64(d);
+    w.write_floats(p->value().data(),
+                   static_cast<std::size_t>(p->value().numel()));
+  }
+  PAC_CHECK(out.good(), "write failure on checkpoint: " << path);
+}
+
+}  // namespace
+
+void save_parameters(const nn::ParameterList& params,
+                     const std::string& path) {
+  save_impl(params, path, /*trainable_only=*/false);
+}
+
+void save_trainable_parameters(const nn::ParameterList& params,
+                               const std::string& path) {
+  save_impl(params, path, /*trainable_only=*/true);
+}
+
+std::size_t load_parameters(const nn::ParameterList& params,
+                            const std::string& path, LoadMode mode) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw Error("cannot open checkpoint for reading: " + path);
+  }
+  BinaryReader r(in);
+  PAC_CHECK(r.read_u32() == kMagic, "not a PAC checkpoint: " << path);
+  const std::uint64_t count = r.read_u64();
+
+  std::map<std::string, nn::Parameter*> by_name;
+  for (nn::Parameter* p : params) {
+    PAC_CHECK(by_name.emplace(p->name(), p).second,
+              "duplicate parameter name " << p->name());
+  }
+
+  std::size_t loaded = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::string name = r.read_string();
+    const std::uint64_t rank = r.read_u64();
+    Shape shape(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) shape[d] = r.read_i64();
+    const std::int64_t numel = shape_numel(shape);
+
+    auto it = by_name.find(name);
+    PAC_CHECK(it != by_name.end(),
+              "checkpoint parameter " << name << " not found in model");
+    nn::Parameter* p = it->second;
+    PAC_CHECK(p->value().shape() == shape,
+              "shape mismatch for " << name << ": model "
+                                    << shape_to_string(p->value().shape())
+                                    << " vs checkpoint "
+                                    << shape_to_string(shape));
+    r.read_floats(p->value().data(), static_cast<std::size_t>(numel));
+    by_name.erase(it);
+    ++loaded;
+  }
+  if (mode == LoadMode::kStrict) {
+    PAC_CHECK(by_name.empty(),
+              by_name.size()
+                  << " model parameters missing from checkpoint, first: "
+                  << by_name.begin()->first);
+  }
+  return loaded;
+}
+
+}  // namespace pac::model

@@ -1,0 +1,34 @@
+// Parameter checkpointing.
+//
+// PAC's personal-LLM scenario fine-tunes repeatedly over time; adapters
+// and head weights must survive restarts (and the frozen backbone need not
+// be re-saved per task).  Files are named binary records:
+//     magic | count | { name | rank | dims... | f32 data }*
+// Loading matches by name and verifies shapes; `Subset` mode loads the
+// intersection (e.g. restore only the side network into a fresh model).
+#pragma once
+
+#include <string>
+
+#include "nn/parameter.hpp"
+
+namespace pac::model {
+
+enum class LoadMode {
+  kStrict,  // file and model must contain exactly the same names
+  kSubset,  // every file entry must exist in the model; extras in the
+            // model keep their values
+};
+
+void save_parameters(const nn::ParameterList& params,
+                     const std::string& path);
+// Convenience: save only trainable parameters (adapter checkpoints).
+void save_trainable_parameters(const nn::ParameterList& params,
+                               const std::string& path);
+
+// Returns the number of parameters loaded.
+std::size_t load_parameters(const nn::ParameterList& params,
+                            const std::string& path,
+                            LoadMode mode = LoadMode::kStrict);
+
+}  // namespace pac::model

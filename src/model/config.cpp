@@ -1,0 +1,111 @@
+#include "model/config.hpp"
+
+#include "common/error.hpp"
+
+namespace pac::model {
+
+std::int64_t ModelConfig::encoder_layer_params() const {
+  // 4 attention projections (with bias) + 2 FFN linears + 2 LayerNorms.
+  const std::int64_t attn = 4 * (hidden * hidden + hidden);
+  const std::int64_t ffn_p = hidden * ffn + ffn + ffn * hidden + hidden;
+  const std::int64_t norms = 2 * 2 * hidden;
+  return attn + ffn_p + norms;
+}
+
+std::int64_t ModelConfig::decoder_layer_params() const {
+  // Self-attention + cross-attention + FFN + 3 LayerNorms.
+  const std::int64_t attn = 8 * (hidden * hidden + hidden);
+  const std::int64_t ffn_p = hidden * ffn + ffn + ffn * hidden + hidden;
+  const std::int64_t norms = 3 * 2 * hidden;
+  return attn + ffn_p + norms;
+}
+
+std::int64_t ModelConfig::embedding_params() const {
+  return vocab * hidden + max_seq * hidden;
+}
+
+std::int64_t ModelConfig::full_param_count() const {
+  return embedding_params() + encoder_layers * encoder_layer_params() +
+         decoder_layers * decoder_layer_params() + 2 * hidden /* final LN */;
+}
+
+ModelConfig t5_base() {
+  ModelConfig c;
+  c.name = "T5-Base";
+  c.encoder_layers = 12;
+  c.decoder_layers = 12;
+  c.heads = 12;
+  c.hidden = 768;
+  c.ffn = 3072;
+  c.vocab = 32128;
+  c.max_seq = 512;
+  c.activation = nn::Activation::kRelu;
+  return c;
+}
+
+ModelConfig bart_large() {
+  ModelConfig c;
+  c.name = "BART-Large";
+  c.encoder_layers = 12;
+  c.decoder_layers = 12;
+  c.heads = 16;
+  c.hidden = 1024;
+  c.ffn = 4096;
+  c.vocab = 50265;
+  c.max_seq = 512;
+  c.activation = nn::Activation::kGelu;
+  return c;
+}
+
+ModelConfig t5_large() {
+  ModelConfig c;
+  c.name = "T5-Large";
+  c.encoder_layers = 24;
+  c.decoder_layers = 24;
+  c.heads = 16;
+  c.hidden = 1024;
+  c.ffn = 4096;
+  c.vocab = 32128;
+  c.max_seq = 512;
+  c.activation = nn::Activation::kRelu;
+  return c;
+}
+
+ModelConfig tiny(std::int64_t layers, std::int64_t hidden, std::int64_t heads,
+                 std::int64_t vocab, std::int64_t max_seq) {
+  PAC_CHECK(hidden % heads == 0, "tiny config: hidden " << hidden
+                                                        << " % heads "
+                                                        << heads);
+  ModelConfig c;
+  c.name = "Tiny";
+  c.encoder_layers = layers;
+  c.decoder_layers = layers;
+  c.heads = heads;
+  c.hidden = hidden;
+  c.ffn = 4 * hidden;
+  c.vocab = vocab;
+  c.max_seq = max_seq;
+  return c;
+}
+
+TechniqueConfig paper_technique_config(Technique technique) {
+  TechniqueConfig tc;
+  tc.technique = technique;
+  tc.adapter_reduction = 8;
+  tc.lora = nn::LoraSpec{32, 64.0F};
+  tc.pa_reduction = 8;
+  return tc;
+}
+
+const char* technique_name(Technique t) {
+  switch (t) {
+    case Technique::kFull: return "Full";
+    case Technique::kAdapters: return "Adapters";
+    case Technique::kLora: return "LoRA";
+    case Technique::kParallelAdapters: return "ParallelAdapters";
+    case Technique::kInference: return "Inference";
+  }
+  return "?";
+}
+
+}  // namespace pac::model

@@ -1,0 +1,317 @@
+#include "model/seq2seq.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pac::model {
+
+Seq2SeqModel::Seq2SeqModel(ModelConfig config, TechniqueConfig technique,
+                           std::uint64_t seed)
+    : config_(std::move(config)), technique_(technique) {
+  PAC_CHECK(technique_.technique != Technique::kParallelAdapters,
+            "Seq2SeqModel supports Full/Adapters/LoRA/Inference; Parallel "
+            "Adapters attach to the encoder path via pac::model::Model");
+  Rng rng(seed);
+  src_embedding_ = std::make_unique<nn::Embedding>(
+      "s2s.src_embedding", config_.vocab, config_.max_seq, config_.hidden,
+      rng);
+  tgt_embedding_ = std::make_unique<nn::Embedding>(
+      "s2s.tgt_embedding", config_.vocab, config_.max_seq, config_.hidden,
+      rng);
+  for (std::int64_t i = 0; i < config_.encoder_layers; ++i) {
+    encoder_.push_back(std::make_unique<nn::TransformerEncoderLayer>(
+        "s2s.encoder_" + std::to_string(i), config_.hidden, config_.heads,
+        config_.ffn, rng, config_.activation));
+  }
+  encoder_ln_ = std::make_unique<nn::LayerNorm>("s2s.encoder_ln",
+                                                config_.hidden);
+  for (std::int64_t i = 0; i < config_.decoder_layers; ++i) {
+    decoder_.push_back(std::make_unique<nn::TransformerDecoderLayer>(
+        "s2s.decoder_" + std::to_string(i), config_.hidden, config_.heads,
+        config_.ffn, rng, config_.activation));
+  }
+  decoder_ln_ = std::make_unique<nn::LayerNorm>("s2s.decoder_ln",
+                                                config_.hidden);
+  lm_head_ = std::make_unique<nn::Linear>("s2s.lm_head", config_.hidden,
+                                          config_.vocab, rng);
+
+  auto freeze_backbone = [&] {
+    src_embedding_->set_trainable(false);
+    tgt_embedding_->set_trainable(false);
+    for (auto& layer : encoder_) layer->set_trainable(false);
+    for (auto& layer : decoder_) layer->set_trainable(false);
+    encoder_ln_->set_trainable(false);
+    decoder_ln_->set_trainable(false);
+  };
+
+  switch (technique_.technique) {
+    case Technique::kFull:
+      break;
+    case Technique::kAdapters: {
+      const std::int64_t bottleneck = std::max<std::int64_t>(
+          1, config_.hidden / technique_.adapter_reduction);
+      for (auto& layer : encoder_) layer->attach_adapter(bottleneck, rng);
+      for (auto& layer : decoder_) layer->attach_adapter(bottleneck, rng);
+      freeze_backbone();
+      for (auto& layer : encoder_) layer->adapter()->set_trainable(true);
+      for (auto& layer : decoder_) layer->adapter()->set_trainable(true);
+      break;
+    }
+    case Technique::kLora: {
+      for (auto& layer : encoder_) layer->attach_lora(technique_.lora, rng);
+      for (auto& layer : decoder_) layer->attach_lora(technique_.lora, rng);
+      freeze_backbone();
+      // enable_lora already froze the bypassed bases and left the LoRA
+      // factors trainable; re-assert factor trainability after the broad
+      // freeze.
+      for (nn::Parameter* p : parameters()) {
+        if (p->name().find(".lora_") != std::string::npos) {
+          p->set_trainable(true);
+        }
+      }
+      break;
+    }
+    case Technique::kInference:
+      freeze_backbone();
+      lm_head_->set_trainable(false);
+      set_training_mode(false);
+      break;
+    case Technique::kParallelAdapters:
+      break;  // rejected above
+  }
+}
+
+Tensor Seq2SeqModel::forward(const Tensor& src, const Tensor& tgt_in,
+                             const Tensor& src_mask) {
+  Tensor memory = src_embedding_->forward(src);
+  for (auto& layer : encoder_) {
+    if (src_mask.defined()) layer->set_key_mask(src_mask);
+    memory = layer->forward(memory);
+  }
+  memory = encoder_ln_->forward(memory);
+
+  Tensor h = tgt_embedding_->forward(tgt_in);
+  for (auto& layer : decoder_) {
+    if (src_mask.defined()) layer->set_memory_mask(src_mask);
+    h = layer->forward(h, memory);
+  }
+  h = decoder_ln_->forward(h);
+  return lm_head_->forward(h);  // [B, Tt, V]
+}
+
+void Seq2SeqModel::backward(const Tensor& dlogits) {
+  Tensor dh = decoder_ln_->backward(lm_head_->backward(dlogits));
+  Tensor dmemory;
+  for (auto it = decoder_.rbegin(); it != decoder_.rend(); ++it) {
+    auto [dx, dmem] = (*it)->backward(dh);
+    dh = std::move(dx);
+    if (dmemory.defined()) {
+      dmemory.add_(dmem);
+    } else {
+      dmemory = std::move(dmem);
+    }
+  }
+  tgt_embedding_->backward(dh);
+
+  Tensor dm = encoder_ln_->backward(dmemory);
+  for (auto it = encoder_.rbegin(); it != encoder_.rend(); ++it) {
+    dm = (*it)->backward(dm);
+  }
+  src_embedding_->backward(dm);
+}
+
+nn::LossResult Seq2SeqModel::loss(const Tensor& logits,
+                                  const Tensor& tgt_out,
+                                  std::int64_t ignore_id) const {
+  PAC_CHECK(logits.dim() == 3 && logits.size(2) == config_.vocab,
+            "seq2seq loss expects [B, T, V] logits");
+  const std::int64_t rows = logits.size(0) * logits.size(1);
+  PAC_CHECK(tgt_out.numel() == rows, "tgt_out shape mismatch");
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(rows));
+  std::vector<bool> scored(static_cast<std::size_t>(rows), true);
+  std::int64_t scored_count = 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    const auto label = static_cast<std::int64_t>(tgt_out.data()[i]);
+    if (label == ignore_id) {
+      scored[static_cast<std::size_t>(i)] = false;
+      labels[static_cast<std::size_t>(i)] = 0;  // placeholder
+    } else {
+      labels[static_cast<std::size_t>(i)] = label;
+      ++scored_count;
+    }
+  }
+  PAC_CHECK(scored_count > 0, "every target position is ignored");
+  nn::LossResult r = nn::softmax_cross_entropy(
+      logits.reshape({rows, config_.vocab}), labels);
+  if (scored_count != rows) {
+    // Zero the ignored rows and rescale so loss/grads average over scored
+    // positions only.
+    float* pd = r.dlogits.data();
+    double loss_correction = 0.0;
+    const float* pl = logits.data();
+    for (std::int64_t i = 0; i < rows; ++i) {
+      if (scored[static_cast<std::size_t>(i)]) continue;
+      // Subtract this row's contribution to the mean loss.
+      const float* lr = pl + i * config_.vocab;
+      float mx = lr[0];
+      for (std::int64_t v = 1; v < config_.vocab; ++v) {
+        mx = std::max(mx, lr[v]);
+      }
+      double z = 0.0;
+      for (std::int64_t v = 0; v < config_.vocab; ++v) {
+        z += std::exp(static_cast<double>(lr[v] - mx));
+      }
+      const double logp =
+          static_cast<double>(lr[labels[static_cast<std::size_t>(i)]] - mx) -
+          std::log(z);
+      loss_correction += -logp;
+      for (std::int64_t v = 0; v < config_.vocab; ++v) {
+        pd[i * config_.vocab + v] = 0.0F;
+      }
+    }
+    const double scale = static_cast<double>(rows) /
+                         static_cast<double>(scored_count);
+    r.loss = static_cast<float>(
+        (static_cast<double>(r.loss) * rows - loss_correction) /
+        static_cast<double>(scored_count));
+    r.dlogits.scale_(static_cast<float>(scale));
+  }
+  r.dlogits = r.dlogits.reshape(logits.shape());
+  return r;
+}
+
+Tensor Seq2SeqModel::generate(const Tensor& src, std::int64_t max_len,
+                              std::int64_t bos_id, const Tensor& src_mask) {
+  PAC_CHECK(max_len >= 1 && max_len <= config_.max_seq,
+            "generate length out of range");
+  const std::int64_t b = src.size(0);
+  set_training_mode(false);
+  Tensor out = Tensor::zeros({b, max_len});
+  Tensor tgt_in = Tensor::full({b, max_len}, static_cast<float>(bos_id));
+  for (std::int64_t step = 0; step < max_len; ++step) {
+    // Re-run the decoder over the prefix (no KV cache at this scale); the
+    // causal mask makes positions > step irrelevant to position `step`.
+    Tensor logits = forward(src, tgt_in.clone(), src_mask);
+    for (std::int64_t i = 0; i < b; ++i) {
+      const float* row =
+          logits.data() + (i * max_len + step) * config_.vocab;
+      std::int64_t best = 0;
+      for (std::int64_t v = 1; v < config_.vocab; ++v) {
+        if (row[v] > row[best]) best = v;
+      }
+      out.at({i, step}) = static_cast<float>(best);
+      if (step + 1 < max_len) {
+        tgt_in.at({i, step + 1}) = static_cast<float>(best);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Seq2SeqModel::generate_cached(const Tensor& src,
+                                     std::int64_t max_len,
+                                     std::int64_t bos_id,
+                                     const Tensor& src_mask) {
+  PAC_CHECK(max_len >= 1 && max_len <= config_.max_seq,
+            "generate length out of range");
+  const std::int64_t b = src.size(0);
+  set_training_mode(false);
+
+  // Encode once.
+  Tensor memory = src_embedding_->forward(src);
+  for (auto& layer : encoder_) {
+    if (src_mask.defined()) layer->set_key_mask(src_mask);
+    memory = layer->forward(memory);
+  }
+  memory = encoder_ln_->forward(memory);
+
+  std::vector<nn::TransformerDecoderLayer::DecodeState> states;
+  states.reserve(decoder_.size());
+  for (auto& layer : decoder_) {
+    states.push_back(layer->make_decode_state(
+        memory, src_mask.defined() ? src_mask.clone() : Tensor()));
+  }
+
+  Tensor out = Tensor::zeros({b, max_len});
+  Tensor prev = Tensor::full({b, 1}, static_cast<float>(bos_id));
+  for (std::int64_t step = 0; step < max_len; ++step) {
+    Tensor h = tgt_embedding_->forward_at(prev, step);
+    for (std::size_t li = 0; li < decoder_.size(); ++li) {
+      h = decoder_[li]->forward_step(h, states[li], max_len);
+    }
+    h = decoder_ln_->forward(h);
+    Tensor logits = lm_head_->forward(h);  // [B, 1, V]
+    for (std::int64_t i = 0; i < b; ++i) {
+      const float* row = logits.data() + i * config_.vocab;
+      std::int64_t best = 0;
+      for (std::int64_t v = 1; v < config_.vocab; ++v) {
+        if (row[v] > row[best]) best = v;
+      }
+      out.at({i, step}) = static_cast<float>(best);
+      prev.at({i, 0}) = static_cast<float>(best);
+    }
+  }
+  return out;
+}
+
+double Seq2SeqModel::token_accuracy(const Tensor& logits,
+                                    const Tensor& tgt_out) const {
+  const std::int64_t rows = logits.size(0) * logits.size(1);
+  const auto preds =
+      nn::argmax_rows(logits.reshape({rows, config_.vocab}));
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    if (preds[static_cast<std::size_t>(i)] ==
+        static_cast<std::int64_t>(tgt_out.data()[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows);
+}
+
+nn::ParameterList Seq2SeqModel::parameters() {
+  nn::ParameterList out;
+  src_embedding_->collect_parameters(out);
+  tgt_embedding_->collect_parameters(out);
+  for (auto& layer : encoder_) layer->collect_parameters(out);
+  encoder_ln_->collect_parameters(out);
+  for (auto& layer : decoder_) layer->collect_parameters(out);
+  decoder_ln_->collect_parameters(out);
+  lm_head_->collect_parameters(out);
+  return out;
+}
+
+nn::ParameterList Seq2SeqModel::trainable_parameters() {
+  nn::ParameterList out;
+  for (nn::Parameter* p : parameters()) {
+    if (p->trainable()) out.push_back(p);
+  }
+  return out;
+}
+
+void Seq2SeqModel::zero_grad() {
+  for (nn::Parameter* p : parameters()) p->zero_grad();
+}
+
+void Seq2SeqModel::set_training_mode(bool training) {
+  const bool backbone_ctx =
+      training && technique_.technique != Technique::kInference;
+  src_embedding_->set_context_enabled(backbone_ctx);
+  tgt_embedding_->set_context_enabled(backbone_ctx);
+  for (auto& layer : encoder_) {
+    layer->set_context_enabled(backbone_ctx);
+    if (layer->has_adapter()) {
+      layer->adapter()->set_context_enabled(backbone_ctx);
+    }
+  }
+  encoder_ln_->set_context_enabled(backbone_ctx);
+  for (auto& layer : decoder_) {
+    layer->set_context_enabled(backbone_ctx);
+    if (layer->has_adapter()) {
+      layer->adapter()->set_context_enabled(backbone_ctx);
+    }
+  }
+  decoder_ln_->set_context_enabled(backbone_ctx);
+  lm_head_->set_context_enabled(backbone_ctx);
+}
+
+}  // namespace pac::model

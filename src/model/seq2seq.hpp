@@ -1,0 +1,82 @@
+// Full encoder-decoder model (the architecture of Table 4's T5/BART).
+//
+// The distributed trainers run the encoder classification path (the
+// paper's evaluation tasks are classification/regression); this model
+// completes the library's coverage of the paper's architecture: causal
+// decoder, cross-attention into the encoder memory, LM head, teacher-
+// forced training, with the same PEFT techniques attachable (Full /
+// Houlsby Adapters / LoRA; Parallel Adapters side networks attach to the
+// encoder path via pac::model::Model).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/config.hpp"
+#include "nn/embedding.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/losses.hpp"
+#include "nn/transformer_layer.hpp"
+
+namespace pac::model {
+
+class Seq2SeqModel {
+ public:
+  // Supports kFull, kAdapters, kLora and kInference.  (Parallel Adapters
+  // over the decoder would need a second side network fed by both streams;
+  // the paper only evaluates encoder-pooled tasks, so we do too.)
+  Seq2SeqModel(ModelConfig config, TechniqueConfig technique,
+               std::uint64_t seed);
+
+  // Teacher-forced step: src [B, Ts], tgt_in [B, Tt] (decoder input, i.e.
+  // the target shifted right) -> logits [B, Tt, V].  An optional src mask
+  // [B, Ts] (1 = valid) hides padded source positions from the encoder's
+  // self-attention and the decoder's cross-attention.
+  Tensor forward(const Tensor& src, const Tensor& tgt_in,
+                 const Tensor& src_mask = Tensor());
+  void backward(const Tensor& dlogits);
+
+  // Cross entropy against tgt_out [B, Tt] (the target shifted left),
+  // averaged over positions whose target != ignore_id (pass e.g. the pad
+  // id; -1 scores every position).  Returns loss + dlogits for backward().
+  nn::LossResult loss(const Tensor& logits, const Tensor& tgt_out,
+                      std::int64_t ignore_id = -1) const;
+
+  // Greedy decoding: feeds back the argmax token step by step, starting
+  // from `bos_id`, for `max_len` steps.  Returns [B, max_len] token ids.
+  // Quadratic in max_len (no KV cache) — the reference implementation.
+  Tensor generate(const Tensor& src, std::int64_t max_len,
+                  std::int64_t bos_id, const Tensor& src_mask = Tensor());
+
+  // Same decoding with per-layer KV caches: the encoder runs once, each
+  // step costs O(len) instead of O(len^2).  Bit-identical to generate().
+  Tensor generate_cached(const Tensor& src, std::int64_t max_len,
+                         std::int64_t bos_id,
+                         const Tensor& src_mask = Tensor());
+
+  // Greedy per-position token accuracy of logits vs tgt_out.
+  double token_accuracy(const Tensor& logits, const Tensor& tgt_out) const;
+
+  nn::ParameterList parameters();
+  nn::ParameterList trainable_parameters();
+  void zero_grad();
+  void set_training_mode(bool training);
+
+  const ModelConfig& config() const { return config_; }
+  Technique technique() const { return technique_.technique; }
+
+ private:
+  ModelConfig config_;
+  TechniqueConfig technique_;
+
+  std::unique_ptr<nn::Embedding> src_embedding_;
+  std::unique_ptr<nn::Embedding> tgt_embedding_;
+  std::vector<std::unique_ptr<nn::TransformerEncoderLayer>> encoder_;
+  std::unique_ptr<nn::LayerNorm> encoder_ln_;
+  std::vector<std::unique_ptr<nn::TransformerDecoderLayer>> decoder_;
+  std::unique_ptr<nn::LayerNorm> decoder_ln_;
+  std::unique_ptr<nn::Linear> lm_head_;  // [H -> V]
+};
+
+}  // namespace pac::model

@@ -1,0 +1,368 @@
+#include "nn/attention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+namespace {
+
+// [B, T, nh*dh] -> [B, nh, T, dh]
+Tensor split_heads(const Tensor& x, std::int64_t nh, std::int64_t dh) {
+  const std::int64_t b = x.size(0);
+  const std::int64_t t = x.size(1);
+  Tensor out({b, nh, t, dh});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t s = 0; s < t; ++s) {
+      const float* row = px + (i * t + s) * nh * dh;
+      for (std::int64_t h = 0; h < nh; ++h) {
+        float* dst = po + ((i * nh + h) * t + s) * dh;
+        const float* src = row + h * dh;
+        std::copy_n(src, dh, dst);
+      }
+    }
+  }
+  return out;
+}
+
+// [B, nh, T, dh] -> [B, T, nh*dh]
+Tensor merge_heads(const Tensor& x) {
+  const std::int64_t b = x.size(0);
+  const std::int64_t nh = x.size(1);
+  const std::int64_t t = x.size(2);
+  const std::int64_t dh = x.size(3);
+  Tensor out({b, t, nh * dh});
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t h = 0; h < nh; ++h) {
+      for (std::int64_t s = 0; s < t; ++s) {
+        const float* src = px + ((i * nh + h) * t + s) * dh;
+        float* dst = po + (i * t + s) * nh * dh + h * dh;
+        std::copy_n(src, dh, dst);
+      }
+    }
+  }
+  return out;
+}
+
+constexpr float kMaskValue = -1e30F;
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t hidden,
+                                       std::int64_t num_heads, Rng& rng,
+                                       bool causal)
+    : hidden_(hidden),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads),
+      causal_(causal),
+      scale_(1.0F / std::sqrt(static_cast<float>(hidden / num_heads))),
+      wq_(name + ".wq", hidden, hidden, rng),
+      wk_(name + ".wk", hidden, hidden, rng),
+      wv_(name + ".wv", hidden, hidden, rng),
+      wo_(name + ".wo", hidden, hidden, rng) {
+  PAC_CHECK(hidden % num_heads == 0, "hidden " << hidden
+                                               << " not divisible by heads "
+                                               << num_heads);
+}
+
+Tensor MultiHeadAttention::attend(const Tensor& x, const Tensor& kv_src,
+                                  bool cross) {
+  PAC_CHECK(x.dim() == 3 && x.size(2) == hidden_,
+            "attention input must be [B, T, " << hidden_ << "], got "
+                                              << shape_to_string(x.shape()));
+  const std::int64_t b = x.size(0);
+  const std::int64_t t = x.size(1);
+  const std::int64_t s = kv_src.size(1);
+
+  Tensor q = wq_.forward(x);
+  Tensor k = wk_.forward(kv_src);
+  Tensor v = wv_.forward(kv_src);
+
+  Ctx ctx;
+  ctx.cross = cross;
+  ctx.qh = split_heads(q, num_heads_, head_dim_);
+  ctx.kh = split_heads(k, num_heads_, head_dim_);
+  ctx.vh = split_heads(v, num_heads_, head_dim_);
+
+  Tensor scores({b, num_heads_, t, s});
+  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
+    ops::gemm_raw(ctx.qh.data() + i * t * head_dim_,
+                  ctx.kh.data() + i * s * head_dim_,
+                  scores.data() + i * t * s, t, s, head_dim_, false, true,
+                  scale_, 0.0F);
+  }
+  if (causal_ && !cross) {
+    float* ps = scores.data();
+    for (std::int64_t i = 0; i < b * num_heads_; ++i) {
+      for (std::int64_t r = 0; r < t; ++r) {
+        float* row = ps + (i * t + r) * s;
+        for (std::int64_t c = r + 1; c < s; ++c) row[c] = kMaskValue;
+      }
+    }
+  }
+  if (pending_mask_.defined()) {
+    PAC_CHECK(pending_mask_.numel() == b * s,
+              "key mask must be [B, S] = [" << b << ", " << s << "]");
+    const float* pm = pending_mask_.data();
+    float* ps = scores.data();
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      for (std::int64_t h = 0; h < num_heads_; ++h) {
+        for (std::int64_t r = 0; r < t; ++r) {
+          float* row = ps + (((bi * num_heads_ + h) * t) + r) * s;
+          for (std::int64_t c = 0; c < s; ++c) {
+            if (pm[bi * s + c] == 0.0F) row[c] = kMaskValue;
+          }
+        }
+      }
+    }
+    pending_mask_ = Tensor();
+  }
+  ctx.probs = ops::softmax_lastdim(scores);
+
+  Tensor ctx_heads({b, num_heads_, t, head_dim_});
+  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
+    ops::gemm_raw(ctx.probs.data() + i * t * s,
+                  ctx.vh.data() + i * s * head_dim_,
+                  ctx_heads.data() + i * t * head_dim_, t, head_dim_, s,
+                  false, false, 1.0F, 0.0F);
+  }
+  if (context_enabled()) ctx_.push(std::move(ctx));
+  Tensor merged = merge_heads(ctx_heads);
+  return wo_.forward(merged);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) {
+  return attend(x, x, /*cross=*/false);
+}
+
+Tensor MultiHeadAttention::forward_cross(const Tensor& x,
+                                         const Tensor& memory) {
+  PAC_CHECK(memory.dim() == 3 && memory.size(2) == hidden_,
+            "cross-attention memory must be [B, S, " << hidden_ << "]");
+  return attend(x, memory, /*cross=*/true);
+}
+
+std::pair<Tensor, Tensor> MultiHeadAttention::backward_impl(const Tensor& dy) {
+  Ctx ctx = ctx_.pop();
+  const std::int64_t b = ctx.qh.size(0);
+  const std::int64_t t = ctx.qh.size(2);
+  const std::int64_t s = ctx.kh.size(2);
+
+  Tensor dmerged = wo_.backward(dy);  // [B, T, H]
+  Tensor dctx_heads = split_heads(dmerged, num_heads_, head_dim_);
+
+  Tensor dprobs({b, num_heads_, t, s});
+  Tensor dvh = Tensor::zeros({b, num_heads_, s, head_dim_});
+  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
+    // dprobs = dctx @ vh^T
+    ops::gemm_raw(dctx_heads.data() + i * t * head_dim_,
+                  ctx.vh.data() + i * s * head_dim_,
+                  dprobs.data() + i * t * s, t, s, head_dim_, false, true,
+                  1.0F, 0.0F);
+    // dvh = probs^T @ dctx
+    ops::gemm_raw(ctx.probs.data() + i * t * s,
+                  dctx_heads.data() + i * t * head_dim_,
+                  dvh.data() + i * s * head_dim_, s, head_dim_, t, true,
+                  false, 1.0F, 1.0F);
+  }
+
+  // Masked positions have probs == 0, so softmax_backward zeroes them.
+  Tensor dscores = ops::softmax_backward(dprobs, ctx.probs);
+
+  Tensor dqh({b, num_heads_, t, head_dim_});
+  Tensor dkh = Tensor::zeros({b, num_heads_, s, head_dim_});
+  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
+    // dq = dscores @ kh * scale
+    ops::gemm_raw(dscores.data() + i * t * s,
+                  ctx.kh.data() + i * s * head_dim_,
+                  dqh.data() + i * t * head_dim_, t, head_dim_, s, false,
+                  false, scale_, 0.0F);
+    // dk = dscores^T @ qh * scale
+    ops::gemm_raw(dscores.data() + i * t * s,
+                  ctx.qh.data() + i * t * head_dim_,
+                  dkh.data() + i * s * head_dim_, s, head_dim_, t, true,
+                  false, scale_, 1.0F);
+  }
+
+  Tensor dq = merge_heads(dqh);
+  Tensor dk = merge_heads(dkh);
+  Tensor dv = merge_heads(dvh);
+
+  // Linear backwards must pop in reverse order of the pushes in attend():
+  // wq, wk, wv were pushed in that order, so pop order is wq, wk, wv —
+  // FIFO per module, and they are distinct modules, so order between them
+  // only matters for gradient correctness, not queue discipline.
+  Tensor dx_q = wq_.backward(dq);
+  Tensor dkv_k = wk_.backward(dk);
+  Tensor dkv_v = wv_.backward(dv);
+  Tensor dkv = ops::add(dkv_k, dkv_v);
+
+  if (ctx.cross) {
+    return {dx_q, dkv};
+  }
+  return {ops::add(dx_q, dkv), Tensor()};
+}
+
+Tensor MultiHeadAttention::backward(const Tensor& dy) {
+  auto [dx, dmem] = backward_impl(dy);
+  PAC_CHECK(!dmem.defined(),
+            "self-attention backward called on a cross-attention context");
+  return dx;
+}
+
+std::pair<Tensor, Tensor> MultiHeadAttention::backward_cross(
+    const Tensor& dy) {
+  auto [dx, dmem] = backward_impl(dy);
+  PAC_CHECK(dmem.defined(),
+            "cross-attention backward called on a self-attention context");
+  return {dx, dmem};
+}
+
+MultiHeadAttention::KvCache MultiHeadAttention::precompute_kv(
+    const Tensor& memory, Tensor key_mask) {
+  PAC_CHECK(memory.dim() == 3 && memory.size(2) == hidden_,
+            "precompute_kv expects [B, S, H] memory");
+  const bool wk_ctx = wk_.context_enabled();
+  const bool wv_ctx = wv_.context_enabled();
+  wk_.set_context_enabled(false);
+  wv_.set_context_enabled(false);
+  KvCache cache;
+  cache.k = split_heads(wk_.forward(memory), num_heads_, head_dim_);
+  cache.v = split_heads(wv_.forward(memory), num_heads_, head_dim_);
+  cache.len = memory.size(1);
+  cache.key_mask = std::move(key_mask);
+  wk_.set_context_enabled(wk_ctx);
+  wv_.set_context_enabled(wv_ctx);
+  return cache;
+}
+
+namespace {
+
+// q [B, nh, 1, dh] attending over cache (first `len` positions), optional
+// key mask [B, len].  Returns merged [B, 1, H].
+Tensor attend_step(const Tensor& qh, const MultiHeadAttention::KvCache& kv,
+                   float scale, std::int64_t num_heads,
+                   std::int64_t head_dim) {
+  const std::int64_t b = qh.size(0);
+  const std::int64_t len = kv.len;
+  const std::int64_t cache_cap = kv.k.size(2);
+  Tensor ctx_heads({b, num_heads, 1, head_dim});
+  std::vector<float> scores(static_cast<std::size_t>(len));
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t h = 0; h < num_heads; ++h) {
+      const float* q =
+          qh.data() + (i * num_heads + h) * head_dim;
+      const float* kbase =
+          kv.k.data() + ((i * num_heads + h) * cache_cap) * head_dim;
+      float mx = -1e30F;
+      for (std::int64_t p = 0; p < len; ++p) {
+        float dot = 0.0F;
+        const float* krow = kbase + p * head_dim;
+        for (std::int64_t d = 0; d < head_dim; ++d) dot += q[d] * krow[d];
+        dot *= scale;
+        if (kv.key_mask.defined() &&
+            kv.key_mask.data()[i * len + p] == 0.0F) {
+          dot = -1e30F;
+        }
+        scores[static_cast<std::size_t>(p)] = dot;
+        mx = std::max(mx, dot);
+      }
+      float z = 0.0F;
+      for (std::int64_t p = 0; p < len; ++p) {
+        scores[static_cast<std::size_t>(p)] =
+            std::exp(scores[static_cast<std::size_t>(p)] - mx);
+        z += scores[static_cast<std::size_t>(p)];
+      }
+      float* out =
+          ctx_heads.data() + (i * num_heads + h) * head_dim;
+      std::fill_n(out, head_dim, 0.0F);
+      const float* vbase =
+          kv.v.data() + ((i * num_heads + h) * cache_cap) * head_dim;
+      for (std::int64_t p = 0; p < len; ++p) {
+        const float w = scores[static_cast<std::size_t>(p)] / z;
+        const float* vrow = vbase + p * head_dim;
+        for (std::int64_t d = 0; d < head_dim; ++d) out[d] += w * vrow[d];
+      }
+    }
+  }
+  return merge_heads(ctx_heads);
+}
+
+}  // namespace
+
+Tensor MultiHeadAttention::forward_step(const Tensor& x_t, KvCache& cache,
+                                        std::int64_t max_len) {
+  PAC_CHECK(x_t.dim() == 3 && x_t.size(1) == 1 && x_t.size(2) == hidden_,
+            "forward_step expects [B, 1, H]");
+  const std::int64_t b = x_t.size(0);
+  if (!cache.k.defined()) {
+    cache.k = Tensor::zeros({b, num_heads_, max_len, head_dim_});
+    cache.v = Tensor::zeros({b, num_heads_, max_len, head_dim_});
+    cache.len = 0;
+  }
+  PAC_CHECK(cache.len < cache.k.size(2), "KV cache full");
+
+  const bool q_ctx = wq_.context_enabled();
+  const bool k_ctx = wk_.context_enabled();
+  const bool v_ctx = wv_.context_enabled();
+  const bool o_ctx = wo_.context_enabled();
+  wq_.set_context_enabled(false);
+  wk_.set_context_enabled(false);
+  wv_.set_context_enabled(false);
+  wo_.set_context_enabled(false);
+
+  Tensor qh = split_heads(wq_.forward(x_t), num_heads_, head_dim_);
+  Tensor kh = split_heads(wk_.forward(x_t), num_heads_, head_dim_);
+  Tensor vh = split_heads(wv_.forward(x_t), num_heads_, head_dim_);
+  // Append position cache.len.
+  const std::int64_t cap = cache.k.size(2);
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t h = 0; h < num_heads_; ++h) {
+      const std::int64_t dst =
+          ((i * num_heads_ + h) * cap + cache.len) * head_dim_;
+      const std::int64_t src = (i * num_heads_ + h) * head_dim_;
+      std::copy_n(kh.data() + src, head_dim_, cache.k.data() + dst);
+      std::copy_n(vh.data() + src, head_dim_, cache.v.data() + dst);
+    }
+  }
+  ++cache.len;
+
+  Tensor merged = attend_step(qh, cache, scale_, num_heads_, head_dim_);
+  Tensor out = wo_.forward(merged);
+  wq_.set_context_enabled(q_ctx);
+  wk_.set_context_enabled(k_ctx);
+  wv_.set_context_enabled(v_ctx);
+  wo_.set_context_enabled(o_ctx);
+  return out;
+}
+
+Tensor MultiHeadAttention::forward_cross_step(const Tensor& x_t,
+                                              const KvCache& memory_kv) {
+  PAC_CHECK(x_t.dim() == 3 && x_t.size(1) == 1 && x_t.size(2) == hidden_,
+            "forward_cross_step expects [B, 1, H]");
+  const bool q_ctx = wq_.context_enabled();
+  const bool o_ctx = wo_.context_enabled();
+  wq_.set_context_enabled(false);
+  wo_.set_context_enabled(false);
+  Tensor qh = split_heads(wq_.forward(x_t), num_heads_, head_dim_);
+  Tensor merged =
+      attend_step(qh, memory_kv, scale_, num_heads_, head_dim_);
+  Tensor out = wo_.forward(merged);
+  wq_.set_context_enabled(q_ctx);
+  wo_.set_context_enabled(o_ctx);
+  return out;
+}
+
+void MultiHeadAttention::collect_parameters(ParameterList& out) {
+  wq_.collect_parameters(out);
+  wk_.collect_parameters(out);
+  wv_.collect_parameters(out);
+  wo_.collect_parameters(out);
+}
+
+}  // namespace pac::nn

@@ -1,0 +1,33 @@
+#include "nn/dropout.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  PAC_CHECK(p >= 0.0F && p < 1.0F, "dropout p must be in [0, 1), got " << p);
+}
+
+Tensor Dropout::forward(const Tensor& x) {
+  if (!training_ || p_ == 0.0F) {
+    if (context_enabled()) ctx_.push(Ctx{});
+    return x;
+  }
+  Tensor mask(x.shape());
+  const float keep_scale = 1.0F / (1.0F - p_);
+  float* pm = mask.data();
+  for (std::int64_t i = 0; i < mask.numel(); ++i) {
+    pm[i] = rng_.bernoulli(p_) ? 0.0F : keep_scale;
+  }
+  Tensor y = ops::mul(x, mask);
+  if (context_enabled()) ctx_.push(Ctx{std::move(mask)});
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  Ctx ctx = ctx_.pop();
+  if (!ctx.mask.defined()) return dy;
+  return ops::mul(dy, ctx.mask);
+}
+
+}  // namespace pac::nn

@@ -1,0 +1,38 @@
+// Inverted dropout with an explicit per-module RNG stream.
+//
+// Training-determinism matters for PAC's parity tests (single-device vs
+// distributed runs must produce identical gradients), so dropout draws from
+// a module-owned seeded stream and the distributed trainers default to
+// p = 0.  Eval mode is a pass-through.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/module.hpp"
+
+namespace pac::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float p, std::uint64_t seed);
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+  float p() const { return p_; }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_parameters(ParameterList&) override {}
+  std::size_t pending_contexts() const override { return ctx_.size(); }
+
+ private:
+  struct Ctx {
+    Tensor mask;  // scaled keep mask; undefined when pass-through
+  };
+
+  float p_;
+  bool training_ = true;
+  Rng rng_;
+  ContextQueue<Ctx> ctx_;
+};
+
+}  // namespace pac::nn

@@ -1,0 +1,82 @@
+#include "nn/embedding.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+Embedding::Embedding(std::string name, std::int64_t vocab,
+                     std::int64_t max_seq, std::int64_t hidden, Rng& rng)
+    : vocab_(vocab), max_seq_(max_seq), hidden_(hidden) {
+  token_table_ = Parameter(name + ".token",
+                           Tensor::randn({vocab, hidden}, rng, 0.02F));
+  pos_table_ = Parameter(name + ".pos",
+                         Tensor::randn({max_seq, hidden}, rng, 0.02F));
+}
+
+Tensor Embedding::forward(const Tensor& ids) {
+  PAC_CHECK(ids.dim() == 2, "Embedding expects [B, T] ids, got "
+                                << shape_to_string(ids.shape()));
+  const std::int64_t b = ids.size(0);
+  const std::int64_t t = ids.size(1);
+  PAC_CHECK(t <= max_seq_, "sequence length " << t << " exceeds max_seq "
+                                              << max_seq_);
+  Tensor y = ops::embedding(token_table_.value(), ids);  // [B, T, H]
+  // Add positional rows.
+  const float* pos = pos_table_.value().data();
+  float* py = y.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t s = 0; s < t; ++s) {
+      float* row = py + (i * t + s) * hidden_;
+      const float* prow = pos + s * hidden_;
+      for (std::int64_t j = 0; j < hidden_; ++j) row[j] += prow[j];
+    }
+  }
+  if (context_enabled()) ctx_.push(Ctx{ids});
+  return y;
+}
+
+Tensor Embedding::forward_at(const Tensor& ids,
+                             std::int64_t position) const {
+  PAC_CHECK(ids.dim() == 2 && ids.size(1) == 1,
+            "forward_at expects [B, 1] ids");
+  PAC_CHECK(position >= 0 && position < max_seq_,
+            "position " << position << " out of range");
+  Tensor y = ops::embedding(token_table_.value(), ids);  // [B, 1, H]
+  const float* prow = pos_table_.value().data() + position * hidden_;
+  float* py = y.data();
+  const std::int64_t b = ids.size(0);
+  for (std::int64_t i = 0; i < b; ++i) {
+    float* row = py + i * hidden_;
+    for (std::int64_t j = 0; j < hidden_; ++j) row[j] += prow[j];
+  }
+  return y;
+}
+
+Tensor Embedding::backward(const Tensor& dy) {
+  Ctx ctx = ctx_.pop();
+  const std::int64_t b = ctx.ids.size(0);
+  const std::int64_t t = ctx.ids.size(1);
+  PAC_CHECK(dy.numel() == b * t * hidden_, "Embedding backward size mismatch");
+  if (token_table_.trainable()) {
+    ops::embedding_backward_acc(token_table_.grad(), ctx.ids, dy);
+  }
+  if (pos_table_.trainable()) {
+    float* pg = pos_table_.grad().data();
+    const float* pd = dy.data();
+    for (std::int64_t i = 0; i < b; ++i) {
+      for (std::int64_t s = 0; s < t; ++s) {
+        const float* drow = pd + (i * t + s) * hidden_;
+        float* grow = pg + s * hidden_;
+        for (std::int64_t j = 0; j < hidden_; ++j) grow[j] += drow[j];
+      }
+    }
+  }
+  return Tensor();  // nothing upstream of the embedding
+}
+
+void Embedding::collect_parameters(ParameterList& out) {
+  out.push_back(&token_table_);
+  out.push_back(&pos_table_);
+}
+
+}  // namespace pac::nn

@@ -1,0 +1,34 @@
+#include "nn/feedforward.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+FeedForward::FeedForward(std::string name, std::int64_t hidden,
+                         std::int64_t ffn_dim, Rng& rng, Activation act)
+    : act_(act),
+      fc1_(name + ".fc1", hidden, ffn_dim, rng),
+      fc2_(name + ".fc2", ffn_dim, hidden, rng) {}
+
+Tensor FeedForward::forward(const Tensor& x) {
+  Tensor pre = fc1_.forward(x);
+  Tensor mid = act_ == Activation::kRelu ? ops::relu(pre) : ops::gelu(pre);
+  if (context_enabled()) ctx_.push(Ctx{pre});
+  return fc2_.forward(mid);
+}
+
+Tensor FeedForward::backward(const Tensor& dy) {
+  Ctx ctx = ctx_.pop();
+  Tensor dmid = fc2_.backward(dy);
+  Tensor dpre = act_ == Activation::kRelu
+                    ? ops::relu_backward(dmid, ctx.pre_act)
+                    : ops::gelu_backward(dmid, ctx.pre_act);
+  return fc1_.backward(dpre);
+}
+
+void FeedForward::collect_parameters(ParameterList& out) {
+  fc1_.collect_parameters(out);
+  fc2_.collect_parameters(out);
+}
+
+}  // namespace pac::nn

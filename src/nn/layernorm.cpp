@@ -1,0 +1,40 @@
+#include "nn/layernorm.hpp"
+
+namespace pac::nn {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  gamma_ = Parameter(name + ".gamma", Tensor::full({features}, 1.0F));
+  beta_ = Parameter(name + ".beta", Tensor::zeros({features}));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  PAC_CHECK(x.size(x.dim() - 1) == features_,
+            "LayerNorm " << gamma_.name() << ": features "
+                         << x.size(x.dim() - 1) << " != " << features_);
+  if (!context_enabled()) {
+    return ops::layernorm(x, gamma_.value(), beta_.value(), eps_, nullptr);
+  }
+  ops::LayerNormContext ctx;
+  Tensor y = ops::layernorm(x, gamma_.value(), beta_.value(), eps_, &ctx);
+  ctx_.push(std::move(ctx));
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  ops::LayerNormContext ctx = ctx_.pop();
+  // LayerNorm may be frozen (backbone); gradients land in scratch buffers
+  // when the affine params do not train, matching accumulate-if-trainable.
+  Tensor scratch_g = Tensor::zeros({features_});
+  Tensor scratch_b = Tensor::zeros({features_});
+  Tensor& dgamma = gamma_.trainable() ? gamma_.grad() : scratch_g;
+  Tensor& dbeta = beta_.trainable() ? beta_.grad() : scratch_b;
+  return ops::layernorm_backward(dy, gamma_.value(), ctx, dgamma, dbeta);
+}
+
+void LayerNorm::collect_parameters(ParameterList& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace pac::nn

@@ -1,0 +1,31 @@
+// LayerNorm module over the last dimension.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, std::int64_t features, float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& dy) override;
+  void collect_parameters(ParameterList& out) override;
+  std::size_t pending_contexts() const override { return ctx_.size(); }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+ private:
+  std::int64_t features_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  ContextQueue<ops::LayerNormContext> ctx_;
+};
+
+}  // namespace pac::nn

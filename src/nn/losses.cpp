@@ -1,0 +1,74 @@
+#include "nn/losses.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels) {
+  PAC_CHECK(logits.dim() == 2, "cross entropy expects [B, C] logits, got "
+                                   << shape_to_string(logits.shape()));
+  const std::int64_t b = logits.size(0);
+  const std::int64_t c = logits.size(1);
+  PAC_CHECK(static_cast<std::int64_t>(labels.size()) == b,
+            "labels size " << labels.size() << " != batch " << b);
+
+  Tensor probs = ops::softmax_lastdim(logits);
+  LossResult result;
+  result.dlogits = probs.clone();
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(b);
+  float* pd = result.dlogits.data();
+  const float* pp = probs.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    PAC_CHECK(y >= 0 && y < c, "label " << y << " out of range [0, " << c
+                                        << ")");
+    const float p = std::max(pp[i * c + y], 1e-12F);
+    loss -= std::log(p);
+    pd[i * c + y] -= 1.0F;
+  }
+  result.dlogits.scale_(inv_b);
+  result.loss = static_cast<float>(loss / static_cast<double>(b));
+  return result;
+}
+
+LossResult mse_loss(const Tensor& pred, const std::vector<float>& targets) {
+  const std::int64_t b = static_cast<std::int64_t>(targets.size());
+  PAC_CHECK(pred.numel() == b, "mse_loss: pred numel " << pred.numel()
+                                                       << " != batch " << b);
+  LossResult result;
+  result.dlogits = Tensor(pred.shape());
+  const float* pp = pred.data();
+  float* pd = result.dlogits.data();
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(b);
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float diff = pp[i] - targets[static_cast<std::size_t>(i)];
+    loss += static_cast<double>(diff) * diff;
+    pd[i] = 2.0F * diff * inv_b;
+  }
+  result.loss = static_cast<float>(loss / static_cast<double>(b));
+  return result;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  PAC_CHECK(logits.dim() == 2, "argmax_rows expects [B, C]");
+  const std::int64_t b = logits.size(0);
+  const std::int64_t c = logits.size(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(b));
+  const float* p = logits.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (p[i * c + j] > p[i * c + best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+}  // namespace pac::nn

@@ -1,0 +1,27 @@
+// Task losses.  Each returns the scalar loss (mean over the batch) together
+// with the gradient w.r.t. the model output, which seeds the backward pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pac::nn {
+
+struct LossResult {
+  float loss = 0.0F;
+  Tensor dlogits;  // same shape as the logits / predictions
+};
+
+// Softmax cross entropy on logits [B, C] with integer labels (size B).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::int64_t>& labels);
+
+// Mean squared error on predictions [B, 1] (or [B]) vs targets (size B).
+LossResult mse_loss(const Tensor& pred, const std::vector<float>& targets);
+
+// argmax over the class dimension of logits [B, C].
+std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+}  // namespace pac::nn

@@ -1,0 +1,98 @@
+// Learning-rate schedules.
+//
+// Standard fine-tuning recipes (including the Adapters/LoRA literature the
+// paper baselines against) use linear warmup followed by decay.  Schedules
+// are pure functions of the step index; drive an optimizer with
+//     optimizer.set_lr(schedule.lr(step));
+// before each step.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace pac::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr(std::int64_t step) const = 0;
+};
+
+class ConstantLr : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+// Linear warmup from 0 to peak over `warmup_steps`, then linear decay to
+// `final_lr` at `total_steps` (held constant afterwards).
+class WarmupLinearLr : public LrSchedule {
+ public:
+  WarmupLinearLr(float peak_lr, std::int64_t warmup_steps,
+                 std::int64_t total_steps, float final_lr = 0.0F)
+      : peak_(peak_lr),
+        final_(final_lr),
+        warmup_(warmup_steps),
+        total_(total_steps) {
+    PAC_CHECK(warmup_steps >= 0 && total_steps > warmup_steps,
+              "warmup/total step mismatch");
+  }
+
+  float lr(std::int64_t step) const override {
+    if (step < warmup_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    }
+    const std::int64_t s = std::min(step, total_);
+    const float frac = static_cast<float>(s - warmup_) /
+                       static_cast<float>(total_ - warmup_);
+    return peak_ + (final_ - peak_) * frac;
+  }
+
+ private:
+  float peak_;
+  float final_;
+  std::int64_t warmup_;
+  std::int64_t total_;
+};
+
+// Linear warmup then cosine decay to final_lr at total_steps.
+class WarmupCosineLr : public LrSchedule {
+ public:
+  WarmupCosineLr(float peak_lr, std::int64_t warmup_steps,
+                 std::int64_t total_steps, float final_lr = 0.0F)
+      : peak_(peak_lr),
+        final_(final_lr),
+        warmup_(warmup_steps),
+        total_(total_steps) {
+    PAC_CHECK(warmup_steps >= 0 && total_steps > warmup_steps,
+              "warmup/total step mismatch");
+  }
+
+  float lr(std::int64_t step) const override {
+    if (step < warmup_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    }
+    const std::int64_t s = std::min(step, total_);
+    const float frac = static_cast<float>(s - warmup_) /
+                       static_cast<float>(total_ - warmup_);
+    const float cos_factor =
+        0.5F * (1.0F + std::cos(3.14159265358979F * frac));
+    return final_ + (peak_ - final_) * cos_factor;
+  }
+
+ private:
+  float peak_;
+  float final_;
+  std::int64_t warmup_;
+  std::int64_t total_;
+};
+
+}  // namespace pac::nn

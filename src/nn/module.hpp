@@ -1,0 +1,86 @@
+// Module base class: explicit forward/backward with FIFO saved contexts.
+//
+// PAC trains with micro-batch pipelining (1F1B): a module may run several
+// forwards before the matching backwards arrive.  Under every schedule PAC
+// uses, backwards for a given module occur in the same order as its
+// forwards, so each module keeps a FIFO queue of saved contexts —
+// `push_ctx` on forward, `pop_ctx` on backward.  A depth check catches
+// schedule bugs (backward without forward) immediately.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/parameter.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pac::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // y = f(x).  Saves whatever backward needs onto the context queue.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  // dx given dy for the *oldest* outstanding forward; accumulates parameter
+  // gradients for trainable parameters.
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  // Appends raw pointers to this module's parameters (and submodules').
+  virtual void collect_parameters(ParameterList& out) = 0;
+
+  ParameterList parameters() {
+    ParameterList out;
+    collect_parameters(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  void set_trainable(bool trainable) {
+    for (Parameter* p : parameters()) p->set_trainable(trainable);
+  }
+
+  // Number of forwards whose backward has not run yet.
+  virtual std::size_t pending_contexts() const = 0;
+
+  // When disabled, forward() retains no context (no activation memory) and
+  // backward() must not be called.  PAC disables contexts on the frozen
+  // backbone under Parallel Adapters: the backbone is forward-only, which
+  // is precisely the technique's memory saving.  Composite modules override
+  // this to propagate the flag to their children.
+  virtual void set_context_enabled(bool enabled) { ctx_enabled_ = enabled; }
+  bool context_enabled() const { return ctx_enabled_; }
+
+ protected:
+  bool ctx_enabled_ = true;
+};
+
+// CRTP-free helper managing the FIFO context queue for a concrete context
+// type.  Concrete modules hold a ContextQueue<TheirCtx>.
+template <typename Ctx>
+class ContextQueue {
+ public:
+  void push(Ctx ctx) { queue_.push_back(std::move(ctx)); }
+
+  Ctx pop() {
+    PAC_CHECK(!queue_.empty(),
+              "backward called with no saved forward context");
+    Ctx ctx = std::move(queue_.front());
+    queue_.pop_front();
+    return ctx;
+  }
+
+  std::size_t size() const { return queue_.size(); }
+  void clear() { queue_.clear(); }
+
+ private:
+  std::deque<Ctx> queue_;
+};
+
+}  // namespace pac::nn

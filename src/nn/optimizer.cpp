@@ -1,0 +1,88 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace pac::nn {
+
+float clip_grad_norm(const ParameterList& params, float max_norm) {
+  PAC_CHECK(max_norm > 0.0F, "clip_grad_norm needs max_norm > 0");
+  double sq = 0.0;
+  for (Parameter* p : params) {
+    if (!p->trainable()) continue;
+    const float* g = p->grad().data();
+    for (std::int64_t i = 0; i < p->grad().numel(); ++i) {
+      sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (Parameter* p : params) {
+      if (p->trainable()) p->grad().scale_(scale);
+    }
+  }
+  return norm;
+}
+
+void Sgd::step(const ParameterList& params) {
+  for (Parameter* p : params) {
+    if (!p->trainable()) continue;
+    if (momentum_ == 0.0F) {
+      p->value().axpy_(-lr_, p->grad());
+      continue;
+    }
+    auto it = velocity_.find(p);
+    if (it == velocity_.end()) {
+      it = velocity_.emplace(p, Tensor::zeros(p->value().shape())).first;
+    }
+    Tensor& v = it->second;
+    v.scale_(momentum_);
+    v.add_(p->grad());
+    p->value().axpy_(-lr_, v);
+  }
+}
+
+std::uint64_t Sgd::state_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [p, v] : velocity_) bytes += v.byte_size();
+  return bytes;
+}
+
+void Adam::step(const ParameterList& params) {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (Parameter* p : params) {
+    if (!p->trainable()) continue;
+    auto it = state_.find(p);
+    if (it == state_.end()) {
+      it = state_.emplace(p, State{Tensor::zeros(p->value().shape()),
+                                   Tensor::zeros(p->value().shape())})
+               .first;
+    }
+    State& s = it->second;
+    float* pm = s.m.data();
+    float* pv = s.v.data();
+    float* pw = p->value().data();
+    const float* pg = p->grad().data();
+    const std::int64_t n = p->value().numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      pm[i] = beta1_ * pm[i] + (1.0F - beta1_) * pg[i];
+      pv[i] = beta2_ * pv[i] + (1.0F - beta2_) * pg[i] * pg[i];
+      const float mhat = pm[i] / bc1;
+      const float vhat = pv[i] / bc2;
+      pw[i] -= lr_ * (mhat / (std::sqrt(vhat) + eps_) +
+                      weight_decay_ * pw[i]);
+    }
+  }
+}
+
+std::uint64_t Adam::state_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [p, s] : state_) {
+    bytes += s.m.byte_size() + s.v.byte_size();
+  }
+  return bytes;
+}
+
+}  // namespace pac::nn

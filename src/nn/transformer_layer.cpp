@@ -1,0 +1,186 @@
+#include "nn/transformer_layer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+
+BottleneckAdapter::BottleneckAdapter(std::string name, std::int64_t hidden,
+                                     std::int64_t bottleneck, Rng& rng)
+    : down_(name + ".down", hidden, bottleneck, rng),
+      up_(name + ".up", bottleneck, hidden, rng) {
+  // Near-zero init on the up-projection keeps the adapter close to identity
+  // at the start of fine-tuning (standard Houlsby initialization).
+  up_.weight().value().scale_(0.01F);
+}
+
+Tensor BottleneckAdapter::forward(const Tensor& x) {
+  Tensor pre = down_.forward(x);
+  Tensor mid = ops::relu(pre);
+  if (context_enabled()) ctx_.push(Ctx{pre});
+  Tensor delta = up_.forward(mid);
+  return ops::add(x, delta);
+}
+
+Tensor BottleneckAdapter::backward(const Tensor& dy) {
+  Ctx ctx = ctx_.pop();
+  Tensor dmid = up_.backward(dy);
+  Tensor dpre = ops::relu_backward(dmid, ctx.pre_act);
+  Tensor dx = down_.backward(dpre);
+  // Residual path.
+  dx.add_(dy);
+  return dx;
+}
+
+void BottleneckAdapter::collect_parameters(ParameterList& out) {
+  down_.collect_parameters(out);
+  up_.collect_parameters(out);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::string name,
+                                                 std::int64_t hidden,
+                                                 std::int64_t num_heads,
+                                                 std::int64_t ffn_dim,
+                                                 Rng& rng, Activation act,
+                                                 float dropout_p)
+    : ln1_(name + ".ln1", hidden),
+      attn_(name + ".attn", hidden, num_heads, rng, /*causal=*/false),
+      attn_drop_(dropout_p, rng.fork()),
+      ln2_(name + ".ln2", hidden),
+      ff_(name + ".ff", hidden, ffn_dim, rng, act),
+      ff_drop_(dropout_p, rng.fork()) {}
+
+void TransformerEncoderLayer::attach_adapter(std::int64_t bottleneck,
+                                             Rng& rng) {
+  PAC_CHECK(adapter_ == nullptr, "adapter already attached");
+  adapter_ = std::make_unique<BottleneckAdapter>(
+      ln1_.gamma().name() + ".adapter", ln1_.gamma().value().numel(),
+      bottleneck, rng);
+}
+
+void TransformerEncoderLayer::attach_lora(const LoraSpec& spec, Rng& rng) {
+  attn_.wq().enable_lora(spec, rng);
+  attn_.wv().enable_lora(spec, rng);
+}
+
+Tensor TransformerEncoderLayer::forward(const Tensor& x) {
+  Tensor u = ops::add(x, attn_drop_.forward(attn_.forward(ln1_.forward(x))));
+  Tensor y = ops::add(u, ff_drop_.forward(ff_.forward(ln2_.forward(u))));
+  if (adapter_ != nullptr) y = adapter_->forward(y);
+  return y;
+}
+
+Tensor TransformerEncoderLayer::backward(const Tensor& dy) {
+  Tensor d = dy;
+  if (adapter_ != nullptr) d = adapter_->backward(d);
+  // y = u + drop(FF(LN2(u)))
+  Tensor du = ln2_.backward(ff_.backward(ff_drop_.backward(d)));
+  du.add_(d);
+  // u = x + drop(Attn(LN1(x)))
+  Tensor dx = ln1_.backward(attn_.backward(attn_drop_.backward(du)));
+  dx.add_(du);
+  return dx;
+}
+
+void TransformerEncoderLayer::collect_parameters(ParameterList& out) {
+  ln1_.collect_parameters(out);
+  attn_.collect_parameters(out);
+  ln2_.collect_parameters(out);
+  ff_.collect_parameters(out);
+  if (adapter_ != nullptr) adapter_->collect_parameters(out);
+}
+
+std::size_t TransformerEncoderLayer::pending_contexts() const {
+  return attn_.pending_contexts();
+}
+
+TransformerDecoderLayer::TransformerDecoderLayer(std::string name,
+                                                 std::int64_t hidden,
+                                                 std::int64_t num_heads,
+                                                 std::int64_t ffn_dim,
+                                                 Rng& rng, Activation act)
+    : ln1_(name + ".ln1", hidden),
+      self_attn_(name + ".self_attn", hidden, num_heads, rng,
+                 /*causal=*/true),
+      ln2_(name + ".ln2", hidden),
+      cross_attn_(name + ".cross_attn", hidden, num_heads, rng),
+      ln3_(name + ".ln3", hidden),
+      ff_(name + ".ff", hidden, ffn_dim, rng, act) {}
+
+void TransformerDecoderLayer::attach_adapter(std::int64_t bottleneck,
+                                             Rng& rng) {
+  PAC_CHECK(adapter_ == nullptr, "adapter already attached");
+  adapter_ = std::make_unique<BottleneckAdapter>(
+      ln1_.gamma().name() + ".adapter", ln1_.gamma().value().numel(),
+      bottleneck, rng);
+}
+
+void TransformerDecoderLayer::attach_lora(const LoraSpec& spec, Rng& rng) {
+  self_attn_.wq().enable_lora(spec, rng);
+  self_attn_.wv().enable_lora(spec, rng);
+  cross_attn_.wq().enable_lora(spec, rng);
+  cross_attn_.wv().enable_lora(spec, rng);
+}
+
+Tensor TransformerDecoderLayer::forward(const Tensor& x,
+                                        const Tensor& memory) {
+  Tensor u = ops::add(x, self_attn_.forward(ln1_.forward(x)));
+  Tensor v =
+      ops::add(u, cross_attn_.forward_cross(ln2_.forward(u), memory));
+  Tensor y = ops::add(v, ff_.forward(ln3_.forward(v)));
+  if (adapter_ != nullptr) y = adapter_->forward(y);
+  return y;
+}
+
+TransformerDecoderLayer::DecodeState
+TransformerDecoderLayer::make_decode_state(const Tensor& memory,
+                                           Tensor memory_mask) {
+  DecodeState state;
+  state.memory_kv =
+      cross_attn_.precompute_kv(memory, std::move(memory_mask));
+  return state;
+}
+
+Tensor TransformerDecoderLayer::forward_step(const Tensor& x_t,
+                                             DecodeState& state,
+                                             std::int64_t max_len) {
+  // Same pre-LN dataflow as forward(), one position at a time; nothing is
+  // retained for backward (LN contexts disabled by the caller's eval mode,
+  // attention steps never push).
+  Tensor u = ops::add(
+      x_t, self_attn_.forward_step(ln1_.forward(x_t), state.self_kv,
+                                   max_len));
+  Tensor v = ops::add(
+      u, cross_attn_.forward_cross_step(ln2_.forward(u), state.memory_kv));
+  Tensor y = ops::add(v, ff_.forward(ln3_.forward(v)));
+  if (adapter_ != nullptr) y = adapter_->forward(y);
+  return y;
+}
+
+std::pair<Tensor, Tensor> TransformerDecoderLayer::backward(
+    const Tensor& dy) {
+  Tensor d = dy;
+  if (adapter_ != nullptr) d = adapter_->backward(d);
+  // y = v + FF(LN3(v))
+  Tensor dv = ln3_.backward(ff_.backward(d));
+  dv.add_(d);
+  // v = u + CrossAttn(LN2(u), memory)
+  auto [dln2_out, dmemory] = cross_attn_.backward_cross(dv);
+  Tensor du = ln2_.backward(dln2_out);
+  du.add_(dv);
+  // u = x + SelfAttn(LN1(x))
+  Tensor dx = ln1_.backward(self_attn_.backward(du));
+  dx.add_(du);
+  return {dx, dmemory};
+}
+
+void TransformerDecoderLayer::collect_parameters(ParameterList& out) {
+  ln1_.collect_parameters(out);
+  self_attn_.collect_parameters(out);
+  ln2_.collect_parameters(out);
+  cross_attn_.collect_parameters(out);
+  ln3_.collect_parameters(out);
+  ff_.collect_parameters(out);
+  if (adapter_ != nullptr) adapter_->collect_parameters(out);
+}
+
+}  // namespace pac::nn

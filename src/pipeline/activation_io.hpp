@@ -1,0 +1,34 @@
+// Interfaces between the trainers and the activation cache.
+//
+// Phase 1 records backbone activations (the b_i produced on whichever
+// device ran that stage); phase 2 reads them back.  The cache module
+// implements both; keeping the trainers on interfaces avoids a pipeline ->
+// cache dependency.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pac::pipeline {
+
+class ActivationRecorder {
+ public:
+  virtual ~ActivationRecorder() = default;
+  // `hidden` is [n, T, H] for the micro-batch whose dataset indices are
+  // `sample_ids` (size n); block_index identifies which b_i this is
+  // (0 = embedding output, i = output of encoder layer i).
+  virtual void record(const std::vector<std::int64_t>& sample_ids,
+                      std::int64_t block_index, const Tensor& hidden) = 0;
+};
+
+class ActivationSource {
+ public:
+  virtual ~ActivationSource() = default;
+  // Returns [b_0 .. b_L], each [n, T, H], for the given samples.
+  virtual std::vector<Tensor> fetch(
+      const std::vector<std::int64_t>& sample_ids) const = 0;
+};
+
+}  // namespace pac::pipeline

@@ -1,0 +1,360 @@
+#include "pipeline/runners.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "data/metrics.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::pipeline {
+
+double compute_task_metric(const data::TaskInfo& info, const Tensor& logits,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<float>& targets) {
+  if (info.kind == model::TaskKind::kRegression) {
+    std::vector<float> preds(static_cast<std::size_t>(logits.size(0)));
+    for (std::int64_t i = 0; i < logits.size(0); ++i) {
+      preds[static_cast<std::size_t>(i)] = logits.data()[i];
+    }
+    return 0.5 * (data::pearson(preds, targets) +
+                  data::spearman(preds, targets));
+  }
+  const std::vector<std::int64_t> preds = nn::argmax_rows(logits);
+  if (info.task == data::GlueTask::kMrpc) {
+    return 0.5 * (data::accuracy(preds, labels) +
+                  data::f1_binary(preds, labels));
+  }
+  return data::accuracy(preds, labels);
+}
+
+namespace {
+
+// Deterministic micro routing shared with StageWorker: row range of micro m
+// for a batch of `rows` split into at most `num_micro` micros.
+std::pair<std::int64_t, std::int64_t> micro_rows(std::int64_t rows,
+                                                 std::int64_t num_micro,
+                                                 std::int64_t m) {
+  const std::int64_t m_total = std::min(num_micro, rows);
+  const std::int64_t base = rows / m_total;
+  const std::int64_t extra = rows % m_total;
+  std::int64_t begin = 0;
+  for (std::int64_t i = 0; i < m; ++i) begin += base + (i < extra ? 1 : 0);
+  return {begin, begin + base + (m < extra ? 1 : 0)};
+}
+
+}  // namespace
+
+RunResult run_training(dist::EdgeCluster& cluster,
+                       const data::Dataset& dataset,
+                       const ModelFactory& factory, const RunConfig& config,
+                       const std::vector<ActivationRecorder*>* recorders) {
+  RunResult result;
+  result.epoch_losses.assign(static_cast<std::size_t>(config.epochs), 0.0);
+  std::mutex result_mutex;
+  WallTimer timer;
+
+  const std::vector<int> participants = config.plan.participating_ranks();
+  PAC_CHECK(!participants.empty(), "plan uses no devices");
+  const int leader = participants[0];
+
+  cluster.run([&](dist::DeviceContext& ctx) {
+    std::unique_ptr<model::Model> model = factory();
+    model->set_training_mode(true);
+    StageWorker worker(ctx, *model, config.plan, config.schedule,
+                       config.allreduce);
+    if (!worker.participates()) return;
+    nn::Adam optimizer(config.lr);
+
+    ActivationRecorder* recorder = nullptr;
+    if (recorders != nullptr) {
+      PAC_CHECK(recorders->size() ==
+                    static_cast<std::size_t>(ctx.world_size),
+                "need one recorder slot per rank");
+      recorder = (*recorders)[static_cast<std::size_t>(ctx.rank)];
+    }
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      data::BatchPlan plan(dataset.train_size(), config.batch_size,
+                           config.shuffle_seed + static_cast<std::uint64_t>(
+                                                     epoch));
+      double loss_sum = 0.0;
+      for (std::int64_t b = 0; b < plan.num_batches(); ++b) {
+        auto batch = dataset.make_train_batch(plan.batch(b));
+        // Record activations only on the first epoch — later epochs would
+        // overwrite identical data (the backbone is frozen).
+        ActivationRecorder* rec = epoch == 0 ? recorder : nullptr;
+        loss_sum += worker.train_mini_batch(batch, rec);
+        worker.synchronize_and_step(optimizer);
+      }
+      // Combine the weighted loss shares held by last-stage ranks.
+      Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
+      ctx.comm.allreduce_sum(loss_buf, participants, tags::kLossReduce);
+      if (ctx.rank == leader) {
+        std::lock_guard<std::mutex> result_guard(result_mutex);
+        result.epoch_losses[static_cast<std::size_t>(epoch)] =
+            static_cast<double>(loss_buf.at({0})) /
+            static_cast<double>(plan.num_batches());
+      }
+    }
+
+    // ---- evaluation (forward-only through the same pipeline) ----
+    if (config.run_eval) {
+      model->set_training_mode(false);
+      const int last_stage = static_cast<int>(config.plan.num_stages()) - 1;
+      const auto& last_group =
+          config.plan.stages[static_cast<std::size_t>(last_stage)].devices;
+
+      Tensor all_logits;               // logits (or regression predictions)
+      std::vector<std::int64_t> labels;
+      std::vector<float> targets;
+      const std::int64_t n_eval = dataset.eval_size();
+      const std::int64_t head_out = model->task().head_outputs();
+      if (ctx.rank == leader) {
+        all_logits = Tensor::zeros({n_eval, head_out});
+      }
+
+      std::int64_t eval_cursor = 0;
+      while (eval_cursor < n_eval) {
+        const std::int64_t rows =
+            std::min<std::int64_t>(config.batch_size, n_eval - eval_cursor);
+        std::vector<std::int64_t> idx(static_cast<std::size_t>(rows));
+        std::iota(idx.begin(), idx.end(), eval_cursor);
+        auto batch = dataset.make_eval_batch(idx);
+        auto chunks = worker.eval_mini_batch(batch);
+        // Last-stage owners ship their logits to the leader.
+        for (auto& chunk : chunks) {
+          ctx.comm.send(leader, tags::kEvalLogits, chunk.logits);
+        }
+        if (ctx.rank == leader) {
+          const std::int64_t m_total =
+              std::min(config.plan.num_micro_batches, rows);
+          const auto& last_st = config.plan.stages[static_cast<std::size_t>(
+              last_stage)];
+          const std::vector<int> owners =
+              micro_owner_indices(last_st, m_total);
+          for (std::int64_t m = 0; m < m_total; ++m) {
+            const int owner = last_group[static_cast<std::size_t>(
+                owners[static_cast<std::size_t>(m)])];
+            Tensor logits = ctx.comm.recv(owner, tags::kEvalLogits);
+            auto [rb, re] =
+                micro_rows(rows, config.plan.num_micro_batches, m);
+            PAC_CHECK(logits.size(0) == re - rb, "eval logits row mismatch");
+            all_logits.slice0(eval_cursor + rb, eval_cursor + re)
+                .copy_from(logits);
+          }
+          labels.insert(labels.end(), batch.labels.begin(),
+                        batch.labels.end());
+          targets.insert(targets.end(), batch.targets.begin(),
+                         batch.targets.end());
+        }
+        eval_cursor += rows;
+      }
+      if (ctx.rank == leader) {
+        const double metric =
+            compute_task_metric(dataset.info(), all_logits, labels, targets);
+        std::lock_guard<std::mutex> result_guard(result_mutex);
+        result.eval_metric = metric;
+      }
+      model->set_training_mode(true);
+    }
+
+    // ---- export final trainables (group leaders only, to avoid dupes) ----
+    if (config.plan.index_in_group(ctx.rank) == 0) {
+      std::lock_guard<std::mutex> result_guard(result_mutex);
+      for (nn::Parameter* p : worker.stage_trainable_params()) {
+        result.trainable_values[p->name()] = p->value().clone();
+      }
+    }
+  });
+
+  result.wall_seconds = timer.seconds();
+  if (cluster.last_transport() != nullptr) {
+    result.comm_bytes = cluster.last_transport()->total_bytes();
+  }
+  for (int r = 0; r < cluster.size(); ++r) {
+    result.peak_memory_per_device.push_back(cluster.ledger(r).peak_total());
+  }
+  return result;
+}
+
+RunResult run_cached_data_parallel(
+    dist::EdgeCluster& cluster, const data::Dataset& dataset,
+    const ModelFactory& factory,
+    const std::vector<const ActivationSource*>& sources,
+    const std::vector<std::vector<std::int64_t>>& shards,
+    const CachedRunConfig& config) {
+  PAC_CHECK(sources.size() == static_cast<std::size_t>(cluster.size()) &&
+                shards.size() == static_cast<std::size_t>(cluster.size()),
+            "need one activation source and shard per device");
+  RunResult result;
+  result.epoch_losses.assign(static_cast<std::size_t>(config.epochs), 0.0);
+  std::mutex result_mutex;
+  WallTimer timer;
+
+  std::vector<int> everyone(static_cast<std::size_t>(cluster.size()));
+  std::iota(everyone.begin(), everyone.end(), 0);
+
+  // Ranks step in lockstep; all must issue the same number of AllReduces.
+  std::int64_t max_steps = 0;
+  std::int64_t total_samples = 0;
+  for (const auto& shard : shards) {
+    const std::int64_t n = static_cast<std::int64_t>(shard.size());
+    total_samples += n;
+    max_steps = std::max(max_steps,
+                         (n + config.device_batch_size - 1) /
+                             std::max<std::int64_t>(config.device_batch_size,
+                                                    1));
+  }
+  PAC_CHECK(total_samples > 0, "cached training with no samples");
+
+  cluster.run([&](dist::DeviceContext& ctx) {
+    std::unique_ptr<model::Model> model = factory();
+    PAC_CHECK(model->uses_parallel_adapters(),
+              "cached data-parallel phase requires Parallel Adapters");
+    model->set_training_mode(true);
+    nn::Adam optimizer(config.lr);
+    const auto& shard = shards[static_cast<std::size_t>(ctx.rank)];
+    const ActivationSource* source =
+        sources[static_cast<std::size_t>(ctx.rank)];
+
+    // Ledger: phase 2 holds only the trainable side network + head (the
+    // backbone weights are released — the paper's key memory saving).
+    nn::ParameterList trainable = model->trainable_parameters();
+    std::uint64_t weight_bytes = 0;
+    std::uint64_t grad_bytes = 0;
+    for (nn::Parameter* p : trainable) {
+      weight_bytes += p->value_bytes();
+      grad_bytes += p->grad_bytes();
+    }
+    dist::ScopedAlloc weights_alloc(ctx.ledger, dist::MemClass::kWeights,
+                                    weight_bytes);
+    dist::ScopedAlloc grads_alloc(ctx.ledger, dist::MemClass::kGradients,
+                                  grad_bytes);
+    dist::ScopedAlloc opt_alloc(ctx.ledger, dist::MemClass::kOptimizer,
+                                2 * grad_bytes);
+
+    std::int64_t flat_size = 0;
+    for (nn::Parameter* p : trainable) flat_size += p->value().numel();
+
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      double loss_sum = 0.0;
+      std::unique_ptr<data::BatchPlan> plan;
+      if (!shard.empty()) {
+        plan = std::make_unique<data::BatchPlan>(
+            static_cast<std::int64_t>(shard.size()),
+            config.device_batch_size,
+            config.shuffle_seed + static_cast<std::uint64_t>(epoch) * 1000 +
+                static_cast<std::uint64_t>(ctx.rank));
+      }
+      for (std::int64_t step = 0; step < max_steps; ++step) {
+        model->zero_grad();
+        double step_loss = 0.0;
+        std::int64_t step_rows = 0;
+        if (plan != nullptr && step < plan->num_batches()) {
+          // Translate shard-local indices to dataset sample ids.
+          std::vector<std::int64_t> ids;
+          for (std::int64_t local : plan->batch(step)) {
+            ids.push_back(shard[static_cast<std::size_t>(local)]);
+          }
+          std::vector<Tensor> acts = source->fetch(ids);
+          auto batch = dataset.make_train_batch(ids);
+          Tensor logits = model->forward_cached(
+              acts,
+              model::make_pad_mask(batch.tokens,
+                                   model->config().pad_token));
+          nn::LossResult r;
+          if (model->task().kind == model::TaskKind::kClassification) {
+            r = nn::softmax_cross_entropy(logits, batch.labels);
+          } else {
+            r = nn::mse_loss(logits, batch.targets);
+          }
+          model->backward_cached(r.dlogits);
+          step_loss = r.loss;
+          step_rows = static_cast<std::int64_t>(ids.size());
+          // Weight grads by the local row share before the global sum so
+          // the AllReduced gradient is the global batch mean.
+        }
+        // Flatten grads, weight by rows, AllReduce, rescale by total rows.
+        Tensor flat = Tensor::zeros({flat_size + 1});
+        std::int64_t cursor = 0;
+        for (nn::Parameter* p : trainable) {
+          Tensor dst = flat.slice0(cursor, cursor + p->grad().numel());
+          dst.copy_from(p->grad().reshape({p->grad().numel()}));
+          dst.scale_(static_cast<float>(step_rows));
+          cursor += p->grad().numel();
+        }
+        flat.at({flat_size}) = static_cast<float>(step_rows);
+        ctx.comm.allreduce_sum(flat, everyone, tags::kGradAllReduce,
+                               config.allreduce);
+        const float global_rows = flat.at({flat_size});
+        if (global_rows > 0) {
+          cursor = 0;
+          for (nn::Parameter* p : trainable) {
+            Tensor src = flat.slice0(cursor, cursor + p->grad().numel());
+            p->grad().copy_from(src.reshape(p->grad().shape()));
+            p->grad().scale_(1.0F / global_rows);
+            cursor += p->grad().numel();
+          }
+          optimizer.step(trainable);
+        }
+        loss_sum += step_loss * static_cast<double>(step_rows);
+      }
+      // Epoch loss: sample-weighted mean across devices.
+      Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
+      ctx.comm.allreduce_sum(loss_buf, everyone, tags::kLossReduce);
+      if (ctx.rank == 0) {
+        std::lock_guard<std::mutex> result_guard(result_mutex);
+        result.epoch_losses[static_cast<std::size_t>(epoch)] =
+            static_cast<double>(loss_buf.at({0})) /
+            static_cast<double>(total_samples);
+      }
+    }
+
+    if (ctx.rank == 0) {
+      // Live eval on device 0 (eval samples are not cached).
+      std::lock_guard<std::mutex> result_guard(result_mutex);
+      if (config.run_eval) {
+        model->set_training_mode(false);
+        const std::int64_t n_eval = dataset.eval_size();
+        Tensor all_logits =
+            Tensor::zeros({n_eval, model->task().head_outputs()});
+        std::vector<std::int64_t> labels;
+        std::vector<float> targets;
+        std::int64_t cursor2 = 0;
+        while (cursor2 < n_eval) {
+          const std::int64_t rows = std::min<std::int64_t>(
+              config.device_batch_size, n_eval - cursor2);
+          std::vector<std::int64_t> idx(static_cast<std::size_t>(rows));
+          std::iota(idx.begin(), idx.end(), cursor2);
+          auto batch = dataset.make_eval_batch(idx);
+          Tensor logits = model->forward(batch.tokens);
+          all_logits.slice0(cursor2, cursor2 + rows).copy_from(logits);
+          labels.insert(labels.end(), batch.labels.begin(),
+                        batch.labels.end());
+          targets.insert(targets.end(), batch.targets.begin(),
+                         batch.targets.end());
+          cursor2 += rows;
+        }
+        result.eval_metric =
+            compute_task_metric(dataset.info(), all_logits, labels, targets);
+      }
+      for (nn::Parameter* p : trainable) {
+        result.trainable_values[p->name()] = p->value().clone();
+      }
+    }
+  });
+
+  result.wall_seconds = timer.seconds();
+  if (cluster.last_transport() != nullptr) {
+    result.comm_bytes = cluster.last_transport()->total_bytes();
+  }
+  for (int r = 0; r < cluster.size(); ++r) {
+    result.peak_memory_per_device.push_back(cluster.ledger(r).peak_total());
+  }
+  return result;
+}
+
+}  // namespace pac::pipeline

@@ -1,0 +1,85 @@
+// Cluster-level training runners.
+//
+// `run_training` executes live (phase-1 style) training under an arbitrary
+// ParallelPlan — which covers Standalone (1 device), EDDL (pure DP),
+// Eco-FL (pure PP) and PAC's hybrid plans with one engine — and optionally
+// records backbone activations into per-rank cache shards.
+//
+// `run_cached_data_parallel` executes PAC's phase 2: every device trains
+// the Parallel Adapter side network from cached activations with pure data
+// parallelism; the backbone is never touched (its weights are not even
+// charged to the ledger — the paper's "release the LLM parameters" win).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+#include "model/model.hpp"
+#include "pipeline/activation_io.hpp"
+#include "pipeline/stage_worker.hpp"
+
+namespace pac::pipeline {
+
+using ModelFactory = std::function<std::unique_ptr<model::Model>()>;
+
+struct RunConfig {
+  ParallelPlan plan;
+  ScheduleKind schedule = ScheduleKind::k1F1B;
+  dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
+  std::int64_t batch_size = 8;
+  int epochs = 1;
+  float lr = 1e-2F;
+  std::uint64_t shuffle_seed = 77;
+  bool run_eval = true;
+};
+
+struct RunResult {
+  std::vector<double> epoch_losses;  // mean mini-batch loss per epoch
+  double eval_metric = 0.0;          // task metric (see data::task_info)
+  std::uint64_t comm_bytes = 0;      // inter-device traffic of the run
+  double wall_seconds = 0.0;
+  // Final values of all trainable parameters, keyed by name (collected from
+  // the group-leader rank of each stage) — lets tests compare runs.
+  std::map<std::string, Tensor> trainable_values;
+  // Peak memory per device over the run (total across ledger classes).
+  std::vector<std::uint64_t> peak_memory_per_device;
+};
+
+// recorders: nullptr, or one ActivationRecorder* per rank (entries may be
+// null for ranks that should not record).
+RunResult run_training(dist::EdgeCluster& cluster,
+                       const data::Dataset& dataset,
+                       const ModelFactory& factory, const RunConfig& config,
+                       const std::vector<ActivationRecorder*>* recorders =
+                           nullptr);
+
+struct CachedRunConfig {
+  std::int64_t device_batch_size = 8;  // per-device mini-batch
+  int epochs = 1;
+  float lr = 1e-2F;
+  dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
+  std::uint64_t shuffle_seed = 177;
+  bool run_eval = true;
+};
+
+// shards[r] lists the dataset indices device r trains on; sources[r]
+// serves cached activations for (at least) those samples.
+RunResult run_cached_data_parallel(
+    dist::EdgeCluster& cluster, const data::Dataset& dataset,
+    const ModelFactory& factory,
+    const std::vector<const ActivationSource*>& sources,
+    const std::vector<std::vector<std::int64_t>>& shards,
+    const CachedRunConfig& config);
+
+// Task metric per data::task_info: accuracy, acc/F1 mean, or
+// Pearson-Spearman mean.  logits [N, C] (or [N, 1] for regression).
+double compute_task_metric(const data::TaskInfo& info, const Tensor& logits,
+                           const std::vector<std::int64_t>& labels,
+                           const std::vector<float>& targets);
+
+}  // namespace pac::pipeline

@@ -1,0 +1,357 @@
+#include "pipeline/stage_worker.hpp"
+
+#include <algorithm>
+
+#include "tensor/ops.hpp"
+
+namespace pac::pipeline {
+
+namespace {
+
+// Coarse per-micro-batch activation footprint for the device ledger.
+// Backprop-through-backbone techniques retain roughly a small multiple of
+// every block's output (attention probabilities, FFN pre-activations,
+// LayerNorm saves); Parallel Adapters retain only the r-wide side states.
+// The analytic cost model (pac::costmodel) does the precise paper-scale
+// accounting; this estimate gives the executed-scale ledger the right
+// relative shape between techniques and schedules.
+constexpr double kRetainedPerBlockOutput = 4.0;
+
+}  // namespace
+
+StageWorker::StageWorker(dist::DeviceContext& ctx, model::Model& model,
+                         const ParallelPlan& plan, ScheduleKind schedule,
+                         dist::AllReduceAlgo allreduce_algo)
+    : ctx_(ctx),
+      model_(model),
+      plan_(plan),
+      schedule_(schedule),
+      allreduce_algo_(allreduce_algo) {
+  plan_.validate(model_.num_blocks(), ctx_.world_size);
+  stage_ = plan_.stage_of_rank(ctx_.rank);
+  if (!participates()) return;
+  const StageAssignment& st = plan_.stages[static_cast<std::size_t>(stage_)];
+  group_ = st.devices;
+  group_index_ = plan_.index_in_group(ctx_.rank);
+  block_begin_ = st.block_begin;
+  auto all_blocks = model_.blocks();
+  for (std::int64_t b = st.block_begin; b < st.block_end; ++b) {
+    stage_blocks_.push_back(all_blocks[static_cast<std::size_t>(b)]);
+  }
+
+  // Register this stage's memory with the device ledger.
+  for (model::PipelineBlock* block : stage_blocks_) {
+    for (nn::Parameter* p : block->parameters()) {
+      weights_bytes_ += p->value_bytes();
+      grad_bytes_ += p->grad_bytes();
+    }
+  }
+  optimizer_bytes_ = 2 * grad_bytes_;  // Adam first/second moments
+  ctx_.ledger.allocate(dist::MemClass::kWeights, weights_bytes_);
+  ctx_.ledger.allocate(dist::MemClass::kGradients, grad_bytes_);
+  ctx_.ledger.allocate(dist::MemClass::kOptimizer, optimizer_bytes_);
+}
+
+StageWorker::~StageWorker() {
+  if (!participates()) return;
+  ctx_.ledger.release(dist::MemClass::kWeights, weights_bytes_);
+  ctx_.ledger.release(dist::MemClass::kGradients, grad_bytes_);
+  ctx_.ledger.release(dist::MemClass::kOptimizer, optimizer_bytes_);
+  if (inflight_act_bytes_ > 0) {
+    ctx_.ledger.release(dist::MemClass::kActivations, inflight_act_bytes_);
+  }
+}
+
+std::vector<StageWorker::MicroSlice> StageWorker::local_micros(
+    std::int64_t batch_rows) const {
+  const std::int64_t m_total =
+      std::min<std::int64_t>(plan_.num_micro_batches, batch_rows);
+  const std::int64_t base = batch_rows / m_total;
+  const std::int64_t extra = batch_rows % m_total;
+  const std::vector<int> owners = micro_owner_indices(
+      plan_.stages[static_cast<std::size_t>(stage_)], m_total);
+  std::vector<MicroSlice> out;
+  std::int64_t cursor = 0;
+  for (std::int64_t m = 0; m < m_total; ++m) {
+    const std::int64_t rows = base + (m < extra ? 1 : 0);
+    if (owners[static_cast<std::size_t>(m)] == group_index_) {
+      out.push_back(MicroSlice{m, cursor, cursor + rows});
+    }
+    cursor += rows;
+  }
+  return out;
+}
+
+int StageWorker::owner_rank(int stage, std::int64_t micro) const {
+  const auto& st = plan_.stages[static_cast<std::size_t>(stage)];
+  const std::int64_t m_total =
+      std::min<std::int64_t>(plan_.num_micro_batches, minibatch_rows_);
+  const std::vector<int> owners = micro_owner_indices(st, m_total);
+  return st.devices[static_cast<std::size_t>(
+      owners[static_cast<std::size_t>(micro)])];
+}
+
+model::FlowState StageWorker::forward_micro(
+    const data::Batch& batch, const MicroSlice& ms,
+    ActivationRecorder* recorder) {
+  model::FlowState state;
+  if (is_first_stage()) {
+    state.tokens = batch.tokens.slice0(ms.row_begin, ms.row_end).clone();
+  } else {
+    const int src = owner_rank(stage_ - 1, ms.micro);
+    state.hidden = ctx_.comm.recv(src, tags::kFwdHidden);
+    if (model_.uses_parallel_adapters()) {
+      state.adapter = ctx_.comm.recv(src, tags::kFwdAdapter);
+    }
+    if (model_.config().pad_token >= 0) {
+      state.pad_mask = ctx_.comm.recv(src, tags::kFwdMask);
+    }
+  }
+
+  std::vector<std::int64_t> micro_ids;
+  if (recorder != nullptr) {
+    micro_ids.assign(
+        batch.sample_ids.begin() + ms.row_begin,
+        batch.sample_ids.begin() + ms.row_end);
+  }
+
+  const std::int64_t last_backbone_block = model_.num_blocks() - 2;
+  for (std::size_t i = 0; i < stage_blocks_.size(); ++i) {
+    state = stage_blocks_[i]->forward(state);
+    const std::int64_t global_index =
+        block_begin_ + static_cast<std::int64_t>(i);
+    if (recorder != nullptr && global_index <= last_backbone_block) {
+      recorder->record(micro_ids, global_index, state.hidden);
+    }
+  }
+
+  // Ledger: retained activations for this in-flight micro-batch.
+  std::uint64_t retained = 0;
+  if (state.hidden.defined()) {
+    const double per_block =
+        static_cast<double>(state.hidden.byte_size());
+    if (model_.backprop_backbone()) {
+      retained += static_cast<std::uint64_t>(
+          kRetainedPerBlockOutput * per_block *
+          static_cast<double>(stage_blocks_.size()));
+    }
+  }
+  if (state.adapter.defined()) {
+    retained += static_cast<std::uint64_t>(
+        kRetainedPerBlockOutput *
+        static_cast<double>(state.adapter.byte_size()) *
+        static_cast<double>(stage_blocks_.size()));
+  }
+  ctx_.ledger.allocate(dist::MemClass::kActivations, retained);
+  inflight_act_bytes_ += retained;
+
+  if (is_last_stage()) {
+    // state.hidden holds the logits; compute the loss now, weighted so the
+    // sum over micro-batches equals the full-batch mean.
+    const float weight = static_cast<float>(ms.row_end - ms.row_begin) /
+                         static_cast<float>(minibatch_rows_);
+    nn::LossResult r;
+    if (model_.task().kind == model::TaskKind::kClassification) {
+      std::vector<std::int64_t> labels(
+          batch.labels.begin() + ms.row_begin,
+          batch.labels.begin() + ms.row_end);
+      r = nn::softmax_cross_entropy(state.hidden, labels);
+    } else {
+      std::vector<float> targets(batch.targets.begin() + ms.row_begin,
+                                 batch.targets.begin() + ms.row_end);
+      r = nn::mse_loss(state.hidden, targets);
+    }
+    r.dlogits.scale_(weight);
+    minibatch_loss_ += static_cast<double>(r.loss) * weight;
+    pending_loss_[ms.micro] = std::move(r);
+  } else {
+    const int dst = owner_rank(stage_ + 1, ms.micro);
+    ctx_.comm.send(dst, tags::kFwdHidden, state.hidden);
+    if (model_.uses_parallel_adapters()) {
+      ctx_.comm.send(dst, tags::kFwdAdapter, state.adapter);
+    }
+    if (state.pad_mask.defined()) {
+      ctx_.comm.send(dst, tags::kFwdMask, state.pad_mask);
+    }
+  }
+  return state;
+}
+
+void StageWorker::backward_micro(const MicroSlice& ms) {
+  model::FlowGrad grad;
+  if (is_last_stage()) {
+    auto it = pending_loss_.find(ms.micro);
+    PAC_CHECK(it != pending_loss_.end(),
+              "backward for micro " << ms.micro << " without forward");
+    grad.d_hidden = std::move(it->second.dlogits);
+    pending_loss_.erase(it);
+  } else if (model_.uses_parallel_adapters()) {
+    grad.d_adapter =
+        ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdAdapter);
+  } else {
+    grad.d_hidden =
+        ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdHidden);
+  }
+
+  for (auto it = stage_blocks_.rbegin(); it != stage_blocks_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+
+  // This micro's retained activations are now free.  All micros retain the
+  // same estimate within a mini-batch (sizes differ by at most one row);
+  // release the proportional share.
+  if (inflight_act_bytes_ > 0) {
+    const std::uint64_t share = std::min<std::uint64_t>(
+        inflight_act_bytes_,
+        inflight_act_bytes_ / std::max<std::uint64_t>(pending_backward_, 1));
+    ctx_.ledger.release(dist::MemClass::kActivations, share);
+    inflight_act_bytes_ -= share;
+  }
+
+  if (!is_first_stage()) {
+    const int dst = owner_rank(stage_ - 1, ms.micro);
+    if (model_.uses_parallel_adapters()) {
+      PAC_CHECK(grad.d_adapter.defined(),
+                "parallel adapters backward lost the adapter gradient");
+      ctx_.comm.send(dst, tags::kBwdAdapter, grad.d_adapter);
+    } else {
+      PAC_CHECK(grad.d_hidden.defined(),
+                "backward lost the hidden gradient");
+      ctx_.comm.send(dst, tags::kBwdHidden, grad.d_hidden);
+    }
+  }
+}
+
+double StageWorker::train_mini_batch(
+    const data::Batch& batch,
+    ActivationRecorder* recorder) {
+  if (!participates()) return 0.0;
+  minibatch_loss_ = 0.0;
+  minibatch_rows_ = batch.tokens.size(0);
+  const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
+  // Non-uniform device groups need the generalized warmup or adjacent
+  // stages deadlock on each other's first backward.  Weighted ownership
+  // can hand one member several consecutive micros, so it needs the full
+  // downstream depth rather than the per-member quotient.
+  std::vector<std::int64_t> group_sizes;
+  for (const auto& st : plan_.stages) {
+    group_sizes.push_back(static_cast<std::int64_t>(st.devices.size()));
+  }
+  std::int64_t warmup = hybrid_warmup(group_sizes, stage_);
+  if (plan_.weighted()) {
+    warmup = 0;
+    for (std::size_t q = static_cast<std::size_t>(stage_) + 1;
+         q < group_sizes.size(); ++q) {
+      warmup += group_sizes[q];
+    }
+  }
+  const auto ops = make_schedule(schedule_,
+                                 static_cast<std::int64_t>(micros.size()),
+                                 stage_, plan_.num_stages(), warmup);
+  pending_backward_ = 0;
+  for (const PipeOp& op : ops) {
+    const MicroSlice& ms = micros[static_cast<std::size_t>(op.micro)];
+    if (op.kind == PipeOp::Kind::kForward) {
+      ++pending_backward_;
+      forward_micro(batch, ms, recorder);
+    } else {
+      backward_micro(ms);
+      --pending_backward_;
+    }
+  }
+  PAC_CHECK(pending_loss_.empty(), "unconsumed losses after mini-batch");
+  return minibatch_loss_;
+}
+
+void StageWorker::synchronize_and_step(nn::Optimizer& optimizer) {
+  if (!participates()) return;
+  nn::ParameterList trainable = stage_trainable_params();
+  if (group_.size() > 1 && !trainable.empty()) {
+    // Flatten all trainable grads into one buffer for a single AllReduce —
+    // under Parallel Adapters this is the paper's "lightweight adapters
+    // only" synchronization.
+    std::int64_t total = 0;
+    for (nn::Parameter* p : trainable) total += p->grad().numel();
+    Tensor flat({total});
+    std::int64_t cursor = 0;
+    for (nn::Parameter* p : trainable) {
+      flat.slice0(cursor, cursor + p->grad().numel())
+          .copy_from(p->grad().reshape({p->grad().numel()}));
+      cursor += p->grad().numel();
+    }
+    ctx_.comm.allreduce_sum(flat, group_, tags::kGradAllReduce,
+                            allreduce_algo_);
+    cursor = 0;
+    for (nn::Parameter* p : trainable) {
+      Tensor src = flat.slice0(cursor, cursor + p->grad().numel());
+      p->grad().copy_from(src.reshape(p->grad().shape()));
+      cursor += p->grad().numel();
+    }
+  }
+  optimizer.step(trainable);
+  model_.zero_grad();
+}
+
+std::vector<StageWorker::EvalChunk> StageWorker::eval_mini_batch(
+    const data::Batch& batch) {
+  std::vector<EvalChunk> out;
+  if (!participates()) return out;
+  minibatch_rows_ = batch.tokens.size(0);
+  const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
+  for (const MicroSlice& ms : micros) {
+    model::FlowState state;
+    if (is_first_stage()) {
+      state.tokens = batch.tokens.slice0(ms.row_begin, ms.row_end).clone();
+    } else {
+      const int src = owner_rank(stage_ - 1, ms.micro);
+      state.hidden = ctx_.comm.recv(src, tags::kFwdHidden);
+      if (model_.uses_parallel_adapters()) {
+        state.adapter = ctx_.comm.recv(src, tags::kFwdAdapter);
+      }
+      if (model_.config().pad_token >= 0) {
+        state.pad_mask = ctx_.comm.recv(src, tags::kFwdMask);
+      }
+    }
+    for (model::PipelineBlock* block : stage_blocks_) {
+      state = block->forward(state);
+    }
+    if (is_last_stage()) {
+      EvalChunk chunk;
+      for (std::int64_t r = ms.row_begin; r < ms.row_end; ++r) {
+        chunk.batch_rows.push_back(r);
+      }
+      chunk.logits = state.hidden;
+      out.push_back(std::move(chunk));
+    } else {
+      const int dst = owner_rank(stage_ + 1, ms.micro);
+      ctx_.comm.send(dst, tags::kFwdHidden, state.hidden);
+      if (model_.uses_parallel_adapters()) {
+        ctx_.comm.send(dst, tags::kFwdAdapter, state.adapter);
+      }
+      if (state.pad_mask.defined()) {
+        ctx_.comm.send(dst, tags::kFwdMask, state.pad_mask);
+      }
+    }
+  }
+  return out;
+}
+
+nn::ParameterList StageWorker::stage_trainable_params() {
+  nn::ParameterList out;
+  for (model::PipelineBlock* block : stage_blocks_) {
+    for (nn::Parameter* p : block->parameters()) {
+      if (p->trainable()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+nn::ParameterList StageWorker::stage_params() {
+  nn::ParameterList out;
+  for (model::PipelineBlock* block : stage_blocks_) {
+    block->collect_parameters(out);
+  }
+  return out;
+}
+
+}  // namespace pac::pipeline

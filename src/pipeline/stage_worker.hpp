@@ -1,0 +1,128 @@
+// Per-rank execution engine for hybrid data+pipeline parallelism.
+//
+// Micro-batch routing: micro-batch m of a mini-batch is owned, in every
+// stage, by that stage's group member (m mod group_size); the sender of
+// m's activations in stage p is therefore deterministic from the plan, and
+// all transfers are plain tagged point-to-point messages.  What flows
+// matches the technique: hidden [B,T,H] forward everywhere; backward
+// carries d_hidden for backprop-through-backbone techniques but only the
+// r-dim adapter gradient under Parallel Adapters (the gradient highway).
+//
+// Gradients accumulate across micro-batches weighted by micro size, so a
+// mini-batch produces exactly the full-batch mean gradient regardless of
+// the partitioning — the parity tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+#include "model/model.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+#include "pipeline/activation_io.hpp"
+#include "pipeline/plan.hpp"
+#include "pipeline/schedule.hpp"
+
+namespace pac::pipeline {
+
+// Message tag ranges (disjoint so collectives and p2p never collide).
+namespace tags {
+inline constexpr int kFwdHidden = 1000;
+inline constexpr int kFwdAdapter = 1001;
+inline constexpr int kFwdMask = 1002;
+inline constexpr int kBwdHidden = 1100;
+inline constexpr int kBwdAdapter = 1101;
+inline constexpr int kGradAllReduce = 1200;
+inline constexpr int kLossReduce = 1300;
+inline constexpr int kEvalLogits = 1400;
+inline constexpr int kBarrier = 1500;
+inline constexpr int kRedistParams = 2000;
+inline constexpr int kRedistCacheBase = 2100;  // + destination rank
+}  // namespace tags
+
+class StageWorker {
+ public:
+  // `model` is this rank's replica (identical seed across ranks).  The
+  // worker registers its stage's memory with the device ledger.
+  StageWorker(dist::DeviceContext& ctx, model::Model& model,
+              const ParallelPlan& plan, ScheduleKind schedule,
+              dist::AllReduceAlgo allreduce_algo);
+  ~StageWorker();
+
+  StageWorker(const StageWorker&) = delete;
+  StageWorker& operator=(const StageWorker&) = delete;
+
+  bool participates() const { return stage_ >= 0; }
+  int stage() const { return stage_; }
+  bool is_first_stage() const { return stage_ == 0; }
+  bool is_last_stage() const {
+    return stage_ == static_cast<int>(plan_.num_stages()) - 1;
+  }
+
+  // Runs one mini-batch (forward+backward over all micro-batches per the
+  // schedule), accumulating gradients.  Returns this rank's weighted loss
+  // contribution (nonzero only on last-stage ranks).
+  double train_mini_batch(const data::Batch& batch,
+                          ActivationRecorder* recorder);
+
+  // AllReduces trainable grads within the stage group and steps the
+  // optimizer.  Call once per mini-batch after train_mini_batch.
+  void synchronize_and_step(nn::Optimizer& optimizer);
+
+  // Forward-only pass (model must be in eval mode).  On last-stage ranks
+  // returns logits rows for the micro-batches this rank owns, paired with
+  // their positions in the batch; other ranks return an empty list.
+  struct EvalChunk {
+    std::vector<std::int64_t> batch_rows;
+    Tensor logits;
+  };
+  std::vector<EvalChunk> eval_mini_batch(
+      const data::Batch& batch);
+
+  // The stage's trainable parameters (for reporting / extraction).
+  nn::ParameterList stage_trainable_params();
+  nn::ParameterList stage_params();
+
+ private:
+  struct MicroSlice {
+    std::int64_t micro;  // global micro index
+    std::int64_t row_begin;
+    std::int64_t row_end;
+  };
+
+  std::vector<MicroSlice> local_micros(std::int64_t batch_rows) const;
+  int owner_rank(int stage, std::int64_t micro) const;
+  model::FlowState forward_micro(
+      const data::Batch& batch, const MicroSlice& ms,
+      ActivationRecorder* recorder);
+  void backward_micro(const MicroSlice& ms);
+
+  dist::DeviceContext& ctx_;
+  model::Model& model_;
+  ParallelPlan plan_;
+  ScheduleKind schedule_;
+  dist::AllReduceAlgo allreduce_algo_;
+
+  int stage_ = -1;
+  int group_index_ = 0;
+  std::vector<int> group_;
+  std::vector<model::PipelineBlock*> stage_blocks_;
+  std::int64_t block_begin_ = 0;
+
+  // Per-micro state saved between forward and backward.
+  std::map<std::int64_t, nn::LossResult> pending_loss_;
+  double minibatch_loss_ = 0.0;
+  std::int64_t minibatch_rows_ = 0;
+  std::int64_t pending_backward_ = 0;  // micros forwarded but not reversed
+
+  // Ledger registration (released in the destructor).
+  std::uint64_t weights_bytes_ = 0;
+  std::uint64_t grad_bytes_ = 0;
+  std::uint64_t optimizer_bytes_ = 0;
+  std::uint64_t inflight_act_bytes_ = 0;  // currently registered activations
+};
+
+}  // namespace pac::pipeline

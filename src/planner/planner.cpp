@@ -1,0 +1,311 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "pipeline/schedule.hpp"
+
+namespace pac::planner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct RangeSums {
+  double t_fwd = 0.0;
+  double t_bwd = 0.0;
+  std::uint64_t param_bytes = 0;
+  std::uint64_t trainable_bytes = 0;
+  std::uint64_t activation_bytes = 0;
+};
+
+// Prefix sums over blocks for O(1) range queries.
+class Prefix {
+ public:
+  explicit Prefix(const std::vector<BlockProfile>& blocks) {
+    sums_.resize(blocks.size() + 1);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      RangeSums s = sums_[i];
+      s.t_fwd += blocks[i].t_fwd;
+      s.t_bwd += blocks[i].t_bwd;
+      s.param_bytes += blocks[i].param_bytes;
+      s.trainable_bytes += blocks[i].trainable_bytes;
+      s.activation_bytes += blocks[i].activation_bytes;
+      sums_[i + 1] = s;
+    }
+  }
+
+  RangeSums range(std::int64_t begin, std::int64_t end) const {
+    const RangeSums& hi = sums_[static_cast<std::size_t>(end)];
+    const RangeSums& lo = sums_[static_cast<std::size_t>(begin)];
+    return RangeSums{hi.t_fwd - lo.t_fwd, hi.t_bwd - lo.t_bwd,
+                     hi.param_bytes - lo.param_bytes,
+                     hi.trainable_bytes - lo.trainable_bytes,
+                     hi.activation_bytes - lo.activation_bytes};
+  }
+
+ private:
+  std::vector<RangeSums> sums_;
+};
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Per-device memory of a stage holding `range`, replicated over m devices,
+// in a pipeline of s total stages at stage index `stage_idx` (or -1 for the
+// conservative bound used during the DP, before the index is known).
+std::uint64_t stage_memory(const PlannerInput& input, const RangeSums& range,
+                           std::int64_t m, std::int64_t s,
+                           std::int64_t stage_idx) {
+  const std::int64_t local_micros =
+      std::max<std::int64_t>(1, ceil_div(input.num_micro_batches, m));
+  const std::int64_t pipeline_bound =
+      stage_idx < 0 ? s : std::max<std::int64_t>(1, s - stage_idx);
+  const std::int64_t in_flight =
+      input.gpipe_memory ? local_micros
+                         : std::min(local_micros, pipeline_bound);
+  const double opt = input.optimizer_state_factor *
+                     static_cast<double>(range.trainable_bytes);
+  return range.param_bytes + range.trainable_bytes +
+         static_cast<std::uint64_t>(opt) +
+         range.activation_bytes * static_cast<std::uint64_t>(in_flight);
+}
+
+// Stage throughput term: time this stage group needs per mini-batch.
+// The group is devices [first_rank, first_rank + m) of the planner's
+// ordered device list; heterogeneous compute scales make the slowest
+// member's share the bound (micros are dealt round-robin by index,
+// matching the executed engine).
+double stage_time(const PlannerInput& input, const RangeSums& range,
+                  std::int64_t first_rank, std::int64_t m, std::int64_t s) {
+  if (stage_memory(input, range, m, s, /*stage_idx=*/-1) >
+      input.device_budget_bytes) {
+    return kInf;  // paper: OOM configurations cost +infinity
+  }
+  // Micros are dealt weight-proportionally to the members' compute scales
+  // (micro_owner_indices), so the bound is the slowest member's share.
+  pipeline::StageAssignment st;
+  st.block_begin = 0;
+  st.block_end = 1;
+  bool heterogeneous = false;
+  for (std::int64_t j = 0; j < m; ++j) {
+    st.devices.push_back(static_cast<int>(first_rank + j));
+    const double scale =
+        input.device_scale(static_cast<int>(first_rank + j));
+    st.device_weights.push_back(scale);
+    if (scale != input.device_scale(static_cast<int>(first_rank))) {
+      heterogeneous = true;
+    }
+  }
+  if (!heterogeneous) st.device_weights.clear();
+  const std::vector<int> owners =
+      pipeline::micro_owner_indices(st, input.num_micro_batches);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(m), 0);
+  for (int o : owners) ++counts[static_cast<std::size_t>(o)];
+  double compute = 0.0;
+  for (std::int64_t j = 0; j < m; ++j) {
+    const double scale =
+        input.device_scale(static_cast<int>(first_rank + j));
+    compute = std::max(compute,
+                       static_cast<double>(
+                           counts[static_cast<std::size_t>(j)]) *
+                           (range.t_fwd + range.t_bwd) / scale);
+  }
+  const double allreduce = input.network.allreduce_seconds(
+      range.trainable_bytes, static_cast<int>(m));
+  return compute + allreduce;
+}
+
+}  // namespace
+
+PlanEstimate evaluate_plan(const PlannerInput& input,
+                           const pipeline::ParallelPlan& plan) {
+  plan.validate(input.num_blocks(), input.num_devices);
+  const Prefix prefix(input.blocks);
+  const std::int64_t s = plan.num_stages();
+
+  PlanEstimate est;
+  est.plan = plan;
+  est.feasible = true;
+
+  std::vector<std::int64_t> group_sizes;
+  for (const auto& st : plan.stages) {
+    group_sizes.push_back(static_cast<std::int64_t>(st.devices.size()));
+  }
+
+  double steady = 0.0;
+  double fill = 0.0;
+  double drain = 0.0;
+  double allreduce = 0.0;
+  for (std::int64_t i = 0; i < s; ++i) {
+    const auto& st = plan.stages[static_cast<std::size_t>(i)];
+    const RangeSums range = prefix.range(st.block_begin, st.block_end);
+    const auto m = static_cast<std::int64_t>(st.devices.size());
+    // Exact in-flight bound: the generalized 1F1B warmup + 1 (GPipe keeps
+    // every local micro in flight).
+    const std::int64_t local_m = ceil_div(input.num_micro_batches, m);
+    const std::int64_t in_flight =
+        input.gpipe_memory
+            ? local_m
+            : std::min(local_m, pipeline::hybrid_warmup(group_sizes, i) + 1);
+    const double opt_bytes = input.optimizer_state_factor *
+                             static_cast<double>(range.trainable_bytes);
+    const std::uint64_t mem =
+        range.param_bytes + range.trainable_bytes +
+        static_cast<std::uint64_t>(opt_bytes) +
+        range.activation_bytes * static_cast<std::uint64_t>(in_flight);
+    est.stage_memory_bytes.push_back(mem);
+    est.stage_weight_bytes.push_back(range.param_bytes);
+    if (mem > input.device_budget_bytes) {
+      est.feasible = false;
+      std::ostringstream os;
+      os << "stage " << i << " needs " << mem << " bytes per device, budget "
+         << input.device_budget_bytes;
+      est.note = os.str();
+    }
+    const std::vector<int> owners =
+        pipeline::micro_owner_indices(st, input.num_micro_batches);
+    std::vector<std::int64_t> counts(st.devices.size(), 0);
+    for (int o : owners) ++counts[static_cast<std::size_t>(o)];
+    for (std::int64_t j = 0; j < m; ++j) {
+      const double scale = input.device_scale(
+          st.devices[static_cast<std::size_t>(j)]);
+      steady = std::max(steady,
+                        static_cast<double>(
+                            counts[static_cast<std::size_t>(j)]) *
+                            (range.t_fwd + range.t_bwd) / scale);
+    }
+    allreduce = std::max(allreduce,
+                         input.network.allreduce_seconds(
+                             range.trainable_bytes, static_cast<int>(m)));
+    if (i + 1 < s) {
+      const auto& boundary =
+          input.blocks[static_cast<std::size_t>(st.block_end - 1)];
+      fill += range.t_fwd +
+              input.network.transfer_seconds(boundary.fwd_msg_bytes);
+      drain += range.t_bwd +
+               input.network.transfer_seconds(boundary.bwd_msg_bytes);
+    }
+  }
+  if (est.feasible) {
+    est.minibatch_seconds = fill + steady + drain + allreduce;
+    est.note = plan.to_string();
+  }
+  return est;
+}
+
+PlanEstimate plan_hybrid(const PlannerInput& input) {
+  const std::int64_t n = input.num_blocks();
+  const std::int64_t d_max = input.num_devices;
+  PAC_CHECK(n >= 1 && d_max >= 1, "planner needs blocks and devices");
+  const Prefix prefix(input.blocks);
+  const std::int64_t s_max = std::min<std::int64_t>(d_max, n);
+
+  // dp[y][d][s]: best bottleneck for blocks [0, y) over exactly d devices
+  // in s stages.  choice stores (q, m) for reconstruction.
+  const auto idx = [&](std::int64_t y, std::int64_t d, std::int64_t s) {
+    return (y * (d_max + 1) + d) * (s_max + 1) + s;
+  };
+  std::vector<double> dp(static_cast<std::size_t>(idx(n, d_max, s_max) + 1),
+                         kInf);
+  std::vector<std::pair<std::int64_t, std::int64_t>> choice(dp.size(),
+                                                            {-1, -1});
+
+  for (std::int64_t s = 1; s <= s_max; ++s) {
+    for (std::int64_t y = s; y <= n; ++y) {
+      for (std::int64_t d = s; d <= d_max; ++d) {
+        double best = kInf;
+        std::pair<std::int64_t, std::int64_t> best_choice{-1, -1};
+        if (s == 1) {
+          // Single stage spanning [0, y); try every replication width.
+          // (Stage 1-of-1 owns the first m devices in planner order.)
+          for (std::int64_t m = 1; m <= d; ++m) {
+            const double t =
+                stage_time(input, prefix.range(0, y), 0, m, s);
+            if (t < best) {
+              best = t;
+              best_choice = {0, m};
+            }
+          }
+        } else {
+          for (std::int64_t q = s - 1; q < y; ++q) {
+            for (std::int64_t m = 1; m <= d - (s - 1); ++m) {
+              const double head = dp[static_cast<std::size_t>(
+                  idx(q, d - m, s - 1))];
+              if (head == kInf) continue;
+              // This (last-so-far) stage takes devices [d - m, d).
+              const double tail =
+                  stage_time(input, prefix.range(q, y), d - m, m, s);
+              const double bottleneck = std::max(head, tail);
+              if (bottleneck < best) {
+                best = bottleneck;
+                best_choice = {q, m};
+              }
+            }
+          }
+        }
+        dp[static_cast<std::size_t>(idx(y, d, s))] = best;
+        choice[static_cast<std::size_t>(idx(y, d, s))] = best_choice;
+      }
+    }
+  }
+
+  // For each stage count, reconstruct the partition and evaluate the full
+  // latency model; keep the best feasible plan (paper Eq. 6).
+  PlanEstimate best;
+  for (std::int64_t s = 1; s <= s_max; ++s) {
+    // Allow using fewer than all devices (idle devices are legal).
+    for (std::int64_t d = s; d <= d_max; ++d) {
+      if (dp[static_cast<std::size_t>(idx(n, d, s))] == kInf) continue;
+      // Reconstruct stages right-to-left.
+      std::vector<std::pair<std::int64_t, std::int64_t>> segments;  // (q, m)
+      std::int64_t y = n;
+      std::int64_t dd = d;
+      for (std::int64_t ss = s; ss >= 1; --ss) {
+        const auto [q, m] = choice[static_cast<std::size_t>(idx(y, dd, ss))];
+        PAC_CHECK(m >= 1, "planner reconstruction failed");
+        segments.emplace_back(q, m);
+        y = q;
+        dd -= m;
+      }
+      std::reverse(segments.begin(), segments.end());
+      pipeline::ParallelPlan plan;
+      plan.num_micro_batches = input.num_micro_batches;
+      std::int64_t begin = 0;
+      int rank = 0;
+      for (std::size_t i = 0; i < segments.size(); ++i) {
+        const std::int64_t end =
+            i + 1 < segments.size() ? segments[i + 1].first : n;
+        pipeline::StageAssignment st;
+        st.block_begin = begin;
+        st.block_end = end;
+        bool heterogeneous = false;
+        for (std::int64_t r = 0; r < segments[i].second; ++r) {
+          st.devices.push_back(rank);
+          st.device_weights.push_back(input.device_scale(rank));
+          if (input.device_scale(rank) !=
+              input.device_scale(st.devices.front())) {
+            heterogeneous = true;
+          }
+          ++rank;
+        }
+        if (!heterogeneous) st.device_weights.clear();
+        plan.stages.push_back(std::move(st));
+        begin = end;
+      }
+      PlanEstimate est = evaluate_plan(input, plan);
+      if (est.feasible && est.minibatch_seconds < best.minibatch_seconds) {
+        best = std::move(est);
+        best.feasible = true;
+      }
+    }
+  }
+  if (!best.feasible && best.note.empty()) {
+    best.note = "no feasible configuration within the memory budget";
+  }
+  return best;
+}
+
+}  // namespace pac::planner

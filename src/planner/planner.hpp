@@ -1,0 +1,43 @@
+// PAC's parallelism planner (paper §5.1, Eq. 2-6).
+//
+// Dynamic program over (prefix length y, devices used d, stages s):
+//     W(0→y, d, s) = min over (q, m) of
+//         max( W(0→q, d-m, s-1),  T(q→y over m devices) )
+// where T is the data-parallel stage time — ceil(M/m) micro-batches of
+// (fwd+bwd) plus the adapter AllReduce — and a stage whose per-device
+// memory exceeds the budget costs +infinity (the paper's OOM rule).  The
+// outer sweep picks the stage count s minimizing the full mini-batch
+// latency estimate (fill + steady-state bottleneck + drain + AllReduce).
+//
+// Devices are modeled homogeneous (the paper's testbed is a rack of
+// identical Jetson Nanos); groups are contiguous rank ranges.
+#pragma once
+
+#include <string>
+
+#include "pipeline/plan.hpp"
+#include "planner/profile.hpp"
+
+namespace pac::planner {
+
+struct PlanEstimate {
+  pipeline::ParallelPlan plan;
+  bool feasible = false;
+  double minibatch_seconds = std::numeric_limits<double>::infinity();
+  std::string note;  // infeasibility reason or plan summary
+  // Modeled per-device memory for each stage (index = stage).
+  std::vector<std::uint64_t> stage_memory_bytes;
+  // Modeled per-device *weight* memory for each stage (Fig. 9b).
+  std::vector<std::uint64_t> stage_weight_bytes;
+};
+
+// Evaluates an arbitrary plan under the profile: closed-form mini-batch
+// latency plus per-stage memory feasibility.
+PlanEstimate evaluate_plan(const PlannerInput& input,
+                           const pipeline::ParallelPlan& plan);
+
+// Runs the DP and returns the best feasible hybrid plan (or an infeasible
+// estimate when no configuration fits memory).
+PlanEstimate plan_hybrid(const PlannerInput& input);
+
+}  // namespace pac::planner

@@ -1,0 +1,37 @@
+#include "planner/profile.hpp"
+
+namespace pac::planner {
+
+PlannerInput analytic_planner_input(const model::ModelConfig& config,
+                                    const model::TechniqueConfig& technique,
+                                    const costmodel::SeqShape& micro_shape,
+                                    const costmodel::DeviceModel& device,
+                                    const costmodel::NetworkModel& network,
+                                    int num_devices,
+                                    std::int64_t num_micro_batches,
+                                    bool include_decoder) {
+  PlannerInput input;
+  input.num_devices = num_devices;
+  input.device_budget_bytes = device.usable_bytes();
+  input.network = network;
+  input.num_micro_batches = num_micro_batches;
+  const auto blocks = costmodel::analytic_blocks(config, technique,
+                                                 micro_shape,
+                                                 include_decoder);
+  input.blocks.reserve(blocks.size());
+  for (const auto& blk : blocks) {
+    BlockProfile p;
+    p.name = blk.name;
+    p.t_fwd = blk.flops.forward / device.effective_flops;
+    p.t_bwd = blk.flops.backward / device.effective_flops;
+    p.param_bytes = blk.param_bytes;
+    p.trainable_bytes = blk.trainable_bytes;
+    p.activation_bytes = blk.activation_bytes;
+    p.fwd_msg_bytes = blk.fwd_msg_bytes;
+    p.bwd_msg_bytes = blk.bwd_msg_bytes;
+    input.blocks.push_back(std::move(p));
+  }
+  return input;
+}
+
+}  // namespace pac::planner

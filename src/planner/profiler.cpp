@@ -1,0 +1,95 @@
+#include "planner/profiler.hpp"
+
+#include "common/timer.hpp"
+#include "nn/losses.hpp"
+
+namespace pac::planner {
+
+std::vector<BlockProfile> profile_model(model::Model& model,
+                                        const Tensor& calib_tokens,
+                                        int iters) {
+  PAC_CHECK(iters >= 1, "profiler needs at least one iteration");
+  model.set_training_mode(true);
+  auto blocks = model.blocks();
+  const std::size_t n = blocks.size();
+  std::vector<BlockProfile> profiles(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    profiles[i].name = blocks[i]->name();
+    for (nn::Parameter* p : blocks[i]->parameters()) {
+      profiles[i].param_bytes += p->value_bytes();
+      profiles[i].trainable_bytes += p->trainable() ? p->value_bytes() : 0;
+    }
+  }
+
+  const std::int64_t b = calib_tokens.size(0);
+  int measured = 0;
+  for (int iter = 0; iter < iters; ++iter) {
+    const bool record = iters == 1 || iter > 0;  // discard warm-up
+    // ---- forward, timing each block ----
+    model::FlowState state;
+    state.tokens = calib_tokens;
+    for (std::size_t i = 0; i < n; ++i) {
+      WallTimer timer;
+      state = blocks[i]->forward(state);
+      if (record) profiles[i].t_fwd += timer.seconds();
+      if (record && measured == 0) {
+        std::uint64_t fwd_msg = 0;
+        if (state.hidden.defined()) fwd_msg += state.hidden.byte_size();
+        if (state.adapter.defined()) fwd_msg += state.adapter.byte_size();
+        profiles[i].fwd_msg_bytes = fwd_msg;
+        // Retained-activation estimate: hidden output (when the backbone
+        // backprops) plus the side state, both per micro-batch.
+        std::uint64_t act = 0;
+        if (model.backprop_backbone() && state.hidden.defined()) {
+          act += 4 * state.hidden.byte_size();
+        }
+        if (state.adapter.defined()) act += 4 * state.adapter.byte_size();
+        profiles[i].activation_bytes = act;
+      }
+    }
+    // ---- loss seed on the logits ----
+    if (model.technique() == model::Technique::kInference) {
+      // Forward-only profile; nothing to backpropagate.
+      if (record) ++measured;
+      continue;
+    }
+    Tensor logits = state.hidden;
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(b), 0);
+    model::FlowGrad grad;
+    if (model.task().kind == model::TaskKind::kClassification) {
+      grad.d_hidden = nn::softmax_cross_entropy(logits, labels).dlogits;
+    } else {
+      grad.d_hidden =
+          nn::mse_loss(logits,
+                       std::vector<float>(static_cast<std::size_t>(b), 0.0F))
+              .dlogits;
+    }
+    // ---- backward, timing each block ----
+    for (std::size_t ri = n; ri-- > 0;) {
+      WallTimer timer;
+      grad = blocks[ri]->backward(grad);
+      if (record) profiles[ri].t_bwd += timer.seconds();
+      if (record && measured == 0) {
+        std::uint64_t bwd_msg = 0;
+        if (grad.d_hidden.defined()) bwd_msg += grad.d_hidden.byte_size();
+        if (grad.d_adapter.defined()) bwd_msg += grad.d_adapter.byte_size();
+        profiles[ri].bwd_msg_bytes = bwd_msg;
+      }
+      if (!grad.d_hidden.defined() && !grad.d_adapter.defined()) {
+        // Upstream blocks see no backward under this technique.
+        break;
+      }
+    }
+    model.zero_grad();
+    if (record) ++measured;
+  }
+
+  const double inv = 1.0 / static_cast<double>(std::max(measured, 1));
+  for (auto& p : profiles) {
+    p.t_fwd *= inv;
+    p.t_bwd *= inv;
+  }
+  return profiles;
+}
+
+}  // namespace pac::planner

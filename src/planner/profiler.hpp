@@ -1,0 +1,21 @@
+// Executed-scale profiler (paper §5.1, "Step 1").
+//
+// Fine-tunes the model on a calibration batch and records per-block
+// forward/backward wall time plus the tensor sizes the planner needs.
+// Runs on whatever machine hosts the device threads; compute_scale in the
+// cluster spec adjusts for heterogeneous devices.
+#pragma once
+
+#include "model/model.hpp"
+#include "planner/profile.hpp"
+
+namespace pac::planner {
+
+// `calib_tokens` is one micro-batch of inputs [b, T].  `iters` forward/
+// backward repetitions are averaged (first iteration is warm-up and
+// discarded when iters > 1).
+std::vector<BlockProfile> profile_model(model::Model& model,
+                                        const Tensor& calib_tokens,
+                                        int iters = 3);
+
+}  // namespace pac::planner

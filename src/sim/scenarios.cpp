@@ -1,0 +1,218 @@
+#include "sim/scenarios.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "planner/planner.hpp"
+
+namespace pac::sim {
+
+using model::Technique;
+
+const char* system_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kStandalone: return "Standalone";
+    case SystemKind::kEcoFl: return "Eco-FL";
+    case SystemKind::kEddl: return "EDDL";
+    case SystemKind::kPac: return "PAC";
+  }
+  return "?";
+}
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+struct MinibatchSim {
+  SimResult sim;
+  pipeline::ParallelPlan plan;
+  std::int64_t samples_per_minibatch = 0;
+};
+
+// One epoch-1-style mini-batch under the given system.
+MinibatchSim simulate_system_minibatch(SystemKind kind,
+                                       const ScenarioConfig& cfg,
+                                       const model::TechniqueConfig& tc) {
+  MinibatchSim out;
+  SimConfig sim_cfg;
+  sim_cfg.schedule = kind == SystemKind::kEcoFl
+                         ? pipeline::ScheduleKind::kGPipe
+                         : pipeline::ScheduleKind::k1F1B;
+
+  std::int64_t micros = 1;
+  std::int64_t micro_batch = cfg.global_batch;
+  int devices = cfg.num_devices;
+  switch (kind) {
+    case SystemKind::kStandalone:
+      devices = 1;
+      micros = 1;
+      micro_batch = cfg.global_batch;
+      out.samples_per_minibatch = cfg.global_batch;
+      break;
+    case SystemKind::kEddl:
+      micros = devices;  // one micro (= local mini-batch) per device
+      micro_batch = cfg.per_device_batch;
+      out.samples_per_minibatch =
+          cfg.per_device_batch * static_cast<std::int64_t>(devices);
+      break;
+    case SystemKind::kEcoFl:
+      micros = std::min<std::int64_t>(cfg.global_batch, devices);
+      micro_batch = std::max<std::int64_t>(1, cfg.global_batch / micros);
+      out.samples_per_minibatch = cfg.global_batch;
+      break;
+    case SystemKind::kPac:
+      micros = std::min<std::int64_t>(cfg.global_batch,
+                                      cfg.pac_micro_batches);
+      micro_batch = std::max<std::int64_t>(1, cfg.global_batch / micros);
+      out.samples_per_minibatch = cfg.global_batch;
+      break;
+  }
+
+  const costmodel::SeqShape micro_shape{micro_batch, cfg.seq, 16};
+  sim_cfg.input = planner::analytic_planner_input(
+      cfg.model, tc, micro_shape, cfg.device, cfg.network, devices, micros,
+      /*include_decoder=*/true);
+  sim_cfg.input.gpipe_memory = kind == SystemKind::kEcoFl;
+
+  const std::int64_t blocks = sim_cfg.input.num_blocks();
+  switch (kind) {
+    case SystemKind::kStandalone:
+      out.plan = pipeline::ParallelPlan::standalone(blocks, micros);
+      break;
+    case SystemKind::kEddl:
+      out.plan = pipeline::ParallelPlan::pure_data_parallel(blocks, devices,
+                                                            micros);
+      break;
+    case SystemKind::kEcoFl:
+      out.plan = pipeline::ParallelPlan::pure_pipeline(blocks, devices,
+                                                       micros);
+      break;
+    case SystemKind::kPac: {
+      planner::PlanEstimate est = planner::plan_hybrid(sim_cfg.input);
+      if (!est.feasible) {
+        out.sim.oom = true;
+        out.sim.oom_reason = est.note;
+        return out;
+      }
+      out.plan = est.plan;
+      break;
+    }
+  }
+  sim_cfg.plan = out.plan;
+  out.sim = simulate_minibatch(sim_cfg);
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult simulate_system(SystemKind kind,
+                               const ScenarioConfig& config) {
+  const data::TaskInfo info = data::task_info(config.task);
+  const model::TechniqueConfig tc =
+      model::paper_technique_config(config.technique);
+  const std::int64_t samples = config.train_samples > 0
+                                   ? config.train_samples
+                                   : info.paper_train_samples;
+  const int epochs = config.epochs > 0 ? config.epochs : info.paper_epochs;
+
+  ScenarioResult result;
+  MinibatchSim mb = simulate_system_minibatch(kind, config, tc);
+  result.plan = mb.plan;
+  if (mb.sim.oom) {
+    result.oom = true;
+    result.oom_reason = mb.sim.oom_reason;
+    result.peak_memory_per_device = mb.sim.peak_memory_per_device;
+    return result;
+  }
+  result.peak_memory_per_device = mb.sim.peak_memory_per_device;
+  result.throughput_samples_per_s =
+      static_cast<double>(mb.samples_per_minibatch) /
+      mb.sim.minibatch_seconds;
+
+  // Per-device weight bytes of the chosen plan.
+  {
+    planner::PlanEstimate est = planner::evaluate_plan(
+        [&] {
+          SimConfig tmp;
+          const costmodel::SeqShape shape{
+              std::max<std::int64_t>(1, config.global_batch), config.seq, 16};
+          (void)tmp;
+          return planner::analytic_planner_input(
+              config.model, tc, shape, config.device, config.network,
+              kind == SystemKind::kStandalone ? 1 : config.num_devices,
+              mb.plan.num_micro_batches, true);
+        }(),
+        mb.plan);
+    result.weight_memory_per_device.assign(
+        static_cast<std::size_t>(config.num_devices), 0);
+    for (std::size_t s = 0; s < mb.plan.stages.size(); ++s) {
+      for (int r : mb.plan.stages[s].devices) {
+        result.weight_memory_per_device[static_cast<std::size_t>(r)] =
+            est.stage_weight_bytes[s];
+      }
+    }
+  }
+
+  const std::int64_t steps = ceil_div(samples, mb.samples_per_minibatch);
+  result.first_epoch_seconds =
+      static_cast<double>(steps) * mb.sim.minibatch_seconds;
+
+  const bool cached = kind == SystemKind::kPac && config.pac_use_cache &&
+                      config.technique == Technique::kParallelAdapters;
+  if (!cached) {
+    result.later_epoch_seconds = result.first_epoch_seconds;
+    result.total_hours = static_cast<double>(epochs) *
+                         result.first_epoch_seconds / 3600.0;
+  } else {
+    // ---- phase transition: cache + parameter redistribution ----
+    const std::uint64_t cache_per_sample =
+        static_cast<std::uint64_t>(static_cast<double>(
+            costmodel::cache_bytes_per_sample(config.model, config.seq,
+                                              true)) *
+                                   config.cache_wire_factor);
+    const double total_cache_bytes =
+        static_cast<double>(cache_per_sample) *
+        static_cast<double>(samples);
+    // All-to-all: each device ships (1 - 1/D) of its shard; transfers on
+    // distinct device pairs proceed in parallel, so the wall time is one
+    // device's outbound traffic at link bandwidth.
+    const int d = config.num_devices;
+    const double outbound_per_device =
+        total_cache_bytes / d * (1.0 - 1.0 / d);
+    result.redistribution_seconds =
+        outbound_per_device * 8.0 / config.network.bandwidth_bps +
+        config.network.allreduce_seconds(
+            costmodel::trainable_param_bytes(config.model, tc, true), d);
+
+    // ---- cached epochs: pure DP over the side network ----
+    const std::int64_t phase2_minibatch =
+        config.per_device_batch * static_cast<std::int64_t>(d);
+    costmodel::SeqShape dev_shape{config.per_device_batch, config.seq, 16};
+    const costmodel::Flops side = costmodel::model_flops(
+        config.model, tc, dev_shape, /*include_decoder=*/true,
+        /*cached_epoch=*/true);
+    const double compute_s = side.total() / config.device.effective_flops;
+    const double reload_s =
+        static_cast<double>(cache_per_sample) *
+        static_cast<double>(config.per_device_batch) * 8.0 /
+        config.device.flash_read_bps;
+    const double ar_s = config.network.allreduce_seconds(
+        costmodel::trainable_param_bytes(config.model, tc, true), d);
+    const double step_s = compute_s + reload_s + ar_s;
+    const std::int64_t steps2 = ceil_div(samples, phase2_minibatch);
+    result.later_epoch_seconds = static_cast<double>(steps2) * step_s;
+
+    result.total_hours =
+        (result.first_epoch_seconds + result.redistribution_seconds +
+         static_cast<double>(epochs - 1) * result.later_epoch_seconds) /
+        3600.0;
+  }
+  result.seconds_per_sample = result.total_hours * 3600.0 /
+                              (static_cast<double>(samples) *
+                               static_cast<double>(epochs));
+  return result;
+}
+
+}  // namespace pac::sim

@@ -1,0 +1,105 @@
+// Tensor kernels.
+//
+// All kernels operate on 2-D (or flattened) contiguous fp32 buffers.  Higher
+// layers (nn modules) reshape [B, T, H] activations to [B*T, H] before
+// calling in here.  GEMM parallelizes over output rows via the global
+// ThreadPool; everything else is a flat loop (the op sizes in PAC's executed
+// configurations are small enough that matmul dominates).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace pac::ops {
+
+// ---------------------------------------------------------------------------
+// GEMM: C = alpha * op(A) @ op(B) + beta * C
+//   op(A) is [m, k], op(B) is [k, n], C is [m, n].
+// ---------------------------------------------------------------------------
+void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+              float alpha, float beta);
+
+// C = A[m,k] @ B[k,n]
+Tensor matmul(const Tensor& a, const Tensor& b);
+// C = A[m,k] @ B[n,k]^T
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+// C = A[k,m]^T @ B[k,n]
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+// C += alpha * op(A) @ op(B); shapes must already agree.
+void matmul_acc(Tensor& c, const Tensor& a, const Tensor& b, bool trans_a,
+                bool trans_b, float alpha);
+
+// ---------------------------------------------------------------------------
+// Elementwise / broadcast
+// ---------------------------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float alpha);
+
+// y[r, :] = x[r, :] + bias (bias has size = last dim of x).
+Tensor add_bias(const Tensor& x, const Tensor& bias);
+// grad_bias[j] = sum_r dy[r, j]; dy viewed as [rows, bias.numel()].
+void bias_grad_acc(Tensor& grad_bias, const Tensor& dy);
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+Tensor relu(const Tensor& x);
+// dx = dy * (x > 0)
+Tensor relu_backward(const Tensor& dy, const Tensor& x);
+Tensor gelu(const Tensor& x);
+Tensor gelu_backward(const Tensor& dy, const Tensor& x);
+
+// ---------------------------------------------------------------------------
+// Softmax over the last dimension.
+// ---------------------------------------------------------------------------
+Tensor softmax_lastdim(const Tensor& x);
+// dx given y = softmax(x) and dy:  dx = y * (dy - sum(dy * y)).
+Tensor softmax_backward(const Tensor& dy, const Tensor& y);
+
+// ---------------------------------------------------------------------------
+// LayerNorm over the last dimension.
+// ---------------------------------------------------------------------------
+struct LayerNormContext {
+  Tensor mean;   // [rows]
+  Tensor rstd;   // [rows]
+  Tensor input;  // saved x for backward
+};
+
+Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps, LayerNormContext* ctx);
+// Returns dx; accumulates dgamma / dbeta.
+Tensor layernorm_backward(const Tensor& dy, const Tensor& gamma,
+                          const LayerNormContext& ctx, Tensor& dgamma,
+                          Tensor& dbeta);
+
+// ---------------------------------------------------------------------------
+// Embedding lookup: ids are float-encoded integers in a [B, T] tensor
+// (the data pipeline produces integer token ids stored as floats).
+// ---------------------------------------------------------------------------
+Tensor embedding(const Tensor& table, const Tensor& ids);
+void embedding_backward_acc(Tensor& grad_table, const Tensor& ids,
+                            const Tensor& dy);
+
+// ---------------------------------------------------------------------------
+// Reductions / misc
+// ---------------------------------------------------------------------------
+float sum(const Tensor& x);
+float mean(const Tensor& x);
+float max_abs_diff(const Tensor& a, const Tensor& b);
+Tensor transpose_2d(const Tensor& x);
+
+// Mean over dimension 1 of x[B, T, H] -> [B, H] (pooling for task heads).
+Tensor mean_over_dim1(const Tensor& x);
+// Backward of mean_over_dim1: dy[B, H] -> dx[B, T, H].
+Tensor mean_over_dim1_backward(const Tensor& dy, std::int64_t t);
+
+// Masked mean over dimension 1: rows with mask[b, t] == 0 (padding) are
+// excluded from the average.  A fully-masked sample yields zeros.
+Tensor masked_mean_over_dim1(const Tensor& x, const Tensor& mask);
+Tensor masked_mean_over_dim1_backward(const Tensor& dy, const Tensor& mask);
+
+}  // namespace pac::ops

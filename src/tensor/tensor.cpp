@@ -1,0 +1,193 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+namespace pac {
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    PAC_CHECK(d >= 0, "negative dimension in shape " << shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  storage_ = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(numel_));
+}
+
+Tensor::Tensor(std::shared_ptr<std::vector<float>> storage,
+               std::int64_t offset, Shape shape)
+    : storage_(std::move(storage)),
+      offset_(offset),
+      shape_(std::move(shape)),
+      numel_(shape_numel(shape_)) {
+  PAC_CHECK(offset_ + numel_ <=
+                static_cast<std::int64_t>(storage_->size()),
+            "view exceeds storage");
+}
+
+std::int64_t Tensor::size(std::int64_t d) const {
+  PAC_CHECK(d >= 0 && d < dim(), "dim " << d << " out of range for "
+                                        << shape_to_string(shape_));
+  return shape_[static_cast<std::size_t>(d)];
+}
+
+float* Tensor::data() {
+  check_defined();
+  return storage_->data() + offset_;
+}
+
+const float* Tensor::data() const {
+  check_defined();
+  return storage_->data() + offset_;
+}
+
+namespace {
+
+std::int64_t flat_index(const Shape& shape,
+                        std::initializer_list<std::int64_t> idx) {
+  PAC_CHECK(idx.size() == shape.size(),
+            "index rank " << idx.size() << " vs tensor rank " << shape.size());
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (std::int64_t i : idx) {
+    PAC_CHECK(i >= 0 && i < shape[d], "index " << i << " out of range in dim "
+                                               << d << " of "
+                                               << shape_to_string(shape));
+    flat = flat * shape[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+}  // namespace
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  check_defined();
+  return data()[flat_index(shape_, idx)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  check_defined();
+  return data()[flat_index(shape_, idx)];
+}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t(std::move(shape));
+  t.fill(0.0F);
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(0.0F, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_vector(Shape shape, const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  PAC_CHECK(static_cast<std::int64_t>(values.size()) == t.numel(),
+            "from_vector: " << values.size() << " values for shape "
+                            << shape_to_string(t.shape()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  check_defined();
+  const std::int64_t n = shape_numel(shape);
+  PAC_CHECK(n == numel_, "reshape " << shape_to_string(shape_) << " -> "
+                                    << shape_to_string(shape)
+                                    << " changes numel");
+  return Tensor(storage_, offset_, std::move(shape));
+}
+
+Tensor Tensor::slice0(std::int64_t begin, std::int64_t end) const {
+  check_defined();
+  PAC_CHECK(dim() >= 1, "slice0 on scalar tensor");
+  PAC_CHECK(begin >= 0 && begin <= end && end <= shape_[0],
+            "slice0 [" << begin << ", " << end << ") out of range for "
+                       << shape_to_string(shape_));
+  const std::int64_t inner = numel_ / std::max<std::int64_t>(shape_[0], 1);
+  Shape new_shape = shape_;
+  new_shape[0] = end - begin;
+  return Tensor(storage_, offset_ + begin * inner, std::move(new_shape));
+}
+
+Tensor Tensor::clone() const {
+  check_defined();
+  Tensor t(shape_);
+  if (numel_ > 0) {
+    std::memcpy(t.data(), data(),
+                static_cast<std::size_t>(numel_) * sizeof(float));
+  }
+  return t;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  check_defined();
+  PAC_CHECK(src.numel() == numel_, "copy_from numel mismatch: "
+                                       << src.numel() << " vs " << numel_);
+  if (numel_ > 0) {
+    std::memcpy(data(), src.data(),
+                static_cast<std::size_t>(numel_) * sizeof(float));
+  }
+}
+
+void Tensor::fill(float value) {
+  check_defined();
+  std::fill_n(data(), numel_, value);
+}
+
+void Tensor::add_(const Tensor& other) { axpy_(1.0F, other); }
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  check_defined();
+  PAC_CHECK(other.numel() == numel_, "axpy_ numel mismatch: " << other.numel()
+                                                              << " vs "
+                                                              << numel_);
+  float* dst = data();
+  const float* src = other.data();
+  for (std::int64_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale_(float alpha) {
+  check_defined();
+  float* p = data();
+  for (std::int64_t i = 0; i < numel_; ++i) p[i] *= alpha;
+}
+
+}  // namespace pac

@@ -1,0 +1,93 @@
+// Dense fp32 tensor.
+//
+// Always contiguous row-major.  Storage is shared (copying a Tensor is a
+// cheap handle copy); `clone()` deep-copies.  Views are limited to reshapes
+// and leading-dimension slices — the only two the training stack needs —
+// which keeps every kernel a flat loop over contiguous memory.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pac {
+
+using Shape = std::vector<std::int64_t>;
+
+std::string shape_to_string(const Shape& shape);
+std::int64_t shape_numel(const Shape& shape);
+
+class Tensor {
+ public:
+  // Empty tensor (no storage); defined() returns false.
+  Tensor() = default;
+
+  // Uninitialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape_.size()); }
+  std::int64_t size(std::int64_t d) const;
+  std::int64_t numel() const { return numel_; }
+  std::uint64_t byte_size() const {
+    return static_cast<std::uint64_t>(numel_) * sizeof(float);
+  }
+
+  float* data();
+  const float* data() const;
+
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // ---- factories ----
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0F);
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+  static Tensor from_vector(Shape shape, const std::vector<float>& values);
+
+  // ---- views (share storage) ----
+  // Same storage, new shape; numel must match.
+  Tensor reshape(Shape shape) const;
+  // Rows [begin, end) along dimension 0; contiguous, shares storage.
+  Tensor slice0(std::int64_t begin, std::int64_t end) const;
+
+  // ---- copies / in-place ----
+  Tensor clone() const;
+  void copy_from(const Tensor& src);
+  void fill(float value);
+  void zero() { fill(0.0F); }
+
+  // this += other (same shape).
+  void add_(const Tensor& other);
+  // this += alpha * other.
+  void axpy_(float alpha, const Tensor& other);
+  // this *= alpha.
+  void scale_(float alpha);
+
+  // Whether two handles alias the same storage (used by tests).
+  bool shares_storage(const Tensor& other) const {
+    return storage_ == other.storage_;
+  }
+
+ private:
+  Tensor(std::shared_ptr<std::vector<float>> storage, std::int64_t offset,
+         Shape shape);
+
+  void check_defined() const {
+    PAC_CHECK(defined(), "operation on undefined tensor");
+  }
+
+  std::shared_ptr<std::vector<float>> storage_;
+  std::int64_t offset_ = 0;
+  Shape shape_;
+  std::int64_t numel_ = 0;
+};
+
+}  // namespace pac

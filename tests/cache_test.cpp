@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <numeric>
+
+#include "cache/activation_cache.hpp"
+#include "cache/redistribution.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::cache {
+namespace {
+
+CacheConfig mem_cfg(std::int64_t num_blocks,
+                    dist::MemoryLedger* ledger = nullptr) {
+  CacheConfig cfg;
+  cfg.num_blocks = num_blocks;
+  cfg.ledger = ledger;
+  return cfg;
+}
+
+CacheConfig disk_cfg(std::int64_t num_blocks, const std::string& dir) {
+  CacheConfig cfg;
+  cfg.num_blocks = num_blocks;
+  cfg.disk_backed = true;
+  cfg.directory = dir;
+  return cfg;
+}
+
+Tensor make_block(std::int64_t t, std::int64_t h, float base) {
+  Tensor x({t, h});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = base + static_cast<float>(i);
+  }
+  return x;
+}
+
+TEST(ActivationCacheTest, RecordAndFetchRoundTrip) {
+  ActivationCache cache(mem_cfg(3));
+  // Record a micro-batch of 2 samples for each of 3 blocks.
+  Rng rng(5);
+  std::vector<Tensor> blocks;
+  for (std::int64_t b = 0; b < 3; ++b) {
+    Tensor hidden = Tensor::randn({2, 4, 8}, rng);
+    blocks.push_back(hidden);
+    cache.record({10, 20}, b, hidden);
+  }
+  EXPECT_TRUE(cache.complete(10));
+  EXPECT_TRUE(cache.complete(20));
+  auto fetched = cache.fetch({20, 10});
+  ASSERT_EQ(fetched.size(), 3U);
+  for (std::int64_t b = 0; b < 3; ++b) {
+    // Row 0 of the fetch is sample 20 = row 1 of the recorded batch.
+    Tensor want0 = blocks[static_cast<std::size_t>(b)].slice0(1, 2);
+    Tensor got0 = fetched[static_cast<std::size_t>(b)].slice0(0, 1);
+    EXPECT_LT(ops::max_abs_diff(want0, got0), 1e-7F);
+  }
+}
+
+TEST(ActivationCacheTest, MissAndIncompleteThrow) {
+  ActivationCache cache(mem_cfg(2));
+  cache.put_block(5, 0, make_block(2, 2, 0.0F));
+  EXPECT_FALSE(cache.complete(5));
+  EXPECT_THROW(cache.fetch({5}), InvalidArgument);   // incomplete
+  EXPECT_THROW(cache.fetch({99}), CacheMissError);   // absent
+  EXPECT_THROW(cache.get_block(5, 1), CacheMissError);
+  EXPECT_THROW(cache.fetch({}), InvalidArgument);
+}
+
+TEST(ActivationCacheTest, DuplicateRecordThrows) {
+  ActivationCache cache(mem_cfg(2));
+  cache.put_block(1, 0, make_block(2, 2, 0.0F));
+  EXPECT_THROW(cache.put_block(1, 0, make_block(2, 2, 1.0F)),
+               InvalidArgument);
+}
+
+TEST(ActivationCacheTest, LedgerChargesAndRefunds) {
+  dist::MemoryLedger ledger(0, 1U << 20);
+  ActivationCache cache(mem_cfg(1, &ledger));
+  cache.put_block(1, 0, make_block(4, 4, 0.0F));
+  EXPECT_EQ(ledger.current(dist::MemClass::kCache), 64U);
+  EXPECT_EQ(cache.memory_bytes(), 64U);
+  cache.drop_sample(1);
+  EXPECT_EQ(ledger.current(dist::MemClass::kCache), 0U);
+}
+
+TEST(ActivationCacheTest, LedgerBudgetTriggersOom) {
+  dist::MemoryLedger ledger(2, 100);
+  ActivationCache cache(mem_cfg(1, &ledger));
+  EXPECT_THROW(cache.put_block(1, 0, make_block(10, 10, 0.0F)),
+               DeviceOomError);
+}
+
+TEST(ActivationCacheTest, DiskSpillEvictsRamAndReloads) {
+  const std::string dir = "/tmp/pac_cache_test_spill";
+  std::filesystem::remove_all(dir);
+  ActivationCache cache(disk_cfg(2, dir));
+  Tensor b0 = make_block(3, 4, 0.0F);
+  Tensor b1 = make_block(3, 4, 100.0F);
+  cache.put_block(7, 0, b0.clone());
+  EXPECT_GT(cache.memory_bytes(), 0U);
+  cache.put_block(7, 1, b1.clone());  // completes -> spills
+  EXPECT_EQ(cache.memory_bytes(), 0U);
+  EXPECT_GT(cache.total_bytes(), 0U);
+  EXPECT_TRUE(cache.complete(7));
+
+  auto fetched = cache.fetch({7});
+  EXPECT_LT(ops::max_abs_diff(fetched[0].reshape({3, 4}), b0), 1e-7F);
+  EXPECT_LT(ops::max_abs_diff(fetched[1].reshape({3, 4}), b1), 1e-7F);
+  // get_block also reloads.
+  EXPECT_LT(ops::max_abs_diff(cache.get_block(7, 1), b1), 1e-7F);
+
+  cache.clear();
+  EXPECT_FALSE(std::filesystem::exists(dir + "/sample_7.bin"));
+}
+
+TEST(ActivationCacheTest, HeldBlocksEnumeration) {
+  ActivationCache cache(mem_cfg(3));
+  cache.put_block(1, 0, make_block(2, 2, 0.0F));
+  cache.put_block(1, 2, make_block(2, 2, 0.0F));
+  cache.put_block(4, 1, make_block(2, 2, 0.0F));
+  auto held = cache.held_blocks();
+  EXPECT_EQ(held.size(), 3U);
+  EXPECT_EQ(cache.sample_ids(), (std::vector<std::int64_t>{1, 4}));
+}
+
+TEST(RedistributionTest, ShardsConvergeToTargets) {
+  // 3 devices; initially each device holds *one block* of every sample
+  // (as if each ran one pipeline stage).  After redistribution, device
+  // (sample % 3) holds the complete entry.
+  const int world = 3;
+  const std::int64_t num_blocks = 3;
+  const std::int64_t num_samples = 7;
+  dist::EdgeCluster cluster(world,
+                            std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::unique_ptr<ActivationCache>> shards;
+  for (int r = 0; r < world; ++r) {
+    shards.push_back(
+        std::make_unique<ActivationCache>(mem_cfg(num_blocks)));
+    for (std::int64_t s = 0; s < num_samples; ++s) {
+      shards.back()->put_block(
+          s, r, make_block(2, 2, static_cast<float>(s * 10 + r)));
+    }
+  }
+  std::vector<RedistStats> stats(world);
+  cluster.run([&](dist::DeviceContext& ctx) {
+    stats[static_cast<std::size_t>(ctx.rank)] = redistribute_cache(
+        ctx, *shards[static_cast<std::size_t>(ctx.rank)],
+        modulo_sharding(world));
+  });
+
+  for (std::int64_t s = 0; s < num_samples; ++s) {
+    const int target = static_cast<int>(s % world);
+    for (int r = 0; r < world; ++r) {
+      if (r == target) {
+        EXPECT_TRUE(shards[static_cast<std::size_t>(r)]->complete(s))
+            << "sample " << s << " incomplete on target " << r;
+        // Content check: block b carries base s*10+b.
+        for (std::int64_t b = 0; b < num_blocks; ++b) {
+          EXPECT_FLOAT_EQ(shards[static_cast<std::size_t>(r)]
+                              ->get_block(s, b)
+                              .at({0, 0}),
+                          static_cast<float>(s * 10 + b));
+        }
+      } else {
+        EXPECT_FALSE(shards[static_cast<std::size_t>(r)]->complete(s));
+        EXPECT_FALSE(shards[static_cast<std::size_t>(r)]->has_block(s, r));
+      }
+    }
+  }
+  // Conservation: items sent == items received overall.
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  for (const auto& st : stats) {
+    sent += st.items_sent;
+    received += st.items_received;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_GT(sent, 0U);
+}
+
+TEST(RedistributionTest, SelfTargetedSamplesStayPut) {
+  dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::unique_ptr<ActivationCache>> shards;
+  for (int r = 0; r < 2; ++r) {
+    shards.push_back(std::make_unique<ActivationCache>(mem_cfg(1)));
+  }
+  // Device 0 holds sample 0 (target 0) and sample 1 (target 1).
+  shards[0]->put_block(0, 0, make_block(2, 2, 1.0F));
+  shards[0]->put_block(1, 0, make_block(2, 2, 2.0F));
+  cluster.run([&](dist::DeviceContext& ctx) {
+    redistribute_cache(ctx, *shards[static_cast<std::size_t>(ctx.rank)],
+                       modulo_sharding(2));
+  });
+  EXPECT_TRUE(shards[0]->complete(0));
+  EXPECT_FALSE(shards[0]->complete(1));
+  EXPECT_TRUE(shards[1]->complete(1));
+  EXPECT_FLOAT_EQ(shards[1]->get_block(1, 0).at({0, 0}), 2.0F);
+}
+
+TEST(RedistributionTest, BadTargetThrows) {
+  dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::unique_ptr<ActivationCache>> shards;
+  for (int r = 0; r < 2; ++r) {
+    shards.push_back(std::make_unique<ActivationCache>(mem_cfg(1)));
+    shards.back()->put_block(r, 0, make_block(2, 2, 0.0F));
+  }
+  EXPECT_THROW(
+      cluster.run([&](dist::DeviceContext& ctx) {
+        redistribute_cache(ctx, *shards[static_cast<std::size_t>(ctx.rank)],
+                           [](std::int64_t) { return 99; });
+      }),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pac::cache

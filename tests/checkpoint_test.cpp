@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "model/checkpoint.hpp"
+#include "model/model.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::model {
+namespace {
+
+const char* kPath = "/tmp/pac_checkpoint_test.bin";
+
+Model make_model(std::uint64_t seed) {
+  TechniqueConfig tc;
+  tc.technique = Technique::kParallelAdapters;
+  tc.pa_reduction = 4;
+  return Model(tiny(2, 16, 2, 32, 8), tc, TaskSpec{}, seed);
+}
+
+TEST(CheckpointTest, FullRoundTrip) {
+  Model a = make_model(1);
+  save_parameters(a.parameters(), kPath);
+  Model b = make_model(2);  // different init
+  const std::size_t loaded = load_parameters(b.parameters(), kPath);
+  EXPECT_EQ(loaded, a.parameters().size());
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(pa[i]->value(), pb[i]->value()), 0.0F)
+        << pa[i]->name();
+  }
+  std::filesystem::remove(kPath);
+}
+
+TEST(CheckpointTest, TrainableSubsetRestoresAdapters) {
+  Model a = make_model(3);
+  // Perturb trainable params so the checkpoint differs from fresh init.
+  Rng rng(9);
+  for (nn::Parameter* p : a.trainable_parameters()) {
+    Tensor noise = Tensor::randn(p->value().shape(), rng, 0.1F);
+    p->value().add_(noise);
+  }
+  save_trainable_parameters(a.parameters(), kPath);
+
+  Model b = make_model(3);  // same seed: identical backbone
+  const std::size_t loaded =
+      load_parameters(b.parameters(), kPath, LoadMode::kSubset);
+  EXPECT_EQ(loaded, a.trainable_parameters().size());
+  auto ta = a.trainable_parameters();
+  auto tb = b.trainable_parameters();
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ops::max_abs_diff(ta[i]->value(), tb[i]->value()), 0.0F);
+  }
+  // Strict mode must reject the adapter-only file.
+  Model c = make_model(3);
+  EXPECT_THROW(load_parameters(c.parameters(), kPath, LoadMode::kStrict),
+               InvalidArgument);
+  std::filesystem::remove(kPath);
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  Model a = make_model(5);
+  save_parameters(a.parameters(), kPath);
+  TechniqueConfig tc;
+  tc.technique = Technique::kParallelAdapters;
+  tc.pa_reduction = 2;  // different side width -> shape mismatch
+  Model b(tiny(2, 16, 2, 32, 8), tc, TaskSpec{}, 5);
+  EXPECT_THROW(load_parameters(b.parameters(), kPath), InvalidArgument);
+  std::filesystem::remove(kPath);
+}
+
+TEST(CheckpointTest, UnknownNameRejected) {
+  Model a = make_model(6);
+  save_parameters(a.parameters(), kPath);
+  // A model with fewer layers lacks some checkpointed names.
+  TechniqueConfig tc;
+  tc.technique = Technique::kParallelAdapters;
+  tc.pa_reduction = 4;
+  Model b(tiny(1, 16, 2, 32, 8), tc, TaskSpec{}, 6);
+  EXPECT_THROW(load_parameters(b.parameters(), kPath, LoadMode::kSubset),
+               InvalidArgument);
+  std::filesystem::remove(kPath);
+}
+
+TEST(CheckpointTest, MissingFileAndBadMagic) {
+  Model a = make_model(7);
+  EXPECT_THROW(load_parameters(a.parameters(), "/tmp/pac_no_such_file.bin"),
+               Error);
+  std::ofstream bad("/tmp/pac_bad_magic.bin", std::ios::binary);
+  const std::uint32_t junk = 0xdeadbeef;
+  bad.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  bad.close();
+  EXPECT_THROW(load_parameters(a.parameters(), "/tmp/pac_bad_magic.bin"),
+               Error);
+  std::filesystem::remove("/tmp/pac_bad_magic.bin");
+}
+
+TEST(CheckpointTest, ResumedTrainingMatchesUninterrupted) {
+  // Train 6 steps straight vs 3 steps + checkpoint + restore + 3 steps.
+  Rng rng(11);
+  Tensor tokens({4, 8});
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens.data()[i] = static_cast<float>(rng.integer(0, 31));
+  }
+  const std::vector<std::int64_t> labels{0, 1, 0, 1};
+
+  auto train_steps = [&](Model& m, nn::Optimizer& opt, int steps) {
+    for (int i = 0; i < steps; ++i) {
+      m.zero_grad();
+      Tensor logits = m.forward(tokens);
+      auto r = nn::softmax_cross_entropy(logits, labels);
+      m.backward(r.dlogits);
+      opt.step(m.trainable_parameters());
+    }
+  };
+
+  Model straight = make_model(13);
+  nn::Sgd opt1(0.05F);  // stateless: resume needs no optimizer state
+  train_steps(straight, opt1, 6);
+
+  Model first = make_model(13);
+  nn::Sgd opt2(0.05F);
+  train_steps(first, opt2, 3);
+  save_parameters(first.parameters(), kPath);
+  Model resumed = make_model(99);  // totally different init
+  load_parameters(resumed.parameters(), kPath);
+  nn::Sgd opt3(0.05F);
+  train_steps(resumed, opt3, 3);
+
+  auto ps = straight.trainable_parameters();
+  auto pr = resumed.trainable_parameters();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LT(ops::max_abs_diff(ps[i]->value(), pr[i]->value()), 1e-6F)
+        << ps[i]->name();
+  }
+  std::filesystem::remove(kPath);
+}
+
+}  // namespace
+}  // namespace pac::model

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/metrics.hpp"
+#include "model/model.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pac::data {
+namespace {
+
+TEST(TaskInfoTest, PaperWorkloadParameters) {
+  EXPECT_EQ(task_info(GlueTask::kMrpc).paper_train_samples, 3668);
+  EXPECT_EQ(task_info(GlueTask::kStsb).paper_train_samples, 5749);
+  EXPECT_EQ(task_info(GlueTask::kSst2).paper_train_samples, 67349);
+  EXPECT_EQ(task_info(GlueTask::kQnli).paper_train_samples, 104743);
+  EXPECT_EQ(task_info(GlueTask::kMrpc).paper_epochs, 3);
+  EXPECT_EQ(task_info(GlueTask::kSst2).paper_epochs, 1);
+  EXPECT_EQ(task_info(GlueTask::kStsb).kind, model::TaskKind::kRegression);
+  EXPECT_EQ(all_tasks().size(), 4U);
+}
+
+class DatasetTaskTest : public ::testing::TestWithParam<GlueTask> {};
+
+TEST_P(DatasetTaskTest, GeneratesRequestedSizesAndValidTokens) {
+  DatasetConfig cfg;
+  cfg.task = GetParam();
+  cfg.train_samples = 50;
+  cfg.eval_samples = 20;
+  cfg.seq_len = 16;
+  cfg.vocab = 64;
+  SyntheticGlueDataset ds(cfg);
+  EXPECT_EQ(ds.train_size(), 50);
+  EXPECT_EQ(ds.eval_size(), 20);
+  for (std::int64_t i = 0; i < ds.train_size(); ++i) {
+    const Sample& s = ds.train_sample(i);
+    EXPECT_EQ(static_cast<std::int64_t>(s.tokens.size()), 16);
+    for (std::int64_t tok : s.tokens) {
+      EXPECT_GE(tok, 0);
+      EXPECT_LT(tok, 64);
+    }
+    if (task_info(cfg.task).kind == model::TaskKind::kClassification) {
+      EXPECT_TRUE(s.label == 0 || s.label == 1);
+    } else {
+      EXPECT_GE(s.target, 0.0F);
+      EXPECT_LE(s.target, 5.0F);
+    }
+  }
+}
+
+TEST_P(DatasetTaskTest, DeterministicBySeed) {
+  DatasetConfig cfg;
+  cfg.task = GetParam();
+  cfg.train_samples = 10;
+  cfg.eval_samples = 5;
+  SyntheticGlueDataset a(cfg);
+  SyntheticGlueDataset b(cfg);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.train_sample(i).tokens, b.train_sample(i).tokens);
+    EXPECT_EQ(a.train_sample(i).label, b.train_sample(i).label);
+  }
+  cfg.seed = 999;
+  SyntheticGlueDataset c(cfg);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < 10; ++i) {
+    if (a.train_sample(i).tokens != c.train_sample(i).tokens) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_P(DatasetTaskTest, ClassesRoughlyBalanced) {
+  const TaskInfo info = task_info(GetParam());
+  if (info.kind != model::TaskKind::kClassification) GTEST_SKIP();
+  DatasetConfig cfg;
+  cfg.task = GetParam();
+  cfg.train_samples = 400;
+  cfg.eval_samples = 10;
+  SyntheticGlueDataset ds(cfg);
+  std::int64_t positives = 0;
+  for (std::int64_t i = 0; i < ds.train_size(); ++i) {
+    positives += ds.train_sample(i).label;
+  }
+  EXPECT_GT(positives, 120);
+  EXPECT_LT(positives, 280);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, DatasetTaskTest,
+                         ::testing::Values(GlueTask::kMrpc, GlueTask::kStsb,
+                                           GlueTask::kSst2, GlueTask::kQnli),
+                         [](const auto& info) {
+                           std::string n = task_name(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(DatasetTest, BatchMaterialization) {
+  DatasetConfig cfg;
+  cfg.task = GlueTask::kSst2;
+  cfg.train_samples = 8;
+  cfg.eval_samples = 4;
+  cfg.seq_len = 12;
+  SyntheticGlueDataset ds(cfg);
+  auto batch = ds.make_train_batch({3, 0, 5});
+  EXPECT_EQ(batch.tokens.size(0), 3);
+  EXPECT_EQ(batch.tokens.size(1), 12);
+  EXPECT_EQ(batch.labels.size(), 3U);
+  EXPECT_EQ(batch.sample_ids, (std::vector<std::int64_t>{3, 0, 5}));
+  EXPECT_FLOAT_EQ(batch.tokens.at({1, 0}),
+                  static_cast<float>(ds.train_sample(0).tokens[0]));
+  EXPECT_THROW(ds.make_train_batch({100}), InvalidArgument);
+  EXPECT_THROW(ds.make_train_batch({}), InvalidArgument);
+}
+
+TEST(DatasetTest, TrainableByTinyModel) {
+  // The synthetic SST-2 task must actually be learnable — sanity-check the
+  // whole data+model stack end to end.
+  DatasetConfig cfg;
+  cfg.task = GlueTask::kSst2;
+  cfg.train_samples = 64;
+  cfg.eval_samples = 32;
+  cfg.seq_len = 12;
+  cfg.vocab = 64;
+  SyntheticGlueDataset ds(cfg);
+
+  model::TechniqueConfig tc;
+  tc.technique = model::Technique::kFull;
+  model::Model m(model::tiny(2, 32, 2, 64, 12), tc,
+                 model::TaskSpec{model::TaskKind::kClassification, 2}, 42);
+  nn::Adam opt(3e-3F);
+  BatchPlan plan(ds.train_size(), 16, 5);
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    for (std::int64_t bi = 0; bi < plan.num_batches(); ++bi) {
+      auto batch = ds.make_train_batch(plan.batch(bi));
+      m.zero_grad();
+      Tensor logits = m.forward(batch.tokens);
+      nn::LossResult r = nn::softmax_cross_entropy(logits, batch.labels);
+      m.backward(r.dlogits);
+      opt.step(m.trainable_parameters());
+    }
+  }
+  std::vector<std::int64_t> eval_idx(32);
+  std::iota(eval_idx.begin(), eval_idx.end(), 0);
+  auto eval_batch = ds.make_eval_batch(eval_idx);
+  Tensor logits = m.forward(eval_batch.tokens);
+  m.backward(Tensor::zeros(logits.shape()));
+  const double acc = accuracy(nn::argmax_rows(logits), eval_batch.labels);
+  EXPECT_GT(acc, 0.7) << "synthetic SST-2 should be learnable";
+}
+
+TEST(BatchPlanTest, CoversAllIndicesOnce) {
+  BatchPlan plan(23, 5, 7);
+  EXPECT_EQ(plan.num_batches(), 5);
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < plan.num_batches(); ++i) {
+    for (std::int64_t idx : plan.batch(i)) {
+      EXPECT_TRUE(seen.insert(idx).second) << "duplicate index " << idx;
+    }
+  }
+  EXPECT_EQ(seen.size(), 23U);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 22);
+}
+
+TEST(BatchPlanTest, LastBatchIsRemainder) {
+  BatchPlan plan(10, 4, 1);
+  EXPECT_EQ(plan.num_batches(), 3);
+  EXPECT_EQ(plan.batch(2).size(), 2U);
+  EXPECT_THROW(plan.batch(3), InvalidArgument);
+}
+
+TEST(MetricsTest, AccuracyAndF1) {
+  const std::vector<std::int64_t> truth{1, 1, 0, 0, 1};
+  const std::vector<std::int64_t> pred{1, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(pred, truth), 0.6);
+  // tp=2, fp=1, fn=1 -> precision=2/3, recall=2/3, f1=2/3.
+  EXPECT_NEAR(f1_binary(pred, truth), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, F1DegenerateCases) {
+  EXPECT_DOUBLE_EQ(f1_binary({0, 0}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(f1_binary({1, 1}, {1, 1}), 1.0);
+  EXPECT_THROW(accuracy({}, {}), InvalidArgument);
+}
+
+TEST(MetricsTest, PearsonPerfectAndInverse) {
+  const std::vector<float> a{1, 2, 3, 4};
+  const std::vector<float> b{2, 4, 6, 8};
+  const std::vector<float> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(pearson(a, c), -1.0, 1e-9);
+  const std::vector<float> flat{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(pearson(a, flat), 0.0);
+}
+
+TEST(MetricsTest, SpearmanIsRankBased) {
+  // Monotone nonlinear relation: spearman = 1, pearson < 1.
+  const std::vector<float> a{1, 2, 3, 4, 5};
+  const std::vector<float> b{1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);
+  EXPECT_LT(pearson(a, b), 1.0);
+}
+
+TEST(MetricsTest, SpearmanHandlesTies) {
+  const std::vector<float> a{1, 2, 2, 3};
+  const std::vector<float> b{1, 2, 2, 3};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pac::data

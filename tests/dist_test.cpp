@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::dist {
+namespace {
+
+TEST(MemoryLedgerTest, TracksCurrentAndPeak) {
+  MemoryLedger ledger(0, 1000);
+  ledger.allocate(MemClass::kWeights, 400);
+  ledger.allocate(MemClass::kActivations, 300);
+  EXPECT_EQ(ledger.current_total(), 700U);
+  ledger.release(MemClass::kActivations, 300);
+  EXPECT_EQ(ledger.current_total(), 400U);
+  EXPECT_EQ(ledger.peak_total(), 700U);
+  EXPECT_EQ(ledger.peak(MemClass::kActivations), 300U);
+}
+
+TEST(MemoryLedgerTest, OomThrowsWithDetails) {
+  MemoryLedger ledger(3, 100);
+  ledger.allocate(MemClass::kWeights, 90);
+  try {
+    ledger.allocate(MemClass::kGradients, 20);
+    FAIL() << "expected OOM";
+  } catch (const DeviceOomError& e) {
+    EXPECT_EQ(e.device_id(), 3);
+    EXPECT_EQ(e.requested_bytes(), 110U);
+    EXPECT_EQ(e.budget_bytes(), 100U);
+  }
+  // Failed allocation must not be recorded.
+  EXPECT_EQ(ledger.current_total(), 90U);
+}
+
+TEST(MemoryLedgerTest, UnderflowThrows) {
+  MemoryLedger ledger(0, 100);
+  ledger.allocate(MemClass::kComm, 10);
+  EXPECT_THROW(ledger.release(MemClass::kComm, 20), InvalidArgument);
+}
+
+TEST(MemoryLedgerTest, ScopedAllocReleasesOnScopeExit) {
+  MemoryLedger ledger(0, 100);
+  {
+    ScopedAlloc a(ledger, MemClass::kActivations, 60);
+    EXPECT_EQ(ledger.current_total(), 60U);
+  }
+  EXPECT_EQ(ledger.current_total(), 0U);
+  EXPECT_EQ(ledger.peak_total(), 60U);
+  ledger.reset_peaks();
+  EXPECT_EQ(ledger.peak_total(), 0U);
+}
+
+TEST(TransportTest, PointToPointDelivery) {
+  Transport t(2);
+  t.send(0, 1, 7, Tensor::from_vector({2}, {1.0F, 2.0F}));
+  Tensor r = t.recv(1, 0, 7);
+  EXPECT_FLOAT_EQ(r.at({0}), 1.0F);
+  EXPECT_EQ(t.stats(0, 1).messages, 1U);
+  EXPECT_EQ(t.stats(0, 1).bytes, 2U * sizeof(float));
+}
+
+TEST(TransportTest, TagAndSourceIsolation) {
+  Transport t(3);
+  t.send(0, 2, 1, Tensor::full({1}, 10.0F));
+  t.send(1, 2, 1, Tensor::full({1}, 20.0F));
+  t.send(0, 2, 9, Tensor::full({1}, 30.0F));
+  EXPECT_FLOAT_EQ(t.recv(2, 1, 1).at({0}), 20.0F);
+  EXPECT_FLOAT_EQ(t.recv(2, 0, 9).at({0}), 30.0F);
+  EXPECT_FLOAT_EQ(t.recv(2, 0, 1).at({0}), 10.0F);
+}
+
+TEST(TransportTest, FifoPerEdgeAndTag) {
+  Transport t(2);
+  for (int i = 0; i < 5; ++i) {
+    t.send(0, 1, 0, Tensor::full({1}, static_cast<float>(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 0).at({0}), static_cast<float>(i));
+  }
+}
+
+TEST(TransportTest, CloseWakesBlockedReceiver) {
+  Transport t(2);
+  std::atomic<bool> threw{false};
+  std::thread receiver([&] {
+    try {
+      t.recv(1, 0, 0);
+    } catch (const ChannelClosedError&) {
+      threw.store(true);
+    }
+  });
+  t.close();
+  receiver.join();
+  EXPECT_TRUE(threw.load());
+  EXPECT_THROW(t.send(0, 1, 0, Tensor::zeros({1})), ChannelClosedError);
+}
+
+TEST(TransportTest, RankRangeChecks) {
+  Transport t(2);
+  EXPECT_THROW(t.send(0, 5, 0, Tensor::zeros({1})), InvalidArgument);
+  EXPECT_THROW(t.recv(2, 0, 0), InvalidArgument);
+}
+
+class CollectiveTest
+    : public ::testing::TestWithParam<std::tuple<int, AllReduceAlgo>> {};
+
+TEST_P(CollectiveTest, AllReduceSumsAcrossGroup) {
+  const auto [n, algo] = GetParam();
+  EdgeCluster cluster(n, std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group(static_cast<std::size_t>(n));
+  std::iota(group.begin(), group.end(), 0);
+  std::vector<float> results(static_cast<std::size_t>(n), 0.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    // Each rank contributes rank+1 in every element.
+    Tensor t = Tensor::full({13}, static_cast<float>(ctx.rank + 1));
+    ctx.comm.allreduce_sum(t, group, 100, algo);
+    results[static_cast<std::size_t>(ctx.rank)] = t.at({5});
+  });
+  const float expect = static_cast<float>(n * (n + 1) / 2);
+  for (float r : results) EXPECT_FLOAT_EQ(r, expect);
+}
+
+TEST_P(CollectiveTest, AllReduceOnSubgroup) {
+  const auto [n, algo] = GetParam();
+  if (n < 3) GTEST_SKIP();
+  EdgeCluster cluster(n, std::numeric_limits<std::uint64_t>::max());
+  // Group = even ranks only.
+  std::vector<int> group;
+  for (int r = 0; r < n; r += 2) group.push_back(r);
+  std::vector<float> results(static_cast<std::size_t>(n), -1.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank % 2 != 0) return;  // not a member
+    Tensor t = Tensor::full({8}, 1.0F);
+    ctx.comm.allreduce_sum(t, group, 100, algo);
+    results[static_cast<std::size_t>(ctx.rank)] = t.at({0});
+  });
+  for (int r = 0; r < n; ++r) {
+    if (r % 2 == 0) {
+      EXPECT_FLOAT_EQ(results[static_cast<std::size_t>(r)],
+                      static_cast<float>(group.size()));
+    } else {
+      EXPECT_FLOAT_EQ(results[static_cast<std::size_t>(r)], -1.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlgos, CollectiveTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(AllReduceAlgo::kRing,
+                                         AllReduceAlgo::kNaive)),
+    [](const auto& info) {
+      return std::string(std::get<1>(info.param) == AllReduceAlgo::kRing
+                             ? "Ring"
+                             : "Naive") +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(CollectiveTest, RingHandlesTensorSmallerThanGroup) {
+  EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group{0, 1, 2, 3};
+  std::vector<float> results(4, 0.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor t = Tensor::full({2}, 1.0F);  // numel < group size
+    ctx.comm.allreduce_sum(t, group, 100, AllReduceAlgo::kRing);
+    results[static_cast<std::size_t>(ctx.rank)] = t.at({1});
+  });
+  for (float r : results) EXPECT_FLOAT_EQ(r, 4.0F);
+}
+
+TEST(CollectiveTest, BroadcastFromNonZeroRoot) {
+  EdgeCluster cluster(3, std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group{0, 1, 2};
+  std::vector<float> results(3, 0.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor t = ctx.rank == 2 ? Tensor::full({4}, 42.0F) : Tensor();
+    Tensor out = ctx.comm.broadcast(std::move(t), 2, group, 50);
+    results[static_cast<std::size_t>(ctx.rank)] = out.at({0});
+  });
+  for (float r : results) EXPECT_FLOAT_EQ(r, 42.0F);
+}
+
+TEST(CollectiveTest, AllGatherOrdersByGroup) {
+  EdgeCluster cluster(3, std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group{0, 1, 2};
+  std::atomic<int> checks{0};
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor mine = Tensor::full({1}, static_cast<float>(ctx.rank * 10));
+    auto all = ctx.comm.allgather(mine, group, 60);
+    ASSERT_EQ(all.size(), 3U);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FLOAT_EQ(all[static_cast<std::size_t>(i)].at({0}),
+                      static_cast<float>(i * 10));
+    }
+    ++checks;
+  });
+  EXPECT_EQ(checks.load(), 3);
+}
+
+TEST(CollectiveTest, BarrierSynchronizes) {
+  EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  std::vector<int> group{0, 1, 2, 3};
+  std::atomic<int> before{0};
+  std::atomic<bool> ordering_ok{true};
+  cluster.run([&](DeviceContext& ctx) {
+    ++before;
+    ctx.comm.barrier(group, 70);
+    if (before.load() != 4) ordering_ok.store(false);
+  });
+  EXPECT_TRUE(ordering_ok.load());
+}
+
+TEST(CollectiveTest, GroupValidation) {
+  EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    Tensor t = Tensor::zeros({4});
+    ctx.comm.allreduce_sum(t, {1, 0}, 80);  // unsorted
+  }),
+               InvalidArgument);
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank == 0) {
+      Tensor t = Tensor::zeros({4});
+      ctx.comm.allreduce_sum(t, {1}, 81);  // not a member
+    }
+  }),
+               InvalidArgument);
+}
+
+TEST(ClusterTest, DeviceFailurePropagatesAndUnblocksPeers) {
+  EdgeCluster cluster(3, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank == 0) {
+      // Simulated OOM on device 0 while peers wait on a collective.
+      ctx.ledger.allocate(MemClass::kWeights, 1);  // fine
+      throw DeviceOomError(0, 100, 50);
+    }
+    Tensor t = Tensor::zeros({8});
+    ctx.comm.allreduce_sum(t, {1, 2}, 90);
+    // Ranks 1/2 then block forever on a message that never comes.
+    ctx.comm.recv(0, 91);
+  }),
+               DeviceOomError);
+}
+
+TEST(ClusterTest, LedgerBudgetEnforcedInsideRun) {
+  EdgeCluster cluster(2, /*memory_budget_bytes=*/1024);
+  EXPECT_THROW(cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank == 1) {
+      ctx.ledger.allocate(MemClass::kActivations, 4096);
+    } else {
+      ctx.comm.recv(1, 99);  // would deadlock without close-on-failure
+    }
+  }),
+               DeviceOomError);
+}
+
+TEST(ClusterTest, HeterogeneousSpecsAccessible) {
+  std::vector<DeviceSpec> specs{{1.0, 100}, {0.5, 200}};
+  EdgeCluster cluster(specs);
+  EXPECT_EQ(cluster.size(), 2);
+  EXPECT_DOUBLE_EQ(cluster.spec(1).compute_scale, 0.5);
+  EXPECT_EQ(cluster.ledger(1).budget(), 200U);
+  EXPECT_THROW(cluster.spec(5), InvalidArgument);
+}
+
+TEST(ClusterTest, TrafficStatsAvailableAfterRun) {
+  EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+  cluster.run([&](DeviceContext& ctx) {
+    if (ctx.rank == 0) {
+      ctx.comm.send(1, 5, Tensor::zeros({100}));
+    } else {
+      ctx.comm.recv(0, 5);
+    }
+  });
+  ASSERT_NE(cluster.last_transport(), nullptr);
+  EXPECT_EQ(cluster.last_transport()->stats(0, 1).bytes, 400U);
+  EXPECT_EQ(cluster.last_transport()->total_bytes(), 400U);
+}
+
+TEST(LinkModelTest, TransferTimeFollowsBandwidth) {
+  LinkModel link;  // 128 Mbps, 1 ms latency
+  // 16 MB at 128 Mbps = 1 s (+ latency).
+  EXPECT_NEAR(link.transfer_seconds(16'000'000), 1.001, 1e-3);
+  EXPECT_NEAR(link.transfer_seconds(0), 0.001, 1e-9);
+}
+
+}  // namespace
+}  // namespace pac::dist

@@ -1,0 +1,278 @@
+// Randomized property tests across the pipeline engine, the event
+// simulator, the planner, and the cache.
+//
+// The key shared property: for ANY valid plan (random contiguous stage
+// splits, random non-uniform device groups, random micro counts) both the
+// simulator and the executed engine must complete — the generalized 1F1B
+// warmup makes every such plan deadlock-free — and the executed engine
+// must still produce the single-device gradients.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "cache/activation_cache.hpp"
+#include "data/dataset.hpp"
+#include "pipeline/runners.hpp"
+#include "planner/planner.hpp"
+#include "sim/event_sim.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac {
+namespace {
+
+// Random valid plan: contiguous stages covering `blocks`, disjoint groups
+// over a random subset of `world` devices, random micro count.
+pipeline::ParallelPlan random_plan(Rng& rng, std::int64_t blocks,
+                                   int world) {
+  const std::int64_t max_stages =
+      std::min<std::int64_t>({blocks, world, 4});
+  const std::int64_t s = rng.integer(1, max_stages);
+  // Random stage boundaries.
+  std::vector<std::int64_t> cuts{0, blocks};
+  while (static_cast<std::int64_t>(cuts.size()) < s + 1) {
+    const std::int64_t c = rng.integer(1, blocks - 1);
+    if (std::find(cuts.begin(), cuts.end(), c) == cuts.end()) {
+      cuts.push_back(c);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  // Random group sizes summing to <= world, >= 1 each.
+  std::vector<std::int64_t> sizes(static_cast<std::size_t>(s), 1);
+  std::int64_t budget = world - s;
+  for (std::int64_t i = 0; i < s && budget > 0; ++i) {
+    const std::int64_t extra = rng.integer(0, budget);
+    sizes[static_cast<std::size_t>(i)] += extra;
+    budget -= extra;
+  }
+  pipeline::ParallelPlan plan;
+  int rank = 0;
+  for (std::int64_t i = 0; i < s; ++i) {
+    pipeline::StageAssignment st;
+    st.block_begin = cuts[static_cast<std::size_t>(i)];
+    st.block_end = cuts[static_cast<std::size_t>(i + 1)];
+    for (std::int64_t j = 0; j < sizes[static_cast<std::size_t>(i)]; ++j) {
+      st.devices.push_back(rank++);
+    }
+    plan.stages.push_back(std::move(st));
+  }
+  plan.num_micro_batches = rng.integer(1, 8);
+  return plan;
+}
+
+TEST(FuzzTest, RandomPlansNeverDeadlockInSimulator) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t blocks = rng.integer(2, 12);
+    const int world = static_cast<int>(rng.integer(1, 8));
+    pipeline::ParallelPlan plan = random_plan(rng, blocks, world);
+    planner::PlannerInput input;
+    input.num_devices = world;
+    input.num_micro_batches = plan.num_micro_batches;
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      planner::BlockProfile p;
+      p.name = "b" + std::to_string(b);
+      p.t_fwd = rng.uniform(0.01F, 0.2F);
+      p.t_bwd = rng.uniform(0.01F, 0.4F);
+      p.fwd_msg_bytes = static_cast<std::uint64_t>(rng.integer(0, 1 << 16));
+      p.bwd_msg_bytes = static_cast<std::uint64_t>(rng.integer(0, 1 << 14));
+      input.blocks.push_back(std::move(p));
+    }
+    if (rng.bernoulli(0.3)) {
+      for (int r = 0; r < world; ++r) {
+        input.device_scales.push_back(rng.uniform(0.25F, 2.0F));
+      }
+    }
+    sim::SimConfig cfg;
+    cfg.input = input;
+    cfg.plan = plan;
+    cfg.schedule = rng.bernoulli(0.5) ? pipeline::ScheduleKind::k1F1B
+                                      : pipeline::ScheduleKind::kGPipe;
+    sim::SimResult r = sim::simulate_minibatch(cfg);  // must not throw
+    ASSERT_FALSE(r.oom);
+    ASSERT_GT(r.minibatch_seconds, 0.0) << plan.to_string();
+    // Makespan can never beat the critical path through the bottleneck
+    // stage's serial compute (normalized by the fastest device's speed).
+    double max_scale = 1.0;
+    for (double sc : input.device_scales) max_scale = std::max(max_scale, sc);
+    double min_serial = 0.0;
+    for (const auto& st : plan.stages) {
+      double stage_t = 0.0;
+      for (std::int64_t b = st.block_begin; b < st.block_end; ++b) {
+        stage_t += input.blocks[static_cast<std::size_t>(b)].t_fwd +
+                   input.blocks[static_cast<std::size_t>(b)].t_bwd;
+      }
+      min_serial = std::max(min_serial, stage_t);  // >= one micro's time
+    }
+    EXPECT_GE(r.minibatch_seconds + 1e-9, min_serial / max_scale)
+        << plan.to_string();
+    EXPECT_GE(r.bubble_fraction, -1e-9);
+    EXPECT_LT(r.bubble_fraction, 1.0);
+  }
+}
+
+TEST(FuzzTest, RandomPlansTrainCorrectlyExecuted) {
+  // Executed engine: random plans must produce the single-device result.
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 16;
+  dcfg.eval_samples = 4;
+  dcfg.seq_len = 8;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);
+
+  auto factory = [] {
+    model::TechniqueConfig tc;
+    tc.technique = model::Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(model::tiny(4, 16, 2, 32, 8), tc,
+                                          model::TaskSpec{}, 777);
+  };
+
+  // Reference: single device.
+  pipeline::RunConfig ref_cfg;
+  ref_cfg.plan = pipeline::ParallelPlan::standalone(6, 2);
+  ref_cfg.batch_size = 8;
+  ref_cfg.epochs = 1;
+  ref_cfg.run_eval = false;
+  dist::EdgeCluster ref_cluster(1,
+                                std::numeric_limits<std::uint64_t>::max());
+  auto ref = run_training(ref_cluster, ds, factory, ref_cfg);
+
+  Rng rng(909);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int world = static_cast<int>(rng.integer(2, 5));
+    pipeline::ParallelPlan plan = random_plan(rng, 6, world);
+    dist::EdgeCluster cluster(world,
+                              std::numeric_limits<std::uint64_t>::max());
+    pipeline::RunConfig cfg = ref_cfg;
+    cfg.plan = plan;
+    auto got = run_training(cluster, ds, factory, cfg);
+    ASSERT_EQ(got.trainable_values.size(), ref.trainable_values.size())
+        << plan.to_string();
+    for (const auto& [name, value] : ref.trainable_values) {
+      auto it = got.trainable_values.find(name);
+      ASSERT_NE(it, got.trainable_values.end()) << name;
+      EXPECT_LT(ops::max_abs_diff(value, it->second), 5e-3F)
+          << name << " under " << plan.to_string();
+    }
+  }
+}
+
+TEST(FuzzTest, PlannerOutputsAlwaysValidAndFeasibleOrHonest) {
+  Rng rng(515);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::int64_t blocks = rng.integer(2, 20);
+    const int world = static_cast<int>(rng.integer(1, 10));
+    planner::PlannerInput input;
+    input.num_devices = world;
+    input.num_micro_batches = rng.integer(1, 16);
+    input.device_budget_bytes =
+        static_cast<std::uint64_t>(rng.integer(1 << 16, 64 << 20));
+    for (std::int64_t b = 0; b < blocks; ++b) {
+      planner::BlockProfile p;
+      p.name = "b" + std::to_string(b);
+      p.t_fwd = rng.uniform(0.001F, 0.1F);
+      p.t_bwd = rng.uniform(0.001F, 0.2F);
+      p.param_bytes = static_cast<std::uint64_t>(rng.integer(0, 4 << 20));
+      p.trainable_bytes = p.param_bytes / 50;
+      p.activation_bytes =
+          static_cast<std::uint64_t>(rng.integer(0, 1 << 18));
+      input.blocks.push_back(std::move(p));
+    }
+    planner::PlanEstimate est = planner::plan_hybrid(input);
+    if (!est.feasible) {
+      EXPECT_FALSE(est.note.empty());
+      continue;
+    }
+    est.plan.validate(blocks, world);
+    // The reported stage memory must respect the budget, and the sim must
+    // agree the plan is runnable.
+    for (std::uint64_t mem : est.stage_memory_bytes) {
+      EXPECT_LE(mem, input.device_budget_bytes);
+    }
+    sim::SimConfig cfg;
+    cfg.input = input;
+    cfg.plan = est.plan;
+    sim::SimResult r = sim::simulate_minibatch(cfg);
+    EXPECT_FALSE(r.oom) << r.oom_reason;
+    // The closed-form estimate should be in the ballpark of the simulated
+    // makespan (it ignores partial overlap, so allow a wide band).
+    EXPECT_LT(est.minibatch_seconds, 3.0 * r.minibatch_seconds + 1.0);
+    EXPECT_GT(3.0 * est.minibatch_seconds + 1.0, r.minibatch_seconds);
+  }
+}
+
+TEST(FuzzTest, CacheRandomizedRoundTrip) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::int64_t num_blocks = rng.integer(1, 6);
+    cache::CacheConfig cc;
+    cc.num_blocks = num_blocks;
+    cache::ActivationCache cache(cc);
+    const std::int64_t t = rng.integer(1, 6);
+    const std::int64_t h = rng.integer(1, 8);
+    std::map<std::int64_t, std::vector<Tensor>> expect;
+    const std::int64_t samples = rng.integer(1, 10);
+    for (std::int64_t sid = 0; sid < samples; ++sid) {
+      for (std::int64_t b = 0; b < num_blocks; ++b) {
+        Tensor block = Tensor::randn({t, h}, rng);
+        expect[sid].push_back(block.clone());
+        cache.put_block(sid, b, std::move(block));
+      }
+    }
+    // Fetch in random order and verify content.
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(samples));
+    std::iota(ids.begin(), ids.end(), 0);
+    std::shuffle(ids.begin(), ids.end(), rng.engine());
+    auto fetched = cache.fetch(ids);
+    ASSERT_EQ(fetched.size(), static_cast<std::size_t>(num_blocks));
+    for (std::size_t r = 0; r < ids.size(); ++r) {
+      for (std::int64_t b = 0; b < num_blocks; ++b) {
+        Tensor row = fetched[static_cast<std::size_t>(b)]
+                         .slice0(static_cast<std::int64_t>(r),
+                                 static_cast<std::int64_t>(r) + 1)
+                         .reshape({t, h});
+        EXPECT_EQ(ops::max_abs_diff(
+                      row, expect[ids[r]][static_cast<std::size_t>(b)]),
+                  0.0F);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, CollectivesRandomShapesAndGroups) {
+  Rng rng(2718);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int world = static_cast<int>(rng.integer(2, 6));
+    dist::EdgeCluster cluster(world,
+                              std::numeric_limits<std::uint64_t>::max());
+    // Random subgroup containing at least 2 ranks.
+    std::vector<int> group;
+    for (int r = 0; r < world; ++r) {
+      if (rng.bernoulli(0.7)) group.push_back(r);
+    }
+    if (static_cast<int>(group.size()) < 2) group = {0, world - 1};
+    const std::int64_t n = rng.integer(1, 500);
+    const auto algo = rng.bernoulli(0.5) ? dist::AllReduceAlgo::kRing
+                                         : dist::AllReduceAlgo::kNaive;
+    std::vector<double> sums(static_cast<std::size_t>(world), -1.0);
+    cluster.run([&](dist::DeviceContext& ctx) {
+      if (std::find(group.begin(), group.end(), ctx.rank) == group.end()) {
+        return;
+      }
+      Tensor t = Tensor::full({n}, static_cast<float>(ctx.rank + 1));
+      ctx.comm.allreduce_sum(t, group, 100, algo);
+      sums[static_cast<std::size_t>(ctx.rank)] = t.at({n / 2});
+    });
+    double expect = 0.0;
+    for (int r : group) expect += r + 1;
+    for (int r : group) {
+      EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], expect)
+          << "world=" << world << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pac

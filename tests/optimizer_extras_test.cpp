@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "nn/lr_schedule.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::nn {
+namespace {
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Parameter a("a", Tensor::zeros({3}));
+  Parameter b("b", Tensor::zeros({4}));
+  a.grad().fill(3.0F);  // norm^2 contribution 27
+  b.grad().fill(2.0F);  // + 16 -> norm sqrt(43)
+  const float norm = clip_grad_norm({&a, &b}, 1.0F);
+  EXPECT_NEAR(norm, std::sqrt(43.0F), 1e-5F);
+  // Post-clip joint norm is 1.
+  double sq = 0.0;
+  for (Parameter* p : ParameterList{&a, &b}) {
+    for (std::int64_t i = 0; i < p->grad().numel(); ++i) {
+      sq += p->grad().data()[i] * p->grad().data()[i];
+    }
+  }
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-5);
+}
+
+TEST(ClipGradNormTest, SmallGradientsUntouched) {
+  Parameter a("a", Tensor::zeros({2}));
+  a.grad().fill(0.1F);
+  clip_grad_norm({&a}, 10.0F);
+  EXPECT_FLOAT_EQ(a.grad().at({0}), 0.1F);
+  EXPECT_THROW(clip_grad_norm({&a}, 0.0F), InvalidArgument);
+}
+
+TEST(ClipGradNormTest, FrozenParamsIgnored) {
+  Parameter a("a", Tensor::zeros({2}));
+  a.grad().fill(100.0F);
+  Parameter frozen("f", Tensor::zeros({2}), /*trainable=*/false);
+  const float norm = clip_grad_norm({&a, &frozen}, 1.0F);
+  EXPECT_NEAR(norm, 100.0F * std::sqrt(2.0F), 1e-3F);
+}
+
+TEST(AdamWTest, WeightDecayShrinksWeightsIndependentlyOfGradient) {
+  // Zero gradient: pure decoupled decay.
+  Parameter w("w", Tensor::from_vector({1}, {1.0F}));
+  Adam opt(0.1F, 0.9F, 0.999F, 1e-8F, /*weight_decay=*/0.5F);
+  w.zero_grad();
+  opt.step({&w});
+  EXPECT_NEAR(w.value().at({0}), 1.0F - 0.1F * 0.5F * 1.0F, 1e-6F);
+}
+
+TEST(AdamWTest, ZeroDecayMatchesAdam) {
+  Parameter w1("w", Tensor::from_vector({1}, {2.0F}));
+  Parameter w2("w", Tensor::from_vector({1}, {2.0F}));
+  Adam adam(0.05F);
+  Adam adamw(0.05F, 0.9F, 0.999F, 1e-8F, 0.0F);
+  for (int i = 0; i < 5; ++i) {
+    w1.grad().fill(1.0F);
+    w2.grad().fill(1.0F);
+    adam.step({&w1});
+    adamw.step({&w2});
+  }
+  EXPECT_FLOAT_EQ(w1.value().at({0}), w2.value().at({0}));
+}
+
+TEST(OptimizerTest, SetLrTakesEffect) {
+  Parameter w("w", Tensor::from_vector({1}, {0.0F}));
+  Sgd opt(1.0F);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0F);
+  w.grad().fill(1.0F);
+  opt.step({&w});
+  EXPECT_FLOAT_EQ(w.value().at({0}), -1.0F);
+  opt.set_lr(0.1F);
+  w.zero_grad();
+  w.grad().fill(1.0F);
+  opt.step({&w});
+  EXPECT_NEAR(w.value().at({0}), -1.1F, 1e-6F);
+}
+
+TEST(LrScheduleTest, ConstantIsConstant) {
+  ConstantLr sched(0.3F);
+  EXPECT_FLOAT_EQ(sched.lr(0), 0.3F);
+  EXPECT_FLOAT_EQ(sched.lr(1000000), 0.3F);
+}
+
+TEST(LrScheduleTest, WarmupLinearShape) {
+  WarmupLinearLr sched(1.0F, 10, 110, 0.0F);
+  // Warmup ramps up.
+  EXPECT_NEAR(sched.lr(0), 0.1F, 1e-6F);
+  EXPECT_NEAR(sched.lr(4), 0.5F, 1e-6F);
+  EXPECT_NEAR(sched.lr(9), 1.0F, 1e-6F);
+  // Midpoint of decay.
+  EXPECT_NEAR(sched.lr(60), 0.5F, 1e-6F);
+  // Floor at/after total.
+  EXPECT_NEAR(sched.lr(110), 0.0F, 1e-6F);
+  EXPECT_NEAR(sched.lr(9999), 0.0F, 1e-6F);
+  EXPECT_THROW(WarmupLinearLr(1.0F, 10, 10), InvalidArgument);
+}
+
+TEST(LrScheduleTest, WarmupCosineShape) {
+  WarmupCosineLr sched(1.0F, 0, 100, 0.2F);
+  EXPECT_NEAR(sched.lr(0), 1.0F, 1e-5F);
+  EXPECT_NEAR(sched.lr(50), 0.6F, 1e-5F);   // cosine midpoint
+  EXPECT_NEAR(sched.lr(100), 0.2F, 1e-5F);  // floor
+  // Monotone decreasing after warmup.
+  float prev = 2.0F;
+  for (int s = 0; s <= 100; s += 5) {
+    EXPECT_LE(sched.lr(s), prev + 1e-6F);
+    prev = sched.lr(s);
+  }
+}
+
+TEST(LrScheduleTest, DrivesOptimizer) {
+  // minimize (w-1)^2 with warmup-cosine; converges despite the decay.
+  Parameter w("w", Tensor::from_vector({1}, {-2.0F}));
+  Adam opt(0.0F);
+  WarmupCosineLr sched(0.2F, 5, 200, 0.0F);
+  for (int step = 0; step < 200; ++step) {
+    opt.set_lr(sched.lr(step));
+    w.zero_grad();
+    w.grad().at({0}) = 2.0F * (w.value().at({0}) - 1.0F);
+    opt.step({&w});
+  }
+  EXPECT_NEAR(w.value().at({0}), 1.0F, 0.05F);
+}
+
+}  // namespace
+}  // namespace pac::nn

@@ -1,0 +1,246 @@
+// Padding-awareness tests: with pad_token set, the model's predictions
+// must be invariant to the *content* of padded positions, pooling must
+// ignore them, and the property must survive distribution and the
+// activation cache.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "data/tokenizer.hpp"
+#include "model/model.hpp"
+#include "nn/attention.hpp"
+#include "nn/losses.hpp"
+#include "pipeline/runners.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac {
+namespace {
+
+using model::Technique;
+
+TEST(AttentionMaskTest, MaskedKeysGetZeroAttention) {
+  Rng rng(1);
+  nn::MultiHeadAttention attn("attn", 8, 2, rng);
+  attn.set_context_enabled(false);
+  Tensor x = Tensor::randn({1, 4, 8}, rng);
+  Tensor y_full = attn.forward(x);
+
+  // Mask the last two keys, then perturb their content wildly: outputs at
+  // unmasked query positions must not change.
+  Tensor mask = Tensor::from_vector({1, 4}, {1, 1, 0, 0});
+  attn.set_key_mask(mask);
+  Tensor y_masked = attn.forward(x);
+
+  Tensor x2 = x.clone();
+  for (int j = 0; j < 8; ++j) {
+    x2.at({0, 2, j}) += 100.0F;
+    x2.at({0, 3, j}) -= 50.0F;
+  }
+  attn.set_key_mask(mask);
+  Tensor y_masked2 = attn.forward(x2);
+  for (int s = 0; s < 2; ++s) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(y_masked.at({0, s, j}), y_masked2.at({0, s, j}), 1e-4F);
+    }
+  }
+  // And masking must actually change the result vs unmasked attention.
+  EXPECT_GT(ops::max_abs_diff(y_full, y_masked), 1e-4F);
+}
+
+TEST(AttentionMaskTest, MaskConsumedByOneForward) {
+  Rng rng(2);
+  nn::MultiHeadAttention attn("attn", 8, 2, rng);
+  attn.set_context_enabled(false);
+  Tensor x = Tensor::randn({1, 3, 8}, rng);
+  attn.set_key_mask(Tensor::from_vector({1, 3}, {1, 1, 0}));
+  Tensor y1 = attn.forward(x);
+  Tensor y2 = attn.forward(x);  // no mask this time
+  EXPECT_GT(ops::max_abs_diff(y1, y2), 1e-5F);
+}
+
+TEST(AttentionMaskTest, BadMaskShapeThrows) {
+  Rng rng(3);
+  nn::MultiHeadAttention attn("attn", 8, 2, rng);
+  Tensor x = Tensor::randn({2, 3, 8}, rng);
+  attn.set_key_mask(Tensor::zeros({2, 5}));
+  EXPECT_THROW(attn.forward(x), InvalidArgument);
+}
+
+TEST(MaskedPoolTest, MatchesManualAverage) {
+  Tensor x = Tensor::from_vector({1, 3, 2}, {1, 2, 3, 4, 100, 200});
+  Tensor mask = Tensor::from_vector({1, 3}, {1, 1, 0});
+  Tensor y = ops::masked_mean_over_dim1(x, mask);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 2.0F);
+  EXPECT_FLOAT_EQ(y.at({0, 1}), 3.0F);
+  // Fully masked sample -> zeros, no NaN.
+  Tensor none = Tensor::from_vector({1, 3}, {0, 0, 0});
+  Tensor z = ops::masked_mean_over_dim1(x, none);
+  EXPECT_FLOAT_EQ(z.at({0, 0}), 0.0F);
+}
+
+TEST(MaskedPoolTest, BackwardMatchesFiniteDifference) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 4, 3}, rng);
+  Tensor mask = Tensor::from_vector({2, 4}, {1, 1, 0, 0, 1, 0, 1, 1});
+  Tensor dy = Tensor::randn({2, 3}, rng);
+  Tensor dx = ops::masked_mean_over_dim1_backward(dy, mask);
+  const float h = 1e-3F;
+  for (int b = 0; b < 2; ++b) {
+    for (int t = 0; t < 4; ++t) {
+      for (int j = 0; j < 3; ++j) {
+        Tensor xp = x.clone();
+        Tensor xm = x.clone();
+        xp.at({b, t, j}) += h;
+        xm.at({b, t, j}) -= h;
+        float lp = 0.0F;
+        float lm = 0.0F;
+        Tensor yp = ops::masked_mean_over_dim1(xp, mask);
+        Tensor ym = ops::masked_mean_over_dim1(xm, mask);
+        for (std::int64_t i = 0; i < yp.numel(); ++i) {
+          lp += yp.data()[i] * dy.data()[i];
+          lm += ym.data()[i] * dy.data()[i];
+        }
+        EXPECT_NEAR(dx.at({b, t, j}), (lp - lm) / (2.0F * h), 1e-2F);
+      }
+    }
+  }
+}
+
+model::ModelConfig padded_config() {
+  model::ModelConfig cfg = model::tiny(3, 16, 2, 32, 8);
+  cfg.pad_token = data::Tokenizer::kPad;  // 0
+  return cfg;
+}
+
+Tensor padded_tokens() {
+  // Two samples with different amounts of trailing padding (id 0).
+  return Tensor::from_vector({2, 8}, {2, 7, 9, 11, 0, 0, 0, 0,
+                                      2, 5, 6, 0, 0, 0, 0, 0});
+}
+
+TEST(PaddedModelTest, PredictionsInvariantToPadContent) {
+  for (Technique t : {Technique::kFull, Technique::kParallelAdapters}) {
+    model::TechniqueConfig tc;
+    tc.technique = t;
+    tc.pa_reduction = 4;
+    model::Model m(padded_config(), tc, model::TaskSpec{}, 21);
+    m.set_training_mode(false);
+    Tensor tokens = padded_tokens();
+    Tensor logits1 = m.forward(tokens);
+
+    // Replace the pad ids by arbitrary (non-pad-marked) garbage — but keep
+    // the mask defined by the ORIGINAL tokens by comparing against a model
+    // where pads keep id 0... instead we verify invariance differently:
+    // pads are id 0 in both, but position embeddings differ per pad count;
+    // so perturb only the hidden content by swapping which pad slots exist?
+    // The robust check: more padding must not leak — truncating the valid
+    // prefix into a longer padded sequence gives the same logits.
+    Tensor short_tokens = Tensor::from_vector({1, 8},
+                                              {2, 5, 6, 0, 0, 0, 0, 0});
+    Tensor l_short = m.forward(short_tokens);
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_NEAR(l_short.at({0, c}), logits1.at({1, c}), 1e-5F)
+          << model::technique_name(t);
+    }
+    (void)logits1;
+  }
+}
+
+TEST(PaddedModelTest, PadPositionsGetNoPoolWeight) {
+  model::TechniqueConfig tc;
+  tc.technique = Technique::kFull;
+  model::Model with_pad(padded_config(), tc, model::TaskSpec{}, 33);
+  model::ModelConfig no_pad_cfg = padded_config();
+  no_pad_cfg.pad_token = -1;
+  model::Model without_pad(no_pad_cfg, tc, model::TaskSpec{}, 33);
+  with_pad.set_training_mode(false);
+  without_pad.set_training_mode(false);
+  Tensor tokens = padded_tokens();
+  Tensor a = with_pad.forward(tokens);
+  Tensor b = without_pad.forward(tokens);
+  // Same weights, same inputs; only the masking differs, and it must
+  // matter for padded inputs.
+  EXPECT_GT(ops::max_abs_diff(a, b), 1e-4F);
+}
+
+TEST(PaddedModelTest, DistributedParityWithPadding) {
+  // The pad mask must survive inter-stage shipping: pipeline-parallel
+  // training equals single-device training on padded data.
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 16;
+  dcfg.eval_samples = 4;
+  dcfg.seq_len = 8;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);  // no real pads, but ids==0 occur
+  auto factory = [] {
+    model::TechniqueConfig tc;
+    tc.technique = Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(padded_config(), tc,
+                                          model::TaskSpec{}, 888);
+  };
+  pipeline::RunConfig cfg;
+  cfg.plan = pipeline::ParallelPlan::standalone(5, 2);
+  cfg.batch_size = 8;
+  cfg.epochs = 1;
+  cfg.run_eval = false;
+  dist::EdgeCluster ref_cluster(1,
+                                std::numeric_limits<std::uint64_t>::max());
+  auto ref = run_training(ref_cluster, ds, factory, cfg);
+
+  dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+  cfg.plan = pipeline::ParallelPlan::pure_pipeline(5, 2, 4);
+  auto got = run_training(cluster, ds, factory, cfg);
+  for (const auto& [name, value] : ref.trainable_values) {
+    EXPECT_LT(ops::max_abs_diff(value, got.trainable_values.at(name)),
+              5e-3F)
+        << name;
+  }
+}
+
+TEST(PaddedModelTest, CachedPathAppliesMask) {
+  model::TechniqueConfig tc;
+  tc.technique = Technique::kParallelAdapters;
+  tc.pa_reduction = 4;
+  model::Model m(padded_config(), tc, model::TaskSpec{}, 44);
+  Tensor tokens = padded_tokens();
+
+  // Collect the cache via a blockwise pass.
+  std::vector<Tensor> cache;
+  model::FlowState state;
+  state.tokens = tokens;
+  auto blocks = m.blocks();
+  for (std::size_t i = 0; i + 1 < blocks.size(); ++i) {
+    state = blocks[i]->forward(state);
+    cache.push_back(state.hidden.clone());
+  }
+  Tensor live = blocks.back()->forward(state).hidden;
+  model::FlowGrad g;
+  g.d_hidden = Tensor::zeros(live.shape());
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    g = (*it)->backward(g);
+    if (!g.d_hidden.defined() && !g.d_adapter.defined()) break;
+  }
+
+  Tensor mask = model::make_pad_mask(tokens, padded_config().pad_token);
+  Tensor cached = m.forward_cached(cache, mask);
+  m.backward_cached(Tensor::zeros(cached.shape()));
+  EXPECT_LT(ops::max_abs_diff(live, cached), 1e-5F);
+
+  // Omitting the mask changes the prediction (pads pollute the pool).
+  Tensor cached_nomask = m.forward_cached(cache);
+  m.backward_cached(Tensor::zeros(cached_nomask.shape()));
+  EXPECT_GT(ops::max_abs_diff(live, cached_nomask), 1e-4F);
+}
+
+TEST(PaddedModelTest, MakePadMaskHelper) {
+  Tensor tokens = Tensor::from_vector({1, 4}, {3, 0, 5, 0});
+  Tensor mask = model::make_pad_mask(tokens, 0);
+  EXPECT_FLOAT_EQ(mask.at({0, 0}), 1.0F);
+  EXPECT_FLOAT_EQ(mask.at({0, 1}), 0.0F);
+  EXPECT_FALSE(model::make_pad_mask(tokens, -1).defined());
+}
+
+}  // namespace
+}  // namespace pac

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "common/timer.hpp"
+#include "planner/planner.hpp"
+#include "planner/profiler.hpp"
+
+namespace pac::planner {
+namespace {
+
+using model::Technique;
+
+// Synthetic profile: `n` uniform blocks.
+PlannerInput uniform_input(std::int64_t n, int devices, double t_fwd,
+                           double t_bwd, std::uint64_t param_bytes,
+                           std::uint64_t act_bytes, std::int64_t micros,
+                           std::uint64_t budget) {
+  PlannerInput input;
+  input.num_devices = devices;
+  input.device_budget_bytes = budget;
+  input.num_micro_batches = micros;
+  for (std::int64_t i = 0; i < n; ++i) {
+    BlockProfile p;
+    p.name = "block_" + std::to_string(i);
+    p.t_fwd = t_fwd;
+    p.t_bwd = t_bwd;
+    p.param_bytes = param_bytes;
+    p.trainable_bytes = param_bytes / 100;
+    p.activation_bytes = act_bytes;
+    p.fwd_msg_bytes = 1 << 16;
+    p.bwd_msg_bytes = 1 << 14;
+    input.blocks.push_back(std::move(p));
+  }
+  return input;
+}
+
+TEST(EvaluatePlanTest, SingleStageMatchesClosedForm) {
+  auto input = uniform_input(4, 1, 0.01, 0.02, 1 << 20, 1 << 18, 4,
+                             std::numeric_limits<std::uint64_t>::max());
+  auto plan = pipeline::ParallelPlan::standalone(4, 4);
+  PlanEstimate est = evaluate_plan(input, plan);
+  EXPECT_TRUE(est.feasible);
+  // 4 micros x 4 blocks x (0.01 + 0.02), no comm, AR for group of 1 = 0.
+  EXPECT_NEAR(est.minibatch_seconds, 4 * 4 * 0.03, 1e-9);
+}
+
+TEST(EvaluatePlanTest, DetectsOom) {
+  auto input = uniform_input(4, 2, 0.01, 0.02, 1 << 20, 1 << 12, 4,
+                             /*budget=*/3 << 20);
+  auto plan = pipeline::ParallelPlan::standalone(4, 4);  // 4 MiB params
+  PlanEstimate est = evaluate_plan(input, plan);
+  EXPECT_FALSE(est.feasible);
+  EXPECT_NE(est.note.find("budget"), std::string::npos);
+  // Splitting into two stages halves the per-device weights.
+  auto pp = pipeline::ParallelPlan::pure_pipeline(4, 2, 4);
+  EXPECT_TRUE(evaluate_plan(input, pp).feasible);
+}
+
+TEST(EvaluatePlanTest, StageWeightBytesReported) {
+  auto input = uniform_input(6, 3, 0.01, 0.01, 1 << 20, 0, 2,
+                             std::numeric_limits<std::uint64_t>::max());
+  auto plan = pipeline::ParallelPlan::pure_pipeline(6, 3, 2);
+  PlanEstimate est = evaluate_plan(input, plan);
+  ASSERT_EQ(est.stage_weight_bytes.size(), 3U);
+  EXPECT_EQ(est.stage_weight_bytes[0], 2U << 20);
+}
+
+TEST(PlanHybridTest, AmpleMemoryPrefersDataParallel) {
+  // With no memory pressure and tiny trainable state (cheap AllReduce),
+  // pure DP has no bubble and should win.
+  auto input = uniform_input(8, 4, 0.02, 0.04, 1 << 10, 1 << 8, 4,
+                             std::numeric_limits<std::uint64_t>::max());
+  PlanEstimate est = plan_hybrid(input);
+  ASSERT_TRUE(est.feasible);
+  EXPECT_EQ(est.plan.num_stages(), 1);
+  EXPECT_EQ(est.plan.stages[0].devices.size(), 4U);
+}
+
+TEST(PlanHybridTest, TightMemoryForcesPipelining) {
+  // Each device can hold at most ~half the blocks: a 1-stage plan is
+  // infeasible and the planner must split.
+  const std::uint64_t param = 1 << 20;
+  auto input = uniform_input(8, 4, 0.02, 0.04, param, 0, 4,
+                             /*budget=*/5 * param);
+  PlanEstimate est = plan_hybrid(input);
+  ASSERT_TRUE(est.feasible) << est.note;
+  EXPECT_GE(est.plan.num_stages(), 2);
+  for (const auto& mem : est.stage_memory_bytes) {
+    EXPECT_LE(mem, input.device_budget_bytes);
+  }
+}
+
+TEST(PlanHybridTest, InfeasibleWhenNothingFits) {
+  auto input = uniform_input(4, 2, 0.01, 0.01, 1 << 20, 0, 2,
+                             /*budget=*/100);
+  PlanEstimate est = plan_hybrid(input);
+  EXPECT_FALSE(est.feasible);
+  EXPECT_FALSE(est.note.empty());
+}
+
+TEST(PlanHybridTest, PlanIsAlwaysValid) {
+  for (int devices : {1, 2, 3, 5, 8}) {
+    for (std::int64_t blocks : {3, 7, 14}) {
+      if (blocks < devices) continue;
+      auto input = uniform_input(blocks, devices, 0.01, 0.02, 1 << 18,
+                                 1 << 12, 8,
+                                 std::numeric_limits<std::uint64_t>::max());
+      PlanEstimate est = plan_hybrid(input);
+      ASSERT_TRUE(est.feasible);
+      est.plan.validate(blocks, devices);
+    }
+  }
+}
+
+TEST(PlanHybridTest, BeatsOrMatchesBothPureBaselines) {
+  // Hybrid search space contains both extremes, so the chosen plan's
+  // estimate can never be worse than either baseline.
+  const std::uint64_t param = 1 << 22;
+  auto input = uniform_input(12, 4, 0.05, 0.08, param, 1 << 16, 8,
+                             /*budget=*/40 * param);
+  PlanEstimate hybrid = plan_hybrid(input);
+  ASSERT_TRUE(hybrid.feasible);
+  PlanEstimate dp = evaluate_plan(
+      input, pipeline::ParallelPlan::pure_data_parallel(12, 4, 8));
+  PlanEstimate pp = evaluate_plan(
+      input, pipeline::ParallelPlan::pure_pipeline(12, 4, 8));
+  if (dp.feasible) {
+    EXPECT_LE(hybrid.minibatch_seconds, dp.minibatch_seconds + 1e-9);
+  }
+  if (pp.feasible) {
+    EXPECT_LE(hybrid.minibatch_seconds, pp.minibatch_seconds + 1e-9);
+  }
+}
+
+TEST(PlanHybridTest, PaperScaleBartLargeEightDevicesIsHybrid) {
+  // Fig. 10: on 8 Jetson Nanos PAC chooses a *hybrid* configuration for
+  // BART-Large — neither EDDL's single all-device group nor Eco-FL's 8
+  // singleton stages (the paper's instance is 2 stages x 4 devices; our
+  // cost model lands on a hybrid with multi-device groups too, see
+  // EXPERIMENTS.md for the exact grouping comparison).
+  auto input = analytic_planner_input(
+      model::bart_large(),
+      model::paper_technique_config(Technique::kParallelAdapters),
+      costmodel::SeqShape{1, 128, 16}, costmodel::jetson_nano(),
+      costmodel::edge_lan(), 8, 16, true);
+  PlanEstimate est = plan_hybrid(input);
+  ASSERT_TRUE(est.feasible) << est.note;
+  EXPECT_GE(est.plan.num_stages(), 2);   // not pure data parallelism
+  EXPECT_LT(est.plan.num_stages(), 8);   // not pure pipeline either
+  std::size_t widest_group = 0;
+  for (const auto& st : est.plan.stages) {
+    widest_group = std::max(widest_group, st.devices.size());
+  }
+  EXPECT_GE(widest_group, 2U) << "expected intra-stage data parallelism";
+  // Every stage must respect the Jetson budget.
+  for (std::uint64_t mem : est.stage_memory_bytes) {
+    EXPECT_LE(mem, input.device_budget_bytes);
+  }
+}
+
+TEST(PlanHybridTest, PlanningCompletesWithinPaperBudget) {
+  // Paper §5.1: planning finishes within 3 s on an edge device.
+  WallTimer timer;
+  for (const auto& cfg :
+       {model::t5_base(), model::bart_large(), model::t5_large()}) {
+    auto input = analytic_planner_input(
+        cfg, model::paper_technique_config(Technique::kParallelAdapters),
+        costmodel::SeqShape{2, 128, 16}, costmodel::jetson_nano(),
+        costmodel::edge_lan(), 8, 8, true);
+    plan_hybrid(input);
+  }
+  EXPECT_LT(timer.seconds(), 3.0);
+}
+
+TEST(ProfilerTest, MeasuresExecutedBlocks) {
+  model::TechniqueConfig tc;
+  tc.technique = Technique::kParallelAdapters;
+  tc.pa_reduction = 4;
+  model::Model m(model::tiny(3, 16, 2, 32, 8), tc, model::TaskSpec{}, 5);
+  Rng rng(6);
+  Tensor tokens({2, 8});
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens.data()[i] = static_cast<float>(rng.integer(0, 31));
+  }
+  auto profiles = profile_model(m, tokens, 3);
+  ASSERT_EQ(profiles.size(), 5U);  // emb + 3 layers + head
+  for (const auto& p : profiles) {
+    EXPECT_GE(p.t_fwd, 0.0);
+    EXPECT_GT(p.param_bytes, 0U) << p.name;
+  }
+  // Under Parallel Adapters the backward message is the r-wide gradient.
+  EXPECT_GT(profiles[1].fwd_msg_bytes, profiles[1].bwd_msg_bytes);
+  EXPECT_EQ(profiles[1].bwd_msg_bytes, 2ULL * 8 * 4 * sizeof(float));
+  // Frozen backbone + trainable side: trainable < params.
+  EXPECT_LT(profiles[1].trainable_bytes, profiles[1].param_bytes);
+}
+
+TEST(ProfilerTest, FullTechniqueProfilesBackwardEverywhere) {
+  model::TechniqueConfig tc;
+  tc.technique = Technique::kFull;
+  model::Model m(model::tiny(2, 16, 2, 32, 8), tc, model::TaskSpec{}, 7);
+  Tensor tokens = Tensor::zeros({2, 8});
+  auto profiles = profile_model(m, tokens, 2);
+  for (const auto& p : profiles) {
+    EXPECT_EQ(p.param_bytes, p.trainable_bytes) << p.name;
+  }
+  // Hidden-width backward messages between blocks.
+  EXPECT_EQ(profiles[1].bwd_msg_bytes, 2ULL * 8 * 16 * sizeof(float));
+}
+
+}  // namespace
+}  // namespace pac::planner

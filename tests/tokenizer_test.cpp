@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "data/tokenizer.hpp"
+#include "model/model.hpp"
+#include "nn/losses.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pac::data {
+namespace {
+
+std::vector<std::string> tiny_corpus() {
+  return {"turn on the lights", "turn off the lights",
+          "play some music please", "stop the music now",
+          "the lights are too bright", "music is too loud"};
+}
+
+TEST(TokenizerTest, SplitWordsNormalizes) {
+  auto words = Tokenizer::split_words("Turn ON, the-Lights!  now42");
+  ASSERT_EQ(words.size(), 5U);
+  EXPECT_EQ(words[0], "turn");
+  EXPECT_EQ(words[1], "on");
+  EXPECT_EQ(words[3], "lights");
+  EXPECT_EQ(words[4], "now42");
+  EXPECT_TRUE(Tokenizer::split_words("  ,.! ").empty());
+}
+
+TEST(TokenizerTest, BuildKeepsMostFrequent) {
+  Tokenizer t = Tokenizer::build(tiny_corpus(), /*max_vocab=*/8);
+  EXPECT_EQ(t.vocab_size(), 8);
+  EXPECT_EQ(t.token(Tokenizer::kPad), "<pad>");
+  EXPECT_EQ(t.token(Tokenizer::kUnk), "<unk>");
+  // "the" is the most frequent word -> first non-special id.
+  EXPECT_EQ(t.token(Tokenizer::kNumSpecials), "the");
+  EXPECT_THROW(Tokenizer::build(tiny_corpus(), 4), InvalidArgument);
+}
+
+TEST(TokenizerTest, EncodePadsTruncatesAndMapsUnk) {
+  Tokenizer t = Tokenizer::build(tiny_corpus(), 32);
+  auto ids = t.encode("turn on the zebra", 8);
+  ASSERT_EQ(ids.size(), 8U);
+  EXPECT_EQ(ids[0], Tokenizer::kBos);
+  EXPECT_EQ(t.token(ids[1]), "turn");
+  EXPECT_EQ(ids[4], Tokenizer::kUnk);  // zebra is OOV
+  EXPECT_EQ(ids[5], Tokenizer::kPad);
+  EXPECT_EQ(ids[7], Tokenizer::kPad);
+  // Truncation.
+  auto short_ids = t.encode("turn on the lights please now", 3);
+  EXPECT_EQ(short_ids.size(), 3U);
+  EXPECT_EQ(short_ids[0], Tokenizer::kBos);
+}
+
+TEST(TokenizerTest, EncodePairInsertsSeparator) {
+  Tokenizer t = Tokenizer::build(tiny_corpus(), 32);
+  auto ids = t.encode_pair("turn on", "the music", 8);
+  // <bos> turn on <sep> the music <pad> <pad>
+  EXPECT_EQ(ids[0], Tokenizer::kBos);
+  EXPECT_EQ(ids[3], Tokenizer::kSep);
+  EXPECT_EQ(t.token(ids[4]), "the");
+  EXPECT_EQ(ids[6], Tokenizer::kPad);
+}
+
+TEST(TokenizerTest, DeterministicAcrossBuilds) {
+  Tokenizer a = Tokenizer::build(tiny_corpus(), 16);
+  Tokenizer b = Tokenizer::build(tiny_corpus(), 16);
+  for (std::int64_t i = 0; i < a.vocab_size(); ++i) {
+    EXPECT_EQ(a.token(i), b.token(i));
+  }
+}
+
+TEST(TextDatasetTest, BatchesMatchExamples) {
+  Tokenizer t = Tokenizer::build(tiny_corpus(), 32);
+  std::vector<TextClassificationDataset::Example> examples{
+      {"turn on the lights", 1},
+      {"stop the music now", 0},
+      {"play some music please", 1},
+  };
+  TextClassificationDataset ds(examples, t, 8);
+  EXPECT_EQ(ds.size(), 3);
+  Tensor tokens = ds.batch_tokens({2, 0});
+  EXPECT_EQ(tokens.size(0), 2);
+  EXPECT_EQ(tokens.size(1), 8);
+  EXPECT_EQ(static_cast<std::int64_t>(tokens.at({0, 0})), Tokenizer::kBos);
+  EXPECT_EQ(ds.batch_labels({2, 1}), (std::vector<std::int64_t>{1, 0}));
+  EXPECT_THROW(ds.batch_tokens({9}), InvalidArgument);
+}
+
+TEST(TextDatasetTest, EndToEndTrainingOnRealText) {
+  // A miniature intent classifier: "device control" vs "media" commands.
+  std::vector<TextClassificationDataset::Example> examples;
+  const std::vector<std::string> device{
+      "turn on the lights", "turn off the lamp", "dim the lights",
+      "switch off the heater", "turn the thermostat up",
+      "lights off in the kitchen", "turn on the fan",
+      "switch the lamp on"};
+  const std::vector<std::string> media{
+      "play some music", "stop the music", "play my favorite song",
+      "pause the song", "turn the music down", "skip this song",
+      "play the next track", "stop playing"};
+  std::vector<std::string> corpus;
+  for (const auto& s : device) {
+    examples.push_back({s, 0});
+    corpus.push_back(s);
+  }
+  for (const auto& s : media) {
+    examples.push_back({s, 1});
+    corpus.push_back(s);
+  }
+  Tokenizer tok = Tokenizer::build(corpus, 64);
+  const std::int64_t seq = 8;
+  TextClassificationDataset ds(examples, tok, seq);
+
+  model::TechniqueConfig tc;
+  tc.technique = model::Technique::kParallelAdapters;
+  tc.pa_reduction = 4;
+  model::Model m(model::tiny(2, 32, 2, 64, seq), tc,
+                 model::TaskSpec{model::TaskKind::kClassification, 2}, 55);
+  nn::Adam opt(5e-3F);
+  std::vector<std::int64_t> all(static_cast<std::size_t>(ds.size()));
+  std::iota(all.begin(), all.end(), 0);
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    m.zero_grad();
+    Tensor logits = m.forward(ds.batch_tokens(all));
+    auto r = nn::softmax_cross_entropy(logits, ds.batch_labels(all));
+    m.backward(r.dlogits);
+    opt.step(m.trainable_parameters());
+  }
+  m.set_training_mode(false);
+  Tensor logits = m.forward(ds.batch_tokens(all));
+  const auto preds = nn::argmax_rows(logits);
+  std::int64_t correct = 0;
+  const auto labels = ds.batch_labels(all);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  EXPECT_GE(correct, ds.size() - 2)
+      << "intent classifier should fit the training set";
+}
+
+}  // namespace
+}  // namespace pac::data

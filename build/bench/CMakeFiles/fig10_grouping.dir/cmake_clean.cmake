@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_grouping.dir/fig10_grouping.cpp.o"
+  "CMakeFiles/fig10_grouping.dir/fig10_grouping.cpp.o.d"
+  "fig10_grouping"
+  "fig10_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cache.dir/fig11_cache.cpp.o"
+  "CMakeFiles/fig11_cache.dir/fig11_cache.cpp.o.d"
+  "fig11_cache"
+  "fig11_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_flops.dir/fig3_flops.cpp.o"
+  "CMakeFiles/fig3_flops.dir/fig3_flops.cpp.o.d"
+  "fig3_flops"
+  "fig3_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

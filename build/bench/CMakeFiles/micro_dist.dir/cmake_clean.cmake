@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dist.dir/micro_dist.cpp.o"
+  "CMakeFiles/micro_dist.dir/micro_dist.cpp.o.d"
+  "micro_dist"
+  "micro_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_quality.dir/table3_quality.cpp.o"
+  "CMakeFiles/table3_quality.dir/table3_quality.cpp.o.d"
+  "table3_quality"
+  "table3_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

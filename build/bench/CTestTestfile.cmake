@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_table1_memory "/root/repo/build/bench/table1_memory")
+set_tests_properties(bench_smoke_table1_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig3_flops "/root/repo/build/bench/fig3_flops")
+set_tests_properties(bench_smoke_fig3_flops PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10_grouping "/root/repo/build/bench/fig10_grouping")
+set_tests_properties(bench_smoke_fig10_grouping PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_micro_planner "/root/repo/build/bench/micro_planner")
+set_tests_properties(bench_smoke_micro_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_schedule "/root/repo/build/bench/ablation_schedule")
+set_tests_properties(bench_smoke_ablation_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_hetero "/root/repo/build/bench/ablation_hetero")
+set_tests_properties(bench_smoke_ablation_hetero PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig8_time_memory "/root/repo/build/bench/fig8_time_memory")
+set_tests_properties(bench_smoke_fig8_time_memory PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11_cache "/root/repo/build/bench/fig11_cache")
+set_tests_properties(bench_smoke_fig11_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table2_training_time "/root/repo/build/bench/table2_training_time")
+set_tests_properties(bench_smoke_table2_training_time PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig9_scalability "/root/repo/build/bench/fig9_scalability")
+set_tests_properties(bench_smoke_fig9_scalability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;30;add_test;/root/repo/bench/CMakeLists.txt;0;")

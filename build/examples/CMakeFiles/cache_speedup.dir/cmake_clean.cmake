@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_speedup.dir/cache_speedup.cpp.o"
+  "CMakeFiles/cache_speedup.dir/cache_speedup.cpp.o.d"
+  "cache_speedup"
+  "cache_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cluster_planning.dir/edge_cluster_planning.cpp.o"
+  "CMakeFiles/edge_cluster_planning.dir/edge_cluster_planning.cpp.o.d"
+  "edge_cluster_planning"
+  "edge_cluster_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cluster_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

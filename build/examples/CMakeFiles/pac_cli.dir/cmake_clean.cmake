@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_cli.dir/pac_cli.cpp.o"
+  "CMakeFiles/pac_cli.dir/pac_cli.cpp.o.d"
+  "pac_cli"
+  "pac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

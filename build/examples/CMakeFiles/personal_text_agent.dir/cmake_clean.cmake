@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personal_text_agent.dir/personal_text_agent.cpp.o"
+  "CMakeFiles/personal_text_agent.dir/personal_text_agent.cpp.o.d"
+  "personal_text_agent"
+  "personal_text_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personal_text_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_agent.dir/smart_home_agent.cpp.o"
+  "CMakeFiles/smart_home_agent.dir/smart_home_agent.cpp.o.d"
+  "smart_home_agent"
+  "smart_home_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/pac_baselines.dir/baselines.cpp.o.d"
+  "libpac_baselines.a"
+  "libpac_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_cache.dir/activation_cache.cpp.o"
+  "CMakeFiles/pac_cache.dir/activation_cache.cpp.o.d"
+  "CMakeFiles/pac_cache.dir/redistribution.cpp.o"
+  "CMakeFiles/pac_cache.dir/redistribution.cpp.o.d"
+  "libpac_cache.a"
+  "libpac_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_common.dir/logging.cpp.o"
+  "CMakeFiles/pac_common.dir/logging.cpp.o.d"
+  "CMakeFiles/pac_common.dir/serialize.cpp.o"
+  "CMakeFiles/pac_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/pac_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/pac_common.dir/thread_pool.cpp.o.d"
+  "libpac_common.a"
+  "libpac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

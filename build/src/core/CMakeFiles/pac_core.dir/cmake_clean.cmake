@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_core.dir/session.cpp.o"
+  "CMakeFiles/pac_core.dir/session.cpp.o.d"
+  "libpac_core.a"
+  "libpac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

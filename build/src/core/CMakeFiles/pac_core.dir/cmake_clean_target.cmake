@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpac_core.a"
+)

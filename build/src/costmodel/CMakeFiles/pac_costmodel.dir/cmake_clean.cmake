@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_costmodel.dir/block_cost.cpp.o"
+  "CMakeFiles/pac_costmodel.dir/block_cost.cpp.o.d"
+  "CMakeFiles/pac_costmodel.dir/flops.cpp.o"
+  "CMakeFiles/pac_costmodel.dir/flops.cpp.o.d"
+  "CMakeFiles/pac_costmodel.dir/memory_model.cpp.o"
+  "CMakeFiles/pac_costmodel.dir/memory_model.cpp.o.d"
+  "libpac_costmodel.a"
+  "libpac_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_data.dir/dataset.cpp.o"
+  "CMakeFiles/pac_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/pac_data.dir/metrics.cpp.o"
+  "CMakeFiles/pac_data.dir/metrics.cpp.o.d"
+  "CMakeFiles/pac_data.dir/tokenizer.cpp.o"
+  "CMakeFiles/pac_data.dir/tokenizer.cpp.o.d"
+  "libpac_data.a"
+  "libpac_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

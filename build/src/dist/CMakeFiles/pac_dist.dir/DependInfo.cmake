@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster.cpp" "src/dist/CMakeFiles/pac_dist.dir/cluster.cpp.o" "gcc" "src/dist/CMakeFiles/pac_dist.dir/cluster.cpp.o.d"
+  "/root/repo/src/dist/communicator.cpp" "src/dist/CMakeFiles/pac_dist.dir/communicator.cpp.o" "gcc" "src/dist/CMakeFiles/pac_dist.dir/communicator.cpp.o.d"
+  "/root/repo/src/dist/memory_ledger.cpp" "src/dist/CMakeFiles/pac_dist.dir/memory_ledger.cpp.o" "gcc" "src/dist/CMakeFiles/pac_dist.dir/memory_ledger.cpp.o.d"
+  "/root/repo/src/dist/transport.cpp" "src/dist/CMakeFiles/pac_dist.dir/transport.cpp.o" "gcc" "src/dist/CMakeFiles/pac_dist.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

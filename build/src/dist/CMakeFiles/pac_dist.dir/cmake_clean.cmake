@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_dist.dir/cluster.cpp.o"
+  "CMakeFiles/pac_dist.dir/cluster.cpp.o.d"
+  "CMakeFiles/pac_dist.dir/communicator.cpp.o"
+  "CMakeFiles/pac_dist.dir/communicator.cpp.o.d"
+  "CMakeFiles/pac_dist.dir/memory_ledger.cpp.o"
+  "CMakeFiles/pac_dist.dir/memory_ledger.cpp.o.d"
+  "CMakeFiles/pac_dist.dir/transport.cpp.o"
+  "CMakeFiles/pac_dist.dir/transport.cpp.o.d"
+  "libpac_dist.a"
+  "libpac_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/checkpoint.cpp" "src/model/CMakeFiles/pac_model.dir/checkpoint.cpp.o" "gcc" "src/model/CMakeFiles/pac_model.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/model/config.cpp" "src/model/CMakeFiles/pac_model.dir/config.cpp.o" "gcc" "src/model/CMakeFiles/pac_model.dir/config.cpp.o.d"
+  "/root/repo/src/model/model.cpp" "src/model/CMakeFiles/pac_model.dir/model.cpp.o" "gcc" "src/model/CMakeFiles/pac_model.dir/model.cpp.o.d"
+  "/root/repo/src/model/parallel_adapter.cpp" "src/model/CMakeFiles/pac_model.dir/parallel_adapter.cpp.o" "gcc" "src/model/CMakeFiles/pac_model.dir/parallel_adapter.cpp.o.d"
+  "/root/repo/src/model/seq2seq.cpp" "src/model/CMakeFiles/pac_model.dir/seq2seq.cpp.o" "gcc" "src/model/CMakeFiles/pac_model.dir/seq2seq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_model.dir/checkpoint.cpp.o"
+  "CMakeFiles/pac_model.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/pac_model.dir/config.cpp.o"
+  "CMakeFiles/pac_model.dir/config.cpp.o.d"
+  "CMakeFiles/pac_model.dir/model.cpp.o"
+  "CMakeFiles/pac_model.dir/model.cpp.o.d"
+  "CMakeFiles/pac_model.dir/parallel_adapter.cpp.o"
+  "CMakeFiles/pac_model.dir/parallel_adapter.cpp.o.d"
+  "CMakeFiles/pac_model.dir/seq2seq.cpp.o"
+  "CMakeFiles/pac_model.dir/seq2seq.cpp.o.d"
+  "libpac_model.a"
+  "libpac_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/pac_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/pac_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/pac_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/feedforward.cpp" "src/nn/CMakeFiles/pac_nn.dir/feedforward.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/feedforward.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/nn/CMakeFiles/pac_nn.dir/layernorm.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/pac_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/losses.cpp" "src/nn/CMakeFiles/pac_nn.dir/losses.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/losses.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/pac_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/transformer_layer.cpp" "src/nn/CMakeFiles/pac_nn.dir/transformer_layer.cpp.o" "gcc" "src/nn/CMakeFiles/pac_nn.dir/transformer_layer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_nn.dir/attention.cpp.o"
+  "CMakeFiles/pac_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/dropout.cpp.o"
+  "CMakeFiles/pac_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/embedding.cpp.o"
+  "CMakeFiles/pac_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/feedforward.cpp.o"
+  "CMakeFiles/pac_nn.dir/feedforward.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/layernorm.cpp.o"
+  "CMakeFiles/pac_nn.dir/layernorm.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/linear.cpp.o"
+  "CMakeFiles/pac_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/losses.cpp.o"
+  "CMakeFiles/pac_nn.dir/losses.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/pac_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/pac_nn.dir/transformer_layer.cpp.o"
+  "CMakeFiles/pac_nn.dir/transformer_layer.cpp.o.d"
+  "libpac_nn.a"
+  "libpac_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_pipeline.dir/plan.cpp.o"
+  "CMakeFiles/pac_pipeline.dir/plan.cpp.o.d"
+  "CMakeFiles/pac_pipeline.dir/runners.cpp.o"
+  "CMakeFiles/pac_pipeline.dir/runners.cpp.o.d"
+  "CMakeFiles/pac_pipeline.dir/schedule.cpp.o"
+  "CMakeFiles/pac_pipeline.dir/schedule.cpp.o.d"
+  "CMakeFiles/pac_pipeline.dir/stage_worker.cpp.o"
+  "CMakeFiles/pac_pipeline.dir/stage_worker.cpp.o.d"
+  "libpac_pipeline.a"
+  "libpac_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_planner.dir/planner.cpp.o"
+  "CMakeFiles/pac_planner.dir/planner.cpp.o.d"
+  "CMakeFiles/pac_planner.dir/profile.cpp.o"
+  "CMakeFiles/pac_planner.dir/profile.cpp.o.d"
+  "CMakeFiles/pac_planner.dir/profiler.cpp.o"
+  "CMakeFiles/pac_planner.dir/profiler.cpp.o.d"
+  "libpac_planner.a"
+  "libpac_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/pac_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/pac_sim.dir/scenarios.cpp.o"
+  "CMakeFiles/pac_sim.dir/scenarios.cpp.o.d"
+  "libpac_sim.a"
+  "libpac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

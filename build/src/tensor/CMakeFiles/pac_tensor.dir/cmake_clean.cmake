@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pac_tensor.dir/ops.cpp.o"
+  "CMakeFiles/pac_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/pac_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/pac_tensor.dir/tensor.cpp.o.d"
+  "libpac_tensor.a"
+  "libpac_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pac_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

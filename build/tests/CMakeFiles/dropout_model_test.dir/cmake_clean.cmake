@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dropout_model_test.dir/dropout_model_test.cpp.o"
+  "CMakeFiles/dropout_model_test.dir/dropout_model_test.cpp.o.d"
+  "dropout_model_test"
+  "dropout_model_test.pdb"
+  "dropout_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dropout_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hetero_test.cpp" "tests/CMakeFiles/hetero_test.dir/hetero_test.cpp.o" "gcc" "tests/CMakeFiles/hetero_test.dir/hetero_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/planner/CMakeFiles/pac_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/pac_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/pac_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/pac_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/pac_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pac_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

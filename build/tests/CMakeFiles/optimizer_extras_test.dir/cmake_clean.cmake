@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_extras_test.dir/optimizer_extras_test.cpp.o"
+  "CMakeFiles/optimizer_extras_test.dir/optimizer_extras_test.cpp.o.d"
+  "optimizer_extras_test"
+  "optimizer_extras_test.pdb"
+  "optimizer_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

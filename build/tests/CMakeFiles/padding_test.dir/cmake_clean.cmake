@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padding_test.dir/padding_test.cpp.o"
+  "CMakeFiles/padding_test.dir/padding_test.cpp.o.d"
+  "padding_test"
+  "padding_test.pdb"
+  "padding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for padding_test.
+# This may be replaced when dependencies are built.

@@ -6,6 +6,7 @@
 //           [--technique pa|full|adapters|lora]
 //           [--task mrpc|stsb|sst2|qnli]
 //           [--devices N] [--batch N] [--epochs N] [--no-cache]
+//           [--fail-device N] [--fail-at FRACTION]
 //
 // Prints the chosen plan, per-phase timings, total hours, and per-device
 // memory — the same machinery behind bench/table2_training_time, exposed
@@ -26,7 +27,8 @@ using namespace pac;
                "[--system pac|ecofl|eddl|standalone] "
                "[--technique pa|full|adapters|lora] "
                "[--task mrpc|stsb|sst2|qnli] [--devices N] [--batch N] "
-               "[--epochs N] [--no-cache]\n",
+               "[--epochs N] [--no-cache] "
+               "[--fail-device N] [--fail-at FRACTION]\n",
                argv0);
   std::exit(2);
 }
@@ -102,6 +104,10 @@ int main(int argc, char** argv) {
       cfg.epochs = std::atoi(next().c_str());
     } else if (arg == "--no-cache") {
       cfg.pac_use_cache = false;
+    } else if (arg == "--fail-device") {
+      cfg.fail_device = std::atoi(next().c_str());
+    } else if (arg == "--fail-at") {
+      cfg.fail_at_epoch_fraction = std::atof(next().c_str());
     } else {
       usage(argv[0]);
     }
@@ -129,6 +135,13 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntotal: %.2f h (%.4f s/sample over the whole run)\n",
               r.total_hours, r.seconds_per_sample);
+  if (r.recovery_seconds > 0.0) {
+    std::printf(
+        "device %d died %.0f%% into epoch 1: %.1f s of work wasted, "
+        "run recovered onto %d survivors\n",
+        cfg.fail_device, cfg.fail_at_epoch_fraction * 100.0,
+        r.recovery_seconds, r.surviving_devices);
+  }
   std::uint64_t peak = 0;
   for (std::uint64_t m : r.peak_memory_per_device) peak = std::max(peak, m);
   std::printf("peak device memory: %.2f GiB of %.2f GiB usable\n",

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CI entry point: regular build + full suite, a repeat/shuffle pass to
+# flush timing-dependent flakes out of the concurrency-heavy suites, and a
+# ThreadSanitizer build racing the transport/pipeline/chaos tests.
+#
+# Usage: scripts/ci.sh [all|test|stress|tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+JOBS="${JOBS:-$(nproc)}"
+# A fresh seed per CI run; override GTEST_SEED to reproduce a failure.
+SEED="${GTEST_SEED:-$((RANDOM % 99999))}"
+
+build() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+}
+
+run_tests() {
+  (cd "$1" && ctest --output-on-failure -j "$JOBS")
+}
+
+# The suites that exercise real threads and message timing.
+CONCURRENT_SUITES=(dist_test pipeline_test chaos_test)
+
+stress_pass() {
+  local dir="$1"
+  echo "=== repeat/shuffle stress pass (seed ${SEED}) ==="
+  for suite in "${CONCURRENT_SUITES[@]}"; do
+    "${dir}/tests/${suite}" \
+      --gtest_repeat=3 --gtest_shuffle --gtest_random_seed="${SEED}" \
+      --gtest_brief=1
+  done
+}
+
+case "$MODE" in
+  test)
+    build build
+    run_tests build
+    ;;
+  stress)
+    build build
+    stress_pass build
+    ;;
+  tsan)
+    build build-tsan -DPAC_SANITIZE=thread
+    echo "=== ThreadSanitizer pass ==="
+    for suite in "${CONCURRENT_SUITES[@]}"; do
+      "build-tsan/tests/${suite}" --gtest_brief=1
+    done
+    ;;
+  all)
+    build build
+    run_tests build
+    stress_pass build
+    build build-tsan -DPAC_SANITIZE=thread
+    echo "=== ThreadSanitizer pass ==="
+    for suite in "${CONCURRENT_SUITES[@]}"; do
+      "build-tsan/tests/${suite}" --gtest_brief=1
+    done
+    ;;
+  *)
+    echo "unknown mode: $MODE (expected all|test|stress|tsan)" >&2
+    exit 2
+    ;;
+esac

@@ -1,6 +1,7 @@
 #include "cache/redistribution.hpp"
 
 #include <map>
+#include <numeric>
 #include <set>
 #include <vector>
 
@@ -10,20 +11,24 @@ namespace pac::cache {
 
 RedistStats redistribute_cache(
     dist::DeviceContext& ctx, ActivationCache& shard,
-    const std::function<int(std::int64_t)>& target_of_sample) {
+    const std::function<int(std::int64_t)>& target_of_sample,
+    const std::vector<int>& group) {
   RedistStats stats;
-  const int world = ctx.world_size;
   const int me = ctx.rank;
   const int tag_count = pipeline::tags::kRedistCacheBase;
   const int tag_header = pipeline::tags::kRedistCacheBase + 1;
   const int tag_payload = pipeline::tags::kRedistCacheBase + 2;
+  const std::set<int> members(group.begin(), group.end());
+  PAC_CHECK(members.count(me) == 1,
+            "redistribute_cache group must contain the calling rank");
 
   // Partition held blocks by destination.
   std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> outgoing;
   std::set<std::int64_t> shipped_samples;
   for (const auto& [sample, block] : shard.held_blocks()) {
     const int dst = target_of_sample(sample);
-    PAC_CHECK(dst >= 0 && dst < world, "bad redistribution target " << dst);
+    PAC_CHECK(members.count(dst) == 1,
+              "redistribution target " << dst << " is not in the group");
     if (dst == me) continue;
     outgoing[dst].emplace_back(sample, block);
     shipped_samples.insert(sample);
@@ -31,7 +36,7 @@ RedistStats redistribute_cache(
 
   // Announce counts, then stream items.  Sends never block, so issuing all
   // sends before any recv is deadlock-free.
-  for (int peer = 0; peer < world; ++peer) {
+  for (int peer : group) {
     if (peer == me) continue;
     const auto it = outgoing.find(peer);
     const std::int64_t n =
@@ -52,7 +57,7 @@ RedistStats redistribute_cache(
   }
 
   // Receive from every peer.
-  for (int peer = 0; peer < world; ++peer) {
+  for (int peer : group) {
     if (peer == me) continue;
     const auto n = static_cast<std::int64_t>(
         ctx.comm.recv(peer, tag_count).at({0}));
@@ -71,6 +76,14 @@ RedistStats redistribute_cache(
     shard.drop_sample(sample);
   }
   return stats;
+}
+
+RedistStats redistribute_cache(
+    dist::DeviceContext& ctx, ActivationCache& shard,
+    const std::function<int(std::int64_t)>& target_of_sample) {
+  std::vector<int> everyone(static_cast<std::size_t>(ctx.world_size));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  return redistribute_cache(ctx, shard, target_of_sample, everyone);
 }
 
 }  // namespace pac::cache

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "cache/activation_cache.hpp"
 #include "dist/cluster.hpp"
@@ -24,9 +26,17 @@ struct RedistStats {
   std::uint64_t items_received = 0;
 };
 
-// Must be called by every rank of the cluster (inside EdgeCluster::run).
-// target_of_sample maps a dataset sample id to the rank that will train on
-// it in phase 2.
+// Must be called by every rank of `group` (inside EdgeCluster::run).
+// target_of_sample maps a dataset sample id to the rank (a member of
+// `group`) that will train on it in phase 2.  `group` must be sorted,
+// unique, and contain ctx.rank; after a device death the survivors pass
+// cluster.alive_ranks() so the all-to-all skips the dead rank.
+RedistStats redistribute_cache(
+    dist::DeviceContext& ctx, ActivationCache& shard,
+    const std::function<int(std::int64_t)>& target_of_sample,
+    const std::vector<int>& group);
+
+// Whole-world convenience overload.
 RedistStats redistribute_cache(
     dist::DeviceContext& ctx, ActivationCache& shard,
     const std::function<int(std::int64_t)>& target_of_sample);
@@ -35,6 +45,16 @@ RedistStats redistribute_cache(
 inline std::function<int(std::int64_t)> modulo_sharding(int world_size) {
   return [world_size](std::int64_t sample_id) {
     return static_cast<int>(sample_id % world_size);
+  };
+}
+
+// Recovery sharding: samples round-robin over an explicit (sorted) rank
+// list — the survivors after a device death.
+inline std::function<int(std::int64_t)> modulo_sharding_over(
+    std::vector<int> ranks) {
+  return [ranks = std::move(ranks)](std::int64_t sample_id) {
+    return ranks[static_cast<std::size_t>(
+        sample_id % static_cast<std::int64_t>(ranks.size()))];
   };
 }
 

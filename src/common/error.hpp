@@ -61,6 +61,43 @@ class ChannelClosedError : public Error {
   explicit ChannelClosedError(const std::string& what) : Error(what) {}
 };
 
+// A specific peer rank is dead (crashed, powered off, or presumed dead
+// after recv timeouts).  Distinct from ChannelClosedError: only links that
+// touch the dead rank are affected; the rest of the world keeps running.
+class PeerDeadError : public Error {
+ public:
+  PeerDeadError(int rank, const std::string& what)
+      : Error(what), rank_(rank) {}
+
+  // The rank that died (or is presumed dead).
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
+// A send failed transiently (injected link glitch); retrying the same send
+// is expected to succeed.  Communicator::send retries with backoff.
+class TransientSendError : public Error {
+ public:
+  explicit TransientSendError(const std::string& what) : Error(what) {}
+};
+
+// Raised on the dying rank's own thread when a scheduled fault kills it.
+// EdgeCluster::run converts this into a rank-scoped close so survivors
+// unwind with PeerDeadError instead of ChannelClosedError.
+class RankDeathError : public Error {
+ public:
+  explicit RankDeathError(int rank)
+      : Error("rank " + std::to_string(rank) + " died (injected fault)"),
+        rank_(rank) {}
+
+  int rank() const noexcept { return rank_; }
+
+ private:
+  int rank_;
+};
+
 // Requested activation-cache entry does not exist.
 class CacheMissError : public Error {
  public:

@@ -40,6 +40,9 @@ pipeline::ModelFactory Session::make_factory(
 }
 
 std::vector<planner::BlockProfile> Session::profile() {
+  if (config_.profile_override.has_value()) {
+    return *config_.profile_override;
+  }
   auto m = make_factory(nullptr)();
   const std::int64_t micro_rows = std::max<std::int64_t>(
       1, config_.batch_size / std::max<std::int64_t>(
@@ -51,38 +54,72 @@ std::vector<planner::BlockProfile> Session::profile() {
   return planner::profile_model(*m, batch.tokens, /*iters=*/3);
 }
 
-planner::PlanEstimate Session::plan() {
+planner::PlanEstimate Session::plan_over_alive(double* profile_seconds,
+                                               double* planning_seconds) {
   WallTimer profile_timer;
   planner::PlannerInput input;
   input.blocks = profile();
-  const double profile_s = profile_timer.seconds();
+  if (profile_seconds != nullptr) *profile_seconds = profile_timer.seconds();
 
-  input.num_devices = cluster_.size();
+  const std::vector<int> alive = cluster_.alive_ranks();
+  input.num_devices = static_cast<int>(alive.size());
   std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
-  for (int r = 0; r < cluster_.size(); ++r) {
+  for (int r : alive) {
     budget = std::min(budget, cluster_.ledger(r).budget());
   }
   input.device_budget_bytes = budget;
   input.num_micro_batches = config_.num_micro_batches;
   input.network = config_.network;
-  for (int r = 0; r < cluster_.size(); ++r) {
+  for (int r : alive) {
     input.device_scales.push_back(cluster_.spec(r).compute_scale);
   }
 
   WallTimer plan_timer;
   planner::PlanEstimate est = planner::plan_hybrid(input);
-  PAC_LOG_INFO << "profiling " << profile_s << "s, planning "
-               << plan_timer.seconds() << "s: " << est.note;
+  if (planning_seconds != nullptr) *planning_seconds = plan_timer.seconds();
+
+  // The planner assigns dense device indices 0..n_alive-1; remap them onto
+  // the surviving cluster ranks (stage groups stay contiguous and sorted
+  // because alive ranks are sorted).
+  for (auto& st : est.plan.stages) {
+    for (int& d : st.devices) {
+      d = alive[static_cast<std::size_t>(d)];
+    }
+  }
   return est;
+}
+
+planner::PlanEstimate Session::plan() {
+  double profile_s = 0.0;
+  double plan_s = 0.0;
+  planner::PlanEstimate est = plan_over_alive(&profile_s, &plan_s);
+  PAC_LOG_INFO << "profiling " << profile_s << "s, planning " << plan_s
+               << "s: " << est.note;
+  return est;
+}
+
+bool Session::absorb_death(int rank) {
+  if (recoveries_used_ >= config_.max_rank_recoveries) return false;
+  const int remaining =
+      cluster_.num_alive() - (cluster_.is_dead(rank) ? 0 : 1);
+  if (remaining < 1) return false;
+  if (!cluster_.is_dead(rank)) cluster_.mark_dead(rank);
+  ++recoveries_used_;
+  dead_ranks_seen_.push_back(rank);
+  return true;
 }
 
 SessionReport Session::run() {
   const std::int64_t original_batch = config_.batch_size;
+  recoveries_used_ = 0;
+  dead_ranks_seen_.clear();
   int retries = 0;
   for (;;) {
     try {
       SessionReport report = run_attempt();
       report.oom_retries = retries;
+      report.rank_deaths = recoveries_used_;
+      report.dead_ranks = dead_ranks_seen_;
       report.effective_batch_size = config_.batch_size;
       config_.batch_size = original_batch;
       return report;
@@ -97,6 +134,23 @@ SessionReport Session::run() {
           config_.num_micro_batches, config_.batch_size);
       PAC_LOG_WARN << "OOM; retrying with batch " << config_.batch_size
                    << " (retry " << retries << ")";
+    } catch (const RankDeathError& e) {
+      if (!absorb_death(e.rank())) {
+        config_.batch_size = original_batch;
+        throw;
+      }
+      PAC_LOG_WARN << "device " << e.rank() << " died; restarting over "
+                   << cluster_.num_alive() << " survivors";
+    } catch (const PeerDeadError& e) {
+      // A recv-timeout presumption that no injected death explains: treat
+      // the unresponsive peer as lost and continue without it.
+      if (!absorb_death(e.rank())) {
+        config_.batch_size = original_batch;
+        throw;
+      }
+      PAC_LOG_WARN << "device " << e.rank()
+                   << " presumed dead (recv timeout); restarting over "
+                   << cluster_.num_alive() << " survivors";
     }
   }
 }
@@ -104,41 +158,24 @@ SessionReport Session::run() {
 SessionReport Session::run_attempt() {
   SessionReport report;
   WallTimer total_timer;
+  const std::vector<int> alive = cluster_.alive_ranks();
 
-  // ---- steps 1-2: profile + plan ----
-  {
-    WallTimer t;
-    planner::PlannerInput input;
-    input.blocks = profile();
-    report.profile_seconds = t.seconds();
-    input.num_devices = cluster_.size();
-    std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
-    for (int r = 0; r < cluster_.size(); ++r) {
-      budget = std::min(budget, cluster_.ledger(r).budget());
-    }
-    input.device_budget_bytes = budget;
-    input.num_micro_batches = config_.num_micro_batches;
-    input.network = config_.network;
-    for (int r = 0; r < cluster_.size(); ++r) {
-      input.device_scales.push_back(cluster_.spec(r).compute_scale);
-    }
-    WallTimer t2;
-    report.plan = planner::plan_hybrid(input);
-    report.planning_seconds = t2.seconds();
-  }
+  // ---- steps 1-2: profile + plan (over the surviving ranks) ----
+  report.plan = plan_over_alive(&report.profile_seconds,
+                                &report.planning_seconds);
   if (!report.plan.feasible) {
     // Surfaced as a device OOM so the retry loop (and callers) treat
     // planner infeasibility and runtime OOM uniformly.
     std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
-    for (int r = 0; r < cluster_.size(); ++r) {
+    for (int r : alive) {
       budget = std::min(budget, cluster_.ledger(r).budget());
     }
     std::uint64_t worst = 0;
     for (std::uint64_t m : report.plan.stage_memory_bytes) {
       worst = std::max(worst, m);
     }
-    throw DeviceOomError(/*device_id=*/0, std::max(worst, budget + 1),
-                         budget);
+    throw DeviceOomError(/*device_id=*/alive[0],
+                         std::max(worst, budget + 1), budget);
   }
 
   const bool cache_phase =
@@ -151,11 +188,12 @@ SessionReport Session::run_attempt() {
   // ---- steps 3-4: phase-1 hybrid fine-tuning (with recording) ----
   const std::int64_t blocks_per_sample =
       config_.model.encoder_layers + 1;  // b_0 .. b_L
-  std::vector<std::unique_ptr<cache::ActivationCache>> shards;
+  std::vector<std::unique_ptr<cache::ActivationCache>> shards(
+      static_cast<std::size_t>(cluster_.size()));
   std::vector<pipeline::ActivationRecorder*> recorders(
       static_cast<std::size_t>(cluster_.size()), nullptr);
   if (cache_phase) {
-    for (int r = 0; r < cluster_.size(); ++r) {
+    for (int r : alive) {
       cache::CacheConfig cc;
       cc.num_blocks = blocks_per_sample;
       cc.disk_backed = config_.cache_disk_backed;
@@ -166,8 +204,10 @@ SessionReport Session::run_attempt() {
             config_.cache_directory + "/device_" + std::to_string(r);
       }
       cc.ledger = &cluster_.ledger(r);
-      shards.push_back(std::make_unique<cache::ActivationCache>(cc));
-      recorders[static_cast<std::size_t>(r)] = shards.back().get();
+      shards[static_cast<std::size_t>(r)] =
+          std::make_unique<cache::ActivationCache>(cc);
+      recorders[static_cast<std::size_t>(r)] =
+          shards[static_cast<std::size_t>(r)].get();
     }
   }
 
@@ -181,6 +221,10 @@ SessionReport Session::run_attempt() {
     run.lr = config_.lr;
     run.shuffle_seed = config_.shuffle_seed;
     run.run_eval = config_.run_eval && !cache_phase;
+    // A death here propagates to run(): phase 1 restarts from scratch on
+    // the survivors (its partially-recorded cache shards would have to be
+    // re-recorded anyway), which reproduces a fault-free survivors run
+    // bit-for-bit.
     report.phase1 = pipeline::run_training(
         cluster_, dataset_, make_factory(nullptr), run,
         cache_phase ? &recorders : nullptr);
@@ -194,47 +238,109 @@ SessionReport Session::run_attempt() {
   }
 
   // ---- step 5a: redistribute cache shards + adapter parameters ----
-  {
-    WallTimer t;
-    auto target = cache::modulo_sharding(cluster_.size());
+  auto target = cache::modulo_sharding_over(alive);
+  auto run_redistribution = [&](const std::vector<int>& group,
+                                const std::function<int(std::int64_t)>& t) {
+    WallTimer t_redist;
     std::mutex stats_mutex;
     cluster_.run([&](dist::DeviceContext& ctx) {
       cache::RedistStats stats = cache::redistribute_cache(
-          ctx, *shards[static_cast<std::size_t>(ctx.rank)], target);
+          ctx, *shards[static_cast<std::size_t>(ctx.rank)], t, group);
       std::lock_guard<std::mutex> stats_guard(stats_mutex);
       report.redistribution.items_sent += stats.items_sent;
       report.redistribution.items_received += stats.items_received;
       report.redistribution.payload_bytes_sent += stats.payload_bytes_sent;
     });
-    report.redistribution_seconds = t.seconds();
-  }
+    report.redistribution_seconds += t_redist.seconds();
+  };
+  run_redistribution(alive, target);
   for (const auto& shard : shards) {
-    report.cache_bytes_total += shard->total_bytes();
+    if (shard != nullptr) report.cache_bytes_total += shard->total_bytes();
   }
 
-  // ---- step 5b: cached data-parallel epochs ----
+  // ---- step 5b: cached data-parallel epochs (with death recovery) ----
   {
     std::vector<std::vector<std::int64_t>> assignments(
         static_cast<std::size_t>(cluster_.size()));
     for (std::int64_t s = 0; s < dataset_.train_size(); ++s) {
-      assignments[static_cast<std::size_t>(s % cluster_.size())].push_back(
-          s);
+      assignments[static_cast<std::size_t>(target(s))].push_back(s);
     }
     std::vector<const pipeline::ActivationSource*> sources;
     for (const auto& shard : shards) sources.push_back(shard.get());
 
+    // Epoch-boundary snapshots make a mid-phase death recoverable: resume
+    // from the last committed epoch instead of replaying phase 2.
+    pipeline::RecoveryLog recovery;
+    std::map<std::string, Tensor> start_params =
+        report.phase1.trainable_values;
+
     pipeline::CachedRunConfig run;
     run.device_batch_size = std::max<std::int64_t>(
-        1, config_.batch_size / cluster_.size());
-    run.epochs = config_.epochs - 1;
+        1, config_.batch_size / cluster_.num_alive());
     run.lr = config_.lr;
     run.allreduce = config_.allreduce;
     run.shuffle_seed = config_.shuffle_seed + 991;
     run.run_eval = config_.run_eval;
-    report.phase2 = pipeline::run_cached_data_parallel(
-        cluster_, dataset_, make_factory(&report.phase1.trainable_values),
-        sources, assignments, run);
+    run.recovery = &recovery;
+
+    // Shrinks the DP group after `dead` died: salvage its shard (modelling
+    // a re-read of the disk-persisted cache), re-shard over the survivors
+    // through the normal redistribution path, and restore adapter params
+    // from the last committed epoch.
+    auto shrink_after_death = [&](int dead) {
+      const std::vector<int> now_alive = cluster_.alive_ranks();
+      auto new_target = cache::modulo_sharding_over(now_alive);
+      auto& dead_shard = shards[static_cast<std::size_t>(dead)];
+      if (dead_shard != nullptr) {
+        for (const auto& [sample, block] : dead_shard->held_blocks()) {
+          shards[static_cast<std::size_t>(new_target(sample))]->put_block(
+              sample, block, dead_shard->get_block(sample, block));
+        }
+        dead_shard.reset();
+        sources[static_cast<std::size_t>(dead)] = nullptr;
+      }
+      run_redistribution(now_alive, new_target);
+      for (auto& a : assignments) a.clear();
+      for (std::int64_t s = 0; s < dataset_.train_size(); ++s) {
+        assignments[static_cast<std::size_t>(new_target(s))].push_back(s);
+      }
+      if (recovery.has_restore_point()) {
+        for (auto& [name, value] : recovery.restore_point()) {
+          start_params[name] = value;
+        }
+      }
+    };
+
+    for (;;) {
+      try {
+        run.first_epoch = recovery.epochs_completed();
+        run.epochs = (config_.epochs - 1) - run.first_epoch;
+        report.phase2 = pipeline::run_cached_data_parallel(
+            cluster_, dataset_, make_factory(&start_params), sources,
+            assignments, run);
+        break;
+      } catch (const RankDeathError& e) {
+        if (!absorb_death(e.rank())) throw;
+        PAC_LOG_WARN << "device " << e.rank() << " died in phase 2; "
+                     << "resuming from epoch "
+                     << recovery.epochs_completed() << " on "
+                     << cluster_.num_alive() << " survivors";
+        shrink_after_death(e.rank());
+      } catch (const PeerDeadError& e) {
+        if (!absorb_death(e.rank())) throw;
+        PAC_LOG_WARN << "device " << e.rank() << " presumed dead in "
+                     << "phase 2; resuming from epoch "
+                     << recovery.epochs_completed() << " on "
+                     << cluster_.num_alive() << " survivors";
+        shrink_after_death(e.rank());
+      }
+    }
+    // The committed log covers every phase-2 epoch, including epochs that
+    // ran before a mid-phase death; the last RunResult alone would not.
+    report.phase2.epoch_losses = recovery.committed_losses();
   }
+  report.rank_deaths = recoveries_used_;
+  report.dead_ranks = dead_ranks_seen_;
   report.epoch_losses.insert(report.epoch_losses.end(),
                              report.phase2.epoch_losses.begin(),
                              report.phase2.epoch_losses.end());

@@ -59,11 +59,26 @@ struct SessionConfig {
   // OOMs mid-run, halve the mini-batch (activations shrink proportionally)
   // and re-plan, up to this many times before giving up.
   int max_oom_retries = 2;
+
+  // Device-death resilience: survive up to this many rank deaths per
+  // run().  Phase 1 restarts on the survivors (partial cache shards must
+  // be re-recorded anyway); phase 2 restores adapter params from the last
+  // committed epoch, re-shards the cache over the survivors (the dead
+  // device's shard is salvaged — it models a disk-persisted cache) and
+  // resumes.  Set to 0 to rethrow the first death instead.
+  int max_rank_recoveries = 1;
+
+  // Deterministic per-block profiles (bypasses the wall-clock profiler).
+  // Chaos/recovery tests set this so the plan — and therefore the whole
+  // training trajectory — is reproducible across runs.
+  std::optional<std::vector<planner::BlockProfile>> profile_override;
 };
 
 struct SessionReport {
   planner::PlanEstimate plan;
   int oom_retries = 0;                 // re-planning rounds that were needed
+  int rank_deaths = 0;                 // device deaths survived this run
+  std::vector<int> dead_ranks;         // ranks lost, in order of death
   std::int64_t effective_batch_size = 0;  // batch actually used
   double profile_seconds = 0.0;
   double planning_seconds = 0.0;
@@ -98,11 +113,20 @@ class Session {
   pipeline::ModelFactory make_factory(
       const std::map<std::string, Tensor>* overrides) const;
   std::vector<planner::BlockProfile> profile();
+  // Profiles + plans over the cluster's *surviving* ranks, remapping the
+  // planner's dense device indices onto cluster ranks.
+  planner::PlanEstimate plan_over_alive(double* profile_seconds,
+                                        double* planning_seconds);
+  // Registers a death (the cluster may already have marked it) and
+  // decides whether the recovery budget allows continuing.
+  bool absorb_death(int rank);
 
   dist::EdgeCluster& cluster_;
   const data::Dataset& dataset_;
   SessionConfig config_;
   model::TaskSpec task_;
+  int recoveries_used_ = 0;
+  std::vector<int> dead_ranks_seen_;
 };
 
 }  // namespace pac::core

@@ -16,6 +16,7 @@ EdgeCluster::EdgeCluster(std::vector<DeviceSpec> devices, LinkModel link)
         std::make_unique<MemoryLedger>(i, devices_[static_cast<std::size_t>(i)]
                                               .memory_budget));
   }
+  dead_.assign(devices_.size(), false);
 }
 
 EdgeCluster::EdgeCluster(int n, std::uint64_t memory_budget_bytes,
@@ -35,19 +36,71 @@ const DeviceSpec& EdgeCluster::spec(int rank) const {
   return devices_[static_cast<std::size_t>(rank)];
 }
 
+void EdgeCluster::mark_dead(int rank) {
+  PAC_CHECK(rank >= 0 && rank < size(), "mark_dead rank out of range");
+  dead_[static_cast<std::size_t>(rank)] = true;
+  PAC_CHECK(num_alive() > 0, "marking rank " << rank
+                                             << " dead leaves no devices");
+}
+
+bool EdgeCluster::is_dead(int rank) const {
+  PAC_CHECK(rank >= 0 && rank < size(), "is_dead rank out of range");
+  return dead_[static_cast<std::size_t>(rank)];
+}
+
+int EdgeCluster::num_alive() const {
+  int alive = 0;
+  for (bool d : dead_) alive += d ? 0 : 1;
+  return alive;
+}
+
+std::vector<int> EdgeCluster::alive_ranks() const {
+  std::vector<int> out;
+  for (int r = 0; r < size(); ++r) {
+    if (!dead_[static_cast<std::size_t>(r)]) out.push_back(r);
+  }
+  return out;
+}
+
 void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
-  transport_ = std::make_unique<Transport>(size(), link_);
+  transport_ = std::make_unique<Transport>(size(), link_, fault_plan_);
+  for (int r = 0; r < size(); ++r) {
+    if (dead_[static_cast<std::size_t>(r)]) transport_->close_rank(r);
+  }
 
   std::mutex failure_mutex;
+  std::exception_ptr first_death;
   std::exception_ptr first_failure;
+  std::exception_ptr first_peer_dead;
 
   auto rank_main = [&](int rank) {
     Communicator comm(*transport_, rank);
+    comm.set_policy(comm_policy_);
     DeviceContext ctx{rank, size(), comm,
                       *ledgers_[static_cast<std::size_t>(rank)],
                       devices_[static_cast<std::size_t>(rank)]};
     try {
       fn(ctx);
+    } catch (const RankDeathError& e) {
+      // This rank's own (injected) death.  Close only its links so the
+      // rest of the world unwinds with PeerDeadError, not ChannelClosed.
+      {
+        std::lock_guard<std::mutex> failure_guard(failure_mutex);
+        if (!first_death) first_death = std::current_exception();
+      }
+      PAC_LOG_WARN << "device " << e.rank()
+                   << " died; closing its links only";
+      transport_->close_rank(e.rank());
+    } catch (const PeerDeadError& e) {
+      // A peer died under this rank.  Leave the step, closing our own
+      // links so ranks blocked on us cascade out the same way.
+      {
+        std::lock_guard<std::mutex> failure_guard(failure_mutex);
+        if (!first_peer_dead) first_peer_dead = std::current_exception();
+      }
+      PAC_LOG_INFO << "device " << rank << " unwinding: peer " << e.rank()
+                   << " is dead";
+      transport_->close_rank(rank);
     } catch (const ChannelClosedError&) {
       // Secondary failure caused by another rank's close(); swallow.
     } catch (...) {
@@ -64,11 +117,25 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
+    if (dead_[static_cast<std::size_t>(r)]) continue;
     threads.emplace_back(rank_main, r);
   }
   for (auto& t : threads) t.join();
 
+  // Priority: the root-cause death first, then real failures, then a
+  // PeerDeadError nobody explained (e.g. a recv-timeout presumption).
+  if (first_death) {
+    try {
+      std::rethrow_exception(first_death);
+    } catch (const RankDeathError& e) {
+      // The dead rank stays dead for subsequent runs even if the caller
+      // forgets to mark_dead() it.
+      dead_[static_cast<std::size_t>(e.rank())] = true;
+      throw;
+    }
+  }
   if (first_failure) std::rethrow_exception(first_failure);
+  if (first_peer_dead) std::rethrow_exception(first_peer_dead);
 }
 
 }  // namespace pac::dist

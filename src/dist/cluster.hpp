@@ -1,11 +1,22 @@
 // The simulated edge cluster: N devices (threads) with memory ledgers and
 // compute-speed scales, wired through a shared Transport.
 //
-// `run` launches one thread per device executing the same SPMD function
-// (MPI-style).  If any device throws — DeviceOomError being the interesting
-// case — the transport is closed so peers blocked on recv unwind with
-// ChannelClosedError, and the *first real* exception is rethrown to the
-// caller.  This is the failure-injection path the tests exercise.
+// `run` launches one thread per *live* device executing the same SPMD
+// function (MPI-style).  Failure handling is rank-scoped:
+//   - RankDeathError (an injected device death) closes only that rank's
+//     links; peers blocked on it unwind with PeerDeadError, and run()
+//     rethrows the death so callers can re-plan over the survivors.
+//   - PeerDeadError on a surviving rank cascades: the survivor leaves the
+//     step (closing its own links so ranks blocked on *it* unwind too).
+//   - Any other exception — DeviceOomError being the interesting case —
+//     closes the whole transport so every peer unwinds with
+//     ChannelClosedError, and the first real exception is rethrown.
+// Ranks marked dead (mark_dead, or a rethrown death) stay dead across
+// subsequent run() calls until revive_all(); recovery paths run reduced
+// plans on the surviving ranks of the same cluster.
+//
+// An optional FaultPlan (set_fault_plan) arms every subsequent run's
+// transport with seeded fault injection — the chaos-test harness.
 #pragma once
 
 #include <cstdint>
@@ -44,8 +55,25 @@ class EdgeCluster {
   MemoryLedger& ledger(int rank);
   const DeviceSpec& spec(int rank) const;
 
-  // Runs fn on every rank; blocks until all complete.  Rethrows the first
-  // non-ChannelClosed exception raised by any rank.
+  // ---- failure bookkeeping ----
+  // Permanently (until revive_all) removes a rank from future runs.
+  void mark_dead(int rank);
+  bool is_dead(int rank) const;
+  void revive_all() { dead_.assign(dead_.size(), false); }
+  int num_alive() const;
+  // Sorted ranks that are still alive.
+  std::vector<int> alive_ranks() const;
+
+  // Fault injection for every subsequent run's transport.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  // Communication policy (recv timeouts / send retries) handed to every
+  // rank's Communicator.
+  void set_comm_policy(const CommPolicy& policy) { comm_policy_ = policy; }
+
+  // Runs fn on every live rank; blocks until all complete.  Rethrows (in
+  // priority order) the first RankDeathError, then any non-peer failure,
+  // then the first unexplained PeerDeadError raised by any rank.
   void run(const std::function<void(DeviceContext&)>& fn);
 
   // Transport of the most recent run (traffic statistics).
@@ -56,6 +84,9 @@ class EdgeCluster {
   LinkModel link_;
   std::vector<std::unique_ptr<MemoryLedger>> ledgers_;
   std::unique_ptr<Transport> transport_;
+  std::vector<bool> dead_;
+  FaultPlan fault_plan_;
+  CommPolicy comm_policy_;
 };
 
 }  // namespace pac::dist

@@ -1,10 +1,48 @@
 #include "dist/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/error.hpp"
 
 namespace pac::dist {
+
+void Communicator::send(int to, int tag, Tensor payload) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      // Tensor copies are shared-storage handle copies, so retrying with a
+      // fresh handle after a transient failure costs nothing.
+      Tensor handle = payload;
+      transport_->send(rank_, to, tag, std::move(handle));
+      return;
+    } catch (const TransientSendError&) {
+      if (attempt >= policy_.max_send_retries) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          policy_.send_backoff_ms * static_cast<double>(attempt + 1)));
+    }
+  }
+}
+
+Tensor Communicator::recv(int from, int tag) {
+  if (policy_.recv_timeout_ms <= 0.0) {
+    return transport_->recv(rank_, from, tag);
+  }
+  double wait_ms = policy_.recv_timeout_ms;
+  for (int attempt = 0; attempt <= policy_.max_recv_retries; ++attempt) {
+    auto result = transport_->recv_for(
+        rank_, from, tag,
+        std::chrono::milliseconds(
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(wait_ms))));
+    if (result.has_value()) return std::move(*result);
+    wait_ms *= 2.0;  // backoff: give a slow or congested link more time
+  }
+  throw PeerDeadError(from, "rank " + std::to_string(from) +
+                                " presumed dead: recv(tag " +
+                                std::to_string(tag) + ") timed out after " +
+                                std::to_string(policy_.max_recv_retries + 1) +
+                                " attempts");
+}
 
 int Communicator::group_index(const std::vector<int>& group) const {
   PAC_CHECK(!group.empty(), "empty collective group");

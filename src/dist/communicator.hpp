@@ -20,6 +20,20 @@ namespace pac::dist {
 
 enum class AllReduceAlgo { kRing, kNaive };
 
+// Failure-detection / retry knobs for a rank's communication handle.
+struct CommPolicy {
+  // recv: 0 disables timeouts (block until message, close, or peer death).
+  // With a timeout, each recv waits recv_timeout_ms, then retries with
+  // exponential backoff (doubling per attempt) up to max_recv_retries
+  // waits before presuming the peer dead (PeerDeadError).
+  double recv_timeout_ms = 0.0;
+  int max_recv_retries = 4;
+  // send: transient failures (TransientSendError) are retried with linear
+  // backoff up to max_send_retries attempts, then rethrown.
+  int max_send_retries = 8;
+  double send_backoff_ms = 0.05;
+};
+
 class Communicator {
  public:
   Communicator(Transport& transport, int rank)
@@ -28,10 +42,14 @@ class Communicator {
   int rank() const { return rank_; }
   int world_size() const { return transport_->world_size(); }
 
-  void send(int to, int tag, Tensor payload) {
-    transport_->send(rank_, to, tag, std::move(payload));
-  }
-  Tensor recv(int from, int tag) { return transport_->recv(rank_, from, tag); }
+  void set_policy(const CommPolicy& policy) { policy_ = policy; }
+  const CommPolicy& policy() const { return policy_; }
+
+  // Retries transient link failures with backoff before giving up.
+  void send(int to, int tag, Tensor payload);
+  // Blocks for a matching message; with a recv timeout configured, retries
+  // with backoff and presumes the peer dead once the budget is exhausted.
+  Tensor recv(int from, int tag);
 
   // All collectives require `group` sorted, unique, containing rank().
   void barrier(const std::vector<int>& group, int tag);
@@ -52,6 +70,7 @@ class Communicator {
 
   Transport* transport_;
   int rank_;
+  CommPolicy policy_;
 };
 
 }  // namespace pac::dist

@@ -1,0 +1,104 @@
+// Seeded, reproducible fault injection for the in-process transport.
+//
+// A FaultPlan describes *what* can go wrong on the simulated edge LAN:
+// per-message delivery delays, deferred delivery (legal reordering — only
+// messages with different (source, tag) keys may overtake each other, so
+// the per-queue FIFO contract is preserved), transient send failures that
+// succeed on retry, and rank death after a scheduled number of transport
+// operations.  A FaultInjector turns the plan into per-event decisions.
+//
+// Determinism: every decision is a pure hash of (seed, link, tag, per-link
+// sequence number), and each rank's death trigger counts only that rank's
+// own transport operations — so the same plan produces the same faults
+// regardless of thread interleaving.  The chaos tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+namespace pac::dist {
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedF417;
+
+  // Delivery delay: with `delay_probability`, a send sleeps for a uniform
+  // duration in [delay_min_ms, delay_max_ms] before depositing.
+  double delay_probability = 0.0;
+  double delay_min_ms = 0.0;
+  double delay_max_ms = 0.0;
+
+  // Deferred delivery: with `reorder_probability`, a message is parked and
+  // delivered after a later message to the same mailbox (cross-key
+  // overtaking only; same-key sends and receivers flush parked messages
+  // first, keeping per-(source, tag) FIFO intact).
+  double reorder_probability = 0.0;
+
+  // Transient send failures: with `send_failure_probability`, a send
+  // throws TransientSendError up to `max_transient_failures` times before
+  // the retried send goes through.
+  double send_failure_probability = 0.0;
+  int max_transient_failures = 2;
+
+  // Rank death: rank r dies (RankDeathError) when its own transport
+  // operation count reaches the mapped value.
+  std::map<int, std::uint64_t> death_after_ops;
+
+  bool any_faults() const {
+    return delay_probability > 0.0 || reorder_probability > 0.0 ||
+           send_failure_probability > 0.0 || !death_after_ops.empty();
+  }
+};
+
+// Per-transport runtime state for a FaultPlan.  Thread-safe; one instance
+// lives inside each Transport.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, int world_size);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool active() const { return plan_.any_faults(); }
+
+  // Decisions for the next message on link (from -> to, tag).  Each send
+  // consumes one sequence number per link+tag; failed (transient) attempts
+  // reuse the same number so the retried message sees a fresh decision
+  // stream position only once it is actually delivered.
+
+  // Milliseconds of injected delay for this message (0 = none).
+  double delay_ms(int from, int to, int tag);
+  // Whether to defer (reorder) delivery of this message.
+  bool defer(int from, int to, int tag);
+  // Whether this send attempt fails transiently.  Consecutive failures of
+  // the same logical message are capped at plan.max_transient_failures.
+  bool send_fails(int from, int to, int tag);
+  // Marks the current logical message on the link as delivered (resets the
+  // transient-failure attempt counter and advances the sequence).
+  void message_delivered(int from, int to, int tag);
+
+  // Counts one transport operation by `rank`; returns true when the plan
+  // schedules this rank's death at (or before) the new count.
+  bool op_kills_rank(int rank);
+
+  // Operations counted for `rank` so far (chaos tests use this to place
+  // death schedules inside a specific training phase).
+  std::uint64_t ops_of_rank(int rank);
+
+ private:
+  struct LinkState {
+    std::uint64_t seq = 0;       // delivered messages on this link+tag
+    int failed_attempts = 0;     // transient failures of the current message
+  };
+
+  std::uint64_t event_hash(int from, int to, int tag, std::uint64_t seq,
+                           std::uint64_t salt) const;
+  double uniform01(std::uint64_t h) const;
+
+  FaultPlan plan_;
+  std::mutex mutex_;
+  std::map<std::tuple<int, int, int>, LinkState> links_;
+  std::vector<std::uint64_t> ops_by_rank_;
+};
+
+}  // namespace pac::dist

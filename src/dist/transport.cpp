@@ -7,12 +7,16 @@
 
 namespace pac::dist {
 
-Transport::Transport(int world_size, LinkModel link)
-    : world_size_(world_size), link_(link) {
+Transport::Transport(int world_size, LinkModel link, FaultPlan faults)
+    : world_size_(world_size),
+      link_(link),
+      faults_(std::move(faults), world_size) {
   PAC_CHECK(world_size > 0, "transport needs at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  dead_.reserve(static_cast<std::size_t>(world_size));
   for (int i = 0; i < world_size; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
   }
 }
 
@@ -22,14 +26,59 @@ void Transport::check_rank(int rank, const char* what) const {
                  << ")");
 }
 
+void Transport::maybe_inject_death(int rank) {
+  if (!faults_.active()) return;
+  if (faults_.op_kills_rank(rank)) {
+    close_rank(rank);
+    throw RankDeathError(rank);
+  }
+}
+
+void Transport::flush_deferred(Mailbox& box,
+                               const std::pair<int, int>* key_or_null) {
+  if (box.deferred.empty()) return;
+  if (key_or_null != nullptr) {
+    auto it = box.deferred.find(*key_or_null);
+    if (it == box.deferred.end()) return;
+    auto& queue = box.queues[*key_or_null];
+    for (auto& msg : it->second) queue.push_back(std::move(msg));
+    box.deferred.erase(it);
+    return;
+  }
+  for (auto& [key, parked] : box.deferred) {
+    auto& queue = box.queues[key];
+    for (auto& msg : parked) queue.push_back(std::move(msg));
+  }
+  box.deferred.clear();
+}
+
 void Transport::send(int from, int to, int tag, Tensor payload) {
   check_rank(from, "send source");
   check_rank(to, "send destination");
   if (closed_.load()) {
     throw ChannelClosedError("send on closed transport");
   }
+  maybe_inject_death(from);
+  if (dead_[static_cast<std::size_t>(from)]->load()) {
+    throw PeerDeadError(from, "send from dead rank " + std::to_string(from));
+  }
+  if (dead_[static_cast<std::size_t>(to)]->load()) {
+    throw PeerDeadError(to, "send to dead rank " + std::to_string(to));
+  }
+  if (faults_.active() && faults_.send_fails(from, to, tag)) {
+    throw TransientSendError("injected transient send failure on link " +
+                             std::to_string(from) + " -> " +
+                             std::to_string(to));
+  }
   const std::uint64_t bytes =
       payload.defined() ? payload.byte_size() : 0;
+  if (faults_.active()) {
+    const double ms = faults_.delay_ms(from, to, tag);
+    if (ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          ms));
+    }
+  }
   if (link_.simulate_delay && from != to) {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(link_.transfer_seconds(bytes)));
@@ -40,32 +89,74 @@ void Transport::send(int from, int to, int tag, Tensor payload) {
     ++s.messages;
     s.bytes += bytes;
   }
+  const bool park = faults_.active() && faults_.defer(from, to, tag);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
+  const auto key = std::make_pair(from, tag);
   {
     std::lock_guard<std::mutex> box_guard(box.mutex);
-    box.queues[{from, tag}].push_back(Message{from, tag, std::move(payload)});
+    if (park) {
+      // Parked until a later message (or a matching receiver) flushes it —
+      // a legal reorder: only cross-key messages can overtake it.
+      box.deferred[key].push_back(Message{from, tag, std::move(payload)});
+    } else {
+      // Same-key parked messages must keep their FIFO position.
+      flush_deferred(box, &key);
+      box.queues[key].push_back(Message{from, tag, std::move(payload)});
+      // Everything parked on other keys has now been overtaken; deliver.
+      flush_deferred(box, nullptr);
+    }
   }
+  faults_.message_delivered(from, to, tag);
   box.arrived.notify_all();
 }
 
-Tensor Transport::recv(int to, int from, int tag) {
+std::optional<Tensor> Transport::recv_impl(
+    int to, int from, int tag,
+    const std::optional<std::chrono::milliseconds>& timeout) {
   check_rank(to, "recv destination");
   check_rank(from, "recv source");
+  maybe_inject_death(to);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
   std::unique_lock<std::mutex> box_lock(box.mutex);
   const auto key = std::make_pair(from, tag);
-  box.arrived.wait(box_lock, [&] {
+  const auto ready = [&] {
     if (closed_.load()) return true;
+    flush_deferred(box, &key);
     auto it = box.queues.find(key);
-    return it != box.queues.end() && !it->second.empty();
-  });
+    if (it != box.queues.end() && !it->second.empty()) return true;
+    return dead_[static_cast<std::size_t>(from)]->load();
+  };
+  if (timeout.has_value()) {
+    if (!box.arrived.wait_for(box_lock, *timeout, ready)) {
+      return std::nullopt;
+    }
+  } else {
+    box.arrived.wait(box_lock, ready);
+  }
   if (closed_.load()) {
     throw ChannelClosedError("recv aborted: transport closed");
   }
-  auto& queue = box.queues[key];
-  Message msg = std::move(queue.front());
-  queue.pop_front();
-  return std::move(msg.payload);
+  auto it = box.queues.find(key);
+  if (it != box.queues.end() && !it->second.empty()) {
+    // Drain semantics: messages a now-dead peer already delivered are
+    // still handed out so receivers can finish in-flight work.
+    Message msg = std::move(it->second.front());
+    it->second.pop_front();
+    return std::move(msg.payload);
+  }
+  throw PeerDeadError(from, "recv aborted: rank " + std::to_string(from) +
+                                " is dead");
+}
+
+Tensor Transport::recv(int to, int from, int tag) {
+  auto result = recv_impl(to, from, tag, std::nullopt);
+  PAC_CHECK(result.has_value(), "untimed recv returned without a message");
+  return std::move(*result);
+}
+
+std::optional<Tensor> Transport::recv_for(int to, int from, int tag,
+                                          std::chrono::milliseconds timeout) {
+  return recv_impl(to, from, tag, timeout);
 }
 
 void Transport::close() {
@@ -78,6 +169,20 @@ void Transport::close() {
 }
 
 bool Transport::closed() const { return closed_.load(); }
+
+void Transport::close_rank(int rank) {
+  check_rank(rank, "close_rank");
+  if (dead_[static_cast<std::size_t>(rank)]->exchange(true)) return;
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> box_guard(box->mutex);
+  }
+  for (auto& box : mailboxes_) box->arrived.notify_all();
+}
+
+bool Transport::rank_dead(int rank) const {
+  check_rank(rank, "rank_dead");
+  return dead_[static_cast<std::size_t>(rank)]->load();
+}
 
 LinkStats Transport::stats(int from, int to) const {
   std::lock_guard<std::mutex> stats_guard(stats_mutex_);

@@ -7,6 +7,17 @@
 // model; `close()` wakes every blocked receiver with ChannelClosedError so
 // one failing device cannot deadlock the cluster.
 //
+// Failure model (rank-scoped): `close_rank(r)` marks one device dead
+// without touching the rest of the world.  Receivers blocked on the dead
+// rank wake with PeerDeadError; messages the dead rank already delivered
+// remain receivable (drain semantics); links between live ranks are
+// unaffected.  `recv_for` adds a timeout so callers can detect silent
+// stalls and presume a peer dead (Communicator's retry/backoff path).
+//
+// Fault injection: an optional FaultPlan makes the transport misbehave on
+// purpose — seeded delays, legal reordering, transient send failures, and
+// scheduled rank death — for the chaos tests (see dist/fault.hpp).
+//
 // The optional LinkModel adds a real sleep proportional to message size,
 // emulating the paper's 128 Mbps edge LAN for wall-clock demos; tests and
 // trainers leave it off and use the analytic simulator for paper-scale
@@ -14,15 +25,18 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "dist/fault.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pac::dist {
@@ -50,7 +64,7 @@ struct LinkStats {
 
 class Transport {
  public:
-  Transport(int world_size, LinkModel link = {});
+  Transport(int world_size, LinkModel link = {}, FaultPlan faults = {});
 
   int world_size() const { return world_size_; }
   const LinkModel& link() const { return link_; }
@@ -58,24 +72,46 @@ class Transport {
   void send(int from, int to, int tag, Tensor payload);
   // Blocks until a message with (from, tag) arrives at `to`.
   Tensor recv(int to, int from, int tag);
+  // Bounded wait: nullopt on timeout (still throws on close / dead peer).
+  std::optional<Tensor> recv_for(int to, int from, int tag,
+                                 std::chrono::milliseconds timeout);
 
   // Wakes all blocked receivers with ChannelClosedError; subsequent sends
-  // and recvs throw too.  Used on device failure.
+  // and recvs throw too.  Used on whole-cluster teardown.
   void close();
   bool closed() const;
+
+  // Marks one rank dead.  Receivers blocked on it wake with PeerDeadError;
+  // already-delivered messages from it stay receivable until drained; all
+  // other links keep working.  Idempotent.
+  void close_rank(int rank);
+  bool rank_dead(int rank) const;
 
   // Total traffic from `from` to `to` so far.
   LinkStats stats(int from, int to) const;
   std::uint64_t total_bytes() const;
+
+  // The transport's fault injector (chaos tests inspect op counters).
+  FaultInjector& fault_injector() { return faults_; }
 
  private:
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable arrived;
     std::map<std::pair<int, int>, std::deque<Message>> queues;
+    // Parked messages awaiting deferred (reordered) delivery.
+    std::map<std::pair<int, int>, std::deque<Message>> deferred;
   };
 
   void check_rank(int rank, const char* what) const;
+  void maybe_inject_death(int rank);
+  // Moves parked messages for `key` (or all keys) into the live queues.
+  // Caller must hold box.mutex.
+  static void flush_deferred(Mailbox& box,
+                             const std::pair<int, int>* key_or_null);
+  std::optional<Tensor> recv_impl(
+      int to, int from, int tag,
+      const std::optional<std::chrono::milliseconds>& timeout);
 
   int world_size_;
   LinkModel link_;
@@ -83,6 +119,8 @@ class Transport {
   mutable std::mutex stats_mutex_;
   std::map<std::pair<int, int>, LinkStats> stats_;
   std::atomic<bool> closed_{false};
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  FaultInjector faults_;
 };
 
 }  // namespace pac::dist

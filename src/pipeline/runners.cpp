@@ -11,6 +11,57 @@
 
 namespace pac::pipeline {
 
+void RecoveryLog::stage_params(int epoch, const nn::ParameterList& params) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto& staged = pending_[epoch];
+  for (nn::Parameter* p : params) {
+    staged[p->name()] = p->value().clone();
+  }
+}
+
+void RecoveryLog::commit_epoch(int epoch, double mean_loss) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  auto it = pending_.find(epoch);
+  if (it != pending_.end()) {
+    for (auto& [name, value] : it->second) {
+      committed_[name] = std::move(value);
+    }
+    pending_.erase(it);
+  }
+  losses_[epoch] = mean_loss;
+  epochs_completed_ = std::max(epochs_completed_, epoch + 1);
+}
+
+int RecoveryLog::epochs_completed() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return epochs_completed_;
+}
+
+bool RecoveryLog::has_restore_point() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return !committed_.empty();
+}
+
+std::map<std::string, Tensor> RecoveryLog::restore_point() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, value] : committed_) {
+    out[name] = value.clone();
+  }
+  return out;
+}
+
+std::vector<double> RecoveryLog::committed_losses() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<double> out;
+  for (const auto& [epoch, loss] : losses_) {
+    PAC_CHECK(epoch == static_cast<int>(out.size()),
+              "committed epoch losses have a gap at epoch " << epoch);
+    out.push_back(loss);
+  }
+  return out;
+}
+
 double compute_task_metric(const data::TaskInfo& info, const Tensor& logits,
                            const std::vector<std::int64_t>& labels,
                            const std::vector<float>& targets) {
@@ -76,28 +127,52 @@ RunResult run_training(dist::EdgeCluster& cluster,
       recorder = (*recorders)[static_cast<std::size_t>(ctx.rank)];
     }
 
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
-      data::BatchPlan plan(dataset.train_size(), config.batch_size,
-                           config.shuffle_seed + static_cast<std::uint64_t>(
-                                                     epoch));
-      double loss_sum = 0.0;
-      for (std::int64_t b = 0; b < plan.num_batches(); ++b) {
-        auto batch = dataset.make_train_batch(plan.batch(b));
-        // Record activations only on the first epoch — later epochs would
-        // overwrite identical data (the backbone is frozen).
-        ActivationRecorder* rec = epoch == 0 ? recorder : nullptr;
-        loss_sum += worker.train_mini_batch(batch, rec);
-        worker.synchronize_and_step(optimizer);
+    try {
+      for (int e = 0; e < config.epochs; ++e) {
+        // Global epoch index: seeds and recording decisions stay aligned
+        // with the uninterrupted schedule when resuming after a recovery.
+        const int epoch = config.first_epoch + e;
+        data::BatchPlan plan(dataset.train_size(), config.batch_size,
+                             config.shuffle_seed +
+                                 static_cast<std::uint64_t>(epoch));
+        double loss_sum = 0.0;
+        for (std::int64_t b = 0; b < plan.num_batches(); ++b) {
+          auto batch = dataset.make_train_batch(plan.batch(b));
+          // Record activations only on the first epoch — later epochs
+          // would overwrite identical data (the backbone is frozen).
+          ActivationRecorder* rec = epoch == 0 ? recorder : nullptr;
+          loss_sum += worker.train_mini_batch(batch, rec);
+          worker.synchronize_and_step(optimizer);
+        }
+        // Combine the weighted loss shares held by last-stage ranks.
+        Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
+        ctx.comm.allreduce_sum(loss_buf, participants, tags::kLossReduce);
+        const double mean_loss = static_cast<double>(loss_buf.at({0})) /
+                                 static_cast<double>(plan.num_batches());
+        if (ctx.rank == leader) {
+          std::lock_guard<std::mutex> result_guard(result_mutex);
+          result.epoch_losses[static_cast<std::size_t>(e)] = mean_loss;
+        }
+        // Epoch-boundary snapshot: group leaders stage, a barrier proves
+        // every stage finished the epoch, then the run leader commits —
+        // so a later death always finds a consistent restore point.
+        if (config.recovery != nullptr) {
+          if (config.plan.index_in_group(ctx.rank) == 0) {
+            config.recovery->stage_params(epoch,
+                                          worker.stage_trainable_params());
+          }
+          ctx.comm.barrier(participants, tags::kBarrier);
+          if (ctx.rank == leader) {
+            config.recovery->commit_epoch(epoch, mean_loss);
+          }
+        }
       }
-      // Combine the weighted loss shares held by last-stage ranks.
-      Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
-      ctx.comm.allreduce_sum(loss_buf, participants, tags::kLossReduce);
-      if (ctx.rank == leader) {
-        std::lock_guard<std::mutex> result_guard(result_mutex);
-        result.epoch_losses[static_cast<std::size_t>(epoch)] =
-            static_cast<double>(loss_buf.at({0})) /
-            static_cast<double>(plan.num_batches());
-      }
+    } catch (const PeerDeadError&) {
+      worker.drain();
+      throw;
+    } catch (const RankDeathError&) {
+      worker.drain();
+      throw;
     }
 
     // ---- evaluation (forward-only through the same pipeline) ----
@@ -194,13 +269,17 @@ RunResult run_cached_data_parallel(
   std::mutex result_mutex;
   WallTimer timer;
 
-  std::vector<int> everyone(static_cast<std::size_t>(cluster.size()));
-  std::iota(everyone.begin(), everyone.end(), 0);
+  // The DP group is the surviving ranks; dead ranks' shard entries are
+  // ignored (after a recovery the session re-shards onto the survivors).
+  const std::vector<int> group = cluster.alive_ranks();
+  PAC_CHECK(!group.empty(), "cached training with no live devices");
+  const int leader = group[0];
 
   // Ranks step in lockstep; all must issue the same number of AllReduces.
   std::int64_t max_steps = 0;
   std::int64_t total_samples = 0;
-  for (const auto& shard : shards) {
+  for (int r : group) {
+    const auto& shard = shards[static_cast<std::size_t>(r)];
     const std::int64_t n = static_cast<std::int64_t>(shard.size());
     total_samples += n;
     max_steps = std::max(max_steps,
@@ -239,7 +318,8 @@ RunResult run_cached_data_parallel(
     std::int64_t flat_size = 0;
     for (nn::Parameter* p : trainable) flat_size += p->value().numel();
 
-    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (int e = 0; e < config.epochs; ++e) {
+      const int epoch = config.first_epoch + e;
       double loss_sum = 0.0;
       std::unique_ptr<data::BatchPlan> plan;
       if (!shard.empty()) {
@@ -287,7 +367,7 @@ RunResult run_cached_data_parallel(
           cursor += p->grad().numel();
         }
         flat.at({flat_size}) = static_cast<float>(step_rows);
-        ctx.comm.allreduce_sum(flat, everyone, tags::kGradAllReduce,
+        ctx.comm.allreduce_sum(flat, group, tags::kGradAllReduce,
                                config.allreduce);
         const float global_rows = flat.at({flat_size});
         if (global_rows > 0) {
@@ -304,17 +384,24 @@ RunResult run_cached_data_parallel(
       }
       // Epoch loss: sample-weighted mean across devices.
       Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
-      ctx.comm.allreduce_sum(loss_buf, everyone, tags::kLossReduce);
-      if (ctx.rank == 0) {
+      ctx.comm.allreduce_sum(loss_buf, group, tags::kLossReduce);
+      const double mean_loss = static_cast<double>(loss_buf.at({0})) /
+                               static_cast<double>(total_samples);
+      if (ctx.rank == leader) {
         std::lock_guard<std::mutex> result_guard(result_mutex);
-        result.epoch_losses[static_cast<std::size_t>(epoch)] =
-            static_cast<double>(loss_buf.at({0})) /
-            static_cast<double>(total_samples);
+        result.epoch_losses[static_cast<std::size_t>(e)] = mean_loss;
+        // Pure DP: every rank holds the full trainable set and the loss
+        // AllReduce already proves all ranks finished the epoch, so the
+        // leader alone stages and commits the restore point.
+        if (config.recovery != nullptr) {
+          config.recovery->stage_params(epoch, trainable);
+          config.recovery->commit_epoch(epoch, mean_loss);
+        }
       }
     }
 
-    if (ctx.rank == 0) {
-      // Live eval on device 0 (eval samples are not cached).
+    if (ctx.rank == leader) {
+      // Live eval on the leader device (eval samples are not cached).
       std::lock_guard<std::mutex> result_guard(result_mutex);
       if (config.run_eval) {
         model->set_training_mode(false);

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,36 @@ namespace pac::pipeline {
 
 using ModelFactory = std::function<std::unique_ptr<model::Model>()>;
 
+// Epoch-boundary recovery state shared between a trainer run and the
+// session that may have to restart it after a device death.  Stage-group
+// leaders stage their trainable parameter values as each epoch finishes;
+// once every stage has staged (enforced by a barrier), the run leader
+// commits the epoch, promoting the staged values into the restore point.
+// A death mid-epoch therefore always finds a *consistent* restore point:
+// the last epoch every stage completed.  Thread-safe.
+class RecoveryLog {
+ public:
+  // Stages one stage-group's trainable values for `epoch` (deep copies).
+  void stage_params(int epoch, const nn::ParameterList& params);
+  // Promotes everything staged for `epoch` into the restore point and
+  // records the epoch's mean loss.  Replayed epochs overwrite.
+  void commit_epoch(int epoch, double mean_loss);
+
+  int epochs_completed() const;
+  bool has_restore_point() const;
+  // Trainable values at the last committed epoch boundary (all stages).
+  std::map<std::string, Tensor> restore_point() const;
+  // Mean loss of each committed epoch, ordered by epoch index.
+  std::vector<double> committed_losses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  int epochs_completed_ = 0;
+  std::map<int, std::map<std::string, Tensor>> pending_;
+  std::map<std::string, Tensor> committed_;
+  std::map<int, double> losses_;
+};
+
 struct RunConfig {
   ParallelPlan plan;
   ScheduleKind schedule = ScheduleKind::k1F1B;
@@ -36,6 +67,12 @@ struct RunConfig {
   float lr = 1e-2F;
   std::uint64_t shuffle_seed = 77;
   bool run_eval = true;
+  // Index of the first epoch this invocation runs (nonzero when resuming
+  // after a recovery): keeps shuffle seeds and activation-recording
+  // decisions aligned with the uninterrupted schedule.
+  int first_epoch = 0;
+  // Optional epoch-boundary snapshot sink (enables restart-after-death).
+  RecoveryLog* recovery = nullptr;
 };
 
 struct RunResult {
@@ -65,10 +102,15 @@ struct CachedRunConfig {
   dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
   std::uint64_t shuffle_seed = 177;
   bool run_eval = true;
+  // See RunConfig: resume support after a device death.
+  int first_epoch = 0;
+  RecoveryLog* recovery = nullptr;
 };
 
 // shards[r] lists the dataset indices device r trains on; sources[r]
-// serves cached activations for (at least) those samples.
+// serves cached activations for (at least) those samples.  Both vectors
+// are indexed by rank over the full cluster; entries for dead ranks are
+// ignored (the run executes on cluster.alive_ranks() only).
 RunResult run_cached_data_parallel(
     dist::EdgeCluster& cluster, const data::Dataset& dataset,
     const ModelFactory& factory,

@@ -54,11 +54,21 @@ StageWorker::StageWorker(dist::DeviceContext& ctx, model::Model& model,
 
 StageWorker::~StageWorker() {
   if (!participates()) return;
+  drain();
   ctx_.ledger.release(dist::MemClass::kWeights, weights_bytes_);
   ctx_.ledger.release(dist::MemClass::kGradients, grad_bytes_);
   ctx_.ledger.release(dist::MemClass::kOptimizer, optimizer_bytes_);
+}
+
+void StageWorker::drain() {
+  if (!participates()) return;
+  pending_loss_.clear();
+  pending_backward_ = 0;
+  minibatch_loss_ = 0.0;
+  minibatch_rows_ = 0;
   if (inflight_act_bytes_ > 0) {
     ctx_.ledger.release(dist::MemClass::kActivations, inflight_act_bytes_);
+    inflight_act_bytes_ = 0;
   }
 }
 

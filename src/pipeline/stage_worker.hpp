@@ -82,6 +82,12 @@ class StageWorker {
   std::vector<EvalChunk> eval_mini_batch(
       const data::Batch& batch);
 
+  // Abandons the in-flight mini-batch after a failure (peer death mid
+  // pipeline): drops saved per-micro state and releases the activation
+  // bytes still registered with the ledger.  The worker is reusable for a
+  // fresh mini-batch afterwards; accumulated gradients are NOT stepped.
+  void drain();
+
   // The stage's trainable parameters (for reporting / extraction).
   nn::ParameterList stage_trainable_params();
   nn::ParameterList stage_params();

@@ -109,6 +109,41 @@ MinibatchSim simulate_system_minibatch(SystemKind kind,
 
 ScenarioResult simulate_system(SystemKind kind,
                                const ScenarioConfig& config) {
+  // Modeled device death during epoch 1 (PAC only).  Mirrors the runtime:
+  // a first-epoch death restarts the attempt on the survivors, so the run
+  // costs the wasted fraction of the full-strength first epoch plus a
+  // complete fault-free run over one fewer device.
+  if (kind == SystemKind::kPac && config.fail_device >= 0 &&
+      config.fail_device < config.num_devices && config.num_devices > 1) {
+    PAC_CHECK(config.fail_at_epoch_fraction >= 0.0 &&
+                  config.fail_at_epoch_fraction <= 1.0,
+              "fail_at_epoch_fraction must be in [0, 1]");
+    ScenarioConfig full_cfg = config;
+    full_cfg.fail_device = -1;
+    const ScenarioResult full = simulate_system(kind, full_cfg);
+    if (full.oom) return full;  // the doomed attempt never got started
+
+    ScenarioConfig survivor_cfg = full_cfg;
+    survivor_cfg.num_devices = config.num_devices - 1;
+    ScenarioResult rec = simulate_system(kind, survivor_cfg);
+    rec.surviving_devices = survivor_cfg.num_devices;
+    if (rec.oom) return rec;  // survivors cannot fit the model
+
+    rec.recovery_seconds =
+        config.fail_at_epoch_fraction * full.first_epoch_seconds;
+    rec.total_hours += rec.recovery_seconds / 3600.0;
+    const data::TaskInfo fault_info = data::task_info(config.task);
+    const std::int64_t fault_samples =
+        config.train_samples > 0 ? config.train_samples
+                                 : fault_info.paper_train_samples;
+    const int fault_epochs =
+        config.epochs > 0 ? config.epochs : fault_info.paper_epochs;
+    rec.seconds_per_sample = rec.total_hours * 3600.0 /
+                             (static_cast<double>(fault_samples) *
+                              static_cast<double>(fault_epochs));
+    return rec;
+  }
+
   const data::TaskInfo info = data::task_info(config.task);
   const model::TechniqueConfig tc =
       model::paper_technique_config(config.technique);
@@ -118,6 +153,8 @@ ScenarioResult simulate_system(SystemKind kind,
   const int epochs = config.epochs > 0 ? config.epochs : info.paper_epochs;
 
   ScenarioResult result;
+  result.surviving_devices =
+      kind == SystemKind::kStandalone ? 1 : config.num_devices;
   MinibatchSim mb = simulate_system_minibatch(kind, config, tc);
   result.plan = mb.plan;
   if (mb.sim.oom) {

@@ -47,6 +47,14 @@ struct ScenarioConfig {
   // Overrides; <= 0 means "use the paper's numbers for the task".
   std::int64_t train_samples = -1;
   int epochs = -1;
+  // Fault model (PAC only; other systems have no recovery path and
+  // ignore it).  `fail_device >= 0` kills that device partway through
+  // epoch 1; the runtime's recovery strategy for a first-epoch death is a
+  // full restart on the survivors, so the simulated cost is the wasted
+  // fraction of the full-strength first epoch plus a complete run on
+  // `num_devices - 1` devices.
+  int fail_device = -1;
+  double fail_at_epoch_fraction = 0.5;  // in [0, 1]
 };
 
 struct ScenarioResult {
@@ -57,6 +65,8 @@ struct ScenarioResult {
   double first_epoch_seconds = 0.0;
   double later_epoch_seconds = 0.0;      // per epoch (cached under PAC)
   double redistribution_seconds = 0.0;   // PAC phase transition
+  double recovery_seconds = 0.0;         // wasted work absorbed by a death
+  int surviving_devices = 0;             // devices after any modeled death
   double throughput_samples_per_s = 0.0; // epoch-1-style steady state
   pipeline::ParallelPlan plan;
   std::vector<std::uint64_t> peak_memory_per_device;

@@ -1,0 +1,309 @@
+// Deterministic chaos harness: the end-to-end trainer under seeded fault
+// schedules.  Every schedule is reproducible (FaultInjector decisions are
+// pure hashes of the seed and per-link sequence numbers), so each scenario
+// asserts exact agreement with a fault-free reference run:
+//   - delay storms and legal reordering must not change results at all;
+//   - transient send failures are absorbed by Communicator retries;
+//   - a rank death mid-epoch-1 recovers onto the survivors and must match
+//     a fault-free run on the equivalent surviving-device plan to 1e-6.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/session.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::core {
+namespace {
+
+using model::Technique;
+
+data::SyntheticGlueDataset small_dataset() {
+  data::DatasetConfig cfg;
+  cfg.task = data::GlueTask::kSst2;
+  cfg.train_samples = 24;
+  cfg.eval_samples = 12;
+  cfg.seq_len = 8;
+  cfg.vocab = 32;
+  return data::SyntheticGlueDataset(cfg);
+}
+
+// Fixed per-block profiles so planning never consults the wall clock: the
+// same cluster shape always yields the same plan, which makes whole
+// training trajectories comparable across runs.
+std::vector<planner::BlockProfile> fixed_profiles(std::int64_t num_blocks) {
+  std::vector<planner::BlockProfile> blocks;
+  for (std::int64_t i = 0; i < num_blocks; ++i) {
+    planner::BlockProfile b;
+    b.name = "block" + std::to_string(i);
+    b.t_fwd = 1e-4;
+    b.t_bwd = 2e-4;
+    b.param_bytes = 64 * 1024;
+    b.trainable_bytes = 4 * 1024;
+    b.activation_bytes = 8 * 1024;
+    b.fwd_msg_bytes = 4 * 1024;
+    b.bwd_msg_bytes = 512;
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+SessionConfig chaos_session_config() {
+  SessionConfig cfg;
+  cfg.model = model::tiny(4, 16, 2, 32, 8);
+  cfg.technique.technique = Technique::kParallelAdapters;
+  cfg.technique.pa_reduction = 4;
+  cfg.batch_size = 8;
+  cfg.num_micro_batches = 4;
+  cfg.epochs = 3;
+  cfg.lr = 5e-3F;
+  // 4 encoder layers + embedding + head.
+  cfg.profile_override = fixed_profiles(4 + 2);
+  return cfg;
+}
+
+SessionReport run_with_faults(const dist::FaultPlan& faults,
+                              const dist::CommPolicy& policy = {},
+                              const std::vector<int>& pre_dead = {}) {
+  auto ds = small_dataset();
+  dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  for (int r : pre_dead) cluster.mark_dead(r);
+  cluster.set_fault_plan(faults);
+  cluster.set_comm_policy(policy);
+  Session session(cluster, ds, chaos_session_config());
+  return session.run();
+}
+
+void expect_same_trajectory(const SessionReport& a, const SessionReport& b,
+                            double tol) {
+  ASSERT_EQ(a.epoch_losses.size(), b.epoch_losses.size());
+  for (std::size_t i = 0; i < a.epoch_losses.size(); ++i) {
+    EXPECT_NEAR(a.epoch_losses[i], b.epoch_losses[i], tol)
+        << "epoch " << i;
+  }
+  EXPECT_NEAR(a.eval_metric, b.eval_metric, tol);
+}
+
+// ---- schedule 1: message delay storm (+ legal reordering) ----
+
+TEST(ChaosTest, DelayStormMatchesFaultFreeRun) {
+  SessionReport clean = run_with_faults(dist::FaultPlan{});
+
+  dist::FaultPlan storm;
+  storm.seed = 0xD31A9;
+  storm.delay_probability = 0.25;
+  storm.delay_min_ms = 0.1;
+  storm.delay_max_ms = 1.0;
+  storm.reorder_probability = 0.25;
+  SessionReport stormy = run_with_faults(storm);
+
+  // Delays and cross-key reordering change timing only, never values.
+  expect_same_trajectory(stormy, clean, 1e-6);
+  EXPECT_EQ(stormy.rank_deaths, 0);
+}
+
+TEST(ChaosTest, DelayStormIsDeterministic) {
+  dist::FaultPlan storm;
+  storm.seed = 0xD31A9;
+  storm.delay_probability = 0.25;
+  storm.delay_min_ms = 0.1;
+  storm.delay_max_ms = 1.0;
+  storm.reorder_probability = 0.25;
+  SessionReport first = run_with_faults(storm);
+  SessionReport second = run_with_faults(storm);
+  expect_same_trajectory(first, second, 0.0);  // bit-for-bit
+}
+
+// ---- schedule 2: transient send failures ----
+
+TEST(ChaosTest, TransientSendFailuresAreAbsorbedByRetries) {
+  SessionReport clean = run_with_faults(dist::FaultPlan{});
+
+  dist::FaultPlan flaky;
+  flaky.seed = 0xF1A4;
+  flaky.send_failure_probability = 0.2;
+  flaky.max_transient_failures = 2;
+  SessionReport retried = run_with_faults(flaky);
+
+  expect_same_trajectory(retried, clean, 1e-6);
+  EXPECT_EQ(retried.rank_deaths, 0);
+}
+
+// ---- schedule 3: rank death mid-epoch-1, with recovery ----
+
+TEST(ChaosTest, RankDeathMidEpochRecoversOntoSurvivors) {
+  // Reference: a fault-free run that never had device 2 to begin with.
+  SessionReport survivors =
+      run_with_faults(dist::FaultPlan{}, {}, /*pre_dead=*/{2});
+
+  dist::FaultPlan death;
+  death.seed = 0xDEAD;
+  death.death_after_ops = {{2, 20}};  // mid-first-epoch of phase 1
+  SessionReport recovered = run_with_faults(death);
+
+  EXPECT_EQ(recovered.rank_deaths, 1);
+  ASSERT_EQ(recovered.dead_ranks.size(), 1U);
+  EXPECT_EQ(recovered.dead_ranks[0], 2);
+  // Phase 1 restarts from scratch on the survivors, so the recovered
+  // trajectory must match the surviving-device plan exactly.
+  expect_same_trajectory(recovered, survivors, 1e-6);
+}
+
+TEST(ChaosTest, RankDeathInPhase2ResumesFromLastCommittedEpoch) {
+  // Kill rank 3 deep into the cached phase (a longer run keeps the death
+  // op-count inside the phase-2 transport: phase 1 tops out under 120 ops
+  // per rank here, while five cached epochs pass 180): recovery must
+  // restore the last committed epoch, re-shard the dead device's cache
+  // onto the survivors, and resume — not replay — the cached phase.
+  auto ds = small_dataset();
+  dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  dist::FaultPlan death;
+  death.seed = 0xDEAD2;
+  death.death_after_ops = {{3, 160}};
+  cluster.set_fault_plan(death);
+  SessionConfig cfg = chaos_session_config();
+  cfg.epochs = 6;
+  SessionReport recovered = Session(cluster, ds, cfg).run();
+
+  EXPECT_EQ(recovered.rank_deaths, 1);
+  ASSERT_EQ(recovered.dead_ranks.size(), 1U);
+  EXPECT_EQ(recovered.dead_ranks[0], 3);
+  // Every epoch is accounted for despite the mid-phase death (losses of
+  // pre-death epochs come from the recovery log), and the run converges.
+  ASSERT_EQ(recovered.epoch_losses.size(), 6U);
+  EXPECT_EQ(recovered.phase2.epoch_losses.size(), 5U);
+  for (double l : recovered.epoch_losses) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_TRUE(std::isfinite(l));
+  }
+  EXPECT_LT(recovered.epoch_losses.back(), recovered.epoch_losses.front());
+  EXPECT_GE(recovered.eval_metric, 0.0);
+  EXPECT_LE(recovered.eval_metric, 1.0);
+}
+
+TEST(ChaosTest, DeathBeyondRecoveryBudgetRethrows) {
+  auto ds = small_dataset();
+  dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  dist::FaultPlan death;
+  death.death_after_ops = {{1, 20}};
+  cluster.set_fault_plan(death);
+  SessionConfig cfg = chaos_session_config();
+  cfg.max_rank_recoveries = 0;
+  Session session(cluster, ds, cfg);
+  EXPECT_THROW(session.run(), RankDeathError);
+}
+
+// ---- rank-scoped failure semantics (no collateral ChannelClosedError) ----
+
+TEST(ChaosTest, RankDeathDoesNotCloseUnrelatedLinks) {
+  dist::Transport t(4);
+  t.send(0, 1, /*tag=*/7, Tensor::full({1}, 1.0F));
+  t.send(2, 1, /*tag=*/7, Tensor::full({1}, 2.0F));  // queued before death
+
+  // A receiver blocked on the dying rank must wake with PeerDeadError —
+  // not ChannelClosedError — once the rank is closed.
+  std::thread blocked([&] {
+    EXPECT_THROW(t.recv(3, 2, /*tag=*/9), PeerDeadError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.close_rank(2);
+  blocked.join();
+
+  EXPECT_TRUE(t.rank_dead(2));
+  EXPECT_FALSE(t.closed());  // the world did not end
+
+  // Unrelated links keep working in both directions.
+  EXPECT_FLOAT_EQ(t.recv(1, 0, 7).at({0}), 1.0F);
+  t.send(3, 0, 11, Tensor::full({1}, 3.0F));
+  EXPECT_FLOAT_EQ(t.recv(0, 3, 11).at({0}), 3.0F);
+
+  // Messages the dead rank delivered before dying drain normally...
+  EXPECT_FLOAT_EQ(t.recv(1, 2, 7).at({0}), 2.0F);
+  // ...but fresh traffic to or from it reports the death.
+  EXPECT_THROW(t.send(0, 2, 7, Tensor::full({1}, 4.0F)), PeerDeadError);
+  EXPECT_THROW(t.recv(1, 2, 7), PeerDeadError);
+  EXPECT_THROW(t.send(2, 0, 7, Tensor::full({1}, 5.0F)), PeerDeadError);
+}
+
+TEST(ChaosTest, RecvTimeoutPresumesPeerDead) {
+  dist::Transport t(2);
+  dist::Communicator comm(t, 0);
+  dist::CommPolicy policy;
+  policy.recv_timeout_ms = 2.0;
+  policy.max_recv_retries = 2;
+  comm.set_policy(policy);
+  try {
+    comm.recv(1, /*tag=*/5);
+    FAIL() << "recv should have presumed the peer dead";
+  } catch (const PeerDeadError& e) {
+    EXPECT_EQ(e.rank(), 1);
+  }
+}
+
+TEST(ChaosTest, RecvForReturnsNulloptOnTimeoutOnly) {
+  dist::Transport t(2);
+  EXPECT_EQ(t.recv_for(0, 1, 3, std::chrono::milliseconds(5)),
+            std::nullopt);
+  t.send(1, 0, 3, Tensor::full({1}, 9.0F));
+  auto got = t.recv_for(0, 1, 3, std::chrono::milliseconds(5));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FLOAT_EQ(got->at({0}), 9.0F);
+}
+
+// ---- fault injector unit behaviour ----
+
+TEST(ChaosTest, FaultDecisionsAreSeedDeterministic) {
+  dist::FaultPlan plan;
+  plan.seed = 42;
+  plan.delay_probability = 0.5;
+  plan.delay_min_ms = 1.0;
+  plan.delay_max_ms = 5.0;
+  plan.reorder_probability = 0.5;
+  plan.send_failure_probability = 0.5;
+
+  dist::FaultInjector a(plan, 4);
+  dist::FaultInjector b(plan, 4);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.delay_ms(0, 1, 7), b.delay_ms(0, 1, 7)) << i;
+    EXPECT_EQ(a.defer(0, 1, 7), b.defer(0, 1, 7)) << i;
+    EXPECT_EQ(a.send_fails(0, 1, 7), b.send_fails(0, 1, 7)) << i;
+    a.message_delivered(0, 1, 7);
+    b.message_delivered(0, 1, 7);
+  }
+}
+
+TEST(ChaosTest, TransientFailuresAreCapped) {
+  dist::FaultPlan plan;
+  plan.send_failure_probability = 1.0;  // every attempt wants to fail...
+  plan.max_transient_failures = 3;      // ...but only 3 may, per message
+  dist::FaultInjector inj(plan, 2);
+  int failures = 0;
+  while (inj.send_fails(0, 1, 1)) ++failures;
+  EXPECT_EQ(failures, 3);
+  inj.message_delivered(0, 1, 1);
+  failures = 0;
+  while (inj.send_fails(0, 1, 1)) ++failures;
+  EXPECT_EQ(failures, 3);  // counter reset per logical message
+}
+
+TEST(ChaosTest, ReorderingPreservesPerKeyFifo) {
+  // With reordering armed, a (src, tag) queue must still deliver its own
+  // messages in send order — only cross-key overtaking is legal.
+  dist::FaultPlan plan;
+  plan.seed = 0xF1F0;
+  plan.reorder_probability = 0.6;
+  dist::Transport t(2, dist::LinkModel{}, plan);
+  constexpr int kMessages = 40;
+  for (int i = 0; i < kMessages; ++i) {
+    t.send(0, 1, /*tag=*/1, Tensor::full({1}, static_cast<float>(i)));
+    t.send(0, 1, /*tag=*/2, Tensor::full({1}, static_cast<float>(100 + i)));
+  }
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 1).at({0}), static_cast<float>(i));
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 2).at({0}),
+                    static_cast<float>(100 + i));
+  }
+}
+
+}  // namespace
+}  // namespace pac::core

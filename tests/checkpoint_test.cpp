@@ -141,5 +141,59 @@ TEST(CheckpointTest, ResumedTrainingMatchesUninterrupted) {
   std::filesystem::remove(kPath);
 }
 
+TEST(CheckpointTest, AdapterOnlyMidEpochResumeMatchesUninterrupted) {
+  // Personal-LLM restart story: a device checkpoints only the adapters
+  // mid-epoch (between optimizer steps, not at an epoch boundary) and a
+  // fresh process rebuilds the frozen backbone from config + seed, loads
+  // the adapter subset, and must continue on the exact trajectory.
+  Rng rng(21);
+  Tensor tokens({4, 8});
+  for (std::int64_t i = 0; i < tokens.numel(); ++i) {
+    tokens.data()[i] = static_cast<float>(rng.integer(0, 31));
+  }
+  const std::vector<std::int64_t> labels{1, 0, 1, 0};
+
+  auto train_steps = [&](Model& m, nn::Optimizer& opt, int steps) {
+    double last = 0.0;
+    for (int i = 0; i < steps; ++i) {
+      m.zero_grad();
+      Tensor logits = m.forward(tokens);
+      auto r = nn::softmax_cross_entropy(logits, labels);
+      m.backward(r.dlogits);
+      opt.step(m.trainable_parameters());
+      last = r.loss;
+    }
+    return last;
+  };
+
+  Model straight = make_model(17);
+  nn::Sgd opt1(0.05F);
+  const double straight_loss = train_steps(straight, opt1, 7);
+
+  Model first = make_model(17);
+  nn::Sgd opt2(0.05F);
+  train_steps(first, opt2, 5);  // dies mid-epoch, 5 of 7 steps done
+  save_trainable_parameters(first.parameters(), kPath);
+
+  // Fresh process: same config/seed regenerate the frozen backbone;
+  // only the adapter subset comes from the checkpoint.
+  Model resumed = make_model(17);
+  const std::size_t loaded =
+      load_parameters(resumed.parameters(), kPath, LoadMode::kSubset);
+  EXPECT_EQ(loaded, first.trainable_parameters().size());
+  nn::Sgd opt3(0.05F);
+  const double resumed_loss = train_steps(resumed, opt3, 2);
+
+  EXPECT_NEAR(resumed_loss, straight_loss, 1e-6);
+  auto ps = straight.trainable_parameters();
+  auto pr = resumed.trainable_parameters();
+  ASSERT_EQ(ps.size(), pr.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_LT(ops::max_abs_diff(ps[i]->value(), pr[i]->value()), 1e-6F)
+        << ps[i]->name();
+  }
+  std::filesystem::remove(kPath);
+}
+
 }  // namespace
 }  // namespace pac::model

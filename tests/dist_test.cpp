@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "dist/cluster.hpp"
@@ -228,6 +230,121 @@ TEST(CollectiveTest, GroupValidation) {
     }
   }),
                InvalidArgument);
+}
+
+// Property test: for random sorted groups, tags and shapes, both
+// AllReduce algorithms must equal a single-threaded reference reduction
+// bit for bit.  Contributions are small integers, so every summation
+// order yields the identical float — any deviation is a routing bug, not
+// rounding.
+TEST(CollectiveTest, PropertyAllReduceMatchesReferenceBitForBit) {
+  std::mt19937_64 rng(0xA11CE);
+  for (int trial = 0; trial < 24; ++trial) {
+    const int world = 2 + static_cast<int>(rng() % 7);  // 2..8 ranks
+    std::vector<int> group;
+    for (int r = 0; r < world; ++r) {
+      if (rng() % 10 < 6) group.push_back(r);
+    }
+    while (group.size() < 2) {
+      const int r = static_cast<int>(rng() % world);
+      if (std::find(group.begin(), group.end(), r) == group.end()) {
+        group.push_back(r);
+      }
+    }
+    std::sort(group.begin(), group.end());
+    const int tag = 100 + static_cast<int>(rng() % 1900);
+    const std::int64_t rows = 1 + static_cast<std::int64_t>(rng() % 9);
+    const std::int64_t cols = 1 + static_cast<std::int64_t>(rng() % 17);
+    const std::int64_t numel = rows * cols;
+
+    // Integer-valued per-rank contributions and their exact sum.
+    std::vector<std::vector<float>> contrib(
+        static_cast<std::size_t>(world));
+    std::vector<float> reference(static_cast<std::size_t>(numel), 0.0F);
+    for (int r : group) {
+      auto& mine = contrib[static_cast<std::size_t>(r)];
+      mine.resize(static_cast<std::size_t>(numel));
+      for (auto& v : mine) {
+        v = static_cast<float>(static_cast<int>(rng() % 33) - 16);
+      }
+      for (std::int64_t i = 0; i < numel; ++i) {
+        reference[static_cast<std::size_t>(i)] +=
+            mine[static_cast<std::size_t>(i)];
+      }
+    }
+
+    for (AllReduceAlgo algo : {AllReduceAlgo::kRing, AllReduceAlgo::kNaive}) {
+      EdgeCluster cluster(world, std::numeric_limits<std::uint64_t>::max());
+      std::vector<std::vector<float>> results(
+          static_cast<std::size_t>(world));
+      cluster.run([&](DeviceContext& ctx) {
+        if (std::find(group.begin(), group.end(), ctx.rank) == group.end()) {
+          return;
+        }
+        Tensor t = Tensor::from_vector(
+            {rows, cols}, contrib[static_cast<std::size_t>(ctx.rank)]);
+        ctx.comm.allreduce_sum(t, group, tag, algo);
+        auto& out = results[static_cast<std::size_t>(ctx.rank)];
+        out.assign(t.data(), t.data() + numel);
+      });
+      for (int r : group) {
+        const auto& out = results[static_cast<std::size_t>(r)];
+        ASSERT_EQ(out.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          ASSERT_EQ(out[i], reference[i])
+              << "trial " << trial << " algo "
+              << (algo == AllReduceAlgo::kRing ? "ring" : "naive")
+              << " rank " << r << " elem " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(TransportTest, CloseDiscardsQueuedMessages) {
+  // close() is whole-world teardown: even messages that were already
+  // queued are no longer handed out — every recv reports the closure.
+  Transport t(2);
+  t.send(0, 1, 4, Tensor::full({1}, 5.0F));
+  t.close();
+  EXPECT_THROW(t.recv(1, 0, 4), ChannelClosedError);
+}
+
+TEST(TransportTest, CloseWakesAllConcurrentReceivers) {
+  Transport t(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> receivers;
+  for (int r = 1; r < 4; ++r) {
+    receivers.emplace_back([&t, &woke, r] {
+      try {
+        t.recv(r, 0, r);  // blocks: rank 0 never sends
+      } catch (const ChannelClosedError&) {
+        ++woke;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.close();
+  for (auto& th : receivers) th.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(TransportTest, SendAndRecvAfterCloseThrow) {
+  Transport t(2);
+  t.close();
+  EXPECT_TRUE(t.closed());
+  EXPECT_THROW(t.send(0, 1, 0, Tensor::zeros({1})), ChannelClosedError);
+  EXPECT_THROW(t.recv(1, 0, 0), ChannelClosedError);
+  // Bounded waits report the closure the same way, not as a timeout.
+  EXPECT_THROW(t.recv_for(1, 0, 0, std::chrono::milliseconds(1)),
+               ChannelClosedError);
+}
+
+TEST(TransportTest, CloseIsIdempotent) {
+  Transport t(2);
+  t.close();
+  t.close();
+  EXPECT_TRUE(t.closed());
 }
 
 TEST(ClusterTest, DeviceFailurePropagatesAndUnblocksPeers) {

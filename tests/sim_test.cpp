@@ -263,6 +263,44 @@ TEST(ScenarioTest, RedistributionIsSmallFraction) {
   EXPECT_LT(fraction, 0.25);
 }
 
+TEST(ScenarioTest, DeviceDeathAddsRecoveryCostAndShrinksGroup) {
+  auto cfg = mrpc_config(model::t5_base(), Technique::kParallelAdapters);
+  const auto clean = simulate_system(SystemKind::kPac, cfg);
+  ASSERT_FALSE(clean.oom);
+  EXPECT_EQ(clean.surviving_devices, cfg.num_devices);
+  EXPECT_EQ(clean.recovery_seconds, 0.0);
+
+  cfg.fail_device = 3;
+  cfg.fail_at_epoch_fraction = 0.5;
+  const auto faulted = simulate_system(SystemKind::kPac, cfg);
+  ASSERT_FALSE(faulted.oom);
+  EXPECT_EQ(faulted.surviving_devices, cfg.num_devices - 1);
+  // Recovery = wasted half of the full-strength first epoch.
+  EXPECT_NEAR(faulted.recovery_seconds, 0.5 * clean.first_epoch_seconds,
+              1e-9);
+  // The faulted run matches a clean 7-device run plus the wasted work.
+  ScenarioConfig survivors = cfg;
+  survivors.fail_device = -1;
+  survivors.num_devices = cfg.num_devices - 1;
+  const auto ref = simulate_system(SystemKind::kPac, survivors);
+  ASSERT_FALSE(ref.oom);
+  EXPECT_NEAR(faulted.total_hours,
+              ref.total_hours + faulted.recovery_seconds / 3600.0, 1e-12);
+  EXPECT_GT(faulted.total_hours, clean.total_hours);
+
+  // Dying later wastes more work.
+  cfg.fail_at_epoch_fraction = 1.0;
+  const auto late = simulate_system(SystemKind::kPac, cfg);
+  EXPECT_GT(late.recovery_seconds, faulted.recovery_seconds);
+
+  // Baselines have no recovery path: the knob is ignored.
+  auto eddl_cfg = mrpc_config(model::t5_base(), Technique::kAdapters);
+  eddl_cfg.fail_device = 3;
+  const auto eddl = simulate_system(SystemKind::kEddl, eddl_cfg);
+  EXPECT_EQ(eddl.recovery_seconds, 0.0);
+  EXPECT_EQ(eddl.surviving_devices, eddl_cfg.num_devices);
+}
+
 TEST(TimelineTest, TraceCoversEveryOp) {
   SimConfig cfg;
   cfg.input = uniform_input(4, 2, 0.5, 1.0, 4);

@@ -3,6 +3,9 @@
 // a full encoder-layer forward/backward at executed scale.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "nn/attention.hpp"
 #include "nn/transformer_layer.hpp"
 #include "tensor/ops.hpp"
@@ -36,6 +39,46 @@ void BM_GemmTransposed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmTransposed)->Arg(64)->Arg(128);
+
+void BM_GemmBatched(benchmark::State& state) {
+  // Attention-shaped batch: batch = B * num_heads small GEMMs, the exact
+  // pattern the per-head score/context matmuls produce.
+  const auto t = state.range(0);
+  constexpr std::int64_t kBatch = 16;  // 4 sequences x 4 heads
+  constexpr std::int64_t kHeadDim = 16;
+  Rng rng(8);
+  Tensor a = Tensor::randn({kBatch, t, kHeadDim}, rng);
+  Tensor b = Tensor::randn({kBatch, t, kHeadDim}, rng);
+  Tensor c({kBatch, t, t});
+  for (auto _ : state) {
+    ops::gemm_batched(a.data(), b.data(), c.data(), kBatch, t, t, kHeadDim,
+                      t * kHeadDim, t * kHeadDim, t * t,
+                      /*trans_a=*/false, /*trans_b=*/true, 1.0F, 0.0F);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kBatch * t * t * kHeadDim);
+}
+BENCHMARK(BM_GemmBatched)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_FusedMaskedSoftmax(benchmark::State& state) {
+  // Causal-masked softmax over attention scores, fused mask + softmax pass.
+  const auto t = state.range(0);
+  constexpr std::int64_t kB = 4;
+  constexpr std::int64_t kHeads = 4;
+  Rng rng(9);
+  Tensor base = Tensor::randn({kB, kHeads, t, t}, rng);
+  Tensor scores(base.shape());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::copy_n(base.data(), base.numel(), scores.data());
+    state.ResumeTiming();
+    ops::attention_masked_softmax(scores, kB, kHeads, t, t, /*causal=*/true,
+                                  /*key_mask=*/nullptr);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() * base.numel());
+}
+BENCHMARK(BM_FusedMaskedSoftmax)->Arg(64)->Arg(128);
 
 void BM_Softmax(benchmark::State& state) {
   Rng rng(3);

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner: builds the Release tree and records the
+# micro-kernel suite to BENCH_kernels.json (google-benchmark JSON format).
+#
+# Usage: scripts/bench.sh [--quick] [output.json]
+#   --quick   smoke mode: one short repetition per benchmark, results
+#             discarded (used by scripts/ci.sh to keep the bench suite
+#             compiling and running); no JSON is written.
+#
+# To regenerate the tracked baseline after a kernel change:
+#   scripts/bench.sh BENCH_kernels.json
+# and commit the result alongside the change that moved the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+OUT="BENCH_kernels.json"
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) OUT="$arg" ;;
+  esac
+done
+
+JOBS="${JOBS:-$(nproc)}"
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_kernels >/dev/null
+
+BIN="$BUILD_DIR/bench/micro_kernels"
+if [[ "$QUICK" == 1 ]]; then
+  # One fast pass; exercises every registered benchmark without caring
+  # about statistical quality. (Old google-benchmark: min_time is a plain
+  # double in seconds, no "s" suffix.)
+  "$BIN" --benchmark_min_time=0.01 --benchmark_format=console >/dev/null
+  echo "bench smoke OK"
+else
+  "$BIN" --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+         --benchmark_report_aggregates_only=true \
+         --benchmark_format=json >"$OUT"
+  echo "wrote $OUT"
+fi

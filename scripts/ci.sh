@@ -39,6 +39,7 @@ case "$MODE" in
   test)
     build build
     run_tests build
+    scripts/bench.sh --quick
     ;;
   stress)
     build build
@@ -54,6 +55,7 @@ case "$MODE" in
   all)
     build build
     run_tests build
+    scripts/bench.sh --quick
     stress_pass build
     build build-tsan -DPAC_SANITIZE=thread
     echo "=== ThreadSanitizer pass ==="

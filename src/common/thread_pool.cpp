@@ -4,6 +4,14 @@
 #include <atomic>
 
 namespace pac {
+namespace {
+
+// Which pool (if any) owns the current thread.  Set once per worker at
+// startup; parallel_for consults it so nested dispatch from a worker runs
+// inline instead of deadlocking on the pool's own queue.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,7 +34,10 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -42,17 +53,25 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(
-    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) {
   if (n <= 0) return;
+  // Dispatch is only worth it for reasonably large ranges; callers with
+  // expensive per-iteration bodies pass a smaller grain.
+  constexpr std::int64_t kDefaultGrain = 1024;
+  if (grain <= 0) grain = kDefaultGrain;
   const std::int64_t width = static_cast<std::int64_t>(workers_.size()) + 1;
-  // Dispatch is only worth it for reasonably large ranges.
-  constexpr std::int64_t kMinPerThread = 1024;
-  if (width == 1 || n < 2 * kMinPerThread) {
+  // A nested call from one of our own workers must not block on the queue it
+  // is supposed to be draining: run inline (the outer dispatch already
+  // spread work across the pool).
+  if (width == 1 || n < 2 * grain || on_worker_thread()) {
     fn(0, n);
     return;
   }
 
-  const std::int64_t chunks = std::min<std::int64_t>(width, (n + kMinPerThread - 1) / kMinPerThread);
+  // floor(n / grain) keeps every chunk at least `grain` long (the last chunk
+  // absorbs the remainder); n >= 2 * grain guarantees at least two chunks.
+  const std::int64_t chunks = std::min<std::int64_t>(width, n / grain);
   const std::int64_t per_chunk = (n + chunks - 1) / chunks;
 
   std::atomic<std::int64_t> remaining{chunks - 1};

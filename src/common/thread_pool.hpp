@@ -3,6 +3,11 @@
 // Design notes (Core Guidelines CP.*): tasks, not raw threads; all waits use
 // condition variables with predicates; the pool joins its workers in the
 // destructor so no thread outlives the object (CP.23/CP.26).
+//
+// parallel_for is nesting-safe: a call issued from one of the pool's own
+// worker threads runs inline instead of enqueueing, so kernels that dispatch
+// to the pool may themselves be called from pooled work items without
+// deadlocking on their own queue.
 #pragma once
 
 #include <condition_variable>
@@ -26,12 +31,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  // Number of threads that participate in parallel_for (workers + caller).
+  std::size_t width() const { return workers_.size() + 1; }
 
   // Splits [0, n) into contiguous ranges, runs fn(begin, end) on the pool
-  // plus the calling thread, and returns when every range is done.  If n is
-  // small or the pool has one worker, runs inline (no dispatch overhead).
+  // plus the calling thread, and returns when every range is done.
+  //
+  // `grain` is the minimum number of iterations per range; ranges are never
+  // smaller than it, and when n < 2 * grain (or the pool has a single
+  // thread, or the caller is itself a pool worker) the whole range runs
+  // inline with no dispatch overhead.  grain == 0 picks a default suited to
+  // cheap per-element bodies.
   void parallel_for(std::int64_t n,
-                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+                    const std::function<void(std::int64_t, std::int64_t)>& fn,
+                    std::int64_t grain = 0);
+
+  // True when the calling thread is one of this pool's workers.  Used by
+  // kernels to decide between nested dispatch (runs inline) and top-level
+  // dispatch.
+  bool on_worker_thread() const;
 
   // Process-wide pool shared by the tensor kernels.
   static ThreadPool& global();

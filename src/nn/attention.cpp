@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace pac::nn {
@@ -49,8 +51,6 @@ Tensor merge_heads(const Tensor& x) {
   return out;
 }
 
-constexpr float kMaskValue = -1e30F;
-
 }  // namespace
 
 MultiHeadAttention::MultiHeadAttention(std::string name, std::int64_t hidden,
@@ -89,48 +89,25 @@ Tensor MultiHeadAttention::attend(const Tensor& x, const Tensor& kv_src,
   ctx.kh = split_heads(k, num_heads_, head_dim_);
   ctx.vh = split_heads(v, num_heads_, head_dim_);
 
+  // scores = scale * qh @ kh^T, batched over the B * nh heads so every head
+  // GEMM runs, and the batch dimension threads across the pool.
   Tensor scores({b, num_heads_, t, s});
-  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
-    ops::gemm_raw(ctx.qh.data() + i * t * head_dim_,
-                  ctx.kh.data() + i * s * head_dim_,
-                  scores.data() + i * t * s, t, s, head_dim_, false, true,
-                  scale_, 0.0F);
-  }
-  if (causal_ && !cross) {
-    float* ps = scores.data();
-    for (std::int64_t i = 0; i < b * num_heads_; ++i) {
-      for (std::int64_t r = 0; r < t; ++r) {
-        float* row = ps + (i * t + r) * s;
-        for (std::int64_t c = r + 1; c < s; ++c) row[c] = kMaskValue;
-      }
-    }
-  }
-  if (pending_mask_.defined()) {
-    PAC_CHECK(pending_mask_.numel() == b * s,
-              "key mask must be [B, S] = [" << b << ", " << s << "]");
-    const float* pm = pending_mask_.data();
-    float* ps = scores.data();
-    for (std::int64_t bi = 0; bi < b; ++bi) {
-      for (std::int64_t h = 0; h < num_heads_; ++h) {
-        for (std::int64_t r = 0; r < t; ++r) {
-          float* row = ps + (((bi * num_heads_ + h) * t) + r) * s;
-          for (std::int64_t c = 0; c < s; ++c) {
-            if (pm[bi * s + c] == 0.0F) row[c] = kMaskValue;
-          }
-        }
-      }
-    }
-    pending_mask_ = Tensor();
-  }
-  ctx.probs = ops::softmax_lastdim(scores);
+  ops::gemm_batched(ctx.qh.data(), ctx.kh.data(), scores.data(),
+                    b * num_heads_, t, s, head_dim_, t * head_dim_,
+                    s * head_dim_, t * s, false, true, scale_, 0.0F);
+  // Causal / key masking is fused into the softmax pass instead of
+  // rewriting the scores tensor per mask source.
+  ops::attention_masked_softmax(scores, b, num_heads_, t, s,
+                                causal_ && !cross,
+                                pending_mask_.defined() ? &pending_mask_
+                                                        : nullptr);
+  pending_mask_ = Tensor();
+  ctx.probs = std::move(scores);
 
   Tensor ctx_heads({b, num_heads_, t, head_dim_});
-  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
-    ops::gemm_raw(ctx.probs.data() + i * t * s,
-                  ctx.vh.data() + i * s * head_dim_,
-                  ctx_heads.data() + i * t * head_dim_, t, head_dim_, s,
-                  false, false, 1.0F, 0.0F);
-  }
+  ops::gemm_batched(ctx.probs.data(), ctx.vh.data(), ctx_heads.data(),
+                    b * num_heads_, t, head_dim_, s, t * s, s * head_dim_,
+                    t * head_dim_, false, false, 1.0F, 0.0F);
   if (context_enabled()) ctx_.push(std::move(ctx));
   Tensor merged = merge_heads(ctx_heads);
   return wo_.forward(merged);
@@ -156,38 +133,31 @@ std::pair<Tensor, Tensor> MultiHeadAttention::backward_impl(const Tensor& dy) {
   Tensor dmerged = wo_.backward(dy);  // [B, T, H]
   Tensor dctx_heads = split_heads(dmerged, num_heads_, head_dim_);
 
+  const std::int64_t nbh = b * num_heads_;
+  // dprobs = dctx @ vh^T
   Tensor dprobs({b, num_heads_, t, s});
-  Tensor dvh = Tensor::zeros({b, num_heads_, s, head_dim_});
-  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
-    // dprobs = dctx @ vh^T
-    ops::gemm_raw(dctx_heads.data() + i * t * head_dim_,
-                  ctx.vh.data() + i * s * head_dim_,
-                  dprobs.data() + i * t * s, t, s, head_dim_, false, true,
-                  1.0F, 0.0F);
-    // dvh = probs^T @ dctx
-    ops::gemm_raw(ctx.probs.data() + i * t * s,
-                  dctx_heads.data() + i * t * head_dim_,
-                  dvh.data() + i * s * head_dim_, s, head_dim_, t, true,
-                  false, 1.0F, 1.0F);
-  }
+  ops::gemm_batched(dctx_heads.data(), ctx.vh.data(), dprobs.data(), nbh, t,
+                    s, head_dim_, t * head_dim_, s * head_dim_, t * s, false,
+                    true, 1.0F, 0.0F);
+  // dvh = probs^T @ dctx
+  Tensor dvh({b, num_heads_, s, head_dim_});
+  ops::gemm_batched(ctx.probs.data(), dctx_heads.data(), dvh.data(), nbh, s,
+                    head_dim_, t, t * s, t * head_dim_, s * head_dim_, true,
+                    false, 1.0F, 0.0F);
 
   // Masked positions have probs == 0, so softmax_backward zeroes them.
   Tensor dscores = ops::softmax_backward(dprobs, ctx.probs);
 
+  // dq = dscores @ kh * scale
   Tensor dqh({b, num_heads_, t, head_dim_});
-  Tensor dkh = Tensor::zeros({b, num_heads_, s, head_dim_});
-  for (std::int64_t i = 0; i < b * num_heads_; ++i) {
-    // dq = dscores @ kh * scale
-    ops::gemm_raw(dscores.data() + i * t * s,
-                  ctx.kh.data() + i * s * head_dim_,
-                  dqh.data() + i * t * head_dim_, t, head_dim_, s, false,
-                  false, scale_, 0.0F);
-    // dk = dscores^T @ qh * scale
-    ops::gemm_raw(dscores.data() + i * t * s,
-                  ctx.qh.data() + i * t * head_dim_,
-                  dkh.data() + i * s * head_dim_, s, head_dim_, t, true,
-                  false, scale_, 1.0F);
-  }
+  ops::gemm_batched(dscores.data(), ctx.kh.data(), dqh.data(), nbh, t,
+                    head_dim_, s, t * s, s * head_dim_, t * head_dim_, false,
+                    false, scale_, 0.0F);
+  // dk = dscores^T @ qh * scale
+  Tensor dkh({b, num_heads_, s, head_dim_});
+  ops::gemm_batched(dscores.data(), ctx.qh.data(), dkh.data(), nbh, s,
+                    head_dim_, t, t * s, t * head_dim_, s * head_dim_, true,
+                    false, scale_, 0.0F);
 
   Tensor dq = merge_heads(dqh);
   Tensor dk = merge_heads(dkh);
@@ -244,7 +214,9 @@ MultiHeadAttention::KvCache MultiHeadAttention::precompute_kv(
 namespace {
 
 // q [B, nh, 1, dh] attending over cache (first `len` positions), optional
-// key mask [B, len].  Returns merged [B, 1, H].
+// key mask [B, len].  Returns merged [B, 1, H].  The B * nh independent
+// head rows dispatch across the pool; each chunk owns a scratch score
+// buffer.
 Tensor attend_step(const Tensor& qh, const MultiHeadAttention::KvCache& kv,
                    float scale, std::int64_t num_heads,
                    std::int64_t head_dim) {
@@ -252,44 +224,46 @@ Tensor attend_step(const Tensor& qh, const MultiHeadAttention::KvCache& kv,
   const std::int64_t len = kv.len;
   const std::int64_t cache_cap = kv.k.size(2);
   Tensor ctx_heads({b, num_heads, 1, head_dim});
-  std::vector<float> scores(static_cast<std::size_t>(len));
-  for (std::int64_t i = 0; i < b; ++i) {
-    for (std::int64_t h = 0; h < num_heads; ++h) {
-      const float* q =
-          qh.data() + (i * num_heads + h) * head_dim;
-      const float* kbase =
-          kv.k.data() + ((i * num_heads + h) * cache_cap) * head_dim;
-      float mx = -1e30F;
-      for (std::int64_t p = 0; p < len; ++p) {
-        float dot = 0.0F;
-        const float* krow = kbase + p * head_dim;
-        for (std::int64_t d = 0; d < head_dim; ++d) dot += q[d] * krow[d];
-        dot *= scale;
-        if (kv.key_mask.defined() &&
-            kv.key_mask.data()[i * len + p] == 0.0F) {
-          dot = -1e30F;
+  const std::int64_t grain = std::max<std::int64_t>(
+      1, (1 << 14) / std::max<std::int64_t>(1, len * head_dim));
+  ThreadPool::global().parallel_for(
+      b * num_heads,
+      [&](std::int64_t begin, std::int64_t end) {
+        std::vector<float> scores(static_cast<std::size_t>(len));
+        for (std::int64_t bh = begin; bh < end; ++bh) {
+          const std::int64_t i = bh / num_heads;
+          const float* q = qh.data() + bh * head_dim;
+          const float* kbase = kv.k.data() + bh * cache_cap * head_dim;
+          float mx = -1e30F;
+          for (std::int64_t p = 0; p < len; ++p) {
+            float dot = 0.0F;
+            const float* krow = kbase + p * head_dim;
+            for (std::int64_t d = 0; d < head_dim; ++d) dot += q[d] * krow[d];
+            dot *= scale;
+            if (kv.key_mask.defined() &&
+                kv.key_mask.data()[i * len + p] == 0.0F) {
+              dot = -1e30F;
+            }
+            scores[static_cast<std::size_t>(p)] = dot;
+            mx = std::max(mx, dot);
+          }
+          float z = 0.0F;
+          for (std::int64_t p = 0; p < len; ++p) {
+            scores[static_cast<std::size_t>(p)] =
+                std::exp(scores[static_cast<std::size_t>(p)] - mx);
+            z += scores[static_cast<std::size_t>(p)];
+          }
+          float* out = ctx_heads.data() + bh * head_dim;
+          std::fill_n(out, head_dim, 0.0F);
+          const float* vbase = kv.v.data() + bh * cache_cap * head_dim;
+          for (std::int64_t p = 0; p < len; ++p) {
+            const float w = scores[static_cast<std::size_t>(p)] / z;
+            const float* vrow = vbase + p * head_dim;
+            for (std::int64_t d = 0; d < head_dim; ++d) out[d] += w * vrow[d];
+          }
         }
-        scores[static_cast<std::size_t>(p)] = dot;
-        mx = std::max(mx, dot);
-      }
-      float z = 0.0F;
-      for (std::int64_t p = 0; p < len; ++p) {
-        scores[static_cast<std::size_t>(p)] =
-            std::exp(scores[static_cast<std::size_t>(p)] - mx);
-        z += scores[static_cast<std::size_t>(p)];
-      }
-      float* out =
-          ctx_heads.data() + (i * num_heads + h) * head_dim;
-      std::fill_n(out, head_dim, 0.0F);
-      const float* vbase =
-          kv.v.data() + ((i * num_heads + h) * cache_cap) * head_dim;
-      for (std::int64_t p = 0; p < len; ++p) {
-        const float w = scores[static_cast<std::size_t>(p)] / z;
-        const float* vrow = vbase + p * head_dim;
-        for (std::int64_t d = 0; d < head_dim; ++d) out[d] += w * vrow[d];
-      }
-    }
-  }
+      },
+      grain);
   return merge_heads(ctx_heads);
 }
 

@@ -1,0 +1,316 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__AVX512F__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "common/thread_pool.hpp"
+
+// This translation unit is compiled with the host's full SIMD width
+// (-march=native via PAC_NATIVE_KERNELS); the intrinsics micro-kernel below
+// selects AVX-512 / AVX2+FMA / scalar at compile time.  The rest of
+// src/tensor stays on the project-wide flags: the exp-heavy row ops
+// (softmax, gelu) measurably regress when the whole library is built with
+// 512-bit autovectorization, so only the GEMM lives here.
+
+namespace pac::ops {
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+// ---------------------------------------------------------------------------
+// GEMM
+//
+// Cache-blocked, panel-packed SGEMM (see DESIGN.md "Kernel architecture").
+// op(A) row blocks of kMc and op(B) column blocks of kNc are packed, one
+// depth slice of kKc at a time, into contiguous panels of kMr rows / kNr
+// columns; a register micro-kernel accumulates an kMr x kNr tile over the
+// packed panels.  Per-element accumulation order is ascending in k
+// regardless of blocking or threading, so results are bit-deterministic.
+// ---------------------------------------------------------------------------
+
+constexpr std::int64_t kMr = 8;    // micro-tile rows (accumulator rows)
+constexpr std::int64_t kNr = 16;   // micro-tile cols (one/two SIMD rows)
+constexpr std::int64_t kMc = 128;  // packed A block rows   (A block in L2)
+constexpr std::int64_t kKc = 256;  // packed depth per block (B panel in L1)
+constexpr std::int64_t kNc = 1024; // packed B block cols    (B block in L2)
+
+// m*n*k below this: the plain ikj loop beats packing overhead.
+constexpr std::int64_t kSmallGemmFlops = 8 * 1024;
+// m*n*k above this: worth dispatching row blocks on the pool.
+constexpr std::int64_t kGemmParallelFlops = 1 << 16;
+
+// Pack op(A)[ic:ic+mb, pc:pc+kb] into panels of kMr rows:
+//   dst[(ip * kb + p) * kMr + r] = op(A)(ic + ip*kMr + r, pc + p)
+// with zero padding for rows past mb (the micro-kernel always runs a full
+// kMr x kNr tile; stores are guarded instead).
+void pack_a_block(float* dst, const float* a, std::int64_t m, std::int64_t k,
+                  bool trans_a, std::int64_t ic, std::int64_t pc,
+                  std::int64_t mb, std::int64_t kb) {
+  const std::int64_t panels = ceil_div(mb, kMr);
+  for (std::int64_t ip = 0; ip < panels; ++ip) {
+    float* pdst = dst + ip * kb * kMr;
+    const std::int64_t rows = std::min<std::int64_t>(kMr, mb - ip * kMr);
+    if (!trans_a) {
+      for (std::int64_t r = 0; r < rows; ++r) {
+        const float* src = a + (ic + ip * kMr + r) * k + pc;
+        for (std::int64_t p = 0; p < kb; ++p) pdst[p * kMr + r] = src[p];
+      }
+    } else {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* src = a + (pc + p) * m + ic + ip * kMr;
+        for (std::int64_t r = 0; r < rows; ++r) pdst[p * kMr + r] = src[r];
+      }
+    }
+    if (rows < kMr) {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        for (std::int64_t r = rows; r < kMr; ++r) pdst[p * kMr + r] = 0.0F;
+      }
+    }
+  }
+}
+
+// Pack op(B)[pc:pc+kb, jc:jc+nb] into panels of kNr columns:
+//   dst[(jp * kb + p) * kNr + j] = op(B)(pc + p, jc + jp*kNr + j)
+// with zero padding for columns past nb.
+void pack_b_block(float* dst, const float* b, std::int64_t n, std::int64_t k,
+                  bool trans_b, std::int64_t jc, std::int64_t pc,
+                  std::int64_t nb, std::int64_t kb) {
+  const std::int64_t panels = ceil_div(nb, kNr);
+  for (std::int64_t jp = 0; jp < panels; ++jp) {
+    float* pdst = dst + jp * kb * kNr;
+    const std::int64_t cols = std::min<std::int64_t>(kNr, nb - jp * kNr);
+    if (!trans_b) {
+      for (std::int64_t p = 0; p < kb; ++p) {
+        const float* src = b + (pc + p) * n + jc + jp * kNr;
+        float* row = pdst + p * kNr;
+        for (std::int64_t j = 0; j < cols; ++j) row[j] = src[j];
+        for (std::int64_t j = cols; j < kNr; ++j) row[j] = 0.0F;
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float* src = b + (jc + jp * kNr + j) * k + pc;
+        for (std::int64_t p = 0; p < kb; ++p) pdst[p * kNr + j] = src[p];
+      }
+      for (std::int64_t p = 0; p < kb; ++p) {
+        for (std::int64_t j = cols; j < kNr; ++j) pdst[p * kNr + j] = 0.0F;
+      }
+    }
+  }
+}
+
+// acc[kMr x kNr] += Apanel @ Bpanel over kb packed depth steps.  Written
+// with explicit SIMD so the accumulator tile provably stays in vector
+// registers (autovectorizers spill it); per-element accumulation order is
+// k-ascending in every variant, so results stay run-to-run deterministic.
+#if defined(__AVX512F__)
+inline void micro_kernel(std::int64_t kb, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ acc) {
+  static_assert(kNr == 16, "AVX-512 micro-kernel assumes one zmm per row");
+  __m512 c[kMr];
+  for (std::int64_t r = 0; r < kMr; ++r) c[r] = _mm512_setzero_ps();
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m512 bvec = _mm512_loadu_ps(bp + p * kNr);
+    const float* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      c[r] = _mm512_fmadd_ps(_mm512_set1_ps(arow[r]), bvec, c[r]);
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) _mm512_storeu_ps(acc + r * kNr, c[r]);
+}
+#elif defined(__AVX2__) && defined(__FMA__)
+inline void micro_kernel(std::int64_t kb, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ acc) {
+  static_assert(kNr == 16, "AVX2 micro-kernel assumes two ymm per row");
+  __m256 lo[kMr];
+  __m256 hi[kMr];
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    lo[r] = _mm256_setzero_ps();
+    hi[r] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m256 blo = _mm256_loadu_ps(bp + p * kNr);
+    const __m256 bhi = _mm256_loadu_ps(bp + p * kNr + 8);
+    const float* arow = ap + p * kMr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const __m256 av = _mm256_set1_ps(arow[r]);
+      lo[r] = _mm256_fmadd_ps(av, blo, lo[r]);
+      hi[r] = _mm256_fmadd_ps(av, bhi, hi[r]);
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    _mm256_storeu_ps(acc + r * kNr, lo[r]);
+    _mm256_storeu_ps(acc + r * kNr + 8, hi[r]);
+  }
+}
+#else
+inline void micro_kernel(std::int64_t kb, const float* __restrict__ ap,
+                         const float* __restrict__ bp,
+                         float* __restrict__ acc) {
+  std::fill_n(acc, kMr * kNr, 0.0F);
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float* arow = ap + p * kMr;
+    const float* brow = bp + p * kNr;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const float av = arow[r];
+      float* accr = acc + r * kNr;
+      for (std::int64_t j = 0; j < kNr; ++j) accr[j] += av * brow[j];
+    }
+  }
+}
+#endif
+
+// Write an accumulated tile into C.  On the first depth block beta applies
+// (beta == 0 must not read C: freshly allocated outputs are uninitialized);
+// later depth blocks accumulate.
+inline void store_tile(float* c, std::int64_t ldc, const float* acc,
+                       std::int64_t rows, std::int64_t cols, float alpha,
+                       float beta, bool first_kblock) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* crow = c + r * ldc;
+    const float* arow = acc + r * kNr;
+    if (first_kblock) {
+      if (beta == 0.0F) {
+        for (std::int64_t j = 0; j < cols; ++j) crow[j] = alpha * arow[j];
+      } else {
+        for (std::int64_t j = 0; j < cols; ++j) {
+          crow[j] = alpha * arow[j] + beta * crow[j];
+        }
+      }
+    } else {
+      for (std::int64_t j = 0; j < cols; ++j) crow[j] += alpha * arow[j];
+    }
+  }
+}
+
+// Reference-style ikj loop for problems too small to amortize packing.
+void gemm_small(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+                float alpha, float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    if (beta == 0.0F) {
+      std::fill_n(crow, n, 0.0F);
+    } else if (beta != 1.0F) {
+      for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    if (!trans_b) {
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
+        if (av == 0.0F) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0F;
+        if (!trans_a) {
+          const float* arow = a + i * k;
+          for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        } else {
+          for (std::int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+void gemm_impl(const float* a, const float* b, float* c, std::int64_t m,
+               std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+               float alpha, float beta, bool allow_threads) {
+  if (m <= 0 || n <= 0) return;
+  if (m * n * k < kSmallGemmFlops) {
+    gemm_small(a, b, c, m, n, k, trans_a, trans_b, alpha, beta);
+    return;
+  }
+  const bool threads =
+      allow_threads && m * n * k >= kGemmParallelFlops;
+  std::vector<float> b_pack;
+  for (std::int64_t jc = 0; jc < n; jc += kNc) {
+    const std::int64_t nb = std::min<std::int64_t>(kNc, n - jc);
+    const std::int64_t jpanels = ceil_div(nb, kNr);
+    for (std::int64_t pc = 0; pc < k; pc += kKc) {
+      const std::int64_t kb = std::min<std::int64_t>(kKc, k - pc);
+      b_pack.resize(static_cast<std::size_t>(jpanels * kb * kNr));
+      pack_b_block(b_pack.data(), b, n, k, trans_b, jc, pc, nb, kb);
+      const bool first = pc == 0;
+
+      const std::int64_t mblocks = ceil_div(m, kMc);
+      auto block_body = [&](std::int64_t blk_begin, std::int64_t blk_end) {
+        std::vector<float> a_pack(
+            static_cast<std::size_t>(ceil_div(kMc, kMr) * kMr * kb));
+        alignas(64) float acc[kMr * kNr];
+        for (std::int64_t blk = blk_begin; blk < blk_end; ++blk) {
+          const std::int64_t ic = blk * kMc;
+          const std::int64_t mb = std::min<std::int64_t>(kMc, m - ic);
+          pack_a_block(a_pack.data(), a, m, k, trans_a, ic, pc, mb, kb);
+          const std::int64_t ipanels = ceil_div(mb, kMr);
+          for (std::int64_t jp = 0; jp < jpanels; ++jp) {
+            const float* bp = b_pack.data() + jp * kb * kNr;
+            const std::int64_t cols =
+                std::min<std::int64_t>(kNr, nb - jp * kNr);
+            for (std::int64_t ip = 0; ip < ipanels; ++ip) {
+              const float* ap = a_pack.data() + ip * kb * kMr;
+              micro_kernel(kb, ap, bp, acc);
+              const std::int64_t rows =
+                  std::min<std::int64_t>(kMr, mb - ip * kMr);
+              store_tile(c + (ic + ip * kMr) * n + jc + jp * kNr, n, acc,
+                         rows, cols, alpha, beta, first);
+            }
+          }
+        }
+      };
+      if (threads) {
+        ThreadPool::global().parallel_for(mblocks, block_body, /*grain=*/1);
+      } else {
+        block_body(0, mblocks);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+              float alpha, float beta) {
+  // a: op(A)[m,k]; stored [m,k] if !trans_a, else [k,m].
+  // b: op(B)[k,n]; stored [k,n] if !trans_b, else [n,k].
+  gemm_impl(a, b, c, m, n, k, trans_a, trans_b, alpha, beta,
+            /*allow_threads=*/true);
+}
+
+void gemm_batched(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::int64_t stride_a, std::int64_t stride_b,
+                  std::int64_t stride_c, bool trans_a, bool trans_b,
+                  float alpha, float beta) {
+  if (batch <= 0) return;
+  if (batch == 1) {
+    gemm_raw(a, b, c, m, n, k, trans_a, trans_b, alpha, beta);
+    return;
+  }
+  // Parallelize across problems (each one runs single-threaded inside) when
+  // the aggregate work is large enough; per-problem GEMMs in attention are
+  // individually below the intra-GEMM threading threshold.
+  auto body = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      gemm_impl(a + i * stride_a, b + i * stride_b, c + i * stride_c, m, n, k,
+                trans_a, trans_b, alpha, beta, /*allow_threads=*/false);
+    }
+  };
+  if (batch * m * n * k >= kGemmParallelFlops) {
+    ThreadPool::global().parallel_for(batch, body, /*grain=*/1);
+  } else {
+    body(0, batch);
+  }
+}
+
+}  // namespace pac::ops

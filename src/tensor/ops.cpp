@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 
@@ -14,56 +15,16 @@ std::int64_t rows_of(const Tensor& x) {
   return x.numel() / x.size(x.dim() - 1);
 }
 
-}  // namespace
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
 
-void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
-              std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
-              float alpha, float beta) {
-  // a: op(A)[m,k]; stored [m,k] if !trans_a, else [k,m].
-  // b: op(B)[k,n]; stored [k,n] if !trans_b, else [n,k].
-  auto body = [=](std::int64_t row_begin, std::int64_t row_end) {
-    for (std::int64_t i = row_begin; i < row_end; ++i) {
-      float* crow = c + i * n;
-      if (beta == 0.0F) {
-        std::fill_n(crow, n, 0.0F);
-      } else if (beta != 1.0F) {
-        for (std::int64_t j = 0; j < n; ++j) crow[j] *= beta;
-      }
-      if (!trans_b) {
-        // ikj order: stream over contiguous B rows.
-        for (std::int64_t p = 0; p < k; ++p) {
-          const float av =
-              alpha * (trans_a ? a[p * m + i] : a[i * k + p]);
-          if (av == 0.0F) continue;
-          const float* brow = b + p * n;
-          for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      } else {
-        // B stored [n, k]: dot products over contiguous rows of B.
-        for (std::int64_t j = 0; j < n; ++j) {
-          const float* brow = b + j * k;
-          float acc = 0.0F;
-          if (!trans_a) {
-            const float* arow = a + i * k;
-            for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-          } else {
-            for (std::int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
-          }
-          crow[j] += alpha * acc;
-        }
-      }
-    }
-  };
-  // Parallelize over output rows when the work is large enough.
-  if (m * n * k >= 1 << 16) {
-    ThreadPool::global().parallel_for(
-        m, [&](std::int64_t b0, std::int64_t e0) { body(b0, e0); });
-  } else {
-    body(0, m);
-  }
+// Minimum elements per chunk when threading row-wise / elementwise ops; below
+// this the dispatch overhead dominates and the op runs inline.
+constexpr std::int64_t kRowOpGrainElems = 1 << 14;
+
+std::int64_t row_grain(std::int64_t cols) {
+  return std::max<std::int64_t>(
+      1, kRowOpGrainElems / std::max<std::int64_t>(1, cols));
 }
-
-namespace {
 
 struct MatView {
   const Tensor* t;
@@ -144,7 +105,12 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F f, const char* name) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  ThreadPool::global().parallel_for(
+      a.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) po[i] = f(pa[i], pb[i]);
+      },
+      kRowOpGrainElems);
   return out;
 }
 
@@ -178,11 +144,16 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   const float* px = x.data();
   const float* pb = bias.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t j = 0; j < cols; ++j) {
-      po[r * cols + j] = px[r * cols + j] + pb[j];
-    }
-  }
+  ThreadPool::global().parallel_for(
+      rows,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* xr = px + r * cols;
+          float* yr = po + r * cols;
+          for (std::int64_t j = 0; j < cols; ++j) yr[j] = xr[j] + pb[j];
+        }
+      },
+      row_grain(cols));
   return out;
 }
 
@@ -194,16 +165,31 @@ void bias_grad_acc(Tensor& grad_bias, const Tensor& dy) {
   const std::int64_t rows = dy.numel() / cols;
   const float* pd = dy.data();
   float* pg = grad_bias.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    for (std::int64_t j = 0; j < cols; ++j) pg[j] += pd[r * cols + j];
-  }
+  // Threads split the *column* axis so each output element has one writer
+  // and a fixed row-ascending accumulation order.
+  ThreadPool::global().parallel_for(
+      cols,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* drow = pd + r * cols;
+          for (std::int64_t j = begin; j < end; ++j) pg[j] += drow[j];
+        }
+      },
+      row_grain(rows));
 }
 
 Tensor relu(const Tensor& x) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = px[i] > 0.0F ? px[i] : 0.0F;
+  ThreadPool::global().parallel_for(
+      x.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          po[i] = px[i] > 0.0F ? px[i] : 0.0F;
+        }
+      },
+      kRowOpGrainElems);
   return out;
 }
 
@@ -213,9 +199,14 @@ Tensor relu_backward(const Tensor& dy, const Tensor& x) {
   const float* pd = dy.data();
   const float* px = x.data();
   float* po = dx.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    po[i] = px[i] > 0.0F ? pd[i] : 0.0F;
-  }
+  ThreadPool::global().parallel_for(
+      x.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          po[i] = px[i] > 0.0F ? pd[i] : 0.0F;
+        }
+      },
+      kRowOpGrainElems);
   return dx;
 }
 
@@ -237,13 +228,21 @@ float gelu_grad_scalar(float x) {
   return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
 }
 
+// tanh makes GELU much heavier per element than the other elementwise ops.
+constexpr std::int64_t kGeluGrainElems = 1 << 12;
+
 }  // namespace
 
 Tensor gelu(const Tensor& x) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) po[i] = gelu_scalar(px[i]);
+  ThreadPool::global().parallel_for(
+      x.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) po[i] = gelu_scalar(px[i]);
+      },
+      kGeluGrainElems);
   return out;
 }
 
@@ -253,9 +252,14 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x) {
   const float* pd = dy.data();
   const float* px = x.data();
   float* po = dx.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    po[i] = pd[i] * gelu_grad_scalar(px[i]);
-  }
+  ThreadPool::global().parallel_for(
+      x.numel(),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          po[i] = pd[i] * gelu_grad_scalar(px[i]);
+        }
+      },
+      kGeluGrainElems);
   return dx;
 }
 
@@ -265,19 +269,24 @@ Tensor softmax_lastdim(const Tensor& x) {
   Tensor out(x.shape());
   const float* px = x.data();
   float* po = out.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = px + r * cols;
-    float* yr = po + r * cols;
-    float mx = xr[0];
-    for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, xr[j]);
-    float z = 0.0F;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      yr[j] = std::exp(xr[j] - mx);
-      z += yr[j];
-    }
-    const float inv = 1.0F / z;
-    for (std::int64_t j = 0; j < cols; ++j) yr[j] *= inv;
-  }
+  ThreadPool::global().parallel_for(
+      rows,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* xr = px + r * cols;
+          float* yr = po + r * cols;
+          float mx = xr[0];
+          for (std::int64_t j = 1; j < cols; ++j) mx = std::max(mx, xr[j]);
+          float z = 0.0F;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            yr[j] = std::exp(xr[j] - mx);
+            z += yr[j];
+          }
+          const float inv = 1.0F / z;
+          for (std::int64_t j = 0; j < cols; ++j) yr[j] *= inv;
+        }
+      },
+      row_grain(cols));
   return out;
 }
 
@@ -289,15 +298,77 @@ Tensor softmax_backward(const Tensor& dy, const Tensor& y) {
   const float* pd = dy.data();
   const float* py = y.data();
   float* po = dx.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* dr = pd + r * cols;
-    const float* yr = py + r * cols;
-    float* or_ = po + r * cols;
-    float dot = 0.0F;
-    for (std::int64_t j = 0; j < cols; ++j) dot += dr[j] * yr[j];
-    for (std::int64_t j = 0; j < cols; ++j) or_[j] = yr[j] * (dr[j] - dot);
-  }
+  ThreadPool::global().parallel_for(
+      rows,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* dr = pd + r * cols;
+          const float* yr = py + r * cols;
+          float* or_ = po + r * cols;
+          float dot = 0.0F;
+          for (std::int64_t j = 0; j < cols; ++j) dot += dr[j] * yr[j];
+          for (std::int64_t j = 0; j < cols; ++j) {
+            or_[j] = yr[j] * (dr[j] - dot);
+          }
+        }
+      },
+      row_grain(cols));
   return dx;
+}
+
+void attention_masked_softmax(Tensor& scores, std::int64_t b, std::int64_t nh,
+                              std::int64_t t, std::int64_t s, bool causal,
+                              const Tensor* key_mask) {
+  PAC_CHECK(scores.numel() == b * nh * t * s,
+            "attention_masked_softmax: scores numel "
+                << scores.numel() << " vs " << b << "*" << nh << "*" << t
+                << "*" << s);
+  if (key_mask != nullptr) {
+    PAC_CHECK(key_mask->numel() == b * s,
+              "key mask must be [B, S] = [" << b << ", " << s << "]");
+  }
+  float* ps = scores.data();
+  const float* pm = key_mask != nullptr ? key_mask->data() : nullptr;
+  const std::int64_t rows = b * nh * t;
+  const float uniform = 1.0F / static_cast<float>(s);
+  ThreadPool::global().parallel_for(
+      rows,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t row = begin; row < end; ++row) {
+          const std::int64_t bi = row / (nh * t);
+          const std::int64_t r = row % t;
+          float* x = ps + row * s;
+          const float* mrow = pm != nullptr ? pm + bi * s : nullptr;
+          const std::int64_t limit =
+              causal ? std::min<std::int64_t>(s, r + 1) : s;
+          float mx = 0.0F;
+          bool any = false;
+          for (std::int64_t j = 0; j < limit; ++j) {
+            if (mrow != nullptr && mrow[j] == 0.0F) continue;
+            mx = any ? std::max(mx, x[j]) : x[j];
+            any = true;
+          }
+          if (!any) {
+            // Every position masked out: the unfused path softmaxed a row of
+            // equal -1e30 scores, i.e. uniform attention.  Preserve that.
+            std::fill_n(x, s, uniform);
+            continue;
+          }
+          float z = 0.0F;
+          for (std::int64_t j = 0; j < limit; ++j) {
+            if (mrow != nullptr && mrow[j] == 0.0F) {
+              x[j] = 0.0F;
+            } else {
+              x[j] = std::exp(x[j] - mx);
+              z += x[j];
+            }
+          }
+          for (std::int64_t j = limit; j < s; ++j) x[j] = 0.0F;
+          const float inv = 1.0F / z;
+          for (std::int64_t j = 0; j < limit; ++j) x[j] *= inv;
+        }
+      },
+      row_grain(s));
 }
 
 Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
@@ -315,25 +386,30 @@ Tensor layernorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   float* po = out.data();
   float* pm = mean.data();
   float* pr = rstd.data();
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* xr = px + r * cols;
-    float m = 0.0F;
-    for (std::int64_t j = 0; j < cols; ++j) m += xr[j];
-    m /= static_cast<float>(cols);
-    float var = 0.0F;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      const float d = xr[j] - m;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    const float rs = 1.0F / std::sqrt(var + eps);
-    pm[r] = m;
-    pr[r] = rs;
-    float* yr = po + r * cols;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      yr[j] = (xr[j] - m) * rs * pg[j] + pb[j];
-    }
-  }
+  ThreadPool::global().parallel_for(
+      rows,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t r = begin; r < end; ++r) {
+          const float* xr = px + r * cols;
+          float m = 0.0F;
+          for (std::int64_t j = 0; j < cols; ++j) m += xr[j];
+          m /= static_cast<float>(cols);
+          float var = 0.0F;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            const float d = xr[j] - m;
+            var += d * d;
+          }
+          var /= static_cast<float>(cols);
+          const float rs = 1.0F / std::sqrt(var + eps);
+          pm[r] = m;
+          pr[r] = rs;
+          float* yr = po + r * cols;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            yr[j] = (xr[j] - m) * rs * pg[j] + pb[j];
+          }
+        }
+      },
+      row_grain(cols));
   if (ctx != nullptr) {
     ctx->mean = std::move(mean);
     ctx->rstd = std::move(rstd);
@@ -361,28 +437,68 @@ Tensor layernorm_backward(const Tensor& dy, const Tensor& gamma,
   float* pdg = dgamma.data();
   float* pdb = dbeta.data();
   const float inv_cols = 1.0F / static_cast<float>(cols);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const float* dr = pd + r * cols;
-    const float* xr = px + r * cols;
-    float* oxr = pdx + r * cols;
-    const float m = pm[r];
-    const float rs = pr[r];
-    // xhat = (x - m) * rs; dxhat = dy * gamma
-    float sum_dxhat = 0.0F;
-    float sum_dxhat_xhat = 0.0F;
-    for (std::int64_t j = 0; j < cols; ++j) {
-      const float xhat = (xr[j] - m) * rs;
-      const float dxhat = dr[j] * pg[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xhat;
-      pdg[j] += dr[j] * xhat;
-      pdb[j] += dr[j];
+
+  // dx rows are independent, but dgamma/dbeta reduce over rows.  Each chunk
+  // accumulates into its own buffers; the chunk partials are then summed in
+  // fixed chunk order, so the result is deterministic for a fixed pool
+  // width.
+  auto row_body = [&](std::int64_t begin, std::int64_t end, float* ldg,
+                      float* ldb) {
+    for (std::int64_t r = begin; r < end; ++r) {
+      const float* dr = pd + r * cols;
+      const float* xr = px + r * cols;
+      float* oxr = pdx + r * cols;
+      const float m = pm[r];
+      const float rs = pr[r];
+      // xhat = (x - m) * rs; dxhat = dy * gamma
+      float sum_dxhat = 0.0F;
+      float sum_dxhat_xhat = 0.0F;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float xhat = (xr[j] - m) * rs;
+        const float dxhat = dr[j] * pg[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        ldg[j] += dr[j] * xhat;
+        ldb[j] += dr[j];
+      }
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float xhat = (xr[j] - m) * rs;
+        const float dxhat = dr[j] * pg[j];
+        oxr[j] = rs * (dxhat - inv_cols * sum_dxhat -
+                       inv_cols * xhat * sum_dxhat_xhat);
+      }
     }
+  };
+
+  auto& pool = ThreadPool::global();
+  const std::int64_t grain = row_grain(cols);
+  const auto width = static_cast<std::int64_t>(pool.width());
+  if (width == 1 || rows < 2 * grain || pool.on_worker_thread()) {
+    row_body(0, rows, pdg, pdb);
+    return dx;
+  }
+  const std::int64_t nchunks =
+      std::min<std::int64_t>(width, ceil_div(rows, grain));
+  const std::int64_t per_chunk = ceil_div(rows, nchunks);
+  std::vector<float> partials(
+      static_cast<std::size_t>(nchunks * 2 * cols), 0.0F);
+  pool.parallel_for(
+      nchunks,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t chunk = begin; chunk < end; ++chunk) {
+          const std::int64_t r0 = chunk * per_chunk;
+          const std::int64_t r1 =
+              std::min<std::int64_t>(rows, r0 + per_chunk);
+          float* ldg = partials.data() + chunk * 2 * cols;
+          row_body(r0, r1, ldg, ldg + cols);
+        }
+      },
+      /*grain=*/1);
+  for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+    const float* ldg = partials.data() + chunk * 2 * cols;
     for (std::int64_t j = 0; j < cols; ++j) {
-      const float xhat = (xr[j] - m) * rs;
-      const float dxhat = dr[j] * pg[j];
-      oxr[j] = rs * (dxhat - inv_cols * sum_dxhat -
-                     inv_cols * xhat * sum_dxhat_xhat);
+      pdg[j] += ldg[j];
+      pdb[j] += ldg[cols + j];
     }
   }
   return dx;

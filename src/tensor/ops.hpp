@@ -2,9 +2,16 @@
 //
 // All kernels operate on 2-D (or flattened) contiguous fp32 buffers.  Higher
 // layers (nn modules) reshape [B, T, H] activations to [B*T, H] before
-// calling in here.  GEMM parallelizes over output rows via the global
-// ThreadPool; everything else is a flat loop (the op sizes in PAC's executed
-// configurations are small enough that matmul dominates).
+// calling in here.
+//
+// GEMM is cache-blocked and panel-packed (Mc/Kc/Nc blocking with an Mr x Nr
+// register micro-kernel over contiguous packed panels; see DESIGN.md
+// "Kernel architecture") and parallelizes over row blocks via the global
+// ThreadPool.  gemm_batched additionally parallelizes across the batch
+// dimension, which is what the attention head loops use.  Row-wise ops
+// (softmax, layernorm, activations, bias) thread over rows behind a size
+// threshold.  All kernels keep a fixed per-element accumulation order, so
+// results are bit-deterministic for a fixed thread count.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +27,17 @@ namespace pac::ops {
 void gemm_raw(const float* a, const float* b, float* c, std::int64_t m,
               std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
               float alpha, float beta);
+
+// Batched GEMM over `batch` independent problems of identical shape:
+//   C_i = alpha * op(A_i) @ op(B_i) + beta * C_i
+// where A_i = a + i * stride_a (and likewise for b, c).  Parallelizes across
+// the batch dimension (each problem runs single-threaded inside), which is
+// the right split for attention's many-small-GEMM head loops.
+void gemm_batched(const float* a, const float* b, float* c, std::int64_t batch,
+                  std::int64_t m, std::int64_t n, std::int64_t k,
+                  std::int64_t stride_a, std::int64_t stride_b,
+                  std::int64_t stride_c, bool trans_a, bool trans_b,
+                  float alpha, float beta);
 
 // C = A[m,k] @ B[k,n]
 Tensor matmul(const Tensor& a, const Tensor& b);
@@ -59,6 +77,18 @@ Tensor gelu_backward(const Tensor& dy, const Tensor& x);
 Tensor softmax_lastdim(const Tensor& x);
 // dx given y = softmax(x) and dy:  dx = y * (dy - sum(dy * y)).
 Tensor softmax_backward(const Tensor& dy, const Tensor& y);
+
+// Fused masked softmax for attention scores, in place.  `scores` is
+// [B, nh, T, S]; rows are softmaxed over the last dim with masking applied
+// during the same pass (no separate mask write + full-width softmax):
+//   - causal: column j of query row r participates only when j <= r;
+//   - key_mask (optional, [B, S], 0 = masked): masked keys are excluded.
+// Excluded positions end up with probability exactly 0.  A row with no
+// admissible position degrades to uniform 1/S — the same result the unfused
+// path produced for an all--1e30 row — so downstream numerics are unchanged.
+void attention_masked_softmax(Tensor& scores, std::int64_t b, std::int64_t nh,
+                              std::int64_t t, std::int64_t s, bool causal,
+                              const Tensor* key_mask);
 
 // ---------------------------------------------------------------------------
 // LayerNorm over the last dimension.

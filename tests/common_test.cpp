@@ -94,6 +94,54 @@ TEST(ThreadPoolTest, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInline) {
+  // Regression: a parallel_for issued from inside a pool task used to
+  // enqueue chunks on the same queue the worker was supposed to drain and
+  // then block on them — with every worker doing so, the pool deadlocked.
+  // Nested calls must run inline and still cover their range exactly once.
+  ThreadPool pool(4);
+  constexpr std::int64_t kOuter = 4096;
+  constexpr std::int64_t kInner = 4096;
+  std::vector<std::atomic<int>> hits(kOuter);
+  pool.parallel_for(
+      kOuter,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) {
+          std::atomic<int> inner_hits{0};
+          // Large enough that, un-nested, this would dispatch.
+          pool.parallel_for(
+              kInner,
+              [&](std::int64_t b, std::int64_t e) {
+                inner_hits += static_cast<int>(e - b);
+              },
+              /*grain=*/1);
+          EXPECT_EQ(inner_hits.load(), kInner);
+          hits[static_cast<std::size_t>(i)]++;
+        }
+      },
+      /*grain=*/1);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, GrainBoundsChunkSize) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::int64_t> sizes;
+  pool.parallel_for(
+      130,
+      [&](std::int64_t begin, std::int64_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        sizes.push_back(end - begin);
+      },
+      /*grain=*/30);
+  std::int64_t total = 0;
+  for (const std::int64_t s : sizes) {
+    total += s;
+    EXPECT_GE(s, 30) << "chunk smaller than grain";
+  }
+  EXPECT_EQ(total, 130);
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolWorks) {
   ThreadPool pool(1);
   std::int64_t total = 0;

@@ -1,0 +1,297 @@
+// Property tests for the tiled/packed GEMM path and the fused attention
+// softmax: randomized shapes (including odd, non-multiple-of-tile sizes) are
+// checked against golden triple-loop references, and kernels are re-run to
+// confirm bit-identical results (chaos_test's trajectory guarantees assume
+// run-to-run determinism for a fixed thread count).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace pac {
+namespace {
+
+// Golden reference: plain triple loop with double accumulation, identical
+// semantics to gemm_raw (C = alpha * op(A) @ op(B) + beta * C).
+void gemm_reference(const float* a, const float* b, const float* c_in,
+                    float* c_out, std::int64_t m, std::int64_t n,
+                    std::int64_t k, bool ta, bool tb, float alpha,
+                    float beta) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * m + i] : a[i * k + p];
+        const float bv = tb ? b[j * k + p] : b[p * n + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      const double prior =
+          beta == 0.0F ? 0.0 : static_cast<double>(beta) * c_in[i * n + j];
+      c_out[i * n + j] = static_cast<float>(
+          static_cast<double>(alpha) * acc + prior);
+    }
+  }
+}
+
+void expect_close(const std::vector<float>& got, const std::vector<float>& ref,
+                  const char* what) {
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const float tol = 1e-4F * (1.0F + std::abs(ref[i]));
+    EXPECT_NEAR(got[i], ref[i], tol) << what << " at flat index " << i;
+  }
+}
+
+TEST(GemmPropertyTest, RandomShapesAllTransCombosMatchReference) {
+  Rng rng(20240807);
+  // Mix of tiny and odd sizes so partial micro-tiles and the small-GEMM
+  // fallback are exercised; a few fixed large shapes (appended after the
+  // random draws) cross the Mc/Kc block boundaries, including k > Kc so
+  // multiple depth blocks accumulate into C.
+  const std::int64_t interesting[] = {1,  2,  3,  7,  8,   9,  15,
+                                      16, 17, 31, 33, 63,  65, 100,
+                                      129};
+  struct Case {
+    std::int64_t m, n, k;
+  };
+  const Case big_cases[] = {{129, 65, 300}, {257, 33, 257}, {64, 140, 512}};
+  const float alphas[] = {1.0F, 0.5F, -2.0F};
+  const float betas[] = {0.0F, 1.0F, 0.25F};
+  const int random_iters = 48;
+  const int total_iters = random_iters + 3 * 4;  // big cases x trans combos
+  for (int iter = 0; iter < total_iters; ++iter) {
+    std::int64_t m;
+    std::int64_t n;
+    std::int64_t k;
+    bool ta;
+    bool tb;
+    if (iter < random_iters) {
+      m = interesting[rng.integer(0, 14)];
+      n = interesting[rng.integer(0, 14)];
+      k = interesting[rng.integer(0, 14)];
+      ta = rng.bernoulli(0.5);
+      tb = rng.bernoulli(0.5);
+    } else {
+      const int which = (iter - random_iters) / 4;
+      const int combo = (iter - random_iters) % 4;
+      m = big_cases[which].m;
+      n = big_cases[which].n;
+      k = big_cases[which].k;
+      ta = (combo & 1) != 0;
+      tb = (combo & 2) != 0;
+    }
+    const float alpha = alphas[rng.integer(0, 2)];
+    const float beta = betas[rng.integer(0, 2)];
+
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> b(static_cast<std::size_t>(k * n));
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    for (auto& v : a) v = rng.normal();
+    for (auto& v : b) v = rng.normal();
+    for (auto& v : c) v = rng.normal();
+
+    std::vector<float> ref(c.size());
+    gemm_reference(a.data(), b.data(), c.data(), ref.data(), m, n, k, ta, tb,
+                   alpha, beta);
+    std::vector<float> got = c;
+    ops::gemm_raw(a.data(), b.data(), got.data(), m, n, k, ta, tb, alpha,
+                  beta);
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << m << " n=" << n << " k=" << k << " ta=" << ta
+                 << " tb=" << tb << " alpha=" << alpha << " beta=" << beta);
+    expect_close(got, ref, "gemm_raw");
+  }
+}
+
+TEST(GemmPropertyTest, BatchedMatchesPerItemReference) {
+  Rng rng(99);
+  const std::int64_t batch = 13;
+  const std::int64_t m = 33;
+  const std::int64_t n = 17;
+  const std::int64_t k = 21;
+  std::vector<float> a(static_cast<std::size_t>(batch * m * k));
+  std::vector<float> b(static_cast<std::size_t>(batch * k * n));
+  std::vector<float> c(static_cast<std::size_t>(batch * m * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  for (auto& v : c) v = rng.normal();
+
+  std::vector<float> ref(c.size());
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm_reference(a.data() + i * m * k, b.data() + i * k * n,
+                   c.data() + i * m * n, ref.data() + i * m * n, m, n, k,
+                   false, false, 0.7F, 1.0F);
+  }
+  std::vector<float> got = c;
+  ops::gemm_batched(a.data(), b.data(), got.data(), batch, m, n, k, m * k,
+                    k * n, m * n, false, false, 0.7F, 1.0F);
+  expect_close(got, ref, "gemm_batched");
+}
+
+TEST(GemmPropertyTest, BatchedHandlesTransposes) {
+  Rng rng(7);
+  const std::int64_t batch = 6;
+  const std::int64_t m = 19;
+  const std::int64_t n = 11;
+  const std::int64_t k = 23;
+  // op(A) = A^T (stored [k, m]); op(B) = B^T (stored [n, k]).
+  std::vector<float> a(static_cast<std::size_t>(batch * k * m));
+  std::vector<float> b(static_cast<std::size_t>(batch * n * k));
+  std::vector<float> c(static_cast<std::size_t>(batch * m * n), 0.0F);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+
+  std::vector<float> ref(c.size());
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm_reference(a.data() + i * k * m, b.data() + i * n * k,
+                   c.data() + i * m * n, ref.data() + i * m * n, m, n, k,
+                   true, true, 1.0F, 0.0F);
+  }
+  std::vector<float> got = c;
+  ops::gemm_batched(a.data(), b.data(), got.data(), batch, m, n, k, k * m,
+                    n * k, m * n, true, true, 1.0F, 0.0F);
+  expect_close(got, ref, "gemm_batched transposed");
+}
+
+TEST(GemmPropertyTest, TiledPathIsBitDeterministic) {
+  Rng rng(123);
+  const std::int64_t m = 200;
+  const std::int64_t n = 150;
+  const std::int64_t k = 300;  // > one Kc block, > parallel threshold
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c1(static_cast<std::size_t>(m * n));
+  std::vector<float> c2(static_cast<std::size_t>(m * n));
+  ops::gemm_raw(a.data(), b.data(), c1.data(), m, n, k, false, false, 1.0F,
+                0.0F);
+  ops::gemm_raw(a.data(), b.data(), c2.data(), m, n, k, false, false, 1.0F,
+                0.0F);
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+TEST(GemmPropertyTest, BatchedIsBitDeterministic) {
+  Rng rng(321);
+  const std::int64_t batch = 16;
+  const std::int64_t m = 64;
+  const std::int64_t n = 64;
+  const std::int64_t k = 16;  // attention-like per-head shape
+  std::vector<float> a(static_cast<std::size_t>(batch * m * k));
+  std::vector<float> b(static_cast<std::size_t>(batch * k * n));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  std::vector<float> c1(static_cast<std::size_t>(batch * m * n));
+  std::vector<float> c2(static_cast<std::size_t>(batch * m * n));
+  for (auto* c : {&c1, &c2}) {
+    ops::gemm_batched(a.data(), b.data(), c->data(), batch, m, n, k, m * k,
+                      k * n, m * n, false, false, 1.0F, 0.0F);
+  }
+  EXPECT_EQ(0, std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(float)));
+}
+
+// ---------------------------------------------------------------------------
+// Fused masked softmax vs the unfused mask-then-softmax pipeline.
+// ---------------------------------------------------------------------------
+
+constexpr float kMaskValue = -1e30F;
+
+Tensor unfused_masked_softmax(const Tensor& scores, std::int64_t b,
+                              std::int64_t nh, std::int64_t t, std::int64_t s,
+                              bool causal, const Tensor* key_mask) {
+  Tensor masked = scores.clone();
+  float* ps = masked.data();
+  if (causal) {
+    for (std::int64_t i = 0; i < b * nh; ++i) {
+      for (std::int64_t r = 0; r < t; ++r) {
+        float* row = ps + (i * t + r) * s;
+        for (std::int64_t c = r + 1; c < s; ++c) row[c] = kMaskValue;
+      }
+    }
+  }
+  if (key_mask != nullptr) {
+    const float* pm = key_mask->data();
+    for (std::int64_t bi = 0; bi < b; ++bi) {
+      for (std::int64_t h = 0; h < nh; ++h) {
+        for (std::int64_t r = 0; r < t; ++r) {
+          float* row = ps + ((bi * nh + h) * t + r) * s;
+          for (std::int64_t c = 0; c < s; ++c) {
+            if (pm[bi * s + c] == 0.0F) row[c] = kMaskValue;
+          }
+        }
+      }
+    }
+  }
+  return ops::softmax_lastdim(masked);
+}
+
+TEST(FusedSoftmaxTest, MatchesUnfusedMaskThenSoftmax) {
+  Rng rng(55);
+  const std::int64_t b = 3;
+  const std::int64_t nh = 2;
+  const std::int64_t t = 7;
+  const std::int64_t s = 7;
+  for (const bool causal : {false, true}) {
+    for (const bool with_mask : {false, true}) {
+      Tensor scores = Tensor::randn({b, nh, t, s}, rng, 2.0F);
+      Tensor mask({b, s});
+      for (std::int64_t i = 0; i < mask.numel(); ++i) {
+        mask.data()[i] = rng.bernoulli(0.7) ? 1.0F : 0.0F;
+      }
+      // Keep at least the first key unmasked for one batch so both the
+      // normal path and the all-masked fallback appear across iterations.
+      const Tensor* km = with_mask ? &mask : nullptr;
+      Tensor want = unfused_masked_softmax(scores, b, nh, t, s, causal, km);
+      Tensor got = scores.clone();
+      ops::attention_masked_softmax(got, b, nh, t, s, causal, km);
+      SCOPED_TRACE(::testing::Message()
+                   << "causal=" << causal << " with_mask=" << with_mask);
+      EXPECT_LT(ops::max_abs_diff(got, want), 1e-6F);
+    }
+  }
+}
+
+TEST(FusedSoftmaxTest, FullyMaskedRowFallsBackToUniform) {
+  const std::int64_t b = 1;
+  const std::int64_t nh = 1;
+  const std::int64_t t = 2;
+  const std::int64_t s = 4;
+  Rng rng(77);
+  Tensor scores = Tensor::randn({b, nh, t, s}, rng);
+  Tensor mask = Tensor::zeros({b, s});  // every key masked
+  Tensor want = unfused_masked_softmax(scores, b, nh, t, s, false, &mask);
+  Tensor got = scores.clone();
+  ops::attention_masked_softmax(got, b, nh, t, s, false, &mask);
+  EXPECT_LT(ops::max_abs_diff(got, want), 1e-6F);
+  for (std::int64_t j = 0; j < s; ++j) {
+    EXPECT_FLOAT_EQ(got.at({0, 0, 0, j}), 0.25F);
+  }
+}
+
+TEST(FusedSoftmaxTest, MaskedPositionsAreExactlyZero) {
+  Rng rng(88);
+  const std::int64_t t = 5;
+  const std::int64_t s = 5;
+  Tensor scores = Tensor::randn({1, 1, t, s}, rng);
+  Tensor got = scores.clone();
+  ops::attention_masked_softmax(got, 1, 1, t, s, /*causal=*/true, nullptr);
+  for (std::int64_t r = 0; r < t; ++r) {
+    float rowsum = 0.0F;
+    for (std::int64_t c = 0; c < s; ++c) {
+      if (c > r) {
+        EXPECT_EQ(got.at({0, 0, r, c}), 0.0F);
+      } else {
+        rowsum += got.at({0, 0, r, c});
+      }
+    }
+    EXPECT_NEAR(rowsum, 1.0F, 1e-5F);
+  }
+}
+
+}  // namespace
+}  // namespace pac

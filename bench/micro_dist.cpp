@@ -1,10 +1,17 @@
 // Distributed-runtime micro-benchmarks (google-benchmark): transport
-// point-to-point, ring vs naive AllReduce (ablation §5 of DESIGN.md), and
-// 1F1B vs GPipe end-to-end on the executed engine.
+// point-to-point, ring vs naive AllReduce (ablation §5 of DESIGN.md),
+// 1F1B vs GPipe end-to-end on the executed engine, and the BM_Comm*
+// overlap pair — sync vs async engine on a simulated 128 Mbps link, and
+// cold vs prefetched cache fetches (recorded to BENCH_comm.json by
+// scripts/bench.sh --suite comm).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
 #include <numeric>
+#include <thread>
 
+#include "cache/activation_cache.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
 #include "pipeline/runners.hpp"
@@ -75,7 +82,7 @@ void run_schedule_bench(benchmark::State& state,
     pipeline::RunConfig cfg;
     cfg.plan = pipeline::ParallelPlan::pure_pipeline(6, 2, 4);
     cfg.schedule = schedule;
-    cfg.batch_size = 16;
+    cfg.batch_size = 32;
     cfg.epochs = 1;
     cfg.run_eval = false;
     auto r = run_training(cluster, ds, factory, cfg);
@@ -92,6 +99,117 @@ void BM_PipelineGPipe(benchmark::State& state) {
   run_schedule_bench(state, pipeline::ScheduleKind::kGPipe);
 }
 BENCHMARK(BM_PipelineGPipe);
+
+// ---------------------------------------------------------------------------
+// Compute/comm overlap: one 1F1B training epoch on a simulated 128 Mbps /
+// 1 ms edge link, synchronous engine (Arg 0) vs async engine (Arg 1).
+// Each iteration runs the same one-mini-batch schedule, so the per-
+// iteration ratio IS the per-mini-batch pipeline wall-clock ratio.
+//
+// Shape rationale: the async win is the heavy stage's inline send sleeps
+// coming off its critical path, so the split is deliberately unbalanced
+// (13 blocks vs 1) the way PAC's planner splits for heterogeneous edge
+// devices, and the model is sized so per-micro compute and per-micro
+// link time are comparable (a toy model under a 1 ms link is pure comm
+// and nothing can hide it).  Single-device stages keep the bench honest
+// on small CI hosts: with device groups sharing one core, a co-located
+// rank's compute fills the sync engine's sleep gaps at the wall-clock
+// level and both modes converge to the total-compute floor.
+// ---------------------------------------------------------------------------
+
+void BM_CommPipelineMiniBatch(benchmark::State& state) {
+  const bool async_comm = state.range(0) == 1;
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 32;
+  dcfg.eval_samples = 8;
+  dcfg.seq_len = 32;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);
+  auto factory = [] {
+    model::TechniqueConfig tc;
+    tc.technique = model::Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(model::tiny(12, 64, 2, 32, 32), tc,
+                                          model::TaskSpec{}, 12);
+  };
+  pipeline::StageAssignment s0{0, 13, {0}, {}};
+  pipeline::StageAssignment s1{13, 14, {1}, {}};
+  dist::LinkModel lan;  // paper testbed: 128 Mbps, 1 ms — slept for real
+  lan.simulate_delay = true;
+  for (auto _ : state) {
+    dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max(),
+                              lan);
+    pipeline::RunConfig cfg;
+    cfg.plan.stages = {s0, s1};
+    cfg.plan.num_micro_batches = 16;
+    cfg.async_comm = async_comm;
+    cfg.batch_size = 32;
+    cfg.epochs = 1;
+    cfg.run_eval = false;
+    auto r = run_training(cluster, ds, factory, cfg);
+    benchmark::DoNotOptimize(r.epoch_losses.data());
+  }
+  state.SetItemsProcessed(state.iterations());  // one mini-batch per epoch
+}
+// UseRealTime: nearly all of an iteration is link sleeps and cross-thread
+// waits, so CPU time would both misreport the result and make the harness
+// run hundreds of iterations to fill --benchmark_min_time.
+BENCHMARK(BM_CommPipelineMiniBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Cache prefetch: phase-2 step loop against a disk-backed shard, cold
+// fetches (Arg 0) vs double-buffered prefetch of the next batch (Arg 1).
+// The sleep stands in for the adapter-only compute the reload overlaps.
+// ---------------------------------------------------------------------------
+
+void BM_CommCachePrefetch(benchmark::State& state) {
+  const bool prefetch = state.range(0) == 1;
+  const std::string dir = "/tmp/pac_bench_comm_prefetch";
+  std::filesystem::remove_all(dir);
+  cache::CacheConfig ccfg;
+  ccfg.num_blocks = 3;
+  ccfg.disk_backed = true;
+  ccfg.directory = dir;
+  cache::ActivationCache cache(ccfg);
+  Rng rng(7);
+  constexpr std::int64_t kSamples = 32;
+  constexpr std::int64_t kBatch = 8;
+  for (std::int64_t s = 0; s < kSamples; ++s) {
+    for (std::int64_t b = 0; b < ccfg.num_blocks; ++b) {
+      cache.put_block(s, b, Tensor::randn({64, 256}, rng));
+    }
+  }
+  std::vector<std::vector<std::int64_t>> batches;
+  for (std::int64_t begin = 0; begin < kSamples; begin += kBatch) {
+    std::vector<std::int64_t> ids(static_cast<std::size_t>(kBatch));
+    std::iota(ids.begin(), ids.end(), begin);
+    batches.push_back(std::move(ids));
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      if (prefetch && i + 1 < batches.size()) {
+        cache.prefetch(batches[i + 1]);
+      }
+      auto blocks = cache.fetch(batches[i]);
+      benchmark::DoNotOptimize(blocks.data());
+      // Stand-in for the side-network fwd+bwd of one cached step.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batches.size()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CommCachePrefetch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,42 +1,74 @@
 #!/usr/bin/env bash
-# Kernel benchmark runner: builds the Release tree and records the
-# micro-kernel suite to BENCH_kernels.json (google-benchmark JSON format).
+# Benchmark runner: builds the Release tree and records a micro-benchmark
+# suite as google-benchmark JSON.
 #
-# Usage: scripts/bench.sh [--quick] [output.json]
-#   --quick   smoke mode: one short repetition per benchmark, results
-#             discarded (used by scripts/ci.sh to keep the bench suite
-#             compiling and running); no JSON is written.
+# Usage: scripts/bench.sh [--quick] [--suite kernels|comm] [output.json]
+#   --quick          smoke mode: one short repetition per benchmark,
+#                    results discarded (used by scripts/ci.sh to keep the
+#                    bench suites compiling and running); no JSON written.
+#   --suite kernels  micro_kernels -> BENCH_kernels.json (default)
+#   --suite comm     micro_dist BM_Comm* (sync-vs-async overlap pair on the
+#                    simulated 128 Mbps link + cache prefetch)
+#                    -> BENCH_comm.json
 #
-# To regenerate the tracked baseline after a kernel change:
+# To regenerate a tracked baseline after a change:
 #   scripts/bench.sh BENCH_kernels.json
+#   scripts/bench.sh --suite comm BENCH_comm.json
 # and commit the result alongside the change that moved the numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK=0
-OUT="BENCH_kernels.json"
-for arg in "$@"; do
-  case "$arg" in
-    --quick) QUICK=1 ;;
-    *) OUT="$arg" ;;
+SUITE="kernels"
+OUT=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --suite) SUITE="$2"; shift 2 ;;
+    *) OUT="$1"; shift ;;
   esac
 done
+
+case "$SUITE" in
+  kernels)
+    TARGET=micro_kernels
+    FILTER=""
+    OUT="${OUT:-BENCH_kernels.json}"
+    MIN_TIME=0.2
+    ;;
+  comm)
+    TARGET=micro_dist
+    FILTER="BM_Comm"
+    OUT="${OUT:-BENCH_comm.json}"
+    # Comm iterations are link-sleep dominated (~100 ms wall each), so a
+    # longer window is needed for stable medians.
+    MIN_TIME=0.5
+    ;;
+  *)
+    echo "unknown suite: $SUITE (expected kernels|comm)" >&2
+    exit 2
+    ;;
+esac
 
 JOBS="${JOBS:-$(nproc)}"
 BUILD_DIR="${BUILD_DIR:-build}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target micro_kernels >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "$TARGET" >/dev/null
 
-BIN="$BUILD_DIR/bench/micro_kernels"
+BIN="$BUILD_DIR/bench/$TARGET"
+FILTER_ARGS=()
+[[ -n "$FILTER" ]] && FILTER_ARGS=(--benchmark_filter="$FILTER")
 if [[ "$QUICK" == 1 ]]; then
   # One fast pass; exercises every registered benchmark without caring
   # about statistical quality. (Old google-benchmark: min_time is a plain
   # double in seconds, no "s" suffix.)
-  "$BIN" --benchmark_min_time=0.01 --benchmark_format=console >/dev/null
-  echo "bench smoke OK"
+  "$BIN" "${FILTER_ARGS[@]}" --benchmark_min_time=0.01 \
+         --benchmark_format=console >/dev/null
+  echo "bench smoke OK ($SUITE)"
 else
-  "$BIN" --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+  "$BIN" "${FILTER_ARGS[@]}" --benchmark_min_time="$MIN_TIME" \
+         --benchmark_repetitions=3 \
          --benchmark_report_aggregates_only=true \
          --benchmark_format=json >"$OUT"
   echo "wrote $OUT"

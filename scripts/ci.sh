@@ -23,7 +23,7 @@ run_tests() {
 }
 
 # The suites that exercise real threads and message timing.
-CONCURRENT_SUITES=(dist_test pipeline_test chaos_test)
+CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test)
 
 stress_pass() {
   local dir="$1"
@@ -40,6 +40,7 @@ case "$MODE" in
     build build
     run_tests build
     scripts/bench.sh --quick
+    scripts/bench.sh --quick --suite comm
     ;;
   stress)
     build build
@@ -56,6 +57,7 @@ case "$MODE" in
     build build
     run_tests build
     scripts/bench.sh --quick
+    scripts/bench.sh --quick --suite comm
     stress_pass build
     build build-tsan -DPAC_SANITIZE=thread
     echo "=== ThreadSanitizer pass ==="

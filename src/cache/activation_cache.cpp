@@ -1,5 +1,6 @@
 #include "cache/activation_cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -18,6 +19,7 @@ ActivationCache::ActivationCache(CacheConfig config)
 }
 
 ActivationCache::~ActivationCache() {
+  stop_prefetcher();
   // clear() refunds the ledger and removes spill files.
   try {
     clear();
@@ -51,17 +53,25 @@ void ActivationCache::record(const std::vector<std::int64_t>& sample_ids,
   PAC_CHECK(hidden.size(0) == static_cast<std::int64_t>(sample_ids.size()),
             "record: " << sample_ids.size() << " ids for " << hidden.size(0)
                        << " rows");
+  std::lock_guard<std::mutex> lk(mutex_);
   for (std::size_t r = 0; r < sample_ids.size(); ++r) {
     Tensor row = hidden.slice0(static_cast<std::int64_t>(r),
                                static_cast<std::int64_t>(r) + 1)
                      .clone()
                      .reshape({hidden.size(1), hidden.size(2)});
-    put_block(sample_ids[r], block_index, std::move(row));
+    put_block_locked(sample_ids[r], block_index, std::move(row));
   }
 }
 
 void ActivationCache::put_block(std::int64_t sample_id,
                                 std::int64_t block_index, Tensor activation) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  put_block_locked(sample_id, block_index, std::move(activation));
+}
+
+void ActivationCache::put_block_locked(std::int64_t sample_id,
+                                       std::int64_t block_index,
+                                       Tensor activation) {
   PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
             "block index " << block_index << " out of range");
   Entry& entry = entries_[sample_id];
@@ -120,13 +130,119 @@ ActivationCache::Entry ActivationCache::load_spilled(
   return entry;
 }
 
+// ---- background prefetcher ---------------------------------------------
+
+void ActivationCache::prefetch(
+    const std::vector<std::int64_t>& sample_ids) const {
+  if (!config_.disk_backed || sample_ids.empty()) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (pf_.stop) return;
+  // Coalesce: a fresh announcement supersedes one the reader has not
+  // picked up yet (the runner announces exactly the next step's batch).
+  pf_.request = sample_ids;
+  pf_.has_request = true;
+  if (!pf_.running) {
+    pf_.running = true;
+    pf_.thread = std::thread([this] { prefetch_main(); });
+  }
+  pf_.work.notify_one();
+}
+
+void ActivationCache::prefetch_main() const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    pf_.work.wait(lk, [&] { return pf_.stop || pf_.has_request; });
+    if (pf_.stop) break;
+    const std::vector<std::int64_t> ids = std::move(pf_.request);
+    pf_.request.clear();
+    pf_.has_request = false;
+    // Only spilled samples that are not already staged need disk reads.
+    std::vector<std::int64_t> to_load;
+    for (std::int64_t id : ids) {
+      auto it = entries_.find(id);
+      if (it != entries_.end() && it->second.spilled &&
+          pf_.staged.find(id) == pf_.staged.end()) {
+        to_load.push_back(id);
+      }
+    }
+    pf_.inflight = to_load;
+    pf_.busy = true;
+    lk.unlock();
+
+    std::map<std::int64_t, Entry> fresh;
+    for (std::int64_t id : to_load) {
+      try {
+        fresh[id] = load_spilled(id);
+      } catch (...) {
+        // Advisory only: a failed staging read falls back to the
+        // synchronous path inside fetch(), which reports the error.
+      }
+    }
+
+    lk.lock();
+    if (!pf_.stop) {
+      for (auto& [id, entry] : fresh) {
+        // Re-validate: the sample may have been dropped while we read.
+        auto it = entries_.find(id);
+        if (it != entries_.end() && it->second.spilled) {
+          pf_.staged[id] = std::move(entry);
+        }
+      }
+    }
+    pf_.busy = false;
+    pf_.inflight.clear();
+    pf_.staged_ready.notify_all();
+  }
+}
+
+void ActivationCache::stop_prefetcher() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (!pf_.running) return;
+  pf_.stop = true;
+  pf_.work.notify_all();
+  lk.unlock();
+  pf_.thread.join();
+  lk.lock();
+  pf_.running = false;
+  pf_.staged.clear();
+}
+
+// ---- serving ------------------------------------------------------------
+
 std::vector<Tensor> ActivationCache::fetch(
     const std::vector<std::int64_t>& sample_ids) const {
   PAC_CHECK(!sample_ids.empty(), "fetch with no sample ids");
-  std::vector<Tensor> out;
-  // Assemble per-block batches [n, T, H] from per-sample rows.
-  std::vector<Entry> loaded;  // spilled samples materialized on demand
-  loaded.reserve(sample_ids.size());  // pointers into it must stay stable
+  std::unique_lock<std::mutex> lk(mutex_);
+
+  // Pass 1: materialize every spilled sample — from the prefetcher's
+  // staging buffer when possible, reloading synchronously otherwise.
+  std::map<std::int64_t, Entry> loaded;
+  for (std::int64_t id : sample_ids) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+      throw CacheMissError("sample " + std::to_string(id) +
+                           " not in this cache shard");
+    }
+    if (!it->second.spilled || loaded.find(id) != loaded.end()) continue;
+    if (pf_.busy && std::find(pf_.inflight.begin(), pf_.inflight.end(),
+                              id) != pf_.inflight.end()) {
+      // The reader is staging exactly this sample; wait instead of racing
+      // it to the disk.
+      pf_.staged_ready.wait(lk, [&] { return !pf_.busy || pf_.stop; });
+    }
+    auto staged = pf_.staged.find(id);
+    if (staged != pf_.staged.end()) {
+      loaded[id] = std::move(staged->second);
+      pf_.staged.erase(staged);
+      continue;
+    }
+    lk.unlock();
+    Entry entry = load_spilled(id);
+    lk.lock();
+    loaded[id] = std::move(entry);
+  }
+
+  // Pass 2 (lock held throughout): assemble per-block batches [n, T, H].
   std::vector<const Entry*> sources;
   for (std::int64_t id : sample_ids) {
     auto it = entries_.find(id);
@@ -135,8 +251,7 @@ std::vector<Tensor> ActivationCache::fetch(
                            " not in this cache shard");
     }
     if (it->second.spilled) {
-      loaded.push_back(load_spilled(id));
-      sources.push_back(&loaded.back());
+      sources.push_back(&loaded.at(id));
     } else {
       PAC_CHECK(it->second.present == config_.num_blocks,
                 "sample " << id << " is incomplete ("
@@ -145,6 +260,7 @@ std::vector<Tensor> ActivationCache::fetch(
       sources.push_back(&it->second);
     }
   }
+  std::vector<Tensor> out;
   const std::int64_t n = static_cast<std::int64_t>(sample_ids.size());
   for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
     const Tensor& ref =
@@ -165,6 +281,7 @@ std::vector<Tensor> ActivationCache::fetch(
 
 bool ActivationCache::has_block(std::int64_t sample_id,
                                 std::int64_t block_index) const {
+  std::lock_guard<std::mutex> lk(mutex_);
   auto it = entries_.find(sample_id);
   if (it == entries_.end()) return false;
   if (it->second.spilled) return true;  // spill implies complete
@@ -173,12 +290,14 @@ bool ActivationCache::has_block(std::int64_t sample_id,
 }
 
 bool ActivationCache::complete(std::int64_t sample_id) const {
+  std::lock_guard<std::mutex> lk(mutex_);
   auto it = entries_.find(sample_id);
   return it != entries_.end() &&
          (it->second.spilled || it->second.present == config_.num_blocks);
 }
 
 std::vector<std::int64_t> ActivationCache::sample_ids() const {
+  std::lock_guard<std::mutex> lk(mutex_);
   std::vector<std::int64_t> out;
   out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) out.push_back(id);
@@ -187,6 +306,7 @@ std::vector<std::int64_t> ActivationCache::sample_ids() const {
 
 std::vector<std::pair<std::int64_t, std::int64_t>>
 ActivationCache::held_blocks() const {
+  std::lock_guard<std::mutex> lk(mutex_);
   std::vector<std::pair<std::int64_t, std::int64_t>> out;
   for (const auto& [id, entry] : entries_) {
     if (entry.spilled) {
@@ -206,6 +326,7 @@ ActivationCache::held_blocks() const {
 
 Tensor ActivationCache::get_block(std::int64_t sample_id,
                                   std::int64_t block_index) const {
+  std::lock_guard<std::mutex> lk(mutex_);
   auto it = entries_.find(sample_id);
   if (it == entries_.end()) {
     throw CacheMissError("sample " + std::to_string(sample_id) +
@@ -228,6 +349,11 @@ Tensor ActivationCache::get_block(std::int64_t sample_id,
 }
 
 void ActivationCache::drop_sample(std::int64_t sample_id) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  drop_sample_locked(sample_id);
+}
+
+void ActivationCache::drop_sample_locked(std::int64_t sample_id) {
   auto it = entries_.find(sample_id);
   if (it == entries_.end()) return;
   std::uint64_t resident = 0;
@@ -239,18 +365,26 @@ void ActivationCache::drop_sample(std::int64_t sample_id) {
     spilled_bytes_ -= it->second.spilled_bytes;
     std::filesystem::remove(sample_path(sample_id));
   }
+  pf_.staged.erase(sample_id);
   entries_.erase(it);
 }
 
-std::uint64_t ActivationCache::memory_bytes() const { return memory_bytes_; }
+std::uint64_t ActivationCache::memory_bytes() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return memory_bytes_;
+}
 
 std::uint64_t ActivationCache::total_bytes() const {
+  std::lock_guard<std::mutex> lk(mutex_);
   return memory_bytes_ + spilled_bytes_;
 }
 
 void ActivationCache::clear() {
-  std::vector<std::int64_t> ids = sample_ids();
-  for (std::int64_t id : ids) drop_sample(id);
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::int64_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  for (std::int64_t id : ids) drop_sample_locked(id);
 }
 
 }  // namespace pac::cache

@@ -9,11 +9,23 @@
 //            from RAM; fetch() reloads on demand.  This models the paper's
 //            flash-storage cache ("reloaded from disk per micro-batch",
 //            storage §5.2) and keeps the DRAM ledger honest.
+//
+// Disk-backed shards additionally support prefetch(): a background reader
+// thread reloads the announced samples into a staging buffer while the
+// trainer computes the current step, and the next fetch() consumes the
+// staged entries instead of touching disk (double buffering: at any time
+// one batch is being consumed while the next is being loaded).  prefetch
+// is purely advisory — a fetch for ids that were never announced, or whose
+// staging failed, falls back to the synchronous reload.  All public
+// methods are thread-safe.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dist/memory_ledger.hpp"
@@ -45,6 +57,11 @@ class ActivationCache : public pipeline::ActivationRecorder,
   // ---- serving (phase 2) ----
   std::vector<Tensor> fetch(
       const std::vector<std::int64_t>& sample_ids) const override;
+  // Starts reloading the given (spilled) samples in the background; the
+  // next fetch covering them consumes the staged copies.  Coalescing: a
+  // new announcement replaces an unstarted one.  No-op for memory-backed
+  // shards.
+  void prefetch(const std::vector<std::int64_t>& sample_ids) const override;
 
   // ---- shard management / redistribution ----
   bool has_block(std::int64_t sample_id, std::int64_t block_index) const;
@@ -72,16 +89,41 @@ class ActivationCache : public pipeline::ActivationRecorder,
     std::uint64_t spilled_bytes = 0;
   };
 
+  // Background reader state (guarded by mutex_ like everything else; the
+  // disk reads themselves run unlocked).
+  struct PrefetchState {
+    std::condition_variable work;          // wakes the reader thread
+    std::condition_variable staged_ready;  // wakes fetches waiting on it
+    std::vector<std::int64_t> request;     // coalescing announcement slot
+    bool has_request = false;
+    std::vector<std::int64_t> inflight;    // ids currently being staged
+    bool busy = false;
+    std::map<std::int64_t, Entry> staged;  // loaded, awaiting consumption
+    bool stop = false;
+    bool running = false;
+    std::thread thread;
+  };
+
   std::string sample_path(std::int64_t sample_id) const;
   void maybe_spill(std::int64_t sample_id, Entry& entry);
   Entry load_spilled(std::int64_t sample_id) const;
   void charge(std::uint64_t bytes);
   void refund(std::uint64_t bytes);
 
+  void put_block_locked(std::int64_t sample_id, std::int64_t block_index,
+                        Tensor activation);
+  void drop_sample_locked(std::int64_t sample_id);
+  void prefetch_main() const;
+  void stop_prefetcher();
+
   CacheConfig config_;
+  // Guards entries_/memory_bytes_/spilled_bytes_/pf_ (all public methods
+  // lock it; internal *_locked helpers expect it held).
+  mutable std::mutex mutex_;
   std::map<std::int64_t, Entry> entries_;
   std::uint64_t memory_bytes_ = 0;
   std::uint64_t spilled_bytes_ = 0;
+  mutable PrefetchState pf_;
 };
 
 }  // namespace pac::cache

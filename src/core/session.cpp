@@ -216,6 +216,8 @@ SessionReport Session::run_attempt() {
     run.plan = report.plan.plan;
     run.schedule = config_.schedule;
     run.allreduce = config_.allreduce;
+    run.async_comm = config_.async_comm;
+    run.allreduce_bucket_bytes = config_.allreduce_bucket_bytes;
     run.batch_size = config_.batch_size;
     run.epochs = cache_phase ? 1 : config_.epochs;
     run.lr = config_.lr;
@@ -279,6 +281,7 @@ SessionReport Session::run_attempt() {
         1, config_.batch_size / cluster_.num_alive());
     run.lr = config_.lr;
     run.allreduce = config_.allreduce;
+    run.prefetch = config_.async_comm && config_.cache_prefetch;
     run.shuffle_seed = config_.shuffle_seed + 991;
     run.run_eval = config_.run_eval;
     run.recovery = &recovery;

@@ -50,6 +50,14 @@ struct SessionConfig {
   dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
   bool run_eval = true;
 
+  // Communication overlap (see pipeline::RunConfig): async point-to-point
+  // sends/recvs and the bucketed grad AllReduce in phase 1, background
+  // cache prefetch in phase 2.  Loss trajectories are bit-identical with
+  // these on or off.
+  bool async_comm = true;
+  std::int64_t allreduce_bucket_bytes = 256 * 1024;
+  bool cache_prefetch = true;
+
   // Communication model the planner uses for this cluster.  Executed
   // clusters are in-process (memcpy-speed links); swap in
   // costmodel::edge_lan() when planning for a real 128 Mbps edge LAN.

@@ -112,6 +112,21 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
                    << " failed; closing transport to unwind peers";
       transport_->close();
     }
+    // An injected death can fire on the communicator's async sender thread
+    // instead of here; in that case the main thread unwound with some
+    // secondary error (or none).  Surface it so the death is recorded as
+    // the root cause and the rank stays dead for subsequent runs.
+    if (auto death = comm.deferred_death_rank()) {
+      {
+        std::lock_guard<std::mutex> failure_guard(failure_mutex);
+        if (!first_death) {
+          first_death = std::make_exception_ptr(RankDeathError(*death));
+        }
+      }
+      PAC_LOG_WARN << "device " << *death
+                   << " died (async sender); closing its links only";
+      transport_->close_rank(*death);
+    }
   };
 
   std::vector<std::thread> threads;

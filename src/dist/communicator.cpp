@@ -2,13 +2,37 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/error.hpp"
 
 namespace pac::dist {
 
-void Communicator::send(int to, int tag, Tensor payload) {
+Communicator::~Communicator() {
+  std::unique_lock<std::mutex> lk(async_mutex_);
+  if (!sender_running_) return;
+  // Best-effort drain: deliver what we can, but never hang teardown — if
+  // the sender already faulted the queue is cleared, and if the transport
+  // is closed the next attempt fails fast.
+  stop_ = true;
+  async_cv_.notify_all();
+  lk.unlock();
+  sender_.join();
+}
+
+void Communicator::rethrow_deferred_error() const {
+  // Caller holds async_mutex_.
+  if (deferred_error_) std::rethrow_exception(deferred_error_);
+}
+
+bool Communicator::has_pending_locked(int to, int tag) const {
+  if (inflight_key_ && *inflight_key_ == std::make_pair(to, tag)) return true;
+  for (const QueuedSend& q : queue_) {
+    if (q.to == to && q.tag == tag) return true;
+  }
+  return false;
+}
+
+void Communicator::send_with_retry(int to, int tag, Tensor payload) {
   for (int attempt = 0;; ++attempt) {
     try {
       // Tensor copies are shared-storage handle copies, so retrying with a
@@ -24,7 +48,25 @@ void Communicator::send(int to, int tag, Tensor payload) {
   }
 }
 
+void Communicator::send(int to, int tag, Tensor payload) {
+  {
+    std::unique_lock<std::mutex> lk(async_mutex_);
+    rethrow_deferred_error();
+    // Preserve per-(to, tag) FIFO: a blocking send must not overtake isends
+    // already queued for the same key.
+    drained_cv_.wait(lk, [&] {
+      return deferred_error_ || !has_pending_locked(to, tag);
+    });
+    rethrow_deferred_error();
+  }
+  send_with_retry(to, tag, std::move(payload));
+}
+
 Tensor Communicator::recv(int from, int tag) {
+  {
+    std::lock_guard<std::mutex> lk(async_mutex_);
+    rethrow_deferred_error();
+  }
   if (policy_.recv_timeout_ms <= 0.0) {
     return transport_->recv(rank_, from, tag);
   }
@@ -42,6 +84,102 @@ Tensor Communicator::recv(int from, int tag) {
                                 std::to_string(tag) + ") timed out after " +
                                 std::to_string(policy_.max_recv_retries + 1) +
                                 " attempts");
+}
+
+void Communicator::isend(int to, int tag, Tensor payload) {
+  std::lock_guard<std::mutex> lk(async_mutex_);
+  rethrow_deferred_error();
+  queue_.push_back(QueuedSend{to, tag, std::move(payload)});
+  if (!sender_running_) {
+    sender_running_ = true;
+    sender_ = std::thread([this] { sender_main(); });
+  }
+  async_cv_.notify_one();
+}
+
+PendingRecv Communicator::irecv(int from, int tag) {
+  {
+    std::lock_guard<std::mutex> lk(async_mutex_);
+    rethrow_deferred_error();
+  }
+  return PendingRecv(this, from, tag);
+}
+
+Tensor PendingRecv::wait() {
+  PAC_CHECK(comm_ != nullptr, "wait() on an invalid PendingRecv");
+  if (!done_) {
+    value_ = comm_->recv(from_, tag_);
+    done_ = true;
+  }
+  return value_;
+}
+
+void Communicator::flush_sends() {
+  std::unique_lock<std::mutex> lk(async_mutex_);
+  drained_cv_.wait(lk, [&] {
+    return deferred_error_ || (queue_.empty() && !inflight_key_);
+  });
+  rethrow_deferred_error();
+}
+
+std::size_t Communicator::pending_sends() const {
+  std::lock_guard<std::mutex> lk(async_mutex_);
+  return queue_.size() + (inflight_key_ ? 1 : 0);
+}
+
+void Communicator::abandon_sends() {
+  std::lock_guard<std::mutex> lk(async_mutex_);
+  queue_.clear();
+  drained_cv_.notify_all();
+}
+
+std::optional<int> Communicator::deferred_death_rank() const {
+  std::lock_guard<std::mutex> lk(async_mutex_);
+  if (death_rank_ < 0) return std::nullopt;
+  return death_rank_;
+}
+
+void Communicator::shutdown_links() { transport_->close_rank(rank_); }
+
+void Communicator::sender_main() {
+  std::unique_lock<std::mutex> lk(async_mutex_);
+  for (;;) {
+    async_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stop requested and nothing left to send
+    QueuedSend msg = std::move(queue_.front());
+    queue_.pop_front();
+    inflight_key_ = std::make_pair(msg.to, msg.tag);
+    lk.unlock();
+
+    std::exception_ptr error;
+    int death = -1;
+    try {
+      send_with_retry(msg.to, msg.tag, std::move(msg.payload));
+    } catch (const RankDeathError& e) {
+      error = std::current_exception();
+      death = e.rank();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    lk.lock();
+    inflight_key_.reset();
+    if (error) {
+      // First failure wins; everything still queued is undeliverable state
+      // the owner will abandon during recovery.
+      if (!deferred_error_) {
+        deferred_error_ = error;
+        death_rank_ = death;
+      }
+      queue_.clear();
+      break;
+    }
+    // Wake flushers and blocked same-key senders after every delivery —
+    // a send waiting on its (to, tag) key must not wait for the whole
+    // queue to drain.
+    drained_cv_.notify_all();
+  }
+  drained_cv_.notify_all();
 }
 
 int Communicator::group_index(const std::vector<int>& group) const {

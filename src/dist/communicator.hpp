@@ -1,4 +1,5 @@
-// Rank-scoped communication handle with group collectives.
+// Rank-scoped communication handle with group collectives and an async
+// point-to-point engine.
 //
 // Collectives operate over an explicit, sorted group of ranks (PAC's hybrid
 // parallelism synchronizes adapters *within a stage's device group*, not
@@ -6,12 +7,35 @@
 // (bandwidth-optimal, the default) and naive gather+broadcast — as the
 // ablation pair for the micro benches.
 //
+// Async engine: `isend` enqueues a message on a background sender thread
+// (started lazily, one per Communicator — modelling the device's single
+// uplink) that absorbs link-delay sleeps and transient-failure retries off
+// the caller's critical path.  The queue is FIFO, so per-link message
+// order is exactly the posting order — a strictly stronger guarantee than
+// the transport's per-(source, tag) FIFO contract.  `irecv` returns a
+// PendingRecv future; because the transport mailbox buffers arrivals, a
+// posted irecv needs no background thread — `wait()` performs the policy
+// recv (timeouts, PeerDeadError presumption) at the consumption point,
+// which keeps failure unwinding at a well-defined place in the schedule.
+//
+// Failures observed by the sender thread (exhausted transient retries,
+// PeerDeadError, an injected RankDeathError) are deferred: the first one
+// is rethrown from the next isend/send/recv/flush_sends call on the main
+// thread, and EdgeCluster::run additionally consults deferred_death_rank()
+// so an injected death never goes unreported.
+//
 // Tag discipline: a collective call consumes its `tag` for every internal
 // message; callers must not run two collectives with the same tag
 // concurrently on overlapping groups.  The trainers carve disjoint tag
 // ranges per purpose (see pipeline/tags.hpp).
 #pragma once
 
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "dist/transport.hpp"
@@ -34,10 +58,43 @@ struct CommPolicy {
   double send_backoff_ms = 0.05;
 };
 
+class Communicator;
+
+// Handle for a posted receive.  `wait()` blocks for the message (applying
+// the communicator's recv policy) and is idempotent; transport errors
+// (ChannelClosedError, PeerDeadError) surface from wait(), never from the
+// post.  Movable, single-consumer.
+class PendingRecv {
+ public:
+  PendingRecv() = default;
+
+  bool valid() const { return comm_ != nullptr; }
+  int source() const { return from_; }
+  int tag() const { return tag_; }
+
+  // Blocks until the message arrives (or a failure unwinds the link).
+  Tensor wait();
+
+ private:
+  friend class Communicator;
+  PendingRecv(Communicator* comm, int from, int tag)
+      : comm_(comm), from_(from), tag_(tag) {}
+
+  Communicator* comm_ = nullptr;
+  int from_ = -1;
+  int tag_ = 0;
+  bool done_ = false;
+  Tensor value_;
+};
+
 class Communicator {
  public:
   Communicator(Transport& transport, int rank)
       : transport_(&transport), rank_(rank) {}
+  ~Communicator();
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
 
   int rank() const { return rank_; }
   int world_size() const { return transport_->world_size(); }
@@ -45,11 +102,39 @@ class Communicator {
   void set_policy(const CommPolicy& policy) { policy_ = policy; }
   const CommPolicy& policy() const { return policy_; }
 
-  // Retries transient link failures with backoff before giving up.
+  // Retries transient link failures with backoff before giving up.  Waits
+  // for queued isends on the same (to, tag) key first so a blocking send
+  // can never overtake the async queue on its own link.
   void send(int to, int tag, Tensor payload);
   // Blocks for a matching message; with a recv timeout configured, retries
   // with backoff and presumes the peer dead once the budget is exhausted.
   Tensor recv(int from, int tag);
+
+  // ---- async engine ----
+  // Enqueues the message on the background sender thread and returns
+  // immediately.  Messages to the same destination are delivered in
+  // posting order; a deferred sender failure is rethrown here (and from
+  // every other comm entry point) on the next call.
+  void isend(int to, int tag, Tensor payload);
+  // Posts a receive for (from, tag); the returned future's wait() performs
+  // the actual (policy) recv.
+  PendingRecv irecv(int from, int tag);
+  // Blocks until every queued isend has been handed to the transport;
+  // rethrows the first deferred sender failure.
+  void flush_sends();
+  // Queued + in-flight isends not yet delivered.
+  std::size_t pending_sends() const;
+  // Drops queued (not yet in-flight) isends without delivering them.  Used
+  // by recovery paths that abandon an in-flight step.
+  void abandon_sends();
+  // Rank the async sender saw die via an injected RankDeathError, if any.
+  // EdgeCluster::run uses this to report deaths the main thread unwound
+  // past (e.g. it hit a PeerDeadError first).
+  std::optional<int> deferred_death_rank() const;
+  // Marks this rank's own links dead on the transport so peers (and our
+  // own helper threads blocked in collectives) unwind with PeerDeadError.
+  // Called by recovery paths that abandon a step mid-flight.
+  void shutdown_links();
 
   // All collectives require `group` sorted, unique, containing rank().
   void barrier(const std::vector<int>& group, int tag);
@@ -64,13 +149,38 @@ class Communicator {
                                 int tag);
 
  private:
+  struct QueuedSend {
+    int to;
+    int tag;
+    Tensor payload;
+  };
+
   int group_index(const std::vector<int>& group) const;
   void allreduce_ring(Tensor& t, const std::vector<int>& group, int tag);
   void allreduce_naive(Tensor& t, const std::vector<int>& group, int tag);
 
+  // The synchronous retry/backoff send (shared by send and the sender
+  // thread).
+  void send_with_retry(int to, int tag, Tensor payload);
+  void sender_main();
+  void rethrow_deferred_error() const;
+  bool has_pending_locked(int to, int tag) const;
+
   Transport* transport_;
   int rank_;
   CommPolicy policy_;
+
+  // ---- async sender state (guarded by async_mutex_) ----
+  mutable std::mutex async_mutex_;
+  std::condition_variable async_cv_;    // wakes the sender thread
+  std::condition_variable drained_cv_;  // wakes flushers / blocked senders
+  std::deque<QueuedSend> queue_;
+  std::optional<std::pair<int, int>> inflight_key_;  // (to, tag) being sent
+  std::exception_ptr deferred_error_;
+  int death_rank_ = -1;
+  bool sender_running_ = false;
+  bool stop_ = false;
+  std::thread sender_;
 };
 
 }  // namespace pac::dist

@@ -29,6 +29,12 @@ class ActivationSource {
   // Returns [b_0 .. b_L], each [n, T, H], for the given samples.
   virtual std::vector<Tensor> fetch(
       const std::vector<std::int64_t>& sample_ids) const = 0;
+  // Hint that `sample_ids` will be fetched next; a disk-backed source may
+  // start reloading them in the background.  Purely advisory — fetch must
+  // return the same tensors whether or not this was called.
+  virtual void prefetch(const std::vector<std::int64_t>& sample_ids) const {
+    (void)sample_ids;
+  }
 };
 
 }  // namespace pac::pipeline

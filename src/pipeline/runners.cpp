@@ -115,7 +115,8 @@ RunResult run_training(dist::EdgeCluster& cluster,
     std::unique_ptr<model::Model> model = factory();
     model->set_training_mode(true);
     StageWorker worker(ctx, *model, config.plan, config.schedule,
-                       config.allreduce);
+                       config.allreduce, config.async_comm,
+                       config.allreduce_bucket_bytes);
     if (!worker.participates()) return;
     nn::Adam optimizer(config.lr);
 
@@ -338,6 +339,15 @@ RunResult run_cached_data_parallel(
           std::vector<std::int64_t> ids;
           for (std::int64_t local : plan->batch(step)) {
             ids.push_back(shard[static_cast<std::size_t>(local)]);
+          }
+          // Announce the next step's samples so a disk-backed source can
+          // reload them while this step computes.
+          if (config.prefetch && step + 1 < plan->num_batches()) {
+            std::vector<std::int64_t> next_ids;
+            for (std::int64_t local : plan->batch(step + 1)) {
+              next_ids.push_back(shard[static_cast<std::size_t>(local)]);
+            }
+            source->prefetch(next_ids);
           }
           std::vector<Tensor> acts = source->fetch(ids);
           auto batch = dataset.make_train_batch(ids);

@@ -62,6 +62,11 @@ struct RunConfig {
   ParallelPlan plan;
   ScheduleKind schedule = ScheduleKind::k1F1B;
   dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
+  // Overlap compute with neighbor communication (isend/irecv) and run the
+  // grad AllReduce bucketed against the backward tail; loss trajectories
+  // are bit-identical to the synchronous path either way.
+  bool async_comm = true;
+  std::int64_t allreduce_bucket_bytes = 256 * 1024;
   std::int64_t batch_size = 8;
   int epochs = 1;
   float lr = 1e-2F;
@@ -100,6 +105,9 @@ struct CachedRunConfig {
   int epochs = 1;
   float lr = 1e-2F;
   dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;
+  // Announce the next step's sample ids to the activation source so a
+  // disk-backed cache can reload them while this step computes.
+  bool prefetch = true;
   std::uint64_t shuffle_seed = 177;
   bool run_eval = true;
   // See RunConfig: resume support after a device death.

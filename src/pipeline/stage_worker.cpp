@@ -21,12 +21,14 @@ constexpr double kRetainedPerBlockOutput = 4.0;
 
 StageWorker::StageWorker(dist::DeviceContext& ctx, model::Model& model,
                          const ParallelPlan& plan, ScheduleKind schedule,
-                         dist::AllReduceAlgo allreduce_algo)
+                         dist::AllReduceAlgo allreduce_algo, bool async_comm,
+                         std::int64_t allreduce_bucket_bytes)
     : ctx_(ctx),
       model_(model),
       plan_(plan),
       schedule_(schedule),
-      allreduce_algo_(allreduce_algo) {
+      allreduce_algo_(allreduce_algo),
+      async_comm_(async_comm) {
   plan_.validate(model_.num_blocks(), ctx_.world_size);
   stage_ = plan_.stage_of_rank(ctx_.rank);
   if (!participates()) return;
@@ -38,6 +40,7 @@ StageWorker::StageWorker(dist::DeviceContext& ctx, model::Model& model,
   for (std::int64_t b = st.block_begin; b < st.block_end; ++b) {
     stage_blocks_.push_back(all_blocks[static_cast<std::size_t>(b)]);
   }
+  build_grad_buckets(allreduce_bucket_bytes);
 
   // Register this stage's memory with the device ledger.
   for (model::PipelineBlock* block : stage_blocks_) {
@@ -62,15 +65,147 @@ StageWorker::~StageWorker() {
 
 void StageWorker::drain() {
   if (!participates()) return;
+  abort_overlap_reducer();
+  posted_fwd_.clear();
+  posted_bwd_.clear();
+  ctx_.comm.abandon_sends();
   pending_loss_.clear();
   pending_backward_ = 0;
   minibatch_loss_ = 0.0;
   minibatch_rows_ = 0;
+  grads_reduced_ = false;
   if (inflight_act_bytes_ > 0) {
     ctx_.ledger.release(dist::MemClass::kActivations, inflight_act_bytes_);
     inflight_act_bytes_ = 0;
   }
 }
+
+// ---- bucketed overlapped AllReduce ------------------------------------
+
+void StageWorker::build_grad_buckets(std::int64_t bucket_bytes) {
+  buckets_.clear();
+  const std::int64_t cap = std::max<std::int64_t>(bucket_bytes, 1);
+  std::int64_t cur_bytes = 0;
+  // Reverse block order = the order the backward pass finishes blocks, so
+  // earlier buckets become ready earlier.  Overflow past the tag-range cap
+  // merges into the last bucket.
+  for (std::int64_t b = static_cast<std::int64_t>(stage_blocks_.size()) - 1;
+       b >= 0; --b) {
+    for (nn::Parameter* p :
+         stage_blocks_[static_cast<std::size_t>(b)]->parameters()) {
+      if (!p->trainable()) continue;
+      const std::int64_t bytes = static_cast<std::int64_t>(p->grad_bytes());
+      const bool open_new =
+          buckets_.empty() ||
+          (cur_bytes + bytes > cap &&
+           static_cast<int>(buckets_.size()) < tags::kMaxGradBuckets);
+      if (open_new) {
+        buckets_.push_back(GradBucket{});
+        buckets_.back().min_block = b;
+        cur_bytes = 0;
+      }
+      GradBucket& bucket = buckets_.back();
+      bucket.params.push_back(p);
+      bucket.numel += p->grad().numel();
+      bucket.min_block = std::min(bucket.min_block, b);
+      cur_bytes += bytes;
+    }
+  }
+}
+
+void StageWorker::reduce_bucket(const GradBucket& bucket, int index) {
+  const int tag = tags::kGradAllReduce + index;
+  if (bucket.params.size() == 1) {
+    // Single tensor: reduce the grad storage in place instead of copying
+    // it through a flat staging buffer twice.
+    Tensor flat = bucket.params[0]->grad().reshape({bucket.numel});
+    ctx_.comm.allreduce_sum(flat, group_, tag, allreduce_algo_);
+    return;
+  }
+  Tensor flat({bucket.numel});
+  std::int64_t cursor = 0;
+  for (nn::Parameter* p : bucket.params) {
+    flat.slice0(cursor, cursor + p->grad().numel())
+        .copy_from(p->grad().reshape({p->grad().numel()}));
+    cursor += p->grad().numel();
+  }
+  ctx_.comm.allreduce_sum(flat, group_, tag, allreduce_algo_);
+  cursor = 0;
+  for (nn::Parameter* p : bucket.params) {
+    Tensor src = flat.slice0(cursor, cursor + p->grad().numel());
+    p->grad().copy_from(src.reshape(p->grad().shape()));
+    cursor += p->grad().numel();
+  }
+}
+
+void StageWorker::start_overlap_reducer() {
+  if (!async_comm_ || group_.size() <= 1 || buckets_.empty()) return;
+  reducer_.frontier = static_cast<std::int64_t>(stage_blocks_.size());
+  reducer_.abort = false;
+  reducer_.error = nullptr;
+  reducer_.active = true;
+  reducer_.worker = std::thread([this] {
+    try {
+      for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        {
+          std::unique_lock<std::mutex> lk(reducer_.mutex);
+          reducer_.cv.wait(lk, [&] {
+            return reducer_.abort ||
+                   reducer_.frontier <= buckets_[i].min_block;
+          });
+          if (reducer_.abort) return;
+        }
+        reduce_bucket(buckets_[i], static_cast<int>(i));
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(reducer_.mutex);
+      reducer_.error = std::current_exception();
+    }
+  });
+}
+
+void StageWorker::on_block_backward_complete(std::int64_t local_block) {
+  std::lock_guard<std::mutex> lk(reducer_.mutex);
+  reducer_.frontier = std::min(reducer_.frontier, local_block);
+  reducer_.cv.notify_all();
+}
+
+void StageWorker::join_overlap_reducer() {
+  if (!reducer_.active) return;
+  {
+    // A member that owns no micros never ran a backward; force every
+    // bucket ready (idempotent for everyone else).
+    std::lock_guard<std::mutex> lk(reducer_.mutex);
+    reducer_.frontier = 0;
+    reducer_.cv.notify_all();
+  }
+  reducer_.worker.join();
+  reducer_.active = false;
+  if (reducer_.error) {
+    std::exception_ptr err = reducer_.error;
+    reducer_.error = nullptr;
+    std::rethrow_exception(err);
+  }
+  grads_reduced_ = true;
+}
+
+void StageWorker::abort_overlap_reducer() {
+  if (!reducer_.active) return;
+  {
+    std::lock_guard<std::mutex> lk(reducer_.mutex);
+    reducer_.abort = true;
+    reducer_.cv.notify_all();
+  }
+  // A reducer blocked inside a collective only unwinds once this rank's
+  // links close (the peer cascade then wakes it) — the same close the
+  // cluster's failure handlers perform for this rank anyway.
+  ctx_.comm.shutdown_links();
+  reducer_.worker.join();
+  reducer_.active = false;
+  reducer_.error = nullptr;
+}
+
+// ---- micro routing ------------------------------------------------------
 
 std::vector<StageWorker::MicroSlice> StageWorker::local_micros(
     std::int64_t batch_rows) const {
@@ -101,22 +236,104 @@ int StageWorker::owner_rank(int stage, std::int64_t micro) const {
       owners[static_cast<std::size_t>(micro)])];
 }
 
-model::FlowState StageWorker::forward_micro(
-    const data::Batch& batch, const MicroSlice& ms,
-    ActivationRecorder* recorder) {
+// ---- shared recv/send helpers (train forward + eval) -------------------
+
+void StageWorker::comm_send(int to, int tag, Tensor payload) {
+  if (async_comm_) {
+    ctx_.comm.isend(to, tag, std::move(payload));
+  } else {
+    ctx_.comm.send(to, tag, std::move(payload));
+  }
+}
+
+void StageWorker::post_receives(const std::vector<MicroSlice>& micros,
+                                const std::vector<PipeOp>& ops) {
+  if (!async_comm_) return;
+  for (const PipeOp& op : ops) {
+    const MicroSlice& ms = micros[static_cast<std::size_t>(op.micro)];
+    if (op.kind == PipeOp::Kind::kForward) {
+      if (is_first_stage()) continue;
+      const int src = owner_rank(stage_ - 1, ms.micro);
+      PendingForward pf;
+      pf.hidden = ctx_.comm.irecv(src, tags::kFwdHidden);
+      if (model_.uses_parallel_adapters()) {
+        pf.adapter = ctx_.comm.irecv(src, tags::kFwdAdapter);
+      }
+      if (model_.config().pad_token >= 0) {
+        pf.mask = ctx_.comm.irecv(src, tags::kFwdMask);
+      }
+      posted_fwd_[ms.micro] = pf;
+    } else {
+      if (is_last_stage()) continue;
+      const int src = owner_rank(stage_ + 1, ms.micro);
+      const int tag = model_.uses_parallel_adapters() ? tags::kBwdAdapter
+                                                      : tags::kBwdHidden;
+      posted_bwd_[ms.micro] = PendingBackward{ctx_.comm.irecv(src, tag)};
+    }
+  }
+}
+
+void StageWorker::post_eval_receives(const std::vector<MicroSlice>& micros) {
+  if (!async_comm_ || is_first_stage()) return;
+  for (const MicroSlice& ms : micros) {
+    const int src = owner_rank(stage_ - 1, ms.micro);
+    PendingForward pf;
+    pf.hidden = ctx_.comm.irecv(src, tags::kFwdHidden);
+    if (model_.uses_parallel_adapters()) {
+      pf.adapter = ctx_.comm.irecv(src, tags::kFwdAdapter);
+    }
+    if (model_.config().pad_token >= 0) {
+      pf.mask = ctx_.comm.irecv(src, tags::kFwdMask);
+    }
+    posted_fwd_[ms.micro] = pf;
+  }
+}
+
+model::FlowState StageWorker::receive_forward_inputs(const data::Batch& batch,
+                                                     const MicroSlice& ms) {
   model::FlowState state;
   if (is_first_stage()) {
     state.tokens = batch.tokens.slice0(ms.row_begin, ms.row_end).clone();
-  } else {
-    const int src = owner_rank(stage_ - 1, ms.micro);
-    state.hidden = ctx_.comm.recv(src, tags::kFwdHidden);
-    if (model_.uses_parallel_adapters()) {
-      state.adapter = ctx_.comm.recv(src, tags::kFwdAdapter);
-    }
-    if (model_.config().pad_token >= 0) {
-      state.pad_mask = ctx_.comm.recv(src, tags::kFwdMask);
-    }
+    return state;
   }
+  auto it = posted_fwd_.find(ms.micro);
+  if (it != posted_fwd_.end()) {
+    PendingForward pf = it->second;
+    posted_fwd_.erase(it);
+    state.hidden = pf.hidden.wait();
+    if (pf.adapter.valid()) state.adapter = pf.adapter.wait();
+    if (pf.mask.valid()) state.pad_mask = pf.mask.wait();
+    return state;
+  }
+  const int src = owner_rank(stage_ - 1, ms.micro);
+  state.hidden = ctx_.comm.recv(src, tags::kFwdHidden);
+  if (model_.uses_parallel_adapters()) {
+    state.adapter = ctx_.comm.recv(src, tags::kFwdAdapter);
+  }
+  if (model_.config().pad_token >= 0) {
+    state.pad_mask = ctx_.comm.recv(src, tags::kFwdMask);
+  }
+  return state;
+}
+
+void StageWorker::send_forward_outputs(const MicroSlice& ms,
+                                       model::FlowState& state) {
+  const int dst = owner_rank(stage_ + 1, ms.micro);
+  comm_send(dst, tags::kFwdHidden, state.hidden);
+  if (model_.uses_parallel_adapters()) {
+    comm_send(dst, tags::kFwdAdapter, state.adapter);
+  }
+  if (state.pad_mask.defined()) {
+    comm_send(dst, tags::kFwdMask, state.pad_mask);
+  }
+}
+
+// ---- train / eval ------------------------------------------------------
+
+model::FlowState StageWorker::forward_micro(
+    const data::Batch& batch, const MicroSlice& ms,
+    ActivationRecorder* recorder) {
+  model::FlowState state = receive_forward_inputs(batch, ms);
 
   std::vector<std::int64_t> micro_ids;
   if (recorder != nullptr) {
@@ -175,19 +392,12 @@ model::FlowState StageWorker::forward_micro(
     minibatch_loss_ += static_cast<double>(r.loss) * weight;
     pending_loss_[ms.micro] = std::move(r);
   } else {
-    const int dst = owner_rank(stage_ + 1, ms.micro);
-    ctx_.comm.send(dst, tags::kFwdHidden, state.hidden);
-    if (model_.uses_parallel_adapters()) {
-      ctx_.comm.send(dst, tags::kFwdAdapter, state.adapter);
-    }
-    if (state.pad_mask.defined()) {
-      ctx_.comm.send(dst, tags::kFwdMask, state.pad_mask);
-    }
+    send_forward_outputs(ms, state);
   }
   return state;
 }
 
-void StageWorker::backward_micro(const MicroSlice& ms) {
+void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
   model::FlowGrad grad;
   if (is_last_stage()) {
     auto it = pending_loss_.find(ms.micro);
@@ -195,16 +405,33 @@ void StageWorker::backward_micro(const MicroSlice& ms) {
               "backward for micro " << ms.micro << " without forward");
     grad.d_hidden = std::move(it->second.dlogits);
     pending_loss_.erase(it);
-  } else if (model_.uses_parallel_adapters()) {
-    grad.d_adapter =
-        ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdAdapter);
   } else {
-    grad.d_hidden =
-        ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdHidden);
+    auto posted = posted_bwd_.find(ms.micro);
+    Tensor incoming;
+    if (posted != posted_bwd_.end()) {
+      PendingBackward pb = posted->second;
+      posted_bwd_.erase(posted);
+      incoming = pb.grad.wait();
+    } else if (model_.uses_parallel_adapters()) {
+      incoming =
+          ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdAdapter);
+    } else {
+      incoming =
+          ctx_.comm.recv(owner_rank(stage_ + 1, ms.micro), tags::kBwdHidden);
+    }
+    if (model_.uses_parallel_adapters()) {
+      grad.d_adapter = std::move(incoming);
+    } else {
+      grad.d_hidden = std::move(incoming);
+    }
   }
 
-  for (auto it = stage_blocks_.rbegin(); it != stage_blocks_.rend(); ++it) {
-    grad = (*it)->backward(grad);
+  for (std::int64_t i = static_cast<std::int64_t>(stage_blocks_.size()) - 1;
+       i >= 0; --i) {
+    grad = stage_blocks_[static_cast<std::size_t>(i)]->backward(grad);
+    // The final backward pass completes blocks back-to-front; each step
+    // may unlock a grad bucket for the overlap reducer.
+    if (final_backward && reducer_.active) on_block_backward_complete(i);
   }
 
   // This micro's retained activations are now free.  All micros retain the
@@ -223,11 +450,11 @@ void StageWorker::backward_micro(const MicroSlice& ms) {
     if (model_.uses_parallel_adapters()) {
       PAC_CHECK(grad.d_adapter.defined(),
                 "parallel adapters backward lost the adapter gradient");
-      ctx_.comm.send(dst, tags::kBwdAdapter, grad.d_adapter);
+      comm_send(dst, tags::kBwdAdapter, grad.d_adapter);
     } else {
       PAC_CHECK(grad.d_hidden.defined(),
                 "backward lost the hidden gradient");
-      ctx_.comm.send(dst, tags::kBwdHidden, grad.d_hidden);
+      comm_send(dst, tags::kBwdHidden, grad.d_hidden);
     }
   }
 }
@@ -238,6 +465,7 @@ double StageWorker::train_mini_batch(
   if (!participates()) return 0.0;
   minibatch_loss_ = 0.0;
   minibatch_rows_ = batch.tokens.size(0);
+  grads_reduced_ = false;
   const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
   // Non-uniform device groups need the generalized warmup or adjacent
   // stages deadlock on each other's first backward.  Weighted ownership
@@ -258,48 +486,42 @@ double StageWorker::train_mini_batch(
   const auto ops = make_schedule(schedule_,
                                  static_cast<std::int64_t>(micros.size()),
                                  stage_, plan_.num_stages(), warmup);
+  post_receives(micros, ops);
+  start_overlap_reducer();
   pending_backward_ = 0;
-  for (const PipeOp& op : ops) {
+  const std::size_t n_ops = ops.size();
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const PipeOp& op = ops[i];
     const MicroSlice& ms = micros[static_cast<std::size_t>(op.micro)];
     if (op.kind == PipeOp::Kind::kForward) {
       ++pending_backward_;
       forward_micro(batch, ms, recorder);
     } else {
-      backward_micro(ms);
+      backward_micro(ms, /*final_backward=*/i + 1 == n_ops);
       --pending_backward_;
     }
   }
   PAC_CHECK(pending_loss_.empty(), "unconsumed losses after mini-batch");
+  join_overlap_reducer();
   return minibatch_loss_;
 }
 
 void StageWorker::synchronize_and_step(nn::Optimizer& optimizer) {
   if (!participates()) return;
   nn::ParameterList trainable = stage_trainable_params();
-  if (group_.size() > 1 && !trainable.empty()) {
-    // Flatten all trainable grads into one buffer for a single AllReduce —
-    // under Parallel Adapters this is the paper's "lightweight adapters
-    // only" synchronization.
-    std::int64_t total = 0;
-    for (nn::Parameter* p : trainable) total += p->grad().numel();
-    Tensor flat({total});
-    std::int64_t cursor = 0;
-    for (nn::Parameter* p : trainable) {
-      flat.slice0(cursor, cursor + p->grad().numel())
-          .copy_from(p->grad().reshape({p->grad().numel()}));
-      cursor += p->grad().numel();
-    }
-    ctx_.comm.allreduce_sum(flat, group_, tags::kGradAllReduce,
-                            allreduce_algo_);
-    cursor = 0;
-    for (nn::Parameter* p : trainable) {
-      Tensor src = flat.slice0(cursor, cursor + p->grad().numel());
-      p->grad().copy_from(src.reshape(p->grad().shape()));
-      cursor += p->grad().numel();
+  if (group_.size() > 1 && !grads_reduced_) {
+    // Synchronous path: the identical buckets in the identical order as
+    // the overlap reducer, so the two modes sum bit-identically.
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      reduce_bucket(buckets_[i], static_cast<int>(i));
     }
   }
   optimizer.step(trainable);
   model_.zero_grad();
+  grads_reduced_ = false;
+  // Surface deferred async-send failures once per mini-batch instead of
+  // letting them linger into an unrelated later call.
+  ctx_.comm.flush_sends();
 }
 
 std::vector<StageWorker::EvalChunk> StageWorker::eval_mini_batch(
@@ -308,20 +530,9 @@ std::vector<StageWorker::EvalChunk> StageWorker::eval_mini_batch(
   if (!participates()) return out;
   minibatch_rows_ = batch.tokens.size(0);
   const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
+  post_eval_receives(micros);
   for (const MicroSlice& ms : micros) {
-    model::FlowState state;
-    if (is_first_stage()) {
-      state.tokens = batch.tokens.slice0(ms.row_begin, ms.row_end).clone();
-    } else {
-      const int src = owner_rank(stage_ - 1, ms.micro);
-      state.hidden = ctx_.comm.recv(src, tags::kFwdHidden);
-      if (model_.uses_parallel_adapters()) {
-        state.adapter = ctx_.comm.recv(src, tags::kFwdAdapter);
-      }
-      if (model_.config().pad_token >= 0) {
-        state.pad_mask = ctx_.comm.recv(src, tags::kFwdMask);
-      }
-    }
+    model::FlowState state = receive_forward_inputs(batch, ms);
     for (model::PipelineBlock* block : stage_blocks_) {
       state = block->forward(state);
     }
@@ -333,16 +544,10 @@ std::vector<StageWorker::EvalChunk> StageWorker::eval_mini_batch(
       chunk.logits = state.hidden;
       out.push_back(std::move(chunk));
     } else {
-      const int dst = owner_rank(stage_ + 1, ms.micro);
-      ctx_.comm.send(dst, tags::kFwdHidden, state.hidden);
-      if (model_.uses_parallel_adapters()) {
-        ctx_.comm.send(dst, tags::kFwdAdapter, state.adapter);
-      }
-      if (state.pad_mask.defined()) {
-        ctx_.comm.send(dst, tags::kFwdMask, state.pad_mask);
-      }
+      send_forward_outputs(ms, state);
     }
   }
+  ctx_.comm.flush_sends();
   return out;
 }
 

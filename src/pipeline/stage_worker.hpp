@@ -11,10 +11,25 @@
 // Gradients accumulate across micro-batches weighted by micro size, so a
 // mini-batch produces exactly the full-batch mean gradient regardless of
 // the partitioning — the parity tests rely on this.
+//
+// Communication overlap (async_comm, on by default): outgoing activations
+// and gradients go through Communicator::isend, so link-delay sleeps and
+// transient-retry backoffs run on the sender thread while this rank keeps
+// computing; the statically-known schedule lets the worker pre-post irecv
+// futures for every incoming tensor of the mini-batch up front.  The
+// adapter-grad AllReduce is bucketed: trainable params are grouped, in
+// reverse block order, into fixed buckets that a per-mini-batch reducer
+// thread starts reducing as soon as the final backward pass clears their
+// blocks — overlapping the reduce with the backward tail.  Sync mode runs
+// the identical buckets in the identical order, so the two modes are
+// bit-identical (see DESIGN.md, "Async communication engine").
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -35,7 +50,11 @@ inline constexpr int kFwdAdapter = 1001;
 inline constexpr int kFwdMask = 1002;
 inline constexpr int kBwdHidden = 1100;
 inline constexpr int kBwdAdapter = 1101;
+// Bucketed grad AllReduce uses [kGradAllReduce, kGradAllReduce +
+// kMaxGradBuckets); bucket counts are capped so the range never reaches
+// kLossReduce.
 inline constexpr int kGradAllReduce = 1200;
+inline constexpr int kMaxGradBuckets = 64;
 inline constexpr int kLossReduce = 1300;
 inline constexpr int kEvalLogits = 1400;
 inline constexpr int kBarrier = 1500;
@@ -47,9 +66,13 @@ class StageWorker {
  public:
   // `model` is this rank's replica (identical seed across ranks).  The
   // worker registers its stage's memory with the device ledger.
+  // `async_comm` switches between the overlapped engine and the fully
+  // synchronous reference path; `allreduce_bucket_bytes` sets the target
+  // grad-bucket size (buckets are identical in both modes).
   StageWorker(dist::DeviceContext& ctx, model::Model& model,
               const ParallelPlan& plan, ScheduleKind schedule,
-              dist::AllReduceAlgo allreduce_algo);
+              dist::AllReduceAlgo allreduce_algo, bool async_comm = true,
+              std::int64_t allreduce_bucket_bytes = 256 * 1024);
   ~StageWorker();
 
   StageWorker(const StageWorker&) = delete;
@@ -64,12 +87,15 @@ class StageWorker {
 
   // Runs one mini-batch (forward+backward over all micro-batches per the
   // schedule), accumulating gradients.  Returns this rank's weighted loss
-  // contribution (nonzero only on last-stage ranks).
+  // contribution (nonzero only on last-stage ranks).  In async mode the
+  // grad AllReduce overlaps the backward tail and completes before this
+  // returns, so pair every call with synchronize_and_step.
   double train_mini_batch(const data::Batch& batch,
                           ActivationRecorder* recorder);
 
-  // AllReduces trainable grads within the stage group and steps the
-  // optimizer.  Call once per mini-batch after train_mini_batch.
+  // AllReduces trainable grads within the stage group (unless the async
+  // reducer already did) and steps the optimizer.  Call once per
+  // mini-batch after train_mini_batch.
   void synchronize_and_step(nn::Optimizer& optimizer);
 
   // Forward-only pass (model must be in eval mode).  On last-stage ranks
@@ -83,9 +109,10 @@ class StageWorker {
       const data::Batch& batch);
 
   // Abandons the in-flight mini-batch after a failure (peer death mid
-  // pipeline): drops saved per-micro state and releases the activation
-  // bytes still registered with the ledger.  The worker is reusable for a
-  // fresh mini-batch afterwards; accumulated gradients are NOT stepped.
+  // pipeline): drops saved per-micro state, posted receives and queued
+  // sends, stops the overlap reducer, and releases the activation bytes
+  // still registered with the ledger.  The worker is reusable for a fresh
+  // mini-batch afterwards; accumulated gradients are NOT stepped.
   void drain();
 
   // The stage's trainable parameters (for reporting / extraction).
@@ -99,24 +126,94 @@ class StageWorker {
     std::int64_t row_end;
   };
 
+  // A fixed slice of the trainable params, reduced as one AllReduce.
+  // Buckets are built once, greedily over params in *reverse* block order
+  // (the order the backward pass completes them); `min_block` is the
+  // lowest local block index contributing, so the bucket is ready as soon
+  // as the final backward pass has cleared block `min_block`.
+  struct GradBucket {
+    std::vector<nn::Parameter*> params;
+    std::int64_t numel = 0;
+    std::int64_t min_block = 0;
+  };
+
+  // Pre-posted receive futures for one micro-batch (async mode).
+  struct PendingForward {
+    dist::PendingRecv hidden;
+    dist::PendingRecv adapter;
+    dist::PendingRecv mask;
+  };
+  struct PendingBackward {
+    dist::PendingRecv grad;
+  };
+
   std::vector<MicroSlice> local_micros(std::int64_t batch_rows) const;
   int owner_rank(int stage, std::int64_t micro) const;
+
+  // Shared recv/compute/send pieces used by both the train forward and the
+  // eval path (keeps the two from drifting apart).
+  model::FlowState receive_forward_inputs(const data::Batch& batch,
+                                          const MicroSlice& ms);
+  void send_forward_outputs(const MicroSlice& ms, model::FlowState& state);
+  // isend in async mode, blocking send otherwise.
+  void comm_send(int to, int tag, Tensor payload);
+  // Pre-posts irecv futures for every op of the mini-batch (async mode).
+  void post_receives(const std::vector<MicroSlice>& micros,
+                     const std::vector<PipeOp>& ops);
+  void post_eval_receives(const std::vector<MicroSlice>& micros);
+
   model::FlowState forward_micro(
       const data::Batch& batch, const MicroSlice& ms,
       ActivationRecorder* recorder);
-  void backward_micro(const MicroSlice& ms);
+  void backward_micro(const MicroSlice& ms, bool final_backward);
+
+  // ---- bucketed overlapped AllReduce ----
+  void build_grad_buckets(std::int64_t bucket_bytes);
+  void reduce_bucket(const GradBucket& bucket, int index);
+  void start_overlap_reducer();
+  // Marks every bucket ready and waits for the reducer to finish;
+  // rethrows its failure.  No-op when no reducer is running.
+  void join_overlap_reducer();
+  // Failure path: wakes an aborting reducer (closing this rank's links so
+  // a reducer blocked in a collective unwinds) and joins it.
+  void abort_overlap_reducer();
+  void on_block_backward_complete(std::int64_t local_block);
 
   dist::DeviceContext& ctx_;
   model::Model& model_;
   ParallelPlan plan_;
   ScheduleKind schedule_;
   dist::AllReduceAlgo allreduce_algo_;
+  bool async_comm_;
 
   int stage_ = -1;
   int group_index_ = 0;
   std::vector<int> group_;
   std::vector<model::PipelineBlock*> stage_blocks_;
   std::int64_t block_begin_ = 0;
+
+  std::vector<GradBucket> buckets_;
+
+  // Per-mini-batch reducer thread state.  `frontier` is the lowest local
+  // block index the final backward pass has completed (published under
+  // `mutex`, which is also the happens-before edge making the finished
+  // grads visible to the reducer); bucket b is ready once
+  // frontier <= b.min_block.
+  struct OverlapReducer {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::int64_t frontier = 0;
+    bool abort = false;
+    std::exception_ptr error;
+    std::thread worker;
+    bool active = false;
+  };
+  OverlapReducer reducer_;
+  bool grads_reduced_ = false;  // async reducer already ran this mini-batch
+
+  // Pre-posted receive futures, keyed by global micro index.
+  std::map<std::int64_t, PendingForward> posted_fwd_;
+  std::map<std::int64_t, PendingBackward> posted_bwd_;
 
   // Per-micro state saved between forward and backward.
   std::map<std::int64_t, nn::LossResult> pending_loss_;

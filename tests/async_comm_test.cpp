@@ -1,0 +1,383 @@
+// Async communication engine tests (PR 3).
+//
+// Covers the Communicator's nonblocking path — isend ordering, link-delay
+// absorption, deferred failure surfacing, PendingRecv futures — plus the
+// end-to-end guarantees the trainers build on it: async runs must produce
+// the *bit-identical* loss trajectory and final parameters of the
+// synchronous path, and the cache prefetcher must serve exactly the
+// tensors a cold fetch would.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "cache/activation_cache.hpp"
+#include "data/dataset.hpp"
+#include "dist/cluster.hpp"
+#include "pipeline/runners.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac {
+namespace {
+
+using dist::Communicator;
+using dist::Transport;
+
+Tensor scalar(float v) { return Tensor::full({1}, v); }
+
+// ---------------------------------------------------------------------------
+// isend / flush_sends
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCommTest, IsendPreservesPerLinkFifo) {
+  Transport t(2);
+  Communicator comm(t, 0);
+  constexpr int kMessages = 32;
+  for (int i = 0; i < kMessages; ++i) {
+    comm.isend(1, /*tag=*/5, scalar(static_cast<float>(i)));
+  }
+  comm.flush_sends();
+  EXPECT_EQ(comm.pending_sends(), 0U);
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 5).at({0}), static_cast<float>(i));
+  }
+  EXPECT_EQ(t.stats(0, 1).messages, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(AsyncCommTest, IsendReturnsBeforeTheLinkDelay) {
+  // A 20 ms-latency link with realtime simulation: posting must not pay
+  // the sleep; flushing must (the sender thread absorbs it).
+  dist::LinkModel slow;
+  slow.latency_s = 20e-3;
+  slow.simulate_delay = true;
+  Transport t(2, slow);
+  Communicator comm(t, 0);
+
+  constexpr int kMessages = 5;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kMessages; ++i) {
+    comm.isend(1, /*tag=*/3, scalar(static_cast<float>(i)));
+  }
+  const auto posted = std::chrono::steady_clock::now();
+  comm.flush_sends();
+  const auto flushed = std::chrono::steady_clock::now();
+
+  const double post_s =
+      std::chrono::duration<double>(posted - start).count();
+  const double total_s =
+      std::chrono::duration<double>(flushed - start).count();
+  // Posting 5 messages is queue pushes; the sender eats >= 5 x 20 ms of
+  // simulated link time before the flush returns.
+  EXPECT_LT(post_s, 0.050);
+  EXPECT_GE(total_s, 0.080);
+  EXPECT_EQ(t.stats(0, 1).messages, static_cast<std::uint64_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 3).at({0}), static_cast<float>(i));
+  }
+}
+
+TEST(AsyncCommTest, BlockingSendDoesNotOvertakeQueuedIsends) {
+  Transport t(2);
+  Communicator comm(t, 0);
+  comm.isend(1, /*tag=*/7, scalar(1.0F));
+  comm.isend(1, /*tag=*/7, scalar(2.0F));
+  comm.send(1, /*tag=*/7, scalar(3.0F));  // must wait for its key to drain
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(1, 0, 7).at({0}), static_cast<float>(i));
+  }
+}
+
+TEST(AsyncCommTest, AbandonSendsDropsQueuedMessages) {
+  dist::LinkModel slow;
+  slow.latency_s = 30e-3;
+  slow.simulate_delay = true;
+  Transport t(2, slow);
+  Communicator comm(t, 0);
+  for (int i = 0; i < 4; ++i) comm.isend(1, 1, scalar(0.0F));
+  comm.abandon_sends();  // queued (not in-flight) messages are dropped
+  comm.flush_sends();    // waits only for whatever was already in flight
+  EXPECT_EQ(comm.pending_sends(), 0U);
+  EXPECT_LT(t.stats(0, 1).messages, 4U);
+}
+
+// ---------------------------------------------------------------------------
+// deferred sender failures
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCommTest, ExhaustedTransientRetriesSurfaceOnFlush) {
+  dist::FaultPlan plan;
+  plan.send_failure_probability = 1.0;
+  plan.max_transient_failures = 1000;  // more than the send retry budget
+  Transport t(2, dist::LinkModel{}, plan);
+  Communicator comm(t, 0);
+  dist::CommPolicy policy;
+  policy.max_send_retries = 2;
+  policy.send_backoff_ms = 0.01;
+  comm.set_policy(policy);
+
+  comm.isend(1, /*tag=*/2, scalar(1.0F));
+  EXPECT_THROW(comm.flush_sends(), TransientSendError);
+  // The failure is sticky: every comm entry point reports it.
+  EXPECT_THROW(comm.isend(1, 2, scalar(2.0F)), TransientSendError);
+  EXPECT_THROW(comm.recv(1, 2), TransientSendError);
+  EXPECT_EQ(comm.deferred_death_rank(), std::nullopt);
+}
+
+TEST(AsyncCommTest, IsendToDeadRankSurfacesPeerDeathOnFlush) {
+  Transport t(3);
+  t.close_rank(2);
+  Communicator comm(t, 0);
+  comm.isend(2, /*tag=*/1, scalar(1.0F));
+  try {
+    comm.flush_sends();
+    FAIL() << "flush should have reported the dead peer";
+  } catch (const PeerDeadError& e) {
+    EXPECT_EQ(e.rank(), 2);
+  }
+}
+
+TEST(AsyncCommTest, InjectedDeathIsDeferredAndReported) {
+  // Rank 0's first transport operation kills it; the RankDeathError fires
+  // on the background sender thread and must surface on the next flush,
+  // with the dead rank recorded for EdgeCluster::run.
+  dist::FaultPlan plan;
+  plan.death_after_ops = {{0, 1}};
+  Transport t(2, dist::LinkModel{}, plan);
+  Communicator comm(t, 0);
+  comm.isend(1, /*tag=*/1, scalar(1.0F));
+  EXPECT_THROW(comm.flush_sends(), RankDeathError);
+  ASSERT_TRUE(comm.deferred_death_rank().has_value());
+  EXPECT_EQ(*comm.deferred_death_rank(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// irecv futures
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCommTest, PendingRecvDeliversInPostingOrder) {
+  Transport t(2);
+  Communicator receiver(t, 0);
+  Communicator sender(t, 1);
+
+  dist::PendingRecv first = receiver.irecv(1, /*tag=*/9);
+  dist::PendingRecv second = receiver.irecv(1, /*tag=*/9);
+  sender.isend(0, 9, scalar(10.0F));
+  sender.isend(0, 9, scalar(20.0F));
+
+  EXPECT_TRUE(first.valid());
+  EXPECT_EQ(first.source(), 1);
+  EXPECT_EQ(first.tag(), 9);
+  EXPECT_FLOAT_EQ(first.wait().at({0}), 10.0F);
+  EXPECT_FLOAT_EQ(second.wait().at({0}), 20.0F);
+  // wait() is idempotent.
+  EXPECT_FLOAT_EQ(first.wait().at({0}), 10.0F);
+  EXPECT_FALSE(dist::PendingRecv{}.valid());
+  sender.flush_sends();
+}
+
+TEST(AsyncCommTest, PendingRecvSurfacesPeerDeathOnWait) {
+  Transport t(2);
+  Communicator comm(t, 0);
+  dist::PendingRecv pending = comm.irecv(1, /*tag=*/4);  // never throws
+  t.close_rank(1);
+  EXPECT_THROW(pending.wait(), PeerDeadError);
+}
+
+// ---------------------------------------------------------------------------
+// concurrency: two async senders into one receiver (satellite: transport
+// stats + per-source ordering under concurrent isend)
+// ---------------------------------------------------------------------------
+
+TEST(AsyncCommTest, ConcurrentIsendersKeepPerSourceFifoAndStats) {
+  Transport t(3);
+  Communicator c0(t, 0);
+  Communicator c1(t, 1);
+  constexpr int kMessages = 50;
+
+  std::thread a([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      c0.isend(2, /*tag=*/6, scalar(static_cast<float>(i)));
+    }
+    c0.flush_sends();
+  });
+  std::thread b([&] {
+    for (int i = 0; i < kMessages; ++i) {
+      c1.isend(2, /*tag=*/6, scalar(static_cast<float>(1000 + i)));
+    }
+    c1.flush_sends();
+  });
+  a.join();
+  b.join();
+
+  // The two streams interleave arbitrarily at the mailbox, but each
+  // (source, tag) queue preserves its own posting order.
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_FLOAT_EQ(t.recv(2, 0, 6).at({0}), static_cast<float>(i));
+    EXPECT_FLOAT_EQ(t.recv(2, 1, 6).at({0}),
+                    static_cast<float>(1000 + i));
+  }
+  EXPECT_EQ(t.stats(0, 2).messages, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(t.stats(1, 2).messages, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(t.stats(0, 2).bytes,
+            static_cast<std::uint64_t>(kMessages) * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: async training == sync training, bit for bit
+// ---------------------------------------------------------------------------
+
+data::SyntheticGlueDataset tiny_dataset() {
+  data::DatasetConfig cfg;
+  cfg.task = data::GlueTask::kSst2;
+  cfg.train_samples = 24;
+  cfg.eval_samples = 8;
+  cfg.seq_len = 8;
+  cfg.vocab = 32;
+  return data::SyntheticGlueDataset(cfg);
+}
+
+pipeline::ModelFactory tiny_factory() {
+  return [] {
+    model::TechniqueConfig tc;
+    tc.technique = model::Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(
+        model::tiny(4, 16, 2, 32, 8), tc,
+        model::TaskSpec{model::TaskKind::kClassification, 2}, 4242);
+  };
+}
+
+pipeline::ParallelPlan hybrid_2x2() {
+  // 2 stages x 2 devices: exercises pre-posted pipeline recvs, isent
+  // activations/grads, AND the bucketed grad AllReduce in one plan.
+  pipeline::StageAssignment s0{0, 3, {0, 1}, {}};
+  pipeline::StageAssignment s1{3, 6, {2, 3}, {}};
+  pipeline::ParallelPlan plan;
+  plan.stages = {s0, s1};
+  plan.num_micro_batches = 4;
+  return plan;
+}
+
+TEST(AsyncCommTest, AsyncTrainingIsBitIdenticalToSync) {
+  auto ds = tiny_dataset();
+  pipeline::RunConfig cfg;
+  cfg.plan = hybrid_2x2();
+  cfg.batch_size = 8;
+  cfg.epochs = 2;
+  cfg.lr = 5e-3F;
+  // Tiny buckets force several overlapped AllReduce rounds per mini-batch.
+  cfg.allreduce_bucket_bytes = 1024;
+
+  cfg.async_comm = false;
+  dist::EdgeCluster sync_cluster(4,
+                                 std::numeric_limits<std::uint64_t>::max());
+  pipeline::RunResult sync_run =
+      pipeline::run_training(sync_cluster, ds, tiny_factory(), cfg);
+
+  cfg.async_comm = true;
+  dist::EdgeCluster async_cluster(4,
+                                  std::numeric_limits<std::uint64_t>::max());
+  pipeline::RunResult async_run =
+      pipeline::run_training(async_cluster, ds, tiny_factory(), cfg);
+
+  // Bit-for-bit: identical buckets are reduced in identical order with
+  // identical tags, so the arithmetic is the same expression tree.
+  ASSERT_EQ(sync_run.epoch_losses.size(), async_run.epoch_losses.size());
+  for (std::size_t e = 0; e < sync_run.epoch_losses.size(); ++e) {
+    EXPECT_EQ(sync_run.epoch_losses[e], async_run.epoch_losses[e]) << e;
+  }
+  EXPECT_EQ(sync_run.eval_metric, async_run.eval_metric);
+  ASSERT_EQ(sync_run.trainable_values.size(),
+            async_run.trainable_values.size());
+  for (const auto& [name, value] : sync_run.trainable_values) {
+    auto it = async_run.trainable_values.find(name);
+    ASSERT_NE(it, async_run.trainable_values.end()) << name;
+    EXPECT_EQ(ops::max_abs_diff(value, it->second), 0.0F) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// cache prefetch
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<cache::ActivationCache> make_disk_cache(
+    const std::string& dir, std::int64_t num_samples) {
+  std::filesystem::remove_all(dir);
+  cache::CacheConfig cfg;
+  cfg.num_blocks = 2;
+  cfg.disk_backed = true;
+  cfg.directory = dir;
+  auto c = std::make_unique<cache::ActivationCache>(cfg);
+  for (std::int64_t s = 0; s < num_samples; ++s) {
+    for (std::int64_t b = 0; b < 2; ++b) {
+      Tensor act({3, 4});
+      for (std::int64_t i = 0; i < act.numel(); ++i) {
+        act.data()[i] =
+            static_cast<float>(s) * 100.0F + static_cast<float>(b) * 10.0F +
+            static_cast<float>(i);
+      }
+      c->put_block(s, b, std::move(act));
+    }
+  }
+  return c;
+}
+
+TEST(AsyncCommTest, PrefetchedFetchMatchesColdFetch) {
+  const std::string dir = "/tmp/pac_async_prefetch_match";
+  auto c = make_disk_cache(dir, 6);
+  const std::vector<std::int64_t> ids = {0, 2, 4};
+
+  std::vector<Tensor> cold = c->fetch(ids);
+  c->prefetch(ids);
+  // Give the reader thread a moment so the staged path is actually taken
+  // (fetch falls back to a synchronous reload either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::vector<Tensor> staged = c->fetch(ids);
+
+  ASSERT_EQ(cold.size(), staged.size());
+  for (std::size_t b = 0; b < cold.size(); ++b) {
+    EXPECT_EQ(ops::max_abs_diff(cold[b], staged[b]), 0.0F) << b;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AsyncCommTest, PrefetchIsAdvisoryOnly) {
+  const std::string dir = "/tmp/pac_async_prefetch_advisory";
+  auto c = make_disk_cache(dir, 6);
+
+  // A fetch for samples that were never announced falls back to the
+  // synchronous reload.
+  c->prefetch({0, 1});
+  std::vector<Tensor> other = c->fetch({3, 5});
+  EXPECT_EQ(other.size(), 2U);
+
+  // Re-announcing (coalescing) and fetching a superset both work.
+  c->prefetch({0, 1});
+  c->prefetch({0, 1, 2});
+  std::vector<Tensor> batch = c->fetch({0, 1, 2, 4});
+  EXPECT_EQ(batch.size(), 2U);
+  EXPECT_EQ(batch[0].shape()[0], 4);  // [n, T, H] with n = 4 samples
+
+  // Prefetching the same ids twice and never fetching them must not leak
+  // or wedge teardown (the destructor stops the reader thread).
+  c->prefetch({3, 4, 5});
+  c->prefetch({3, 4, 5});
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AsyncCommTest, PrefetchIsNoOpForMemoryBackedShards) {
+  cache::CacheConfig cfg;
+  cfg.num_blocks = 1;
+  cache::ActivationCache c(cfg);
+  c.put_block(1, 0, Tensor::full({2, 2}, 7.0F));
+  c.prefetch({1});  // nothing to stage; must not spawn anything
+  std::vector<Tensor> got = c.fetch({1});
+  ASSERT_EQ(got.size(), 1U);
+  EXPECT_FLOAT_EQ(got[0].at({0, 0, 0}), 7.0F);
+}
+
+}  // namespace
+}  // namespace pac

@@ -8,6 +8,7 @@
 //     a fault-free run on the equivalent surviving-device plan to 1e-6.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
 
 #include "core/session.hpp"
@@ -62,16 +63,33 @@ SessionConfig chaos_session_config() {
   return cfg;
 }
 
-SessionReport run_with_faults(const dist::FaultPlan& faults,
-                              const dist::CommPolicy& policy = {},
-                              const std::vector<int>& pre_dead = {}) {
+SessionReport run_with_faults(
+    const dist::FaultPlan& faults, const dist::CommPolicy& policy = {},
+    const std::vector<int>& pre_dead = {},
+    const std::function<void(SessionConfig&)>& tweak = {}) {
   auto ds = small_dataset();
   dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
   for (int r : pre_dead) cluster.mark_dead(r);
   cluster.set_fault_plan(faults);
   cluster.set_comm_policy(policy);
-  Session session(cluster, ds, chaos_session_config());
+  SessionConfig cfg = chaos_session_config();
+  if (tweak) tweak(cfg);
+  Session session(cluster, ds, cfg);
   return session.run();
+}
+
+// Forces the sync (no-overlap) path with the same bucket layout as the
+// async runs it is compared against.
+void make_sync(SessionConfig& cfg) {
+  cfg.async_comm = false;
+  cfg.allreduce_bucket_bytes = 1024;
+}
+
+// Async engine with tiny buckets: several overlapped AllReduce rounds per
+// mini-batch instead of one.
+void make_async_multi_bucket(SessionConfig& cfg) {
+  cfg.async_comm = true;
+  cfg.allreduce_bucket_bytes = 1024;
 }
 
 void expect_same_trajectory(const SessionReport& a, const SessionReport& b,
@@ -191,6 +209,77 @@ TEST(ChaosTest, DeathBeyondRecoveryBudgetRethrows) {
   cfg.max_rank_recoveries = 0;
   Session session(cluster, ds, cfg);
   EXPECT_THROW(session.run(), RankDeathError);
+}
+
+// ---- schedule 4: the async engine under seeded fault schedules ----
+//
+// The overlap machinery (isend queues, pre-posted irecvs, bucketed
+// AllReduce against the backward tail) reorders *timing* only: the same
+// buckets are reduced in the same order with the same tags, so async runs
+// must agree with the synchronous path bit for bit — fault-free and under
+// every fault class short of death.
+
+TEST(ChaosTest, AsyncEngineMatchesSyncBitForBit) {
+  SessionReport sync_run =
+      run_with_faults(dist::FaultPlan{}, {}, {}, make_sync);
+  SessionReport async_run =
+      run_with_faults(dist::FaultPlan{}, {}, {}, make_async_multi_bucket);
+  expect_same_trajectory(async_run, sync_run, 0.0);  // bit-for-bit
+}
+
+TEST(ChaosTest, AsyncDelayStormMatchesSyncBitForBit) {
+  SessionReport sync_run =
+      run_with_faults(dist::FaultPlan{}, {}, {}, make_sync);
+
+  dist::FaultPlan storm;
+  storm.seed = 0xA51D3;
+  storm.delay_probability = 0.25;
+  storm.delay_min_ms = 0.1;
+  storm.delay_max_ms = 1.0;
+  storm.reorder_probability = 0.25;
+  SessionReport stormy =
+      run_with_faults(storm, {}, {}, make_async_multi_bucket);
+
+  expect_same_trajectory(stormy, sync_run, 0.0);
+  EXPECT_EQ(stormy.rank_deaths, 0);
+}
+
+TEST(ChaosTest, AsyncTransientSendFailuresMatchSyncBitForBit) {
+  // The retries run on the background sender thread; absorbing them there
+  // must not change a single bit of the trajectory.
+  SessionReport sync_run =
+      run_with_faults(dist::FaultPlan{}, {}, {}, make_sync);
+
+  dist::FaultPlan flaky;
+  flaky.seed = 0xA51F4;
+  flaky.send_failure_probability = 0.2;
+  flaky.max_transient_failures = 2;
+  SessionReport retried =
+      run_with_faults(flaky, {}, {}, make_async_multi_bucket);
+
+  expect_same_trajectory(retried, sync_run, 0.0);
+  EXPECT_EQ(retried.rank_deaths, 0);
+}
+
+TEST(ChaosTest, AsyncRankDeathMidOverlapRecovers) {
+  // Kill a device while isends are queued and the overlap reducer is live:
+  // recovery must abandon the step (abort the reducer, drop queued sends,
+  // close the dead links) and restart on the survivors, matching the
+  // surviving-device plan.
+  SessionReport survivors = run_with_faults(dist::FaultPlan{}, {},
+                                            /*pre_dead=*/{2},
+                                            make_async_multi_bucket);
+
+  dist::FaultPlan death;
+  death.seed = 0xA5DEAD;
+  death.death_after_ops = {{2, 20}};  // mid-first-epoch of phase 1
+  SessionReport recovered =
+      run_with_faults(death, {}, {}, make_async_multi_bucket);
+
+  EXPECT_EQ(recovered.rank_deaths, 1);
+  ASSERT_EQ(recovered.dead_ranks.size(), 1U);
+  EXPECT_EQ(recovered.dead_ranks[0], 2);
+  expect_same_trajectory(recovered, survivors, 1e-6);
 }
 
 // ---- rank-scoped failure semantics (no collateral ChannelClosedError) ----

@@ -14,6 +14,7 @@
 #include "cache/activation_cache.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/runners.hpp"
 
 namespace {
@@ -158,6 +159,52 @@ void BM_CommPipelineMiniBatch(benchmark::State& state) {
 BENCHMARK(BM_CommPipelineMiniBatch)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Same async workload with a live TraceSession + counters.  Compare
+// against BM_CommPipelineMiniBatch/1 for the observability-*enabled* cost;
+// the disabled cost is BM_CommPipelineMiniBatch/1 itself against the
+// tracked pre-instrumentation BENCH_comm.json baseline (instrumentation is
+// always compiled in; the acceptance bar is <2% when disabled).
+void BM_CommPipelineMiniBatchObs(benchmark::State& state) {
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 32;
+  dcfg.eval_samples = 8;
+  dcfg.seq_len = 32;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);
+  auto factory = [] {
+    model::TechniqueConfig tc;
+    tc.technique = model::Technique::kParallelAdapters;
+    tc.pa_reduction = 4;
+    return std::make_unique<model::Model>(model::tiny(12, 64, 2, 32, 32), tc,
+                                          model::TaskSpec{}, 12);
+  };
+  pipeline::StageAssignment s0{0, 13, {0}, {}};
+  pipeline::StageAssignment s1{13, 14, {1}, {}};
+  dist::LinkModel lan;
+  lan.simulate_delay = true;
+  obs::TraceSession::Options opts;
+  opts.path = "/tmp/pac_bench_obs_trace.json";
+  obs::TraceSession trace(opts);  // one session spans all iterations
+  for (auto _ : state) {
+    dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max(),
+                              lan);
+    pipeline::RunConfig cfg;
+    cfg.plan.stages = {s0, s1};
+    cfg.plan.num_micro_batches = 16;
+    cfg.async_comm = true;
+    cfg.batch_size = 32;
+    cfg.epochs = 1;
+    cfg.run_eval = false;
+    auto r = run_training(cluster, ds, factory, cfg);
+    benchmark::DoNotOptimize(r.epoch_losses.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommPipelineMiniBatchObs)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

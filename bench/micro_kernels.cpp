@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 
 #include "nn/attention.hpp"
 #include "nn/transformer_layer.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -141,6 +143,24 @@ void BM_EncoderLayerForwardOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EncoderLayerForwardOnly);
+
+// Cost of one PAC_TRACE_SCOPE when tracing is off (Arg 0: the default
+// state of every instrumented hot path — a relaxed atomic load and an
+// untouched pending-name slot) vs recording into a live ring (Arg 1).
+void BM_TraceScope(benchmark::State& state) {
+  const bool enabled = state.range(0) == 1;
+  std::unique_ptr<obs::TraceSession> session;
+  if (enabled) {
+    session = std::make_unique<obs::TraceSession>();
+  }
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    PAC_TRACE_SCOPE("bench_span", x);
+    benchmark::DoNotOptimize(++x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScope)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Line-coverage report for src/ from a --coverage (gcc) build tree.
+
+Fallback used by scripts/ci.sh when gcovr is not installed: walks the
+build tree for .gcda note files, runs `gcov --json-format --stdout` on
+each, merges execution counts per (source file, line) across translation
+units (headers are compiled into many TUs), and prints a per-file table
+plus the src/ total.  Exits nonzero when the total drops below --min.
+
+Usage:
+  python3 scripts/coverage.py --build-dir build-cov [--min 80.0]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from collections import defaultdict
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def gcov_json(gcda):
+    # Run in the .gcda's directory so gcov finds the matching .gcno.
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.basename(gcda)],
+        cwd=os.path.dirname(gcda),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    ).stdout
+    # One JSON document per line of output (gcov emits one per input).
+    for line in out.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build-cov")
+    ap.add_argument("--source-root", default="src",
+                    help="only files under this directory are counted")
+    ap.add_argument("--min", type=float, default=0.0,
+                    help="fail when total line coverage (%%) is below this")
+    args = ap.parse_args()
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_root = os.path.realpath(os.path.join(repo, args.source_root))
+
+    # hits[file][line] = max execution count seen in any TU.
+    hits = defaultdict(lambda: defaultdict(int))
+    gcdas = list(find_gcda(args.build_dir))
+    if not gcdas:
+        print(f"coverage: no .gcda files under {args.build_dir} "
+              "(build with -DPAC_COVERAGE=ON and run the tests first)",
+              file=sys.stderr)
+        return 2
+    for gcda in gcdas:
+        for doc in gcov_json(gcda):
+            cwd = doc.get("current_working_directory", "")
+            for f in doc.get("files", []):
+                path = f["file"]
+                if not os.path.isabs(path):
+                    path = os.path.join(cwd, path)
+                path = os.path.realpath(path)
+                if not path.startswith(src_root + os.sep):
+                    continue
+                lines = hits[path]
+                for ln in f.get("lines", []):
+                    no = ln["line_number"]
+                    lines[no] = max(lines[no], ln["count"])
+
+    total_lines = 0
+    total_hit = 0
+    print(f"{'file':<56} {'lines':>7} {'hit':>7} {'cover':>7}")
+    for path in sorted(hits):
+        lines = hits[path]
+        n = len(lines)
+        if n == 0:  # e.g. a header whose only lines are inlined away
+            continue
+        h = sum(1 for c in lines.values() if c > 0)
+        total_lines += n
+        total_hit += h
+        rel = os.path.relpath(path, repo)
+        print(f"{rel:<56} {n:>7} {h:>7} {100.0 * h / n:>6.1f}%")
+    if total_lines == 0:
+        print("coverage: no source lines matched", file=sys.stderr)
+        return 2
+    pct = 100.0 * total_hit / total_lines
+    print(f"{'TOTAL':<56} {total_lines:>7} {total_hit:>7} {pct:>6.1f}%")
+    if pct < args.min:
+        print(f"coverage: {pct:.1f}% is below the required {args.min:.1f}%",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@
 #include <fstream>
 
 #include "common/serialize.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pac::cache {
 
@@ -53,6 +55,7 @@ void ActivationCache::record(const std::vector<std::int64_t>& sample_ids,
   PAC_CHECK(hidden.size(0) == static_cast<std::int64_t>(sample_ids.size()),
             "record: " << sample_ids.size() << " ids for " << hidden.size(0)
                        << " rows");
+  PAC_TRACE_SCOPE("cache_store", block_index);
   std::lock_guard<std::mutex> lk(mutex_);
   for (std::size_t r = 0; r < sample_ids.size(); ++r) {
     Tensor row = hidden.slice0(static_cast<std::int64_t>(r),
@@ -90,6 +93,8 @@ void ActivationCache::put_block_locked(std::int64_t sample_id,
 
 void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
   if (!config_.disk_backed || entry.present < config_.num_blocks) return;
+  PAC_TRACE_SCOPE("cache_spill", sample_id);
+  obs::CounterRegistry::instance().add("cache.spills", 1);
   std::ofstream out(sample_path(sample_id), std::ios::binary);
   PAC_CHECK(out.good(), "cannot open spill file for sample " << sample_id);
   BinaryWriter w(out);
@@ -110,6 +115,7 @@ void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
 
 ActivationCache::Entry ActivationCache::load_spilled(
     std::int64_t sample_id) const {
+  PAC_TRACE_SCOPE("cache_load", sample_id);
   std::ifstream in(sample_path(sample_id), std::ios::binary);
   if (!in.good()) {
     throw CacheMissError("spill file missing for sample " +
@@ -141,6 +147,7 @@ void ActivationCache::prefetch(
   // picked up yet (the runner announces exactly the next step's batch).
   pf_.request = sample_ids;
   pf_.has_request = true;
+  obs::CounterRegistry::instance().add("cache.prefetch_requests", 1);
   if (!pf_.running) {
     pf_.running = true;
     pf_.thread = std::thread([this] { prefetch_main(); });
@@ -149,6 +156,9 @@ void ActivationCache::prefetch(
 }
 
 void ActivationCache::prefetch_main() const {
+  const int device =
+      config_.ledger != nullptr ? config_.ledger->device_id() : 0;
+  obs::set_thread_name("cache/prefetch", device);
   std::unique_lock<std::mutex> lk(mutex_);
   for (;;) {
     pf_.work.wait(lk, [&] { return pf_.stop || pf_.has_request; });
@@ -170,12 +180,16 @@ void ActivationCache::prefetch_main() const {
     lk.unlock();
 
     std::map<std::int64_t, Entry> fresh;
-    for (std::int64_t id : to_load) {
-      try {
-        fresh[id] = load_spilled(id);
-      } catch (...) {
-        // Advisory only: a failed staging read falls back to the
-        // synchronous path inside fetch(), which reports the error.
+    {
+      PAC_TRACE_SCOPE("cache_prefetch",
+                      static_cast<std::int64_t>(to_load.size()));
+      for (std::int64_t id : to_load) {
+        try {
+          fresh[id] = load_spilled(id);
+        } catch (...) {
+          // Advisory only: a failed staging read falls back to the
+          // synchronous path inside fetch(), which reports the error.
+        }
       }
     }
 
@@ -212,6 +226,8 @@ void ActivationCache::stop_prefetcher() {
 std::vector<Tensor> ActivationCache::fetch(
     const std::vector<std::int64_t>& sample_ids) const {
   PAC_CHECK(!sample_ids.empty(), "fetch with no sample ids");
+  PAC_TRACE_SCOPE("cache_fetch",
+                  static_cast<std::int64_t>(sample_ids.size()));
   std::unique_lock<std::mutex> lk(mutex_);
 
   // Pass 1: materialize every spilled sample — from the prefetcher's
@@ -223,7 +239,12 @@ std::vector<Tensor> ActivationCache::fetch(
       throw CacheMissError("sample " + std::to_string(id) +
                            " not in this cache shard");
     }
-    if (!it->second.spilled || loaded.find(id) != loaded.end()) continue;
+    if (!it->second.spilled || loaded.find(id) != loaded.end()) {
+      if (!it->second.spilled) {
+        obs::CounterRegistry::instance().add("cache.hits", 1);
+      }
+      continue;
+    }
     if (pf_.busy && std::find(pf_.inflight.begin(), pf_.inflight.end(),
                               id) != pf_.inflight.end()) {
       // The reader is staging exactly this sample; wait instead of racing
@@ -234,8 +255,10 @@ std::vector<Tensor> ActivationCache::fetch(
     if (staged != pf_.staged.end()) {
       loaded[id] = std::move(staged->second);
       pf_.staged.erase(staged);
+      obs::CounterRegistry::instance().add("cache.prefetch_hits", 1);
       continue;
     }
+    obs::CounterRegistry::instance().add("cache.misses", 1);
     lk.unlock();
     Entry entry = load_spilled(id);
     lk.lock();

@@ -4,6 +4,8 @@
 
 #include "common/logging.hpp"
 #include "common/timer.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "planner/profiler.hpp"
 
 namespace pac::core {
@@ -110,6 +112,18 @@ bool Session::absorb_death(int rank) {
 }
 
 SessionReport Session::run() {
+  // One recording window over every attempt: faulted runs restart inside
+  // the same session, so the post-mortem dump (written by the destructor
+  // even when unwinding) shows the failed attempt alongside the retry.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (config_.obs_enabled || !config_.trace_path.empty()) {
+    obs::TraceSession::Options opts;
+    opts.path = config_.trace_path;
+    opts.ring_capacity = config_.trace_ring_capacity;
+    obs::CounterRegistry::instance().reset();
+    trace = std::make_unique<obs::TraceSession>(std::move(opts));
+    obs::set_thread_name("session", 0);
+  }
   const std::int64_t original_batch = config_.batch_size;
   recoveries_used_ = 0;
   dead_ranks_seen_.clear();
@@ -122,6 +136,10 @@ SessionReport Session::run() {
       report.dead_ranks = dead_ranks_seen_;
       report.effective_batch_size = config_.batch_size;
       config_.batch_size = original_batch;
+      if (trace != nullptr) {
+        PAC_LOG_INFO << "session counters:\n"
+                     << obs::CounterRegistry::instance().summary_table();
+      }
       return report;
     } catch (const DeviceOomError&) {
       if (retries >= config_.max_oom_retries || config_.batch_size <= 1) {

@@ -80,6 +80,16 @@ struct SessionConfig {
   // Chaos/recovery tests set this so the plan — and therefore the whole
   // training trajectory — is reproducible across runs.
   std::optional<std::vector<planner::BlockProfile>> profile_override;
+
+  // Observability (src/obs): when enabled, run() owns a TraceSession
+  // spanning every attempt (clean or faulted — the recovery path's
+  // restarts land in the same dump) and logs a final counter summary.
+  // A non-empty trace_path implies enabled; the Chrome-trace JSON is written
+  // there when run() returns or throws.  Off by default: tracing changes
+  // no trajectory, but leaving it on would grow rings on every test.
+  bool obs_enabled = false;
+  std::string trace_path;
+  std::size_t trace_ring_capacity = 1 << 14;  // events per thread
 };
 
 struct SessionReport {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace pac::dist {
 
@@ -74,6 +75,7 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
   std::exception_ptr first_peer_dead;
 
   auto rank_main = [&](int rank) {
+    obs::set_thread_name("rank" + std::to_string(rank), rank);
     Communicator comm(*transport_, rank);
     comm.set_policy(comm_policy_);
     DeviceContext ctx{rank, size(), comm,

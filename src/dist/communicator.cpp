@@ -4,6 +4,8 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pac::dist {
 
@@ -42,6 +44,7 @@ void Communicator::send_with_retry(int to, int tag, Tensor payload) {
       return;
     } catch (const TransientSendError&) {
       if (attempt >= policy_.max_send_retries) throw;
+      obs::CounterRegistry::instance().add("comm.transient_retries", 1);
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           policy_.send_backoff_ms * static_cast<double>(attempt + 1)));
     }
@@ -90,6 +93,11 @@ void Communicator::isend(int to, int tag, Tensor payload) {
   std::lock_guard<std::mutex> lk(async_mutex_);
   rethrow_deferred_error();
   queue_.push_back(QueuedSend{to, tag, std::move(payload)});
+  if (obs::enabled()) {
+    obs::CounterRegistry::instance().high_water(
+        "comm.isend_queue_depth.rank" + std::to_string(rank_),
+        static_cast<std::int64_t>(queue_.size() + (inflight_key_ ? 1 : 0)));
+  }
   if (!sender_running_) {
     sender_running_ = true;
     sender_ = std::thread([this] { sender_main(); });
@@ -142,9 +150,13 @@ std::optional<int> Communicator::deferred_death_rank() const {
 void Communicator::shutdown_links() { transport_->close_rank(rank_); }
 
 void Communicator::sender_main() {
+  obs::set_thread_name("rank" + std::to_string(rank_) + "/sender", rank_);
   std::unique_lock<std::mutex> lk(async_mutex_);
   for (;;) {
-    async_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    {
+      PAC_TRACE_SCOPE("sender_wait", rank_);
+      async_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    }
     if (queue_.empty()) break;  // stop requested and nothing left to send
     QueuedSend msg = std::move(queue_.front());
     queue_.pop_front();
@@ -154,6 +166,7 @@ void Communicator::sender_main() {
     std::exception_ptr error;
     int death = -1;
     try {
+      PAC_TRACE_SCOPE("sender_send", msg.to, msg.tag);
       send_with_retry(msg.to, msg.tag, std::move(msg.payload));
     } catch (const RankDeathError& e) {
       error = std::current_exception();

@@ -2,6 +2,9 @@
 
 #include <numeric>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
 namespace pac::dist {
 
 const char* mem_class_name(MemClass c) {
@@ -28,6 +31,11 @@ void MemoryLedger::allocate(MemClass cls, std::uint64_t bytes) {
   current_[i] += bytes;
   peak_[i] = std::max(peak_[i], current_[i]);
   peak_total_ = std::max(peak_total_, total + bytes);
+  if (obs::enabled()) {
+    obs::CounterRegistry::instance().high_water(
+        "mem.high_water.device" + std::to_string(device_id_),
+        static_cast<std::int64_t>(peak_total_));
+  }
 }
 
 void MemoryLedger::release(MemClass cls, std::uint64_t bytes) {

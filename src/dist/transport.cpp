@@ -4,8 +4,21 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace pac::dist {
+
+namespace {
+
+// Counter names are built per link ("comm.sent_bytes.0>2"); callers guard
+// on obs::enabled() so the string assembly never runs when idle.
+std::string link_counter(const char* what, int from, int to) {
+  return std::string("comm.") + what + "." + std::to_string(from) + ">" +
+         std::to_string(to);
+}
+
+}  // namespace
 
 Transport::Transport(int world_size, LinkModel link, FaultPlan faults)
     : world_size_(world_size),
@@ -75,13 +88,21 @@ void Transport::send(int from, int to, int tag, Tensor payload) {
   if (faults_.active()) {
     const double ms = faults_.delay_ms(from, to, tag);
     if (ms > 0.0) {
+      PAC_TRACE_SCOPE("fault_delay", from, to);
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           ms));
     }
   }
   if (link_.simulate_delay && from != to) {
+    PAC_TRACE_SCOPE("link_sleep", from, to);
     std::this_thread::sleep_for(
         std::chrono::duration<double>(link_.transfer_seconds(bytes)));
+  }
+  if (obs::enabled()) {
+    auto& counters = obs::CounterRegistry::instance();
+    counters.add(link_counter("sent_bytes", from, to),
+                 static_cast<std::int64_t>(bytes));
+    counters.add(link_counter("sent_msgs", from, to), 1);
   }
   {
     std::lock_guard<std::mutex> stats_guard(stats_mutex_);
@@ -142,6 +163,12 @@ std::optional<Tensor> Transport::recv_impl(
     // still handed out so receivers can finish in-flight work.
     Message msg = std::move(it->second.front());
     it->second.pop_front();
+    if (obs::enabled()) {
+      obs::CounterRegistry::instance().add(
+          link_counter("recv_bytes", from, to),
+          static_cast<std::int64_t>(
+              msg.payload.defined() ? msg.payload.byte_size() : 0));
+    }
     return std::move(msg.payload);
   }
   throw PeerDeadError(from, "recv aborted: rank " + std::to_string(from) +

@@ -1,0 +1,101 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/trace.hpp"
+
+namespace pac::obs {
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry reg;
+  return reg;
+}
+
+void CounterRegistry::add(const std::string& name, std::int64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  counters_[name] += delta;
+}
+
+void CounterRegistry::high_water(const std::string& name,
+                                 std::int64_t value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::int64_t& slot = gauges_[name];
+  slot = std::max(slot, value);
+}
+
+std::int64_t CounterRegistry::value(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  auto git = gauges_.find(name);
+  return git != gauges_.end() ? git->second : 0;
+}
+
+std::map<std::string, std::int64_t> CounterRegistry::counters() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return counters_;
+}
+
+std::map<std::string, std::int64_t> CounterRegistry::gauges() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return gauges_;
+}
+
+namespace {
+
+void emit_section(std::ostringstream& os, const char* key,
+                  const std::map<std::string, std::int64_t>& values,
+                  bool trailing_comma) {
+  os << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << v;
+  }
+  os << "}";
+  if (trailing_comma) os << ",";
+}
+
+}  // namespace
+
+std::string CounterRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::ostringstream os;
+  os << "{";
+  emit_section(os, "counters", counters_, /*trailing_comma=*/true);
+  emit_section(os, "gauges", gauges_, /*trailing_comma=*/false);
+  os << "}";
+  return os.str();
+}
+
+std::string CounterRegistry::summary_table() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::size_t width = 0;
+  for (const auto& [name, v] : counters_) width = std::max(width,
+                                                          name.size());
+  for (const auto& [name, v] : gauges_) width = std::max(width,
+                                                         name.size());
+  std::ostringstream os;
+  for (const auto& [name, v] : counters_) {
+    os << "  " << std::left << std::setw(static_cast<int>(width)) << name
+       << "  " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges_) {
+    os << "  " << std::left << std::setw(static_cast<int>(width)) << name
+       << "  " << v << "  (high water)\n";
+  }
+  return os.str();
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace pac::obs

@@ -1,0 +1,49 @@
+// Process-wide counter registry: monotonic counters and high-water gauges
+// feeding the per-epoch summary table and the JSON snapshot.
+//
+// Mutations are no-ops while tracing/observability is disabled (see
+// obs::enabled()), so instrumented hot paths cost one relaxed atomic load
+// when a session is not recording — callers that build dynamic counter
+// names should still guard the string construction with obs::enabled().
+// Under a session, updates take one short mutex; exactness matters more
+// than nanoseconds here (the counter test hammers this from the
+// ThreadPool and expects exact sums).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace pac::obs {
+
+class CounterRegistry {
+ public:
+  static CounterRegistry& instance();
+
+  // Monotonic counter += delta.  No-op when obs is disabled.
+  void add(const std::string& name, std::int64_t delta);
+  // High-water gauge = max(current, value).  No-op when obs is disabled.
+  void high_water(const std::string& name, std::int64_t value);
+
+  // Reads work regardless of the enabled flag (post-run reporting).
+  std::int64_t value(const std::string& name) const;
+  std::map<std::string, std::int64_t> counters() const;
+  std::map<std::string, std::int64_t> gauges() const;
+
+  // {"counters": {...}, "gauges": {...}} snapshot.
+  std::string to_json() const;
+  // Fixed-width two-column table, counters then gauges, sorted by name.
+  std::string summary_table() const;
+
+  void reset();
+
+ private:
+  CounterRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, std::int64_t> gauges_;
+};
+
+}  // namespace pac::obs

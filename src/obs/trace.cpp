@@ -1,0 +1,357 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pac::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One thread's ring buffer.  The owning thread writes under `mutex`; the
+// exporter drains under the same mutex after disabling recording, so the
+// lock is uncontended in steady state.
+struct Ring {
+  std::mutex mutex;
+  std::string name;
+  int rank = 0;
+  int tid = 0;
+  std::uint64_t generation = 0;
+  std::vector<TraceEvent> buf;
+  std::size_t head = 0;       // next write slot
+  std::uint64_t total = 0;    // events ever written
+
+  void push(const TraceEvent& e) {
+    buf[head] = e;
+    head = (head + 1) % buf.size();
+    ++total;
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::atomic<std::uint64_t> generation{0};
+  // Session epoch as atomic nanoseconds-since-clock-origin: recorder
+  // threads read it without the registry lock.
+  std::atomic<std::int64_t> epoch_ns{0};
+  std::size_t ring_capacity = 1 << 14;
+  int next_tid = 0;
+  bool session_active = false;  // guards against two live TraceSessions
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+// Thread-local handle into the registry.  The pending name/rank survive
+// across sessions so long-lived threads (cache prefetchers) keep their
+// identity in every window.
+struct TlsSlot {
+  std::shared_ptr<Ring> ring;
+  std::uint64_t generation = 0;
+  std::string pending_name;
+  int pending_rank = 0;
+  bool has_pending_name = false;
+};
+
+TlsSlot& tls_slot() {
+  thread_local TlsSlot slot;
+  return slot;
+}
+
+// The calling thread's ring for the current session, registering one if
+// needed.  Returns nullptr when no session is active.
+Ring* current_ring() {
+  Registry& reg = Registry::instance();
+  const std::uint64_t gen = reg.generation.load(std::memory_order_acquire);
+  TlsSlot& slot = tls_slot();
+  if (slot.ring != nullptr && slot.generation == gen) {
+    return slot.ring.get();
+  }
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return nullptr;
+  auto ring = std::make_shared<Ring>();
+  ring->generation = gen;
+  ring->tid = reg.next_tid++;
+  ring->buf.resize(std::max<std::size_t>(reg.ring_capacity, 4));
+  if (slot.has_pending_name) {
+    ring->name = slot.pending_name;
+    ring->rank = slot.pending_rank;
+  } else {
+    ring->name = "thread-" + std::to_string(ring->tid);
+  }
+  reg.rings.push_back(ring);
+  slot.ring = std::move(ring);
+  slot.generation = gen;
+  return slot.ring.get();
+}
+
+std::int64_t clock_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t now_ns() {
+  return clock_ns() -
+         Registry::instance().epoch_ns.load(std::memory_order_relaxed);
+}
+
+void record(const char* name, char ph, const std::int64_t* args,
+            int n_args) {
+  const std::int64_t ts = now_ns();
+  Ring* ring = current_ring();
+  if (ring == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.ph = ph;
+  e.ts_ns = ts;
+  e.n_args = n_args;
+  for (int i = 0; i < n_args && i < 2; ++i) e.args[i] = args[i];
+  std::lock_guard<std::mutex> lk(ring->mutex);
+  // A session swap between current_ring() and here parks the write in a
+  // retired ring the exporter already drained; harmless.
+  ring->push(e);
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void emit_event_json(std::ostringstream& os, const ThreadTrace& t,
+                     const TraceEvent& e, const char* name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"";
+  json_escape(os, name != nullptr ? name : "");
+  os << "\",\"ph\":\"" << e.ph << "\",\"ts\":";
+  // Chrome wants microseconds; keep nanosecond precision as a fraction.
+  os << static_cast<double>(e.ts_ns) / 1000.0;
+  os << ",\"pid\":" << t.rank << ",\"tid\":" << t.tid;
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  if (e.n_args > 0) {
+    os << ",\"args\":{";
+    for (int i = 0; i < e.n_args; ++i) {
+      if (i > 0) os << ",";
+      os << "\"a" << i << "\":" << e.args[i];
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+// Walks one thread's drained events, invoking `on_event` for every event
+// of a balanced stream: orphan 'E's (begin lost to wraparound) are
+// skipped, unclosed 'B's get a synthetic 'E' at the thread's last
+// timestamp.  `on_span` (optional) fires once per matched pair.
+template <typename OnEvent, typename OnSpan>
+void replay_balanced(const ThreadTrace& t, OnEvent&& on_event,
+                     OnSpan&& on_span) {
+  std::vector<const TraceEvent*> stack;
+  std::int64_t last_ts = 0;
+  for (const TraceEvent& e : t.events) {
+    last_ts = std::max(last_ts, e.ts_ns);
+    if (e.ph == 'B') {
+      stack.push_back(&e);
+      on_event(e, e.name);
+    } else if (e.ph == 'E') {
+      if (stack.empty()) continue;  // begin overwritten by wraparound
+      const TraceEvent* b = stack.back();
+      stack.pop_back();
+      on_event(e, b->name);
+      on_span(*b, e.ts_ns);
+    } else {
+      on_event(e, e.name);
+    }
+  }
+  // Close spans still open when the session was collected (threads alive
+  // mid-drain, or scopes lost to an exceptional teardown path).
+  while (!stack.empty()) {
+    const TraceEvent* b = stack.back();
+    stack.pop_back();
+    TraceEvent end;
+    end.name = b->name;
+    end.ph = 'E';
+    end.ts_ns = last_ts;
+    on_event(end, b->name);
+    on_span(*b, last_ts);
+  }
+}
+
+}  // namespace
+
+void set_thread_name(const std::string& name, int rank) {
+  TlsSlot& slot = tls_slot();
+  slot.pending_name = name;
+  slot.pending_rank = rank;
+  slot.has_pending_name = true;
+  if (!enabled()) return;
+  Ring* ring = current_ring();
+  if (ring == nullptr) return;
+  std::lock_guard<std::mutex> lk(ring->mutex);
+  ring->name = name;
+  ring->rank = rank;
+}
+
+void emit_begin(const char* name, const std::int64_t* args, int n_args) {
+  if (!enabled()) return;
+  record(name, 'B', args, n_args);
+}
+
+void emit_end() {
+  if (!enabled()) return;
+  record(nullptr, 'E', nullptr, 0);
+}
+
+void emit_instant(const char* name, const std::int64_t* args, int n_args) {
+  if (!enabled()) return;
+  record(name, 'i', args, n_args);
+}
+
+TraceSession::TraceSession() : TraceSession(Options()) {}
+
+TraceSession::TraceSession(Options options) : options_(std::move(options)) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  PAC_CHECK(!reg.session_active,
+            "another TraceSession is already recording");
+  reg.session_active = true;
+  reg.rings.clear();
+  reg.next_tid = 0;
+  reg.ring_capacity = std::max<std::size_t>(options_.ring_capacity, 4);
+  reg.epoch_ns.store(clock_ns(), std::memory_order_relaxed);
+  reg.generation.fetch_add(1, std::memory_order_release);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+TraceSession::~TraceSession() {
+  try {
+    collect();
+    if (!options_.path.empty()) write(options_.path);
+  } catch (...) {
+    // Destructors must not throw; a failed post-mortem dump is best-effort.
+  }
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lk(reg.mutex);
+  reg.session_active = false;
+}
+
+const TraceData& TraceSession::collect() {
+  if (collected_) return data_;
+  collected_ = true;
+  detail::g_enabled.store(false, std::memory_order_release);
+  Registry& reg = Registry::instance();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lk(reg.mutex);
+    rings.swap(reg.rings);
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lk(ring->mutex);
+    ThreadTrace t;
+    t.thread_name = ring->name;
+    t.rank = ring->rank;
+    t.tid = ring->tid;
+    const std::size_t cap = ring->buf.size();
+    const std::size_t count =
+        static_cast<std::size_t>(std::min<std::uint64_t>(ring->total, cap));
+    t.dropped = ring->total - count;
+    // Oldest-first: when wrapped, the oldest live event sits at `head`.
+    const std::size_t start = ring->total > cap ? ring->head : 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      t.events.push_back(ring->buf[(start + i) % cap]);
+    }
+    data_.threads.push_back(std::move(t));
+  }
+  std::sort(data_.threads.begin(), data_.threads.end(),
+            [](const ThreadTrace& a, const ThreadTrace& b) {
+              return a.tid < b.tid;
+            });
+  return data_;
+}
+
+std::vector<SpanRecord> TraceSession::spans() {
+  collect();
+  std::vector<SpanRecord> out;
+  for (const ThreadTrace& t : data_.threads) {
+    replay_balanced(
+        t, [](const TraceEvent&, const char*) {},
+        [&](const TraceEvent& b, std::int64_t end_ts) {
+          SpanRecord s;
+          s.thread_name = t.thread_name;
+          s.rank = t.rank;
+          s.tid = t.tid;
+          s.name = b.name;
+          s.begin_ns = b.ts_ns;
+          s.end_ns = end_ts;
+          s.n_args = b.n_args;
+          s.args[0] = b.args[0];
+          s.args[1] = b.args[1];
+          out.push_back(std::move(s));
+        });
+  }
+  return out;
+}
+
+std::string TraceSession::to_json() {
+  collect();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const ThreadTrace& t : data_.threads) {
+    // Metadata: name the process (rank) and thread tracks.
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << t.rank
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\"rank" << t.rank
+       << "\"}}";
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << t.rank
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\"";
+    json_escape(os, t.thread_name);
+    os << "\"}}";
+    replay_balanced(
+        t,
+        [&](const TraceEvent& e, const char* name) {
+          emit_event_json(os, t, e, name, first);
+        },
+        [](const TraceEvent&, std::int64_t) {});
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+void TraceSession::write(const std::string& path) {
+  std::ofstream out(path);
+  PAC_CHECK(out.good(), "cannot open trace output " << path);
+  out << to_json();
+  PAC_CHECK(out.good(), "failed writing trace output " << path);
+}
+
+}  // namespace pac::obs

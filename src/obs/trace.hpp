@@ -1,0 +1,194 @@
+// Low-overhead runtime tracing: per-thread ring-buffered span recorder
+// with Chrome trace_event JSON export (chrome://tracing / Perfetto).
+//
+// Recording model:
+//   - A process-wide registry of per-thread ring buffers.  Each thread
+//     lazily registers its ring on first use and records begin/end/instant
+//     events into it; the only cross-thread state touched on the hot path
+//     is one relaxed atomic (the enabled flag) and the ring's own mutex
+//     (uncontended: the exporter locks it only while draining).
+//   - A ring holds a fixed number of events; when full it overwrites the
+//     oldest, so long runs keep the most recent window.  The exporter
+//     repairs the resulting unbalanced begin/end pairs (orphan ends are
+//     dropped, unclosed begins are closed at the last seen timestamp), so
+//     the dump always parses as balanced B/E pairs.
+//   - Timestamps are steady_clock nanoseconds since the TraceSession
+//     epoch — the same wall-clock domain as common/timer.hpp and the
+//     simulated link sleeps (the sim sleeps for real, so simulated link
+//     time and compute time share one axis in the trace).
+//
+// Exactly one TraceSession may be active at a time.  When none is active
+// (or the session has been collected) every PAC_TRACE_* macro is a single
+// relaxed atomic load and nothing else; there are no rings to grow and no
+// strings to build.  Compiling with -DPAC_OBS_DISABLED removes even that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pac::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// True while a TraceSession is recording.  Cheap enough for hot paths.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+// One raw ring-buffer event.  `name` must point at storage that outlives
+// the session — string literals in practice ('E' events carry no name).
+struct TraceEvent {
+  const char* name = nullptr;
+  char ph = 'B';  // 'B' begin, 'E' end, 'i' instant
+  std::int64_t ts_ns = 0;
+  std::int64_t args[2] = {0, 0};
+  int n_args = 0;
+};
+
+// Everything one thread recorded, drained oldest-first.
+struct ThreadTrace {
+  std::string thread_name;
+  int rank = 0;      // exported as the Chrome trace pid
+  int tid = 0;       // unique per thread within the session
+  std::uint64_t dropped = 0;  // events overwritten by ring wraparound
+  std::vector<TraceEvent> events;
+};
+
+struct TraceData {
+  std::vector<ThreadTrace> threads;
+};
+
+// A matched begin/end pair (after wraparound repair).
+struct SpanRecord {
+  std::string thread_name;
+  int rank = 0;
+  int tid = 0;
+  const char* name = nullptr;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  std::int64_t args[2] = {0, 0};
+  int n_args = 0;
+};
+
+// Names the calling thread in subsequent traces ("rank0/sender", ...) and
+// annotates it with a rank (the Chrome trace pid, so per-rank threads
+// group into one "process" track).  Safe to call with tracing disabled:
+// the name is remembered thread-locally and applied when (if) the thread
+// records its first event.
+void set_thread_name(const std::string& name, int rank = 0);
+
+// Recording primitives behind the macros.  No-ops unless enabled().
+void emit_begin(const char* name, const std::int64_t* args, int n_args);
+void emit_end();
+void emit_instant(const char* name, const std::int64_t* args, int n_args);
+
+// RAII span: records 'B' on construction, 'E' on destruction.  If tracing
+// is disabled at construction nothing is recorded either way (a session
+// starting mid-span records a lone 'E', which export repair drops).
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (enabled()) {
+      armed_ = true;
+      emit_begin(name, nullptr, 0);
+    }
+  }
+  TraceScope(const char* name, std::int64_t a0) {
+    if (enabled()) {
+      armed_ = true;
+      const std::int64_t args[2] = {a0, 0};
+      emit_begin(name, args, 1);
+    }
+  }
+  TraceScope(const char* name, std::int64_t a0, std::int64_t a1) {
+    if (enabled()) {
+      armed_ = true;
+      const std::int64_t args[2] = {a0, a1};
+      emit_begin(name, args, 2);
+    }
+  }
+  ~TraceScope() {
+    if (armed_) emit_end();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+// Owns one recording window: construction enables tracing process-wide,
+// collect()/destruction disables it and drains every thread ring.  Owned
+// by core::Session when SessionConfig.obs_enabled / trace_path is set;
+// tests construct it directly.  The destructor writes options.path (when
+// non-empty) even when unwinding an exception, so faulted runs leave a
+// post-mortem trace.
+class TraceSession {
+ public:
+  struct Options {
+    std::string path;  // written on destruction when non-empty
+    std::size_t ring_capacity = 1 << 14;  // events per thread
+  };
+
+  TraceSession();
+  explicit TraceSession(Options options);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  // Stops recording (idempotent) and returns the drained per-thread data.
+  const TraceData& collect();
+  // Matched spans across all threads, wraparound-repaired.
+  std::vector<SpanRecord> spans();
+  // Chrome trace_event JSON ("traceEvents" array object format).
+  std::string to_json();
+  void write(const std::string& path);
+
+ private:
+  Options options_;
+  bool collected_ = false;
+  TraceData data_;
+};
+
+}  // namespace pac::obs
+
+#define PAC_OBS_CONCAT_INNER(a, b) a##b
+#define PAC_OBS_CONCAT(a, b) PAC_OBS_CONCAT_INNER(a, b)
+
+#if defined(PAC_OBS_DISABLED)
+#define PAC_TRACE_SCOPE(...) static_cast<void>(0)
+#define PAC_TRACE_INSTANT(...) static_cast<void>(0)
+#else
+// PAC_TRACE_SCOPE("name"[, arg0[, arg1]]) — spans the enclosing scope.
+#define PAC_TRACE_SCOPE(...)                                    \
+  ::pac::obs::TraceScope PAC_OBS_CONCAT(pac_trace_scope_,       \
+                                        __LINE__)(__VA_ARGS__)
+// PAC_TRACE_INSTANT("name"[, arg0[, arg1]]) — a point event.
+#define PAC_TRACE_INSTANT(...) \
+  ::pac::obs::detail::trace_instant(__VA_ARGS__)
+#endif
+
+namespace pac::obs::detail {
+inline void trace_instant(const char* name) {
+  if (enabled()) emit_instant(name, nullptr, 0);
+}
+inline void trace_instant(const char* name, std::int64_t a0) {
+  if (enabled()) {
+    const std::int64_t args[2] = {a0, 0};
+    emit_instant(name, args, 1);
+  }
+}
+inline void trace_instant(const char* name, std::int64_t a0,
+                          std::int64_t a1) {
+  if (enabled()) {
+    const std::int64_t args[2] = {a0, a1};
+    emit_instant(name, args, 2);
+  }
+}
+}  // namespace pac::obs::detail

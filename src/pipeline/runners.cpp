@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <mutex>
 
+#include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "data/metrics.hpp"
 #include "nn/losses.hpp"
 #include "nn/optimizer.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace pac::pipeline {
@@ -133,6 +136,7 @@ RunResult run_training(dist::EdgeCluster& cluster,
         // Global epoch index: seeds and recording decisions stay aligned
         // with the uninterrupted schedule when resuming after a recovery.
         const int epoch = config.first_epoch + e;
+        PAC_TRACE_SCOPE("train_epoch", ctx.rank, epoch);
         data::BatchPlan plan(dataset.train_size(), config.batch_size,
                              config.shuffle_seed +
                                  static_cast<std::uint64_t>(epoch));
@@ -153,6 +157,11 @@ RunResult run_training(dist::EdgeCluster& cluster,
         if (ctx.rank == leader) {
           std::lock_guard<std::mutex> result_guard(result_mutex);
           result.epoch_losses[static_cast<std::size_t>(e)] = mean_loss;
+          if (obs::enabled()) {
+            PAC_LOG_INFO << "epoch " << epoch << " counters:\n"
+                         << obs::CounterRegistry::instance()
+                                .summary_table();
+          }
         }
         // Epoch-boundary snapshot: group leaders stage, a barrier proves
         // every stage finished the epoch, then the run leader commits —
@@ -321,6 +330,7 @@ RunResult run_cached_data_parallel(
 
     for (int e = 0; e < config.epochs; ++e) {
       const int epoch = config.first_epoch + e;
+      PAC_TRACE_SCOPE("cached_epoch", ctx.rank, epoch);
       double loss_sum = 0.0;
       std::unique_ptr<data::BatchPlan> plan;
       if (!shard.empty()) {
@@ -331,6 +341,7 @@ RunResult run_cached_data_parallel(
                 static_cast<std::uint64_t>(ctx.rank));
       }
       for (std::int64_t step = 0; step < max_steps; ++step) {
+        PAC_TRACE_SCOPE("cached_step", ctx.rank, step);
         model->zero_grad();
         double step_loss = 0.0;
         std::int64_t step_rows = 0;

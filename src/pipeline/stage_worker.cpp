@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace pac::pipeline {
@@ -114,6 +116,13 @@ void StageWorker::build_grad_buckets(std::int64_t bucket_bytes) {
 }
 
 void StageWorker::reduce_bucket(const GradBucket& bucket, int index) {
+  PAC_TRACE_SCOPE("allreduce_bucket", ctx_.rank, index);
+  if (obs::enabled()) {
+    auto& counters = obs::CounterRegistry::instance();
+    counters.add("allreduce.buckets", 1);
+    counters.add("allreduce.bucket_bytes",
+                 bucket.numel * static_cast<std::int64_t>(sizeof(float)));
+  }
   const int tag = tags::kGradAllReduce + index;
   if (bucket.params.size() == 1) {
     // Single tensor: reduce the grad storage in place instead of copying
@@ -145,9 +154,13 @@ void StageWorker::start_overlap_reducer() {
   reducer_.error = nullptr;
   reducer_.active = true;
   reducer_.worker = std::thread([this] {
+    obs::set_thread_name("rank" + std::to_string(ctx_.rank) + "/reducer",
+                         ctx_.rank);
     try {
       for (std::size_t i = 0; i < buckets_.size(); ++i) {
         {
+          PAC_TRACE_SCOPE("bucket_wait", ctx_.rank,
+                          static_cast<std::int64_t>(i));
           std::unique_lock<std::mutex> lk(reducer_.mutex);
           reducer_.cv.wait(lk, [&] {
             return reducer_.abort ||
@@ -296,6 +309,7 @@ model::FlowState StageWorker::receive_forward_inputs(const data::Batch& batch,
     state.tokens = batch.tokens.slice0(ms.row_begin, ms.row_end).clone();
     return state;
   }
+  PAC_TRACE_SCOPE("recv_fwd", ctx_.rank, ms.micro);
   auto it = posted_fwd_.find(ms.micro);
   if (it != posted_fwd_.end()) {
     PendingForward pf = it->second;
@@ -318,6 +332,7 @@ model::FlowState StageWorker::receive_forward_inputs(const data::Batch& batch,
 
 void StageWorker::send_forward_outputs(const MicroSlice& ms,
                                        model::FlowState& state) {
+  PAC_TRACE_SCOPE("send_fwd", ctx_.rank, ms.micro);
   const int dst = owner_rank(stage_ + 1, ms.micro);
   comm_send(dst, tags::kFwdHidden, state.hidden);
   if (model_.uses_parallel_adapters()) {
@@ -333,6 +348,7 @@ void StageWorker::send_forward_outputs(const MicroSlice& ms,
 model::FlowState StageWorker::forward_micro(
     const data::Batch& batch, const MicroSlice& ms,
     ActivationRecorder* recorder) {
+  PAC_TRACE_SCOPE("fwd_micro", ctx_.rank, ms.micro);
   model::FlowState state = receive_forward_inputs(batch, ms);
 
   std::vector<std::int64_t> micro_ids;
@@ -398,6 +414,7 @@ model::FlowState StageWorker::forward_micro(
 }
 
 void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
+  PAC_TRACE_SCOPE("bwd_micro", ctx_.rank, ms.micro);
   model::FlowGrad grad;
   if (is_last_stage()) {
     auto it = pending_loss_.find(ms.micro);
@@ -406,6 +423,7 @@ void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
     grad.d_hidden = std::move(it->second.dlogits);
     pending_loss_.erase(it);
   } else {
+    PAC_TRACE_SCOPE("recv_bwd", ctx_.rank, ms.micro);
     auto posted = posted_bwd_.find(ms.micro);
     Tensor incoming;
     if (posted != posted_bwd_.end()) {
@@ -446,6 +464,7 @@ void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
   }
 
   if (!is_first_stage()) {
+    PAC_TRACE_SCOPE("send_bwd", ctx_.rank, ms.micro);
     const int dst = owner_rank(stage_ - 1, ms.micro);
     if (model_.uses_parallel_adapters()) {
       PAC_CHECK(grad.d_adapter.defined(),
@@ -532,6 +551,7 @@ std::vector<StageWorker::EvalChunk> StageWorker::eval_mini_batch(
   const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
   post_eval_receives(micros);
   for (const MicroSlice& ms : micros) {
+    PAC_TRACE_SCOPE("eval_micro", ctx_.rank, ms.micro);
     model::FlowState state = receive_forward_inputs(batch, ms);
     for (model::PipelineBlock* block : stage_blocks_) {
       state = block->forward(state);

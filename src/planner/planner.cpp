@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/schedule.hpp"
 
 namespace pac::planner {
@@ -54,18 +55,18 @@ std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
 }
 
 // Per-device memory of a stage holding `range`, replicated over m devices,
-// in a pipeline of s total stages at stage index `stage_idx` (or -1 for the
-// conservative bound used during the DP, before the index is known).
+// with `stages_from_here` stages remaining in the pipeline (this one
+// included).  The classic 1F1B in-flight bound at stage i of s is s - i =
+// the suffix length, which is exactly what the suffix DP knows when it
+// places a stage; evaluate_plan later re-checks with the width-aware
+// hybrid_warmup bound.
 std::uint64_t stage_memory(const PlannerInput& input, const RangeSums& range,
-                           std::int64_t m, std::int64_t s,
-                           std::int64_t stage_idx) {
+                           std::int64_t m, std::int64_t stages_from_here) {
   const std::int64_t local_micros =
       std::max<std::int64_t>(1, ceil_div(input.num_micro_batches, m));
-  const std::int64_t pipeline_bound =
-      stage_idx < 0 ? s : std::max<std::int64_t>(1, s - stage_idx);
   const std::int64_t in_flight =
       input.gpipe_memory ? local_micros
-                         : std::min(local_micros, pipeline_bound);
+                         : std::min(local_micros, stages_from_here);
   const double opt = input.optimizer_state_factor *
                      static_cast<double>(range.trainable_bytes);
   return range.param_bytes + range.trainable_bytes +
@@ -79,8 +80,9 @@ std::uint64_t stage_memory(const PlannerInput& input, const RangeSums& range,
 // member's share the bound (micros are dealt round-robin by index,
 // matching the executed engine).
 double stage_time(const PlannerInput& input, const RangeSums& range,
-                  std::int64_t first_rank, std::int64_t m, std::int64_t s) {
-  if (stage_memory(input, range, m, s, /*stage_idx=*/-1) >
+                  std::int64_t first_rank, std::int64_t m,
+                  std::int64_t stages_from_here) {
+  if (stage_memory(input, range, m, stages_from_here) >
       input.device_budget_bytes) {
     return kInf;  // paper: OOM configurations cost +infinity
   }
@@ -116,6 +118,80 @@ double stage_time(const PlannerInput& input, const RangeSums& range,
   const double allreduce = input.network.allreduce_seconds(
       range.trainable_bytes, static_cast<int>(m));
   return compute + allreduce;
+}
+
+// The partition DP shared by plan_hybrid and optimal_bottleneck_seconds.
+//
+// Runs over *suffixes*: dp[y][r][s] is the best bottleneck for blocks
+// [y, n) arranged into s stages whose device groups are contiguous ranks
+// starting at r (ranks after the last group stay idle).  The stage placed
+// at (y, r, s) is the s-th from the pipeline's end, so its classic 1F1B
+// in-flight bound min(local_micros, s) is known exactly at placement time —
+// a prefix-oriented DP cannot price this bound, because a stage's distance
+// from the end is unknown while the prefix grows.  choice stores
+// (segment_end, m) for forward reconstruction.
+struct DpTables {
+  std::int64_t n = 0;
+  std::int64_t d_max = 0;
+  std::int64_t s_max = 0;
+  std::vector<double> dp;
+  std::vector<std::pair<std::int64_t, std::int64_t>> choice;
+
+  std::size_t idx(std::int64_t y, std::int64_t r, std::int64_t s) const {
+    return static_cast<std::size_t>((y * (d_max + 1) + r) * (s_max + 1) +
+                                    s);
+  }
+};
+
+DpTables run_partition_dp(const PlannerInput& input) {
+  DpTables t;
+  t.n = input.num_blocks();
+  t.d_max = input.num_devices;
+  PAC_CHECK(t.n >= 1 && t.d_max >= 1, "planner needs blocks and devices");
+  const Prefix prefix(input.blocks);
+  t.s_max = std::min<std::int64_t>(t.d_max, t.n);
+  t.dp.assign(t.idx(t.n, t.d_max, t.s_max) + 1, kInf);
+  t.choice.assign(t.dp.size(), {-1, -1});
+
+  for (std::int64_t s = 1; s <= t.s_max; ++s) {
+    for (std::int64_t y = t.n - s; y >= 0; --y) {
+      for (std::int64_t r = 0; r + s <= t.d_max; ++r) {
+        double best = kInf;
+        std::pair<std::int64_t, std::int64_t> best_choice{-1, -1};
+        if (s == 1) {
+          // Final stage spanning [y, n) on ranks [r, r + m); any trailing
+          // ranks stay idle, so every replication width is a candidate.
+          for (std::int64_t m = 1; m <= t.d_max - r; ++m) {
+            const double time =
+                stage_time(input, prefix.range(y, t.n), r, m, s);
+            if (time < best) {
+              best = time;
+              best_choice = {t.n, m};
+            }
+          }
+        } else {
+          // Head stage [y, e) on ranks [r, r + m), leaving at least one
+          // block and one rank per remaining stage.
+          for (std::int64_t e = y + 1; e <= t.n - (s - 1); ++e) {
+            for (std::int64_t m = 1; m + (s - 1) <= t.d_max - r; ++m) {
+              const double rest = t.dp[t.idx(e, r + m, s - 1)];
+              if (rest == kInf) continue;
+              const double head =
+                  stage_time(input, prefix.range(y, e), r, m, s);
+              const double bottleneck = std::max(head, rest);
+              if (bottleneck < best) {
+                best = bottleneck;
+                best_choice = {e, m};
+              }
+            }
+          }
+        }
+        t.dp[t.idx(y, r, s)] = best;
+        t.choice[t.idx(y, r, s)] = best_choice;
+      }
+    }
+  }
+  return t;
 }
 
 }  // namespace
@@ -196,93 +272,55 @@ PlanEstimate evaluate_plan(const PlannerInput& input,
   return est;
 }
 
-PlanEstimate plan_hybrid(const PlannerInput& input) {
-  const std::int64_t n = input.num_blocks();
-  const std::int64_t d_max = input.num_devices;
-  PAC_CHECK(n >= 1 && d_max >= 1, "planner needs blocks and devices");
-  const Prefix prefix(input.blocks);
-  const std::int64_t s_max = std::min<std::int64_t>(d_max, n);
-
-  // dp[y][d][s]: best bottleneck for blocks [0, y) over exactly d devices
-  // in s stages.  choice stores (q, m) for reconstruction.
-  const auto idx = [&](std::int64_t y, std::int64_t d, std::int64_t s) {
-    return (y * (d_max + 1) + d) * (s_max + 1) + s;
-  };
-  std::vector<double> dp(static_cast<std::size_t>(idx(n, d_max, s_max) + 1),
-                         kInf);
-  std::vector<std::pair<std::int64_t, std::int64_t>> choice(dp.size(),
-                                                            {-1, -1});
-
-  for (std::int64_t s = 1; s <= s_max; ++s) {
-    for (std::int64_t y = s; y <= n; ++y) {
-      for (std::int64_t d = s; d <= d_max; ++d) {
-        double best = kInf;
-        std::pair<std::int64_t, std::int64_t> best_choice{-1, -1};
-        if (s == 1) {
-          // Single stage spanning [0, y); try every replication width.
-          // (Stage 1-of-1 owns the first m devices in planner order.)
-          for (std::int64_t m = 1; m <= d; ++m) {
-            const double t =
-                stage_time(input, prefix.range(0, y), 0, m, s);
-            if (t < best) {
-              best = t;
-              best_choice = {0, m};
-            }
-          }
-        } else {
-          for (std::int64_t q = s - 1; q < y; ++q) {
-            for (std::int64_t m = 1; m <= d - (s - 1); ++m) {
-              const double head = dp[static_cast<std::size_t>(
-                  idx(q, d - m, s - 1))];
-              if (head == kInf) continue;
-              // This (last-so-far) stage takes devices [d - m, d).
-              const double tail =
-                  stage_time(input, prefix.range(q, y), d - m, m, s);
-              const double bottleneck = std::max(head, tail);
-              if (bottleneck < best) {
-                best = bottleneck;
-                best_choice = {q, m};
-              }
-            }
-          }
-        }
-        dp[static_cast<std::size_t>(idx(y, d, s))] = best;
-        choice[static_cast<std::size_t>(idx(y, d, s))] = best_choice;
-      }
-    }
+double optimal_bottleneck_seconds(const PlannerInput& input) {
+  const DpTables t = run_partition_dp(input);
+  double best = kInf;
+  for (std::int64_t s = 1; s <= t.s_max; ++s) {
+    best = std::min(best, t.dp[t.idx(0, 0, s)]);
   }
+  return best;
+}
 
-  // For each stage count, reconstruct the partition and evaluate the full
-  // latency model; keep the best feasible plan (paper Eq. 6).
+PlanEstimate plan_hybrid(const PlannerInput& input) {
+  PAC_TRACE_SCOPE("plan_hybrid", input.num_blocks(), input.num_devices);
+  const DpTables tables = run_partition_dp(input);
+  const std::int64_t n = tables.n;
+  const std::int64_t d_max = tables.d_max;
+  const std::int64_t s_max = tables.s_max;
+
+  // For each stage count, reconstruct the bottleneck-optimal partition and
+  // evaluate the full latency model; keep the best feasible plan (paper
+  // Eq. 6).  The final stage's replication width is re-swept here: the DP
+  // collapsed it to the bottleneck-min, but fill/drain terms can prefer a
+  // different width, and trailing idle devices are legal.
   PlanEstimate best;
   for (std::int64_t s = 1; s <= s_max; ++s) {
-    // Allow using fewer than all devices (idle devices are legal).
-    for (std::int64_t d = s; d <= d_max; ++d) {
-      if (dp[static_cast<std::size_t>(idx(n, d, s))] == kInf) continue;
-      // Reconstruct stages right-to-left.
-      std::vector<std::pair<std::int64_t, std::int64_t>> segments;  // (q, m)
-      std::int64_t y = n;
-      std::int64_t dd = d;
-      for (std::int64_t ss = s; ss >= 1; --ss) {
-        const auto [q, m] = choice[static_cast<std::size_t>(idx(y, dd, ss))];
-        PAC_CHECK(m >= 1, "planner reconstruction failed");
-        segments.emplace_back(q, m);
-        y = q;
-        dd -= m;
-      }
-      std::reverse(segments.begin(), segments.end());
+    if (tables.dp[tables.idx(0, 0, s)] == kInf) continue;
+    // Walk the choice table forward: (y, r) -> (segment_end, m).
+    std::vector<std::pair<std::int64_t, std::int64_t>> segments;  // (end, m)
+    std::int64_t y = 0;
+    std::int64_t r = 0;
+    for (std::int64_t ss = s; ss >= 1; --ss) {
+      const auto [e, m] = tables.choice[tables.idx(y, r, ss)];
+      PAC_CHECK(m >= 1, "planner reconstruction failed");
+      segments.emplace_back(e, m);
+      y = e;
+      r += m;
+    }
+    const std::int64_t ranks_before_last = r - segments.back().second;
+    for (std::int64_t last_m = 1; last_m <= d_max - ranks_before_last;
+         ++last_m) {
+      segments.back().second = last_m;
       pipeline::ParallelPlan plan;
       plan.num_micro_batches = input.num_micro_batches;
       std::int64_t begin = 0;
       int rank = 0;
-      for (std::size_t i = 0; i < segments.size(); ++i) {
-        const std::int64_t end =
-            i + 1 < segments.size() ? segments[i + 1].first : n;
+      for (const auto& [end, m] : segments) {
         pipeline::StageAssignment st;
         st.block_begin = begin;
         st.block_end = end;
         bool heterogeneous = false;
-        for (std::int64_t r = 0; r < segments[i].second; ++r) {
+        for (std::int64_t j = 0; j < m; ++j) {
           st.devices.push_back(rank);
           st.device_weights.push_back(input.device_scale(rank));
           if (input.device_scale(rank) !=

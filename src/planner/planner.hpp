@@ -1,13 +1,18 @@
 // PAC's parallelism planner (paper §5.1, Eq. 2-6).
 //
-// Dynamic program over (prefix length y, devices used d, stages s):
-//     W(0→y, d, s) = min over (q, m) of
-//         max( W(0→q, d-m, s-1),  T(q→y over m devices) )
+// Dynamic program over block *suffixes* (start y, first free rank r,
+// stages remaining s):
+//     W(y→n, r, s) = min over (e, m) of
+//         max( T(y→e on ranks [r, r+m)),  W(e→n, r+m, s-1) )
 // where T is the data-parallel stage time — ceil(M/m) micro-batches of
 // (fwd+bwd) plus the adapter AllReduce — and a stage whose per-device
 // memory exceeds the budget costs +infinity (the paper's OOM rule).  The
-// outer sweep picks the stage count s minimizing the full mini-batch
-// latency estimate (fill + steady-state bottleneck + drain + AllReduce).
+// suffix orientation lets T price activations with the classic 1F1B
+// in-flight bound min(local_micros, s): a stage's distance from the
+// pipeline's end is exactly the suffix stage count, which a prefix DP
+// would not know while the prefix grows.  The outer sweep picks the stage
+// count s minimizing the full mini-batch latency estimate (fill +
+// steady-state bottleneck + drain + AllReduce).
 //
 // Devices are modeled homogeneous (the paper's testbed is a rack of
 // identical Jetson Nanos); groups are contiguous rank ranges.
@@ -39,5 +44,15 @@ PlanEstimate evaluate_plan(const PlannerInput& input,
 // Runs the DP and returns the best feasible hybrid plan (or an infeasible
 // estimate when no configuration fits memory).
 PlanEstimate plan_hybrid(const PlannerInput& input);
+
+// The DP's objective on its own: the minimum achievable steady-state
+// bottleneck (max over stages of per-stage time, OOM stages costing
+// +infinity under the classic 1F1B in-flight bound) over every stage
+// count / contiguous device grouping, idle trailing devices allowed.
+// This is what W(0→n, 0, s) minimizes before plan_hybrid's latency sweep
+// picks among the reconstructions; exposed so tests can cross-check it
+// against brute-force enumeration.  Returns +infinity when nothing fits
+// memory.
+double optimal_bottleneck_seconds(const PlannerInput& input);
 
 }  // namespace pac::planner

@@ -2,6 +2,7 @@
 
 #include "common/timer.hpp"
 #include "nn/losses.hpp"
+#include "obs/trace.hpp"
 
 namespace pac::planner {
 
@@ -9,6 +10,7 @@ std::vector<BlockProfile> profile_model(model::Model& model,
                                         const Tensor& calib_tokens,
                                         int iters) {
   PAC_CHECK(iters >= 1, "profiler needs at least one iteration");
+  PAC_TRACE_SCOPE("profile_model", static_cast<std::int64_t>(iters));
   model.set_training_mode(true);
   auto blocks = model.blocks();
   const std::size_t n = blocks.size();
@@ -24,6 +26,7 @@ std::vector<BlockProfile> profile_model(model::Model& model,
   const std::int64_t b = calib_tokens.size(0);
   int measured = 0;
   for (int iter = 0; iter < iters; ++iter) {
+    PAC_TRACE_SCOPE("profile_pass", iter);
     const bool record = iters == 1 || iter > 0;  // discard warm-up
     // ---- forward, timing each block ----
     model::FlowState state;

@@ -146,7 +146,9 @@ TEST(SessionTest, HopelessBudgetThrowsAfterRetries) {
 
 TEST(SessionTest, OomRetryShrinksBatchAndSucceeds) {
   // An activation-bound budget: infeasible at batch 64, feasible at 32.
-  // The session must re-plan with a halved batch and complete.
+  // The session must re-plan with a halved batch and complete.  (The
+  // budget sits below batch 64's best plan, 277792 bytes bottleneck, and
+  // above batch 32's 223872.)
   data::DatasetConfig dcfg;
   dcfg.task = data::GlueTask::kSst2;
   dcfg.train_samples = 64;
@@ -154,7 +156,7 @@ TEST(SessionTest, OomRetryShrinksBatchAndSucceeds) {
   dcfg.seq_len = 16;
   dcfg.vocab = 32;
   data::SyntheticGlueDataset ds(dcfg);
-  dist::EdgeCluster cluster(2, /*memory_budget_bytes=*/300000);
+  dist::EdgeCluster cluster(2, /*memory_budget_bytes=*/250000);
   SessionConfig cfg;
   cfg.model = model::tiny(4, 32, 2, 32, 16);
   cfg.technique.technique = Technique::kParallelAdapters;
@@ -170,7 +172,7 @@ TEST(SessionTest, OomRetryShrinksBatchAndSucceeds) {
   EXPECT_EQ(report.epoch_losses.size(), 1U);
 
   // With retries disabled the same configuration must fail.
-  dist::EdgeCluster cluster2(2, /*memory_budget_bytes=*/300000);
+  dist::EdgeCluster cluster2(2, /*memory_budget_bytes=*/250000);
   cfg.max_oom_retries = 0;
   Session strict(cluster2, ds, cfg);
   EXPECT_THROW(strict.run(), DeviceOomError);

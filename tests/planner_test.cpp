@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "common/timer.hpp"
+#include "pipeline/plan.hpp"
 #include "planner/planner.hpp"
 #include "planner/profiler.hpp"
 
@@ -205,6 +208,225 @@ TEST(ProfilerTest, FullTechniqueProfilesBackwardEverywhere) {
   }
   // Hidden-width backward messages between blocks.
   EXPECT_EQ(profiles[1].bwd_msg_bytes, 2ULL * 8 * 16 * sizeof(float));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the partition DP against brute-force enumeration.
+//
+// The DP's search space is: contiguous block segments, assigned in order to
+// contiguous device groups starting at rank 0, with idle trailing devices
+// allowed.  The brute force below enumerates that space exhaustively and
+// replicates the stage cost model independently of the Prefix/DpTables
+// machinery (direct summation loops, explicit in-flight bound), so a bug in
+// either the recurrence or the reconstruction-free objective shows up as a
+// mismatch against `optimal_bottleneck_seconds`.
+
+std::int64_t bf_ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Cost of one stage with `stages_from_here` stages left in the pipeline
+// (itself included): +inf on OOM under the classic 1F1B in-flight bound
+// min(local_micros, stages_from_here), else the slowest member's micro
+// share plus the group AllReduce.  Mirrors the model in
+// src/planner/planner.cpp but recomputed from first principles.
+double bf_stage_cost(const PlannerInput& input, std::int64_t block_begin,
+                     std::int64_t block_end, std::int64_t first_rank,
+                     std::int64_t m, std::int64_t stages_from_here) {
+  double t_fwd = 0.0;
+  double t_bwd = 0.0;
+  std::uint64_t param_bytes = 0;
+  std::uint64_t trainable_bytes = 0;
+  std::uint64_t activation_bytes = 0;
+  for (std::int64_t b = block_begin; b < block_end; ++b) {
+    const auto& blk = input.blocks[static_cast<std::size_t>(b)];
+    t_fwd += blk.t_fwd;
+    t_bwd += blk.t_bwd;
+    param_bytes += blk.param_bytes;
+    trainable_bytes += blk.trainable_bytes;
+    activation_bytes += blk.activation_bytes;
+  }
+  const std::int64_t local_micros =
+      std::max<std::int64_t>(1, bf_ceil_div(input.num_micro_batches, m));
+  const std::int64_t in_flight =
+      input.gpipe_memory ? local_micros
+                         : std::min(local_micros, stages_from_here);
+  const std::uint64_t mem =
+      param_bytes + trainable_bytes +
+      static_cast<std::uint64_t>(input.optimizer_state_factor *
+                                 static_cast<double>(trainable_bytes)) +
+      activation_bytes * static_cast<std::uint64_t>(in_flight);
+  if (mem > input.device_budget_bytes) {
+    return std::numeric_limits<double>::infinity();
+  }
+  pipeline::StageAssignment st;
+  st.block_begin = 0;
+  st.block_end = 1;
+  bool heterogeneous = false;
+  for (std::int64_t j = 0; j < m; ++j) {
+    st.devices.push_back(static_cast<int>(first_rank + j));
+    st.device_weights.push_back(
+        input.device_scale(static_cast<int>(first_rank + j)));
+    if (st.device_weights.back() !=
+        input.device_scale(static_cast<int>(first_rank))) {
+      heterogeneous = true;
+    }
+  }
+  if (!heterogeneous) st.device_weights.clear();
+  const std::vector<int> owners =
+      pipeline::micro_owner_indices(st, input.num_micro_batches);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(m), 0);
+  for (int o : owners) ++counts[static_cast<std::size_t>(o)];
+  double compute = 0.0;
+  for (std::int64_t j = 0; j < m; ++j) {
+    const double scale =
+        input.device_scale(static_cast<int>(first_rank + j));
+    compute = std::max(
+        compute, static_cast<double>(counts[static_cast<std::size_t>(j)]) *
+                     (t_fwd + t_bwd) / scale);
+  }
+  return compute + input.network.allreduce_seconds(trainable_bytes,
+                                                   static_cast<int>(m));
+}
+
+// Min-over-everything bottleneck by exhaustive recursion.  For a fixed stage
+// count s, place each stage's block segment and device width left to right;
+// at most 8 blocks x 4 devices keeps this in the thousands of leaves.
+void bf_recurse(const PlannerInput& input, std::int64_t num_stages,
+                std::int64_t stage, std::int64_t block_begin,
+                std::int64_t next_rank, double worst_so_far, double* best) {
+  const std::int64_t n = input.num_blocks();
+  const std::int64_t stages_left = num_stages - stage;
+  if (stages_left == 0) {
+    if (block_begin == n) *best = std::min(*best, worst_so_far);
+    return;
+  }
+  // Leave at least one block and one device for each later stage.
+  for (std::int64_t end = block_begin + 1; end <= n - (stages_left - 1);
+       ++end) {
+    for (std::int64_t m = 1;
+         next_rank + m + (stages_left - 1) <= input.num_devices; ++m) {
+      const double cost = bf_stage_cost(input, block_begin, end, next_rank,
+                                        m, stages_left);
+      bf_recurse(input, num_stages, stage + 1, end, next_rank + m,
+                 std::max(worst_so_far, cost), best);
+    }
+  }
+}
+
+double bf_optimal_bottleneck(const PlannerInput& input) {
+  double best = std::numeric_limits<double>::infinity();
+  const std::int64_t s_max =
+      std::min<std::int64_t>(input.num_devices, input.num_blocks());
+  for (std::int64_t s = 1; s <= s_max; ++s) {
+    bf_recurse(input, s, 0, 0, 0, 0.0, &best);
+  }
+  return best;
+}
+
+PlannerInput random_input(std::mt19937& rng) {
+  std::uniform_int_distribution<std::int64_t> blocks_dist(1, 8);
+  std::uniform_int_distribution<int> devices_dist(1, 4);
+  std::uniform_int_distribution<std::int64_t> micros_dist(1, 8);
+  std::uniform_real_distribution<double> time_dist(1e-3, 5e-2);
+  std::uniform_int_distribution<std::uint64_t> param_dist(1 << 12, 1 << 20);
+  std::uniform_int_distribution<std::uint64_t> act_dist(0, 1 << 16);
+  std::uniform_real_distribution<double> scale_dist(0.5, 2.0);
+  std::uniform_int_distribution<int> coin(0, 3);
+
+  PlannerInput input;
+  const std::int64_t n = blocks_dist(rng);
+  input.num_devices = devices_dist(rng);
+  input.num_micro_batches = micros_dist(rng);
+  input.gpipe_memory = coin(rng) == 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    BlockProfile p;
+    p.name = "b" + std::to_string(i);
+    p.t_fwd = time_dist(rng);
+    p.t_bwd = time_dist(rng);
+    p.param_bytes = param_dist(rng);
+    p.trainable_bytes = p.param_bytes / 16;
+    p.activation_bytes = act_dist(rng);
+    p.fwd_msg_bytes = 1 << 12;
+    p.bwd_msg_bytes = 1 << 10;
+    input.blocks.push_back(std::move(p));
+  }
+  if (coin(rng) == 0) {
+    // Heterogeneous cluster: per-rank compute scales.
+    for (int r = 0; r < input.num_devices; ++r) {
+      input.device_scales.push_back(scale_dist(rng));
+    }
+  }
+  // Planning for a real edge LAN exercises nonzero AllReduce terms.
+  if (coin(rng) < 2) input.network = costmodel::edge_lan();
+
+  // Budgets: ample / tight / hopeless, to hit feasible, partly-OOM (some
+  // groupings priced +inf) and fully-OOM (result is +inf) regimes.
+  std::uint64_t total = 0;
+  for (const auto& b : input.blocks) {
+    total += b.param_bytes + b.trainable_bytes +
+             b.activation_bytes *
+                 static_cast<std::uint64_t>(input.num_micro_batches);
+  }
+  switch (coin(rng)) {
+    case 0:
+      input.device_budget_bytes = std::numeric_limits<std::uint64_t>::max();
+      break;
+    case 1:
+      input.device_budget_bytes = total + 1;
+      break;
+    case 2:
+      input.device_budget_bytes = std::max<std::uint64_t>(1, total / 3);
+      break;
+    default:
+      input.device_budget_bytes = std::max<std::uint64_t>(
+          1, total / static_cast<std::uint64_t>(8 * input.num_devices));
+      break;
+  }
+  return input;
+}
+
+TEST(PlannerPropertyTest, DpMatchesBruteForceBottleneck) {
+  std::mt19937 rng(0x9E3779B9U);
+  int infeasible_cases = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    PlannerInput input = random_input(rng);
+    const double expected = bf_optimal_bottleneck(input);
+    const double got = optimal_bottleneck_seconds(input);
+    if (std::isinf(expected)) {
+      ++infeasible_cases;
+      EXPECT_TRUE(std::isinf(got))
+          << "trial " << trial << ": brute force says nothing fits, DP found "
+          << got;
+    } else {
+      EXPECT_NEAR(got, expected, 1e-9 * std::max(1.0, expected))
+          << "trial " << trial << ": n=" << input.num_blocks()
+          << " d=" << input.num_devices
+          << " micros=" << input.num_micro_batches
+          << " budget=" << input.device_budget_bytes;
+    }
+  }
+  // The budget mix must actually produce OOM => +inf cases.
+  EXPECT_GT(infeasible_cases, 0);
+}
+
+TEST(PlannerPropertyTest, HandPickedOomEdgeCases) {
+  // Everything fits nowhere: even a 1-block stage on its own device blows
+  // the budget.
+  auto hopeless = uniform_input(4, 4, 0.01, 0.01, 1 << 20, 0, 4,
+                                /*budget=*/100);
+  EXPECT_TRUE(std::isinf(optimal_bottleneck_seconds(hopeless)));
+  EXPECT_TRUE(std::isinf(bf_optimal_bottleneck(hopeless)));
+
+  // Fits only when fully pipelined: budget covers exactly one block's
+  // footprint (params + trainable + optimizer state), so the optimum is the
+  // 4-stage split and both searches must find it.
+  const std::uint64_t param = 1 << 20;
+  auto tight = uniform_input(4, 4, 0.01, 0.02, param, 0, 4,
+                             /*budget=*/param + param / 100 * 3 + 8);
+  const double expected = bf_optimal_bottleneck(tight);
+  ASSERT_FALSE(std::isinf(expected));
+  EXPECT_NEAR(optimal_bottleneck_seconds(tight), expected, 1e-12);
 }
 
 }  // namespace

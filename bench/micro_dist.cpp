@@ -14,8 +14,10 @@
 #include "cache/activation_cache.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
+#include "elastic/health.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/runners.hpp"
+#include "planner/planner.hpp"
 
 namespace {
 
@@ -257,6 +259,69 @@ BENCHMARK(BM_CommCachePrefetch)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// BM_ElasticReplan: the full straggler-reaction path the elastic runtime
+// pays at a mini-batch boundary — feed the HealthMonitor until it issues a
+// verdict, then re-run the planner DP with the observed speeds folded in.
+// This is the detour the session takes between unwinding the old plan and
+// launching the new one, so it bounds the re-plan latency the chaos tests
+// hide inside their wall clock.
+// ---------------------------------------------------------------------------
+
+void BM_ElasticReplan(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const std::int64_t blocks = state.range(1);
+  planner::PlannerInput input;
+  for (std::int64_t i = 0; i < blocks; ++i) {
+    planner::BlockProfile b;
+    b.name = "block" + std::to_string(i);
+    b.t_fwd = 1e-3;
+    b.t_bwd = 2e-3;
+    b.param_bytes = 64 * 1024;
+    b.trainable_bytes = 4 * 1024;
+    b.activation_bytes = 8 * 1024;
+    b.fwd_msg_bytes = 4 * 1024;
+    b.bwd_msg_bytes = 512;
+    input.blocks.push_back(b);
+  }
+  input.num_devices = world;
+  input.num_micro_batches = 8;
+
+  elastic::ElasticPolicy policy;
+  policy.enabled = true;
+  policy.straggler_ratio = 0.5;
+  policy.straggler_window = 2;
+  policy.warmup_minibatches = 1;
+
+  std::vector<int> group(static_cast<std::size_t>(world));
+  std::iota(group.begin(), group.end(), 0);
+
+  for (auto _ : state) {
+    elastic::HealthMonitor monitor(policy, world, /*verdict_budget=*/1);
+    monitor.set_groups({group});
+    std::optional<elastic::StragglerVerdict> verdict;
+    for (int mb = 0; !verdict; ++mb) {
+      for (int r = 0; r < world && !verdict; ++r) {
+        // Rank world-1 runs 8x slow; everyone else at the profiled speed.
+        const double seconds = r == world - 1 ? 8e-3 : 1e-3;
+        verdict = monitor.record_minibatch(r, seconds, 8);
+      }
+    }
+    std::vector<double> observed(static_cast<std::size_t>(world), 1.0);
+    for (const auto& [rank, scale] : verdict->observed_scales) {
+      observed[static_cast<std::size_t>(rank)] = scale;
+    }
+    auto est = planner::replan_hybrid(input, observed);
+    benchmark::DoNotOptimize(est.feasible);
+    benchmark::DoNotOptimize(est.minibatch_seconds);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ElasticReplan)
+    ->Args({4, 8})
+    ->Args({8, 26})  // bart-large-scale block count
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

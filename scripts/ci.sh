@@ -30,10 +30,11 @@ run_tests() {
 }
 
 # The suites that exercise real threads and message timing, plus the
-# planner/obs property suites (cheap, and their invariants must hold under
-# shuffle and TSan too).
+# planner/obs/elastic property suites (cheap, and their invariants must
+# hold under shuffle and TSan too).  chaos_test carries the straggler
+# schedules; elastic_test the monitor/sharding/replan units.
 CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test
-                   planner_test obs_test)
+                   planner_test obs_test elastic_test)
 
 stress_pass() {
   local dir="$1"

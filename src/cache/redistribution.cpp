@@ -1,5 +1,6 @@
 #include "cache/redistribution.hpp"
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 #include <set>
@@ -84,6 +85,81 @@ RedistStats redistribute_cache(
   std::vector<int> everyone(static_cast<std::size_t>(ctx.world_size));
   std::iota(everyone.begin(), everyone.end(), 0);
   return redistribute_cache(ctx, shard, target_of_sample, everyone);
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> weighted_sample_ranges(
+    const std::vector<double>& weights, std::int64_t num_samples,
+    const std::vector<std::int64_t>* max_samples) {
+  const std::size_t n = weights.size();
+  PAC_CHECK(n > 0, "weighted sharding needs at least one device");
+  PAC_CHECK(num_samples >= 0, "negative sample count");
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    PAC_CHECK(w > 0.0, "weighted sharding needs positive weights");
+    weight_sum += w;
+  }
+  auto cap = [&](std::size_t i) {
+    if (max_samples == nullptr) return num_samples;
+    PAC_CHECK(max_samples->size() == n, "need one sample cap per device");
+    PAC_CHECK((*max_samples)[i] >= 0, "negative sample cap");
+    return std::min((*max_samples)[i], num_samples);
+  };
+
+  // Largest-remainder apportionment of the exact quotas.
+  std::vector<std::int64_t> counts(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;  // (-frac, index)
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double quota =
+        static_cast<double>(num_samples) * weights[i] / weight_sum;
+    counts[i] = std::min(static_cast<std::int64_t>(quota), cap(i));
+    assigned += counts[i];
+    remainders.emplace_back(-(quota - static_cast<double>(counts[i])), i);
+  }
+  // Leftovers go to the largest fractional parts first (index breaks ties
+  // so the split is deterministic), skipping devices at their cap; any
+  // residue after a full sweep means the caps cannot hold the dataset.
+  std::sort(remainders.begin(), remainders.end());
+  while (assigned < num_samples) {
+    const std::int64_t before = assigned;
+    for (const auto& [neg_frac, i] : remainders) {
+      if (assigned == num_samples) break;
+      if (counts[i] >= cap(i)) continue;
+      ++counts[i];
+      ++assigned;
+    }
+    PAC_CHECK(assigned > before,
+              "per-device sample caps cannot hold " << num_samples
+                                                    << " samples");
+  }
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::int64_t begin = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ranges.emplace_back(begin, begin + counts[i]);
+    begin += counts[i];
+  }
+  return ranges;
+}
+
+std::function<int(std::int64_t)> weighted_sharding_over(
+    std::vector<int> ranks, const std::vector<double>& weights,
+    std::int64_t num_samples, const std::vector<std::int64_t>* max_samples) {
+  PAC_CHECK(ranks.size() == weights.size(),
+            "weighted sharding needs one weight per rank");
+  const auto ranges = weighted_sample_ranges(weights, num_samples,
+                                             max_samples);
+  // Range ends are the sorted cut points; upper_bound finds the owner.
+  std::vector<std::int64_t> ends;
+  for (const auto& [begin, end] : ranges) ends.push_back(end);
+  return [ranks = std::move(ranks), ends = std::move(ends),
+          num_samples](std::int64_t sample_id) {
+    PAC_CHECK(sample_id >= 0 && sample_id < num_samples,
+              "sample " << sample_id << " outside the sharded range");
+    const auto it = std::upper_bound(ends.begin(), ends.end(), sample_id);
+    PAC_CHECK(it != ends.end(), "sample " << sample_id << " unassigned");
+    return ranks[static_cast<std::size_t>(it - ends.begin())];
+  };
 }
 
 }  // namespace pac::cache

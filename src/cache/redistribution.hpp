@@ -58,4 +58,25 @@ inline std::function<int(std::int64_t)> modulo_sharding_over(
   };
 }
 
+// Throughput-weighted apportionment for the elastic re-shard: splits
+// sample ids [0, num_samples) into one contiguous range per weight entry,
+// sized by largest-remainder so counts sum exactly to num_samples (every
+// sample lands exactly once — the invariant the property tests assert).
+// `max_samples`, when given, caps each entry's count (a per-device memory
+// budget expressed in samples); overflow moves to the highest-weight
+// entries with spare capacity.  Requires positive weights, and caps that
+// can hold num_samples in total.
+std::vector<std::pair<std::int64_t, std::int64_t>> weighted_sample_ranges(
+    const std::vector<double>& weights, std::int64_t num_samples,
+    const std::vector<std::int64_t>* max_samples = nullptr);
+
+// The target_of_sample function for redistribute_cache built on the
+// ranges above: ranks[i] trains the i-th contiguous range.  The elastic
+// re-shard passes the survivors with their observed speed scales so a
+// straggler keeps proportionally less of the cache.
+std::function<int(std::int64_t)> weighted_sharding_over(
+    std::vector<int> ranks, const std::vector<double>& weights,
+    std::int64_t num_samples,
+    const std::vector<std::int64_t>* max_samples = nullptr);
+
 }  // namespace pac::cache

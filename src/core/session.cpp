@@ -76,8 +76,22 @@ planner::PlanEstimate Session::plan_over_alive(double* profile_seconds,
     input.device_scales.push_back(cluster_.spec(r).compute_scale);
   }
 
+  // Elastic re-plan: price in runtime-observed slowdowns (if any) so the
+  // DP shifts blocks and micro ownership away from degraded devices.
+  std::vector<double> observed(alive.size(), 1.0);
+  bool any_observed = false;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const auto it = observed_scale_.find(alive[i]);
+    if (it != observed_scale_.end() && it->second != 1.0) {
+      observed[i] = it->second;
+      any_observed = true;
+    }
+  }
+
   WallTimer plan_timer;
-  planner::PlanEstimate est = planner::plan_hybrid(input);
+  planner::PlanEstimate est = any_observed
+                                  ? planner::replan_hybrid(input, observed)
+                                  : planner::plan_hybrid(input);
   if (planning_seconds != nullptr) *planning_seconds = plan_timer.seconds();
 
   // The planner assigns dense device indices 0..n_alive-1; remap them onto
@@ -111,6 +125,19 @@ bool Session::absorb_death(int rank) {
   return true;
 }
 
+bool Session::absorb_straggler(const elastic::StragglerVerdict& verdict) {
+  if (replans_used_ >= config_.elastic.max_replans) return false;
+  ++replans_used_;
+  straggler_ranks_.push_back(verdict.rank);
+  for (const auto& [rank, scale] : verdict.observed_scales) {
+    const auto it = observed_scale_.find(rank);
+    if (it == observed_scale_.end() || scale < it->second) {
+      observed_scale_[rank] = scale;
+    }
+  }
+  return true;
+}
+
 SessionReport Session::run() {
   // One recording window over every attempt: faulted runs restart inside
   // the same session, so the post-mortem dump (written by the destructor
@@ -127,6 +154,10 @@ SessionReport Session::run() {
   const std::int64_t original_batch = config_.batch_size;
   recoveries_used_ = 0;
   dead_ranks_seen_.clear();
+  replans_used_ = 0;
+  straggler_ranks_.clear();
+  evicted_ranks_.clear();
+  observed_scale_.clear();
   int retries = 0;
   for (;;) {
     try {
@@ -134,6 +165,9 @@ SessionReport Session::run() {
       report.oom_retries = retries;
       report.rank_deaths = recoveries_used_;
       report.dead_ranks = dead_ranks_seen_;
+      report.replans = replans_used_;
+      report.straggler_ranks = straggler_ranks_;
+      report.evicted_ranks = evicted_ranks_;
       report.effective_batch_size = config_.batch_size;
       config_.batch_size = original_batch;
       if (trace != nullptr) {
@@ -152,6 +186,19 @@ SessionReport Session::run() {
           config_.num_micro_batches, config_.batch_size);
       PAC_LOG_WARN << "OOM; retrying with batch " << config_.batch_size
                    << " (retry " << retries << ")";
+    } catch (const elastic::StragglerDetectedError& e) {
+      // Phase-1 verdict: restart the attempt — plan_over_alive folds the
+      // observed speeds into the DP, so the retry runs the re-planned
+      // schedule (phase 1 restarts reproduce the loss trajectory exactly:
+      // gradients are full-batch means under any partitioning).
+      if (!absorb_straggler(e.verdict())) {
+        config_.batch_size = original_batch;
+        throw;
+      }
+      PAC_LOG_WARN << "rank " << e.rank()
+                   << " flagged as straggler (throughput ratio "
+                   << e.verdict().throughput_ratio
+                   << "); re-planning over observed speeds";
     } catch (const RankDeathError& e) {
       if (!absorb_death(e.rank())) {
         config_.batch_size = original_batch;
@@ -241,10 +288,26 @@ SessionReport Session::run_attempt() {
     run.lr = config_.lr;
     run.shuffle_seed = config_.shuffle_seed;
     run.run_eval = config_.run_eval && !cache_phase;
+    // Straggler watchdog: ranks compare within their stage's device group
+    // (same per-row work); the remaining-budget monitor guarantees the
+    // session never re-plans more than elastic.max_replans times.
+    std::unique_ptr<elastic::HealthMonitor> monitor;
+    const int verdict_budget = config_.elastic.max_replans - replans_used_;
+    if (config_.elastic.enabled && verdict_budget > 0) {
+      monitor = std::make_unique<elastic::HealthMonitor>(
+          config_.elastic, cluster_.size(), verdict_budget);
+      std::vector<std::vector<int>> groups;
+      for (const auto& st : report.plan.plan.stages) {
+        groups.push_back(st.devices);
+      }
+      monitor->set_groups(std::move(groups));
+      run.health = monitor.get();
+    }
     // A death here propagates to run(): phase 1 restarts from scratch on
     // the survivors (its partially-recorded cache shards would have to be
     // re-recorded anyway), which reproduces a fault-free survivors run
-    // bit-for-bit.
+    // bit-for-bit.  A straggler verdict propagates the same way and
+    // restarts under the re-planned schedule.
     report.phase1 = pipeline::run_training(
         cluster_, dataset_, make_factory(nullptr), run,
         cache_phase ? &recorders : nullptr);
@@ -304,6 +367,21 @@ SessionReport Session::run_attempt() {
     run.run_eval = config_.run_eval;
     run.recovery = &recovery;
 
+    // Rebuilds per-rank sample assignments and restores adapter params
+    // from the last committed epoch, after `new_target` re-sharded.
+    auto rebuild_assignments = [&](
+        const std::function<int(std::int64_t)>& new_target) {
+      for (auto& a : assignments) a.clear();
+      for (std::int64_t s = 0; s < dataset_.train_size(); ++s) {
+        assignments[static_cast<std::size_t>(new_target(s))].push_back(s);
+      }
+      if (recovery.has_restore_point()) {
+        for (auto& [name, value] : recovery.restore_point()) {
+          start_params[name] = value;
+        }
+      }
+    };
+
     // Shrinks the DP group after `dead` died: salvage its shard (modelling
     // a re-read of the disk-persisted cache), re-shard over the survivors
     // through the normal redistribution path, and restore adapter params
@@ -321,18 +399,36 @@ SessionReport Session::run_attempt() {
         sources[static_cast<std::size_t>(dead)] = nullptr;
       }
       run_redistribution(now_alive, new_target);
-      for (auto& a : assignments) a.clear();
-      for (std::int64_t s = 0; s < dataset_.train_size(); ++s) {
-        assignments[static_cast<std::size_t>(new_target(s))].push_back(s);
+      rebuild_assignments(new_target);
+    };
+
+    // Elastic re-shard after a phase-2 straggler verdict: every rank keeps
+    // a cache share proportional to its observed speed, so the per-step
+    // critical path (the slowest device's local steps) shrinks.
+    auto reshard_weighted = [&] {
+      const std::vector<int> now_alive = cluster_.alive_ranks();
+      std::vector<double> weights;
+      for (int r : now_alive) {
+        const auto it = observed_scale_.find(r);
+        weights.push_back(it != observed_scale_.end() ? it->second : 1.0);
       }
-      if (recovery.has_restore_point()) {
-        for (auto& [name, value] : recovery.restore_point()) {
-          start_params[name] = value;
-        }
-      }
+      auto new_target = cache::weighted_sharding_over(
+          now_alive, weights, dataset_.train_size());
+      run_redistribution(now_alive, new_target);
+      rebuild_assignments(new_target);
     };
 
     for (;;) {
+      // Fresh watchdog per resume: one DP group of all survivors, budget
+      // shrunk by re-plans already spent.
+      std::unique_ptr<elastic::HealthMonitor> monitor;
+      const int verdict_budget = config_.elastic.max_replans - replans_used_;
+      if (config_.elastic.enabled && verdict_budget > 0) {
+        monitor = std::make_unique<elastic::HealthMonitor>(
+            config_.elastic, cluster_.size(), verdict_budget);
+        monitor->set_groups({cluster_.alive_ranks()});
+      }
+      run.health = monitor.get();
       try {
         run.first_epoch = recovery.epochs_completed();
         run.epochs = (config_.epochs - 1) - run.first_epoch;
@@ -340,6 +436,33 @@ SessionReport Session::run_attempt() {
             cluster_, dataset_, make_factory(&start_params), sources,
             assignments, run);
         break;
+      } catch (const elastic::StragglerDetectedError& e) {
+        if (!absorb_straggler(e.verdict())) throw;
+        const auto it = e.verdict().observed_scales.find(e.rank());
+        const double scale =
+            it != e.verdict().observed_scales.end() ? it->second : 1.0;
+        if (scale < config_.elastic.evict_ratio &&
+            cluster_.num_alive() > 1) {
+          // Slower than the eviction floor: its steps cost more than its
+          // compute contributes, so drop it from the DP group entirely.
+          // The shard salvage models the disk-persisted cache, exactly as
+          // for a death — but this is an eviction, not a death, so the
+          // rank-recovery budget is untouched.
+          PAC_LOG_WARN << "rank " << e.rank() << " straggling at scale "
+                       << scale << " < evict_ratio "
+                       << config_.elastic.evict_ratio
+                       << "; evicting from phase 2 and resuming from epoch "
+                       << recovery.epochs_completed();
+          evicted_ranks_.push_back(e.rank());
+          cluster_.mark_dead(e.rank());
+          shrink_after_death(e.rank());
+        } else {
+          PAC_LOG_WARN << "rank " << e.rank() << " straggling at scale "
+                       << scale << "; re-sharding cache throughput-weighted"
+                       << " and resuming from epoch "
+                       << recovery.epochs_completed();
+          reshard_weighted();
+        }
       } catch (const RankDeathError& e) {
         if (!absorb_death(e.rank())) throw;
         PAC_LOG_WARN << "device " << e.rank() << " died in phase 2; "

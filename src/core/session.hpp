@@ -26,6 +26,7 @@
 #include "cache/activation_cache.hpp"
 #include "cache/redistribution.hpp"
 #include "data/dataset.hpp"
+#include "elastic/health.hpp"
 #include "pipeline/runners.hpp"
 #include "planner/planner.hpp"
 
@@ -76,6 +77,18 @@ struct SessionConfig {
   // resumes.  Set to 0 to rethrow the first death instead.
   int max_rank_recoveries = 1;
 
+  // Elastic runtime (src/elastic): when elastic.enabled, every rank feeds
+  // per-mini-batch compute timings to a HealthMonitor; a device whose
+  // EWMA throughput falls below elastic.straggler_ratio x its group's
+  // median for elastic.straggler_window consecutive mini-batches triggers
+  // a mid-run re-plan at the mini-batch boundary — phase 1 restarts under
+  // a plan rebuilt from the observed speeds, phase 2 re-shards the cache
+  // throughput-weighted (or evicts the device when its observed scale is
+  // below elastic.evict_ratio).  At most elastic.max_replans re-plans per
+  // run().  Monitoring is observation-only until a verdict, so an
+  // un-triggered run is bit-identical to elastic disabled.
+  elastic::ElasticPolicy elastic;
+
   // Deterministic per-block profiles (bypasses the wall-clock profiler).
   // Chaos/recovery tests set this so the plan — and therefore the whole
   // training trajectory — is reproducible across runs.
@@ -97,6 +110,9 @@ struct SessionReport {
   int oom_retries = 0;                 // re-planning rounds that were needed
   int rank_deaths = 0;                 // device deaths survived this run
   std::vector<int> dead_ranks;         // ranks lost, in order of death
+  int replans = 0;                     // straggler re-plans this run
+  std::vector<int> straggler_ranks;    // ranks flagged, in verdict order
+  std::vector<int> evicted_ranks;      // stragglers dropped from phase 2
   std::int64_t effective_batch_size = 0;  // batch actually used
   double profile_seconds = 0.0;
   double planning_seconds = 0.0;
@@ -138,6 +154,10 @@ class Session {
   // Registers a death (the cluster may already have marked it) and
   // decides whether the recovery budget allows continuing.
   bool absorb_death(int rank);
+  // Registers a straggler verdict: folds its observed per-rank speeds into
+  // observed_scale_ (keeping the most pessimistic observation per rank)
+  // and decides whether the re-plan budget allows continuing.
+  bool absorb_straggler(const elastic::StragglerVerdict& verdict);
 
   dist::EdgeCluster& cluster_;
   const data::Dataset& dataset_;
@@ -145,6 +165,12 @@ class Session {
   model::TaskSpec task_;
   int recoveries_used_ = 0;
   std::vector<int> dead_ranks_seen_;
+  int replans_used_ = 0;
+  std::vector<int> straggler_ranks_;
+  std::vector<int> evicted_ranks_;
+  // Runtime-observed speed per cluster rank (1.0 = as profiled), kept
+  // across attempts so the re-plan DP prices the degradation.
+  std::map<int, double> observed_scale_;
 };
 
 }  // namespace pac::core

@@ -9,6 +9,25 @@
 
 namespace pac::dist {
 
+double backoff_jitter(std::uint64_t seed, int rank, int attempt) {
+  if (seed == 0) return 1.0;
+  // SplitMix64 over (seed, rank, attempt): matches the fault injector's
+  // event hashing so jitter is stable across platforms and interleavings.
+  std::uint64_t z = seed;
+  z ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) << 32) ^
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(attempt));
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return 0.5 + static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+double Communicator::compute_throttle() const {
+  FaultInjector& faults = transport_->fault_injector();
+  return faults.active() ? faults.throttle_of(rank_) : 1.0;
+}
+
 Communicator::~Communicator() {
   std::unique_lock<std::mutex> lk(async_mutex_);
   if (!sender_running_) return;
@@ -46,7 +65,8 @@ void Communicator::send_with_retry(int to, int tag, Tensor payload) {
       if (attempt >= policy_.max_send_retries) throw;
       obs::CounterRegistry::instance().add("comm.transient_retries", 1);
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          policy_.send_backoff_ms * static_cast<double>(attempt + 1)));
+          policy_.send_backoff_ms * static_cast<double>(attempt + 1) *
+          backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt)));
     }
   }
 }
@@ -75,10 +95,15 @@ Tensor Communicator::recv(int from, int tag) {
   }
   double wait_ms = policy_.recv_timeout_ms;
   for (int attempt = 0; attempt <= policy_.max_recv_retries; ++attempt) {
+    // The doubling base stays deterministic; only the waited duration is
+    // jittered, so the retry *budget* is unchanged while concurrent ranks
+    // de-synchronize their probes.
+    const double jittered =
+        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt);
     auto result = transport_->recv_for(
         rank_, from, tag,
         std::chrono::milliseconds(
-            std::max<std::int64_t>(1, static_cast<std::int64_t>(wait_ms))));
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(jittered))));
     if (result.has_value()) return std::move(*result);
     wait_ms *= 2.0;  // backoff: give a slow or congested link more time
   }

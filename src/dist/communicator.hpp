@@ -56,7 +56,17 @@ struct CommPolicy {
   // backoff up to max_send_retries attempts, then rethrown.
   int max_send_retries = 8;
   double send_backoff_ms = 0.05;
+  // Seed for the multiplicative backoff jitter.  Pure doubling/linear
+  // backoff synchronizes retry bursts when several ranks hit the same
+  // transient-failure window; each wait is instead scaled by a factor in
+  // [0.5, 1.5) that is a deterministic function of (seed, rank, attempt),
+  // so per-rank schedules diverge but stay reproducible.  0 disables.
+  std::uint64_t backoff_jitter_seed = 0xBAC0FF5EEDULL;
 };
+
+// The jittered backoff multiplier in [0.5, 1.5): a SplitMix64-style hash
+// of (seed, rank, attempt).  Exposed for tests; returns 1.0 when seed = 0.
+double backoff_jitter(std::uint64_t seed, int rank, int attempt);
 
 class Communicator;
 
@@ -135,6 +145,11 @@ class Communicator {
   // own helper threads blocked in collectives) unwind with PeerDeadError.
   // Called by recovery paths that abandon a step mid-flight.
   void shutdown_links();
+
+  // Compute dilation currently injected for this rank by the transport's
+  // fault plan (1.0 = none).  The pipeline's compute loops consult this to
+  // apply a scheduled slowdown (see FaultPlan::throttle_after_ops).
+  double compute_throttle() const;
 
   // All collectives require `group` sorted, unique, containing rank().
   void barrier(const std::vector<int>& group, int tag);

@@ -25,6 +25,13 @@ FaultInjector::FaultInjector(FaultPlan plan, int world_size)
                                           << world_size);
     (void)ops;
   }
+  PAC_CHECK(plan_.throttle_factor >= 1.0, "throttle_factor must be >= 1");
+  for (const auto& [rank, ops] : plan_.throttle_after_ops) {
+    PAC_CHECK(rank >= 0 && rank < world_size,
+              "throttle scheduled for rank " << rank << " outside world of "
+                                             << world_size);
+    (void)ops;
+  }
 }
 
 std::uint64_t FaultInjector::event_hash(int from, int to, int tag,
@@ -90,13 +97,29 @@ void FaultInjector::message_delivered(int from, int to, int tag) {
 }
 
 bool FaultInjector::op_kills_rank(int rank) {
-  if (plan_.death_after_ops.empty()) return false;
-  const auto it = plan_.death_after_ops.find(rank);
-  if (it == plan_.death_after_ops.end()) return false;
+  if (plan_.death_after_ops.empty() && plan_.throttle_after_ops.empty()) {
+    return false;
+  }
+  const auto death = plan_.death_after_ops.find(rank);
+  // Throttled ranks share the op counter so their trigger points can be
+  // placed with the same ops_of_rank() bookkeeping as death schedules.
+  if (death == plan_.death_after_ops.end() &&
+      plan_.throttle_after_ops.find(rank) == plan_.throttle_after_ops.end()) {
+    return false;
+  }
   std::lock_guard<std::mutex> guard(mutex_);
   std::uint64_t& ops = ops_by_rank_[static_cast<std::size_t>(rank)];
   ++ops;
-  return ops >= it->second;
+  return death != plan_.death_after_ops.end() && ops >= death->second;
+}
+
+double FaultInjector::throttle_of(int rank) {
+  const auto it = plan_.throttle_after_ops.find(rank);
+  if (it == plan_.throttle_after_ops.end()) return 1.0;
+  std::lock_guard<std::mutex> guard(mutex_);
+  return ops_by_rank_[static_cast<std::size_t>(rank)] >= it->second
+             ? plan_.throttle_factor
+             : 1.0;
 }
 
 std::uint64_t FaultInjector::ops_of_rank(int rank) {

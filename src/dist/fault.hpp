@@ -46,9 +46,19 @@ struct FaultPlan {
   // operation count reaches the mapped value.
   std::map<int, std::uint64_t> death_after_ops;
 
+  // Rank slowdown (straggler injection): rank r's compute is dilated by
+  // `throttle_factor` once its own transport operation count reaches the
+  // mapped value — the degradation analogue of `death_after_ops`.  The
+  // compute loops consult throttle_of() and sleep proportionally, so the
+  // throughput ratio seen by the health monitor is ~1/throttle_factor
+  // regardless of absolute machine speed.
+  std::map<int, std::uint64_t> throttle_after_ops;
+  double throttle_factor = 4.0;
+
   bool any_faults() const {
     return delay_probability > 0.0 || reorder_probability > 0.0 ||
-           send_failure_probability > 0.0 || !death_after_ops.empty();
+           send_failure_probability > 0.0 || !death_after_ops.empty() ||
+           !throttle_after_ops.empty();
   }
 };
 
@@ -77,12 +87,17 @@ class FaultInjector {
   // transient-failure attempt counter and advances the sequence).
   void message_delivered(int from, int to, int tag);
 
-  // Counts one transport operation by `rank`; returns true when the plan
-  // schedules this rank's death at (or before) the new count.
+  // Counts one transport operation by `rank` (when the plan watches this
+  // rank for death or throttle); returns true when the plan schedules this
+  // rank's death at (or before) the new count.
   bool op_kills_rank(int rank);
 
+  // Compute dilation factor currently in effect for `rank`: 1.0 until the
+  // rank's scheduled throttle trigger fires, plan.throttle_factor after.
+  double throttle_of(int rank);
+
   // Operations counted for `rank` so far (chaos tests use this to place
-  // death schedules inside a specific training phase).
+  // death and throttle schedules inside a specific training phase).
   std::uint64_t ops_of_rank(int rank);
 
  private:

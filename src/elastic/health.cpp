@@ -1,0 +1,181 @@
+#include "elastic/health.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+namespace pac::elastic {
+
+namespace {
+
+std::string verdict_what(const StragglerVerdict& v) {
+  std::ostringstream os;
+  os << "rank " << v.rank << " flagged as straggler (throughput ratio "
+     << v.throughput_ratio << ")";
+  return os.str();
+}
+
+}  // namespace
+
+StragglerDetectedError::StragglerDetectedError(StragglerVerdict verdict)
+    : Error(verdict_what(verdict)), verdict_(std::move(verdict)) {}
+
+HealthMonitor::HealthMonitor(ElasticPolicy policy, int world_size,
+                             int verdict_budget)
+    : policy_(policy),
+      verdict_budget_(verdict_budget),
+      ranks_(static_cast<std::size_t>(world_size)) {
+  PAC_CHECK(world_size > 0, "health monitor needs at least one rank");
+  PAC_CHECK(policy_.straggler_ratio > 0.0 && policy_.straggler_ratio < 1.0,
+            "straggler_ratio must be in (0, 1)");
+  PAC_CHECK(policy_.self_ratio > 0.0 && policy_.self_ratio < 1.0,
+            "self_ratio must be in (0, 1)");
+  PAC_CHECK(policy_.straggler_window >= 1, "straggler_window must be >= 1");
+  PAC_CHECK(policy_.ewma_alpha > 0.0 && policy_.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0, 1]");
+}
+
+void HealthMonitor::set_groups(std::vector<std::vector<int>> groups) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  groups_ = std::move(groups);
+  for (auto& st : ranks_) st.group = -1;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (int r : groups_[g]) {
+      PAC_CHECK(r >= 0 && r < static_cast<int>(ranks_.size()),
+                "health group rank " << r << " out of range");
+      ranks_[static_cast<std::size_t>(r)].group = static_cast<int>(g);
+    }
+  }
+}
+
+std::optional<StragglerVerdict> HealthMonitor::record_minibatch(
+    int rank, double compute_seconds, std::int64_t rows) {
+  if (!policy_.enabled || rows <= 0 || compute_seconds <= 0.0) {
+    return std::nullopt;
+  }
+  PAC_CHECK(rank >= 0 && rank < static_cast<int>(ranks_.size()),
+            "health sample for rank " << rank << " out of range");
+  std::lock_guard<std::mutex> guard(mutex_);
+  RankState& st = ranks_[static_cast<std::size_t>(rank)];
+  const double throughput =
+      static_cast<double>(rows) / compute_seconds;  // rows per second
+  st.ewma = st.samples == 0
+                ? throughput
+                : policy_.ewma_alpha * throughput +
+                      (1.0 - policy_.ewma_alpha) * st.ewma;
+  ++st.samples;
+  st.best_ewma = std::max(st.best_ewma, st.ewma);
+  if (obs::enabled()) {
+    obs::CounterRegistry::instance().add("elastic.health_samples", 1);
+  }
+  if (st.samples <= policy_.warmup_minibatches) {
+    st.consecutive_below = 0;
+    return std::nullopt;
+  }
+
+  // Reference throughput: the median EWMA of the *other* warmed-up group
+  // members, or — for a group of one — the rank's own best EWMA with the
+  // stricter self_ratio.
+  std::vector<double> others;
+  if (st.group >= 0) {
+    for (int peer : groups_[static_cast<std::size_t>(st.group)]) {
+      const RankState& ps = ranks_[static_cast<std::size_t>(peer)];
+      if (peer == rank || ps.samples <= policy_.warmup_minibatches) continue;
+      others.push_back(ps.ewma);
+    }
+  }
+  double reference = 0.0;
+  double threshold = policy_.straggler_ratio;
+  if (!others.empty()) {
+    std::sort(others.begin(), others.end());
+    const std::size_t mid = others.size() / 2;
+    reference = others.size() % 2 == 1
+                    ? others[mid]
+                    : 0.5 * (others[mid - 1] + others[mid]);
+  } else {
+    reference = st.best_ewma;
+    threshold = policy_.self_ratio;
+  }
+  if (reference <= 0.0) return std::nullopt;
+
+  const double ratio = st.ewma / reference;
+  if (ratio < threshold) {
+    ++st.consecutive_below;
+  } else {
+    st.consecutive_below = 0;
+  }
+  if (st.consecutive_below < policy_.straggler_window ||
+      verdicts_ >= verdict_budget_) {
+    return std::nullopt;
+  }
+  ++verdicts_;
+  st.consecutive_below = 0;
+  if (obs::enabled()) {
+    obs::CounterRegistry::instance().add("elastic.straggler_verdicts", 1);
+  }
+  return build_verdict_locked(rank, ratio);
+}
+
+StragglerVerdict HealthMonitor::build_verdict_locked(int rank,
+                                                     double ratio) const {
+  StragglerVerdict v;
+  v.rank = rank;
+  v.throughput_ratio = ratio;
+  // Observed scales are group-relative: within a group every member runs
+  // the same per-row work, so EWMA ratios are speed ratios.  Comparing
+  // across groups would conflate stage depth with device speed, so each
+  // group normalizes to its own fastest member.
+  auto scale_group = [&](const std::vector<int>& members) {
+    double best = 0.0;
+    for (int r : members) {
+      best = std::max(best, ranks_[static_cast<std::size_t>(r)].ewma);
+    }
+    if (best <= 0.0) return;
+    for (int r : members) {
+      const RankState& st = ranks_[static_cast<std::size_t>(r)];
+      if (st.samples == 0) continue;
+      v.observed_scales[r] =
+          std::clamp(st.ewma / best, /*lo=*/0.01, /*hi=*/1.0);
+    }
+  };
+  for (const auto& group : groups_) scale_group(group);
+  if (v.observed_scales.find(rank) == v.observed_scales.end()) {
+    // Ungrouped (or group never warmed up): fall back to the self ratio.
+    v.observed_scales[rank] = std::clamp(ratio, 0.01, 1.0);
+  }
+  return v;
+}
+
+double HealthMonitor::ewma_throughput(int rank) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return ranks_[static_cast<std::size_t>(rank)].ewma;
+}
+
+std::int64_t HealthMonitor::samples_of(int rank) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return ranks_[static_cast<std::size_t>(rank)].samples;
+}
+
+int HealthMonitor::verdicts_issued() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return verdicts_;
+}
+
+double apply_compute_throttle(double elapsed_seconds, double factor) {
+  if (factor <= 1.0 || elapsed_seconds <= 0.0) return elapsed_seconds;
+  const double extra = (factor - 1.0) * elapsed_seconds;
+  {
+    PAC_TRACE_SCOPE("throttle_sleep");
+    std::this_thread::sleep_for(std::chrono::duration<double>(extra));
+  }
+  obs::CounterRegistry::instance().add(
+      "elastic.throttle_sleep_us",
+      static_cast<std::int64_t>(extra * 1e6));
+  return elapsed_seconds * factor;
+}
+
+}  // namespace pac::elastic

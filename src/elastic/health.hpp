@@ -1,0 +1,134 @@
+// Elastic runtime: straggler detection and health monitoring.
+//
+// PAC's planner picks stage boundaries and device groups from a one-shot
+// calibration profile, but edge devices degrade mid-run (thermal
+// throttling, background load).  The HealthMonitor consumes per-rank
+// per-mini-batch compute timings — fed by StageWorker in phase 1 and the
+// cached data-parallel runner in phase 2 — maintains an EWMA throughput
+// per rank, and flags a straggler when a rank's EWMA falls below a
+// configurable fraction of its group's median for K consecutive
+// mini-batches.  The verdict is raised *on the straggler's own thread* as
+// a StragglerDetectedError at a mini-batch boundary; the cluster unwinds
+// exactly like any other non-fatal failure and core::Session re-plans
+// with the observed per-rank speeds (see DESIGN.md, "Elastic runtime").
+//
+// Determinism: monitoring is observation-only until a verdict fires, so a
+// run with elastic enabled and no verdict is bit-identical to a run with
+// it disabled (the no-false-positive guarantee the chaos tests assert).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace pac::elastic {
+
+// Knobs surfaced on core::SessionConfig (issue names in parentheses).
+struct ElasticPolicy {
+  bool enabled = false;  // (elastic_enabled)
+  // A rank is "below" when its EWMA throughput is under straggler_ratio x
+  // the median EWMA of the other members of its group.  Groups of one fall
+  // back to a self-relative check against the rank's own best EWMA, with
+  // the stricter self_ratio (absolute comparisons across stages would
+  // confuse stage size with device speed).
+  double straggler_ratio = 0.5;   // (straggler_ratio)
+  double self_ratio = 0.3;
+  // Consecutive below-threshold mini-batches before a verdict.
+  int straggler_window = 3;       // (straggler_window)
+  // Re-planning budget for the whole session run.
+  int max_replans = 1;            // (max_replans)
+  // A straggler whose observed scale is below this is evicted from its
+  // group instead of down-weighted (a device this slow drags the pipeline
+  // more than its compute contributes).
+  double evict_ratio = 0.1;       // (evict_ratio)
+  // EWMA smoothing factor for throughput samples (1 = no smoothing).
+  double ewma_alpha = 0.5;
+  // Mini-batches per rank ignored before comparisons start (cold caches
+  // and first-touch allocation make the first samples noisy).
+  int warmup_minibatches = 2;
+};
+
+// What the monitor concluded, carried by StragglerDetectedError into the
+// session's re-planning path.
+struct StragglerVerdict {
+  int rank = -1;
+  // Straggler EWMA over its reference (group median or own best).
+  double throughput_ratio = 1.0;
+  // Group-relative observed speed per rank (EWMA / group max, in (0, 1]);
+  // ranks without samples are absent.  Session multiplies these into the
+  // planner's device scales so the re-run DP prices the degradation.
+  std::map<int, double> observed_scales;
+};
+
+// Raised on the straggler's own thread at a mini-batch boundary.  Rides
+// EdgeCluster::run's generic failure path (whole-transport close, peers
+// unwind as secondary ChannelClosedError) exactly like DeviceOomError.
+class StragglerDetectedError : public Error {
+ public:
+  explicit StragglerDetectedError(StragglerVerdict verdict);
+
+  int rank() const noexcept { return verdict_.rank; }
+  const StragglerVerdict& verdict() const noexcept { return verdict_; }
+
+ private:
+  StragglerVerdict verdict_;
+};
+
+// Thread-safe: every rank thread records into the same monitor.  One
+// monitor instance watches one training run (phase-1 attempt or phase-2
+// resume); Session creates it with the remaining verdict budget so the
+// total number of verdicts across restarts never exceeds max_replans.
+class HealthMonitor {
+ public:
+  HealthMonitor(ElasticPolicy policy, int world_size, int verdict_budget);
+
+  // Comparison groups (phase 1: the plan's stage device groups; phase 2:
+  // one group of all alive ranks).  Ranks outside every group are only
+  // ever checked against themselves.
+  void set_groups(std::vector<std::vector<int>> groups);
+
+  // Records one mini-batch of `rows` samples processed in
+  // `compute_seconds` of pure compute time (communication waits excluded —
+  // a slow rank inflates everyone's wall clock in a pipeline, but only its
+  // own compute time isolates it).  Returns a verdict exactly once per
+  // budget unit, on the straggler's own recording call; otherwise nullopt.
+  std::optional<StragglerVerdict> record_minibatch(int rank,
+                                                   double compute_seconds,
+                                                   std::int64_t rows);
+
+  // Introspection (tests).
+  double ewma_throughput(int rank) const;      // 0 when unseen
+  std::int64_t samples_of(int rank) const;
+  int verdicts_issued() const;
+
+ private:
+  struct RankState {
+    double ewma = 0.0;
+    double best_ewma = 0.0;
+    std::int64_t samples = 0;
+    int consecutive_below = 0;
+    int group = -1;  // index into groups_, -1 = ungrouped
+  };
+
+  StragglerVerdict build_verdict_locked(int rank, double ratio) const;
+
+  ElasticPolicy policy_;
+  int verdict_budget_;
+  mutable std::mutex mutex_;
+  std::vector<RankState> ranks_;
+  std::vector<std::vector<int>> groups_;
+  int verdicts_ = 0;
+};
+
+// Applies an injected compute throttle to a measured compute interval:
+// sleeps (factor - 1) x elapsed so wall clock and measured throughput both
+// dilate by `factor`, and returns the dilated duration.  The injected
+// sleep is exported as the obs counter "elastic.throttle_sleep_us" — the
+// chaos tests compare critical paths through it instead of wall clock.
+double apply_compute_throttle(double elapsed_seconds, double factor);
+
+}  // namespace pac::elastic

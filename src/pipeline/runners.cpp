@@ -1,6 +1,7 @@
 #include "pipeline/runners.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 
 #include "common/logging.hpp"
@@ -148,6 +149,17 @@ RunResult run_training(dist::EdgeCluster& cluster,
           ActivationRecorder* rec = epoch == 0 ? recorder : nullptr;
           loss_sum += worker.train_mini_batch(batch, rec);
           worker.synchronize_and_step(optimizer);
+          if (config.health != nullptr) {
+            auto verdict = config.health->record_minibatch(
+                ctx.rank, worker.minibatch_compute_seconds(),
+                worker.minibatch_local_rows());
+            // Raised on the straggler's own thread, at the mini-batch
+            // boundary: the optimizer step above completed, so peers
+            // unwind from a consistent point.
+            if (verdict.has_value()) {
+              throw elastic::StragglerDetectedError(std::move(*verdict));
+            }
+          }
         }
         // Combine the weighted loss shares held by last-stage ranks.
         Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));
@@ -345,6 +357,7 @@ RunResult run_cached_data_parallel(
         model->zero_grad();
         double step_loss = 0.0;
         std::int64_t step_rows = 0;
+        double step_compute_s = 0.0;
         if (plan != nullptr && step < plan->num_batches()) {
           // Translate shard-local indices to dataset sample ids.
           std::vector<std::int64_t> ids;
@@ -360,6 +373,7 @@ RunResult run_cached_data_parallel(
             }
             source->prefetch(next_ids);
           }
+          const auto compute_begin = std::chrono::steady_clock::now();
           std::vector<Tensor> acts = source->fetch(ids);
           auto batch = dataset.make_train_batch(ids);
           Tensor logits = model->forward_cached(
@@ -375,6 +389,12 @@ RunResult run_cached_data_parallel(
           model->backward_cached(r.dlogits);
           step_loss = r.loss;
           step_rows = static_cast<std::int64_t>(ids.size());
+          const double compute_s =
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - compute_begin)
+                  .count();
+          step_compute_s = elastic::apply_compute_throttle(
+              compute_s, ctx.comm.compute_throttle());
           // Weight grads by the local row share before the global sum so
           // the AllReduced gradient is the global batch mean.
         }
@@ -402,6 +422,15 @@ RunResult run_cached_data_parallel(
           optimizer.step(trainable);
         }
         loss_sum += step_loss * static_cast<double>(step_rows);
+        if (config.health != nullptr) {
+          auto verdict = config.health->record_minibatch(
+              ctx.rank, step_compute_s, step_rows);
+          // The optimizer step completed, so the RecoveryLog's last commit
+          // plus this epoch's replay is a consistent resume point.
+          if (verdict.has_value()) {
+            throw elastic::StragglerDetectedError(std::move(*verdict));
+          }
+        }
       }
       // Epoch loss: sample-weighted mean across devices.
       Tensor loss_buf = Tensor::full({1}, static_cast<float>(loss_sum));

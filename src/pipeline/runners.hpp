@@ -20,6 +20,7 @@
 
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
+#include "elastic/health.hpp"
 #include "model/model.hpp"
 #include "pipeline/activation_io.hpp"
 #include "pipeline/stage_worker.hpp"
@@ -78,6 +79,10 @@ struct RunConfig {
   int first_epoch = 0;
   // Optional epoch-boundary snapshot sink (enables restart-after-death).
   RecoveryLog* recovery = nullptr;
+  // Optional straggler watchdog: every rank reports its per-mini-batch
+  // compute time here; a verdict is raised as StragglerDetectedError at
+  // the mini-batch boundary and the session re-plans (see src/elastic/).
+  elastic::HealthMonitor* health = nullptr;
 };
 
 struct RunResult {
@@ -113,6 +118,8 @@ struct CachedRunConfig {
   // See RunConfig: resume support after a device death.
   int first_epoch = 0;
   RecoveryLog* recovery = nullptr;
+  // See RunConfig: optional straggler watchdog.
+  elastic::HealthMonitor* health = nullptr;
 };
 
 // shards[r] lists the dataset indices device r trains on; sources[r]

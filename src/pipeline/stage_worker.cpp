@@ -1,7 +1,9 @@
 #include "pipeline/stage_worker.hpp"
 
 #include <algorithm>
+#include <chrono>
 
+#include "elastic/health.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -359,6 +361,7 @@ model::FlowState StageWorker::forward_micro(
   }
 
   const std::int64_t last_backbone_block = model_.num_blocks() - 2;
+  const auto compute_begin = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < stage_blocks_.size(); ++i) {
     state = stage_blocks_[i]->forward(state);
     const std::int64_t global_index =
@@ -367,6 +370,12 @@ model::FlowState StageWorker::forward_micro(
       recorder->record(micro_ids, global_index, state.hidden);
     }
   }
+  const double compute_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compute_begin)
+          .count();
+  mb_compute_seconds_ +=
+      elastic::apply_compute_throttle(compute_s, ctx_.comm.compute_throttle());
 
   // Ledger: retained activations for this in-flight micro-batch.
   std::uint64_t retained = 0;
@@ -444,6 +453,7 @@ void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
     }
   }
 
+  const auto compute_begin = std::chrono::steady_clock::now();
   for (std::int64_t i = static_cast<std::int64_t>(stage_blocks_.size()) - 1;
        i >= 0; --i) {
     grad = stage_blocks_[static_cast<std::size_t>(i)]->backward(grad);
@@ -451,6 +461,12 @@ void StageWorker::backward_micro(const MicroSlice& ms, bool final_backward) {
     // may unlock a grad bucket for the overlap reducer.
     if (final_backward && reducer_.active) on_block_backward_complete(i);
   }
+  const double compute_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    compute_begin)
+          .count();
+  mb_compute_seconds_ +=
+      elastic::apply_compute_throttle(compute_s, ctx_.comm.compute_throttle());
 
   // This micro's retained activations are now free.  All micros retain the
   // same estimate within a mini-batch (sizes differ by at most one row);
@@ -484,8 +500,13 @@ double StageWorker::train_mini_batch(
   if (!participates()) return 0.0;
   minibatch_loss_ = 0.0;
   minibatch_rows_ = batch.tokens.size(0);
+  mb_compute_seconds_ = 0.0;
+  mb_local_rows_ = 0;
   grads_reduced_ = false;
   const std::vector<MicroSlice> micros = local_micros(minibatch_rows_);
+  for (const MicroSlice& ms : micros) {
+    mb_local_rows_ += ms.row_end - ms.row_begin;
+  }
   // Non-uniform device groups need the generalized warmup or adjacent
   // stages deadlock on each other's first backward.  Weighted ownership
   // can hand one member several consecutive micros, so it needs the full

@@ -119,6 +119,14 @@ class StageWorker {
   nn::ParameterList stage_trainable_params();
   nn::ParameterList stage_params();
 
+  // Pure compute time (block forward/backward loops only, communication
+  // waits excluded) and rows processed over the last train_mini_batch.
+  // The elastic HealthMonitor consumes these: in a pipeline a slow rank
+  // inflates every rank's wall clock, but only its own compute time
+  // isolates it.  Any injected compute throttle is already included.
+  double minibatch_compute_seconds() const { return mb_compute_seconds_; }
+  std::int64_t minibatch_local_rows() const { return mb_local_rows_; }
+
  private:
   struct MicroSlice {
     std::int64_t micro;  // global micro index
@@ -219,6 +227,8 @@ class StageWorker {
   std::map<std::int64_t, nn::LossResult> pending_loss_;
   double minibatch_loss_ = 0.0;
   std::int64_t minibatch_rows_ = 0;
+  double mb_compute_seconds_ = 0.0;
+  std::int64_t mb_local_rows_ = 0;
   std::int64_t pending_backward_ = 0;  // micros forwarded but not reversed
 
   // Ledger registration (released in the destructor).

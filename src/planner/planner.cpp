@@ -346,4 +346,21 @@ PlanEstimate plan_hybrid(const PlannerInput& input) {
   return best;
 }
 
+PlanEstimate replan_hybrid(PlannerInput input,
+                           const std::vector<double>& observed_scales) {
+  PAC_CHECK(observed_scales.size() ==
+                static_cast<std::size_t>(input.num_devices),
+            "need one observed scale per device");
+  if (input.device_scales.empty()) {
+    input.device_scales.assign(static_cast<std::size_t>(input.num_devices),
+                               1.0);
+  }
+  for (std::size_t r = 0; r < observed_scales.size(); ++r) {
+    PAC_CHECK(observed_scales[r] > 0.0,
+              "observed scale for device " << r << " must be positive");
+    input.device_scales[r] *= observed_scales[r];
+  }
+  return plan_hybrid(input);
+}
+
 }  // namespace pac::planner

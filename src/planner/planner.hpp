@@ -45,6 +45,14 @@ PlanEstimate evaluate_plan(const PlannerInput& input,
 // estimate when no configuration fits memory).
 PlanEstimate plan_hybrid(const PlannerInput& input);
 
+// Mid-run re-planning entry point: folds runtime-observed per-device speed
+// ratios (elastic::StragglerVerdict::observed_scales, 1.0 = as profiled)
+// into the calibration profile's device scales and re-runs the DP.  The
+// observed vector must cover every device of `input` (pass 1.0 for ranks
+// without samples).
+PlanEstimate replan_hybrid(PlannerInput input,
+                           const std::vector<double>& observed_scales);
+
 // The DP's objective on its own: the minimum achievable steady-state
 // bottleneck (max over stages of per-stage time, OOM stages costing
 // +infinity under the classic 1F1B in-flight bound) over every stage

@@ -105,6 +105,54 @@ MinibatchSim simulate_system_minibatch(SystemKind kind,
   return out;
 }
 
+// The planner input PAC's mini-batch simulation uses (the kPac case
+// above), exposed so the throttle model can re-price plans with a
+// degraded device scale.
+planner::PlannerInput pac_planner_input(const ScenarioConfig& cfg,
+                                        const model::TechniqueConfig& tc) {
+  const std::int64_t micros =
+      std::min<std::int64_t>(cfg.global_batch, cfg.pac_micro_batches);
+  const std::int64_t micro_batch =
+      std::max<std::int64_t>(1, cfg.global_batch / micros);
+  const costmodel::SeqShape micro_shape{micro_batch, cfg.seq, 16};
+  return planner::analytic_planner_input(cfg.model, tc, micro_shape,
+                                         cfg.device, cfg.network,
+                                         cfg.num_devices, micros,
+                                         /*include_decoder=*/true);
+}
+
+// Components of one phase-2 (cached DP) step, shared by the clean run and
+// the throttle model (which re-weights the compute term).
+struct Phase2Step {
+  double compute_s = 0.0;  // per-device side-network fwd+bwd
+  double reload_s = 0.0;   // cache reload from flash
+  double ar_s = 0.0;       // adapter-grad AllReduce
+  std::int64_t minibatch = 0;
+  std::uint64_t cache_per_sample = 0;  // fp16 wire/flash bytes
+};
+
+Phase2Step pac_phase2_step(const ScenarioConfig& cfg,
+                           const model::TechniqueConfig& tc) {
+  Phase2Step out;
+  out.cache_per_sample = static_cast<std::uint64_t>(
+      static_cast<double>(costmodel::cache_bytes_per_sample(
+          cfg.model, cfg.seq, true)) *
+      cfg.cache_wire_factor);
+  const int d = cfg.num_devices;
+  out.minibatch = cfg.per_device_batch * static_cast<std::int64_t>(d);
+  const costmodel::SeqShape dev_shape{cfg.per_device_batch, cfg.seq, 16};
+  const costmodel::Flops side = costmodel::model_flops(
+      cfg.model, tc, dev_shape, /*include_decoder=*/true,
+      /*cached_epoch=*/true);
+  out.compute_s = side.total() / cfg.device.effective_flops;
+  out.reload_s = static_cast<double>(out.cache_per_sample) *
+                 static_cast<double>(cfg.per_device_batch) * 8.0 /
+                 cfg.device.flash_read_bps;
+  out.ar_s = cfg.network.allreduce_seconds(
+      costmodel::trainable_param_bytes(cfg.model, tc, true), d);
+  return out;
+}
+
 }  // namespace
 
 ScenarioResult simulate_system(SystemKind kind,
@@ -142,6 +190,91 @@ ScenarioResult simulate_system(SystemKind kind,
                              (static_cast<double>(fault_samples) *
                               static_cast<double>(fault_epochs));
     return rec;
+  }
+
+  // Modeled compute slowdown from partway through epoch 1 (PAC only).
+  if (kind == SystemKind::kPac && config.throttle_device >= 0 &&
+      config.throttle_device < config.num_devices &&
+      config.throttle_factor > 1.0) {
+    PAC_CHECK(config.throttle_at_epoch_fraction >= 0.0 &&
+                  config.throttle_at_epoch_fraction <= 1.0,
+              "throttle_at_epoch_fraction must be in [0, 1]");
+    ScenarioConfig clean_cfg = config;
+    clean_cfg.throttle_device = -1;
+    ScenarioResult out = simulate_system(kind, clean_cfg);
+    if (out.oom) return out;
+
+    const data::TaskInfo t_info = data::task_info(config.task);
+    const model::TechniqueConfig tc =
+        model::paper_technique_config(config.technique);
+    const std::int64_t samples = config.train_samples > 0
+                                     ? config.train_samples
+                                     : t_info.paper_train_samples;
+    const int epochs =
+        config.epochs > 0 ? config.epochs : t_info.paper_epochs;
+    const std::int64_t steps = ceil_div(samples, config.global_batch);
+    const bool cached = config.pac_use_cache &&
+                        config.technique == Technique::kParallelAdapters;
+    const Phase2Step p2 = pac_phase2_step(clean_cfg, tc);
+    const std::int64_t steps2 = ceil_div(samples, p2.minibatch);
+    const double d = static_cast<double>(config.num_devices);
+    const double f = config.throttle_factor;
+
+    // The calibration profile, with the degraded device priced in.
+    planner::PlannerInput hetero = pac_planner_input(clean_cfg, tc);
+    hetero.device_scales.assign(
+        static_cast<std::size_t>(config.num_devices), 1.0);
+    hetero.device_scales[static_cast<std::size_t>(config.throttle_device)] =
+        1.0 / f;
+    const double degraded_epoch =
+        static_cast<double>(steps) *
+        planner::evaluate_plan(hetero, out.plan).minibatch_seconds;
+
+    if (config.elastic_replan) {
+      // Detection + restart: the epoch fraction already run is wasted, the
+      // retry runs a plan the DP chose knowing the device's real speed.
+      out.recovery_seconds =
+          config.throttle_at_epoch_fraction * out.first_epoch_seconds;
+      planner::PlanEstimate replanned = planner::plan_hybrid(hetero);
+      if (replanned.feasible) {
+        out.plan = replanned.plan;
+        out.first_epoch_seconds =
+            static_cast<double>(steps) * replanned.minibatch_seconds;
+      } else {
+        out.first_epoch_seconds = degraded_epoch;
+      }
+      if (cached) {
+        // Throughput-weighted shards: aggregate speed d-1 + 1/f replaces
+        // d, and no device waits on the straggler's oversized share.
+        const double step_s =
+            p2.compute_s * d / (d - 1.0 + 1.0 / f) + p2.reload_s + p2.ar_s;
+        out.later_epoch_seconds = static_cast<double>(steps2) * step_s;
+      } else {
+        out.later_epoch_seconds = out.first_epoch_seconds;
+      }
+    } else {
+      // No elastic runtime: the slow device paces everything after onset.
+      out.first_epoch_seconds =
+          config.throttle_at_epoch_fraction * out.first_epoch_seconds +
+          (1.0 - config.throttle_at_epoch_fraction) * degraded_epoch;
+      if (cached) {
+        // Even shards: every lockstep AllReduce waits on the straggler's
+        // f-times-dilated compute.
+        const double step_s = p2.compute_s * f + p2.reload_s + p2.ar_s;
+        out.later_epoch_seconds = static_cast<double>(steps2) * step_s;
+      } else {
+        out.later_epoch_seconds = degraded_epoch;
+      }
+    }
+    out.total_hours =
+        (out.recovery_seconds + out.first_epoch_seconds +
+         out.redistribution_seconds +
+         static_cast<double>(epochs - 1) * out.later_epoch_seconds) /
+        3600.0;
+    out.seconds_per_sample =
+        out.total_hours * 3600.0 /
+        (static_cast<double>(samples) * static_cast<double>(epochs));
+    return out;
   }
 
   const data::TaskInfo info = data::task_info(config.task);
@@ -204,13 +337,9 @@ ScenarioResult simulate_system(SystemKind kind,
                          result.first_epoch_seconds / 3600.0;
   } else {
     // ---- phase transition: cache + parameter redistribution ----
-    const std::uint64_t cache_per_sample =
-        static_cast<std::uint64_t>(static_cast<double>(
-            costmodel::cache_bytes_per_sample(config.model, config.seq,
-                                              true)) *
-                                   config.cache_wire_factor);
+    const Phase2Step p2 = pac_phase2_step(config, tc);
     const double total_cache_bytes =
-        static_cast<double>(cache_per_sample) *
+        static_cast<double>(p2.cache_per_sample) *
         static_cast<double>(samples);
     // All-to-all: each device ships (1 - 1/D) of its shard; transfers on
     // distinct device pairs proceed in parallel, so the wall time is one
@@ -219,26 +348,11 @@ ScenarioResult simulate_system(SystemKind kind,
     const double outbound_per_device =
         total_cache_bytes / d * (1.0 - 1.0 / d);
     result.redistribution_seconds =
-        outbound_per_device * 8.0 / config.network.bandwidth_bps +
-        config.network.allreduce_seconds(
-            costmodel::trainable_param_bytes(config.model, tc, true), d);
+        outbound_per_device * 8.0 / config.network.bandwidth_bps + p2.ar_s;
 
     // ---- cached epochs: pure DP over the side network ----
-    const std::int64_t phase2_minibatch =
-        config.per_device_batch * static_cast<std::int64_t>(d);
-    costmodel::SeqShape dev_shape{config.per_device_batch, config.seq, 16};
-    const costmodel::Flops side = costmodel::model_flops(
-        config.model, tc, dev_shape, /*include_decoder=*/true,
-        /*cached_epoch=*/true);
-    const double compute_s = side.total() / config.device.effective_flops;
-    const double reload_s =
-        static_cast<double>(cache_per_sample) *
-        static_cast<double>(config.per_device_batch) * 8.0 /
-        config.device.flash_read_bps;
-    const double ar_s = config.network.allreduce_seconds(
-        costmodel::trainable_param_bytes(config.model, tc, true), d);
-    const double step_s = compute_s + reload_s + ar_s;
-    const std::int64_t steps2 = ceil_div(samples, phase2_minibatch);
+    const double step_s = p2.compute_s + p2.reload_s + p2.ar_s;
+    const std::int64_t steps2 = ceil_div(samples, p2.minibatch);
     result.later_epoch_seconds = static_cast<double>(steps2) * step_s;
 
     result.total_hours =

@@ -55,6 +55,17 @@ struct ScenarioConfig {
   // `num_devices - 1` devices.
   int fail_device = -1;
   double fail_at_epoch_fraction = 0.5;  // in [0, 1]
+  // Compute-slowdown model (PAC only): `throttle_device >= 0` dilates that
+  // device's compute by `throttle_factor` from `throttle_at_epoch_fraction`
+  // of epoch 1 onward.  With `elastic_replan` the runtime's elastic path is
+  // modeled — the throttled remainder of epoch 1 is wasted, the epoch
+  // restarts under a plan priced with the degraded device, and the cached
+  // phase shards throughput-weighted; without it the degraded device paces
+  // every mini-batch of the rest of the run.
+  int throttle_device = -1;
+  double throttle_factor = 1.0;             // >= 1; 1 = no slowdown
+  double throttle_at_epoch_fraction = 0.5;  // in [0, 1]
+  bool elastic_replan = true;
 };
 
 struct ScenarioResult {

@@ -14,6 +14,7 @@
 #include "cache/activation_cache.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
+#include "dist/transport_factories.hpp"
 #include "elastic/health.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/runners.hpp"
@@ -24,7 +25,7 @@ namespace {
 using namespace pac;
 
 void BM_TransportPingPong(benchmark::State& state) {
-  dist::Transport transport(2, dist::LinkModel{});
+  dist::InProcTransport transport(2, dist::LinkModel{});
   const auto n = state.range(0);
   Rng rng(1);
   Tensor payload = Tensor::randn({n}, rng);
@@ -120,8 +121,10 @@ BENCHMARK(BM_PipelineGPipe);
 // level and both modes converge to the total-compute floor.
 // ---------------------------------------------------------------------------
 
-void BM_CommPipelineMiniBatch(benchmark::State& state) {
-  const bool async_comm = state.range(0) == 1;
+enum class CommBackend { kInProc, kTcpLoopback };
+
+void run_comm_pipeline_bench(benchmark::State& state, bool async_comm,
+                             CommBackend backend) {
   data::DatasetConfig dcfg;
   dcfg.task = data::GlueTask::kSst2;
   dcfg.train_samples = 32;
@@ -143,6 +146,9 @@ void BM_CommPipelineMiniBatch(benchmark::State& state) {
   for (auto _ : state) {
     dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max(),
                               lan);
+    if (backend == CommBackend::kTcpLoopback) {
+      cluster.set_transport_factory(dist::make_tcp_loopback_factory());
+    }
     pipeline::RunConfig cfg;
     cfg.plan.stages = {s0, s1};
     cfg.plan.num_micro_batches = 16;
@@ -155,10 +161,28 @@ void BM_CommPipelineMiniBatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());  // one mini-batch per epoch
 }
+
+void BM_CommPipelineMiniBatch(benchmark::State& state) {
+  run_comm_pipeline_bench(state, state.range(0) == 1, CommBackend::kInProc);
+}
 // UseRealTime: nearly all of an iteration is link sleeps and cross-thread
 // waits, so CPU time would both misreport the result and make the harness
 // run hundreds of iterations to fill --benchmark_min_time.
 BENCHMARK(BM_CommPipelineMiniBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The same mini-batch over real TCP loopback sockets (every rank its own
+// endpoint, frames through the kernel): the delta against the matching
+// BM_CommPipelineMiniBatch arg is the wire cost of the transport backend —
+// framing, syscalls, loopback copies — on top of the modeled link.
+void BM_CommPipelineMiniBatchTcp(benchmark::State& state) {
+  run_comm_pipeline_bench(state, state.range(0) == 1,
+                          CommBackend::kTcpLoopback);
+}
+BENCHMARK(BM_CommPipelineMiniBatchTcp)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)

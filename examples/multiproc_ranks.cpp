@@ -1,0 +1,364 @@
+// Multi-process rank launcher: runs a core::Session with every rank in its
+// own OS process, wired through a real transport backend (POSIX shm rings
+// or TCP loopback) instead of the in-process mailbox.
+//
+// Launcher mode (default) forks one child per rank *before any threads
+// exist*, then supervises: it can SIGKILL a chosen rank mid-run (the
+// proc-chaos harness) and, for shm, mark the corpse dead in every arena
+// generation so survivors observe the death promptly instead of waiting
+// out their recv timeouts.  Each surviving child writes a small key/value
+// report (epoch losses, eval metric, deaths absorbed) that the test suite
+// compares against an in-process oracle run.
+//
+//   multiproc_ranks --transport shm|tcp --world N --workdir DIR
+//                   [--epochs E] [--kill-rank R --kill-phase 1|2]
+//
+// Internal: --child-rank R re-enters the same binary as rank R's process.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "core/session.hpp"
+#include "dist/shm_transport.hpp"
+#include "dist/tcp_transport.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+struct Options {
+  std::string transport = "shm";  // shm | tcp
+  int world = 4;
+  std::string workdir;
+  int epochs = 3;
+  int kill_rank = -1;
+  int kill_phase = 1;
+  double link_delay_ms = 0.0;  // >0: emulate link latency in realtime
+  bool verbose = false;
+  int child_rank = -1;  // >= 0: this process is a rank, not the launcher
+  std::string base;     // arena / rendezvous namespace (set by launcher)
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--transport") {
+      o.transport = next();
+    } else if (a == "--world") {
+      o.world = std::stoi(next());
+    } else if (a == "--workdir") {
+      o.workdir = next();
+    } else if (a == "--epochs") {
+      o.epochs = std::stoi(next());
+    } else if (a == "--kill-rank") {
+      o.kill_rank = std::stoi(next());
+    } else if (a == "--kill-phase") {
+      o.kill_phase = std::stoi(next());
+    } else if (a == "--link-delay-ms") {
+      o.link_delay_ms = std::stod(next());
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else if (a == "--child-rank") {
+      o.child_rank = std::stoi(next());
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      std::exit(2);
+    }
+  }
+  if (o.workdir.empty()) {
+    std::cerr << "--workdir is required\n";
+    std::exit(2);
+  }
+  if (o.transport != "shm" && o.transport != "tcp") {
+    std::cerr << "--transport must be shm or tcp\n";
+    std::exit(2);
+  }
+  if (o.kill_rank >= 0 && o.transport != "shm") {
+    std::cerr << "--kill-rank needs the shm backend (shared death record)\n";
+    std::exit(2);
+  }
+  return o;
+}
+
+// Same tiny deterministic workload as the in-process chaos tests, so a
+// multi-process run is directly comparable to an in-process oracle.
+pac::data::SyntheticGlueDataset make_dataset() {
+  pac::data::DatasetConfig cfg;
+  cfg.task = pac::data::GlueTask::kSst2;
+  cfg.train_samples = 24;
+  cfg.eval_samples = 12;
+  cfg.seq_len = 8;
+  cfg.vocab = 32;
+  return pac::data::SyntheticGlueDataset(cfg);
+}
+
+std::vector<pac::planner::BlockProfile> fixed_profiles(std::int64_t n) {
+  std::vector<pac::planner::BlockProfile> blocks;
+  for (std::int64_t i = 0; i < n; ++i) {
+    pac::planner::BlockProfile b;
+    b.name = "block" + std::to_string(i);
+    b.t_fwd = 1e-4;
+    b.t_bwd = 2e-4;
+    b.param_bytes = 64 * 1024;
+    b.trainable_bytes = 4 * 1024;
+    b.activation_bytes = 8 * 1024;
+    b.fwd_msg_bytes = 4 * 1024;
+    b.bwd_msg_bytes = 512;
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+pac::core::SessionConfig make_session_config(const Options& o) {
+  pac::core::SessionConfig cfg;
+  cfg.model = pac::model::tiny(4, 16, 2, 32, 8);
+  cfg.technique.technique = pac::model::Technique::kParallelAdapters;
+  cfg.technique.pa_reduction = 4;
+  cfg.batch_size = 8;
+  cfg.num_micro_batches = 4;
+  cfg.epochs = o.epochs;
+  cfg.lr = 5e-3F;
+  cfg.profile_override = fixed_profiles(4 + 2);
+  cfg.cache_disk_backed = true;
+  cfg.cache_directory = o.workdir + "/cache";
+  return cfg;
+}
+
+// ---- child (one rank) ---------------------------------------------------
+
+int child_main(const Options& o) {
+  if (o.verbose) pac::set_log_level(pac::LogLevel::kInfo);
+  auto ds = make_dataset();
+  pac::dist::LinkModel link;
+  if (o.link_delay_ms > 0.0) {
+    // Realtime link emulation: stretches the run so an external SIGKILL
+    // has a wide mid-epoch window to land in (values are unaffected —
+    // delays change timing only).
+    link.latency_s = o.link_delay_ms / 1000.0;
+    link.simulate_delay = true;
+  }
+  pac::dist::EdgeCluster cluster(
+      o.world, std::numeric_limits<std::uint64_t>::max(), link);
+  cluster.set_local_ranks({o.child_rank});
+
+  // One transport generation per cluster.run() call.  Control flow is
+  // deterministic across processes (same session decisions everywhere), so
+  // every process counts the same generations and rendezvouses on the same
+  // arena / port-file names.
+  auto generation = std::make_shared<int>(0);
+  const std::string base = o.base;
+  const std::string workdir = o.workdir;
+  pac::dist::EdgeCluster* cluster_ptr = &cluster;
+  if (o.transport == "shm") {
+    cluster.set_transport_factory(
+        [generation, base](int world, int rank, const pac::dist::LinkModel& lm,
+                           const pac::dist::FaultPlan& fp) {
+          const int gen = (*generation)++;
+          return std::make_unique<pac::dist::ShmTransport>(
+              base + "_g" + std::to_string(gen), world, rank, lm, fp);
+        });
+  } else {
+    cluster.set_transport_factory(
+        [generation, workdir, cluster_ptr](
+            int world, int rank, const pac::dist::LinkModel& lm,
+            const pac::dist::FaultPlan& fp) {
+          const int gen = (*generation)++;
+          auto t = std::make_unique<pac::dist::TcpTransport>(
+              world, rank, /*bind_port=*/0, lm, fp);
+          // Publish our port, then collect every live peer's.
+          const std::string prefix =
+              workdir + "/g" + std::to_string(gen) + "_port_";
+          {
+            const std::string tmp =
+                prefix + std::to_string(rank) + ".tmp";
+            std::ofstream out(tmp);
+            out << t->port() << "\n";
+            out.close();
+            fs::rename(tmp, prefix + std::to_string(rank));
+          }
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(30);
+          for (int r = 0; r < world; ++r) {
+            if (r == rank || cluster_ptr->is_dead(r)) continue;
+            for (;;) {
+              std::ifstream in(prefix + std::to_string(r));
+              int port = 0;
+              if (in.good() && (in >> port) && port > 0) {
+                t->set_peer(r, {"127.0.0.1",
+                                static_cast<std::uint16_t>(port)});
+                break;
+              }
+              if (std::chrono::steady_clock::now() > deadline) {
+                throw pac::TransportError("rendezvous timeout for rank " +
+                                          std::to_string(r));
+              }
+              std::this_thread::sleep_for(2ms);
+            }
+          }
+          return t;
+        });
+  }
+
+  // Backup failure detector: if the supervisor's death marking (or TCP's
+  // EOF detection) is somehow missed, a blocked recv presumes its peer
+  // dead after these timeouts instead of hanging forever.
+  pac::dist::CommPolicy policy;
+  policy.recv_timeout_ms = 1500.0;
+  policy.max_recv_retries = 3;
+  cluster.set_comm_policy(policy);
+
+  pac::core::Session session(cluster, ds, make_session_config(o));
+  pac::core::SessionReport report = session.run();
+
+  const std::string path =
+      o.workdir + "/report_rank" + std::to_string(o.child_rank);
+  std::ofstream out(path + ".tmp");
+  out.precision(17);
+  out << "epochs " << report.epoch_losses.size() << "\n";
+  for (double l : report.epoch_losses) out << "loss " << l << "\n";
+  out << "eval " << report.eval_metric << "\n";
+  out << "deaths " << report.rank_deaths << "\n";
+  for (int r : report.dead_ranks) out << "dead " << r << "\n";
+  out.close();
+  fs::rename(path + ".tmp", path);
+  return 0;
+}
+
+// ---- launcher -----------------------------------------------------------
+
+bool dir_has_spill_file(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return false;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("sample_", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".bin") {
+      return true;
+    }
+  }
+  return false;
+}
+
+int launcher_main(Options o, char** argv) {
+  fs::create_directories(o.workdir);
+  fs::create_directories(o.workdir + "/cache");
+  // Children are forked (never exec'd), so the Options copy — including
+  // this pid-derived namespace — rides into every rank's process.
+  o.base = "/pac_mp_" + std::to_string(static_cast<long>(getpid()));
+
+  std::vector<pid_t> pids(static_cast<std::size_t>(o.world), -1);
+  for (int r = 0; r < o.world; ++r) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "fork failed: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    if (pid == 0) {
+      Options child = o;
+      child.child_rank = r;
+      try {
+        _exit(child_main(child));
+      } catch (const std::exception& e) {
+        std::cerr << "rank " << r << " failed: " << e.what() << "\n";
+        _exit(1);
+      }
+    }
+    pids[static_cast<std::size_t>(r)] = pid;
+  }
+  (void)argv;
+
+  const std::string& base = o.base;
+  if (o.kill_rank >= 0) {
+    // Phase-sensitive kill trigger, observed from outside the children:
+    //   phase 1 — the victim's first completed cache spill file (written
+    //   strictly during phase-1 recording);
+    //   phase 2 — the third transport generation's arena appearing (run
+    //   order is phase1 = g0, redistribution = g1, phase2 = g2).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    const std::string victim_cache =
+        o.workdir + "/cache/device_" + std::to_string(o.kill_rank);
+    const std::string phase2_arena = "/dev/shm" + base + "_g2";
+    for (;;) {
+      const bool ready = o.kill_phase == 1
+                             ? dir_has_spill_file(victim_cache)
+                             : fs::exists(phase2_arena);
+      if (ready) break;
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::cerr << "kill trigger never fired\n";
+        break;
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+    if (o.kill_phase == 2) {
+      // Let phase 2 get past its starting barrier so the kill lands
+      // mid-epoch (the caller stretches the run with --link-delay-ms).
+      std::this_thread::sleep_for(20ms);
+    }
+    const pid_t victim = pids[static_cast<std::size_t>(o.kill_rank)];
+    kill(victim, SIGKILL);
+    int status = 0;
+    waitpid(victim, &status, 0);
+    // Mark the corpse dead in every arena generation that exists so every
+    // survivor observes the same root-cause death immediately.
+    for (int gen = 0; gen < 64; ++gen) {
+      pac::dist::ShmArena::mark_rank_dead(base + "_g" + std::to_string(gen),
+                                          o.kill_rank);
+    }
+  }
+
+  int failures = 0;
+  for (int r = 0; r < o.world; ++r) {
+    if (r == o.kill_rank) continue;
+    int status = 0;
+    waitpid(pids[static_cast<std::size_t>(r)], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "rank " << r << " exited abnormally (status " << status
+                << ")\n";
+      ++failures;
+    }
+  }
+  for (int gen = 0; gen < 64; ++gen) {
+    pac::dist::ShmArena::unlink(base + "_g" + std::to_string(gen));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = parse(argc, argv);
+  if (o.child_rank >= 0) {
+    try {
+      return child_main(o);
+    } catch (const std::exception& e) {
+      std::cerr << "rank " << o.child_rank << " failed: " << e.what()
+                << "\n";
+      return 1;
+    }
+  }
+  return launcher_main(o, argv);
+}

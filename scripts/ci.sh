@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: regular build + full suite, a repeat/shuffle pass to
-# flush timing-dependent flakes out of the concurrency-heavy suites, a
-# ThreadSanitizer build racing the transport/pipeline/chaos tests, and a
-# gcc --coverage build gating src/ line coverage (gcovr when available,
-# scripts/coverage.py otherwise).
+# flush timing-dependent flakes out of the concurrency-heavy suites (plus
+# one forked-process SIGKILL chaos pass), a ThreadSanitizer build racing
+# the transport/pipeline/chaos tests (conformance on the in-process and
+# shm backends; TCP runs unsanitized), and a gcc --coverage build gating
+# src/ line coverage (gcovr when available, scripts/coverage.py
+# otherwise).
 #
 # Usage: scripts/ci.sh [all|test|stress|tsan|coverage]
 set -euo pipefail
@@ -32,9 +34,31 @@ run_tests() {
 # The suites that exercise real threads and message timing, plus the
 # planner/obs/elastic property suites (cheap, and their invariants must
 # hold under shuffle and TSan too).  chaos_test carries the straggler
-# schedules; elastic_test the monitor/sharding/replan units.
+# schedules; elastic_test the monitor/sharding/replan units;
+# transport_conformance_test runs the identical contract suite against
+# the in-process, shm-ring, and TCP-loopback backends.
 CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test
-                   planner_test obs_test elastic_test)
+                   planner_test obs_test elastic_test
+                   transport_conformance_test)
+
+# Extra gtest args per suite under TSan.  The TCP backend's accept/connect
+# timing is dilated enough by the instrumented scheduler to be flaky, so
+# TSan keeps full coverage of the in-process and shm backends and leaves
+# the TCP parameterization to the regular and stress passes.
+tsan_suite_args() {
+  case "$1" in
+    transport_conformance_test) echo "--gtest_filter=-*Tcp*" ;;
+    *) echo "" ;;
+  esac
+}
+
+tsan_pass() {
+  echo "=== ThreadSanitizer pass ==="
+  for suite in "${CONCURRENT_SUITES[@]}"; do
+    # shellcheck disable=SC2046  # intentional word-splitting of the args
+    "build-tsan/tests/${suite}" --gtest_brief=1 $(tsan_suite_args "$suite")
+  done
+}
 
 stress_pass() {
   local dir="$1"
@@ -44,6 +68,12 @@ stress_pass() {
       --gtest_repeat=3 --gtest_shuffle --gtest_random_seed="${SEED}" \
       --gtest_brief=1
   done
+  # Real-process chaos: forked ranks over shm rings / TCP loopback with a
+  # live SIGKILL.  One pass (not x3): the kill lands at a scheduler-chosen
+  # instruction, so every run is already a fresh sample, and each pass
+  # costs ~20s of wall clock.
+  echo "=== multi-process chaos pass ==="
+  "${dir}/tests/proc_chaos_test" --gtest_brief=1
 }
 
 case "$MODE" in
@@ -59,10 +89,7 @@ case "$MODE" in
     ;;
   tsan)
     build build-tsan -DPAC_SANITIZE=thread
-    echo "=== ThreadSanitizer pass ==="
-    for suite in "${CONCURRENT_SUITES[@]}"; do
-      "build-tsan/tests/${suite}" --gtest_brief=1
-    done
+    tsan_pass
     ;;
   coverage)
     build build-cov -DCMAKE_BUILD_TYPE=Debug -DPAC_COVERAGE=ON
@@ -85,10 +112,7 @@ case "$MODE" in
     scripts/bench.sh --quick --suite comm
     stress_pass build
     build build-tsan -DPAC_SANITIZE=thread
-    echo "=== ThreadSanitizer pass ==="
-    for suite in "${CONCURRENT_SUITES[@]}"; do
-      "build-tsan/tests/${suite}" --gtest_brief=1
-    done
+    tsan_pass
     ;;
   *)
     echo "unknown mode: $MODE (expected all|test|stress|tsan)" >&2

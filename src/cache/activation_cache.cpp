@@ -392,6 +392,54 @@ void ActivationCache::drop_sample_locked(std::int64_t sample_id) {
   entries_.erase(it);
 }
 
+std::int64_t ActivationCache::absorb_spilled_directory(
+    const std::string& directory) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(directory)) return 0;
+  // Directory iteration order is unspecified; sort the ids so every
+  // salvager (and every run) absorbs in the same order.
+  std::vector<std::int64_t> ids;
+  for (const auto& entry : fs::directory_iterator(directory)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 11 || name.rfind("sample_", 0) != 0 ||
+        name.substr(name.size() - 4) != ".bin") {
+      continue;
+    }
+    try {
+      ids.push_back(std::stoll(name.substr(7, name.size() - 11)));
+    } catch (...) {
+      // Not one of ours; skip.
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::int64_t absorbed = 0;
+  for (std::int64_t id : ids) {
+    if (entries_.find(id) != entries_.end()) continue;
+    std::ifstream in(directory + "/sample_" + std::to_string(id) + ".bin",
+                     std::ios::binary);
+    if (!in.good()) continue;
+    try {
+      BinaryReader r(in);
+      const std::uint64_t blocks = r.read_u64();
+      for (std::uint64_t b = 0; b < blocks; ++b) {
+        const std::int64_t t = static_cast<std::int64_t>(r.read_u64());
+        const std::int64_t h = static_cast<std::int64_t>(r.read_u64());
+        Tensor block({t, h});
+        r.read_floats(block.data(), static_cast<std::size_t>(block.numel()));
+        put_block_locked(id, static_cast<std::int64_t>(b), std::move(block));
+      }
+      ++absorbed;
+    } catch (...) {
+      // A writer killed mid-spill leaves a torn file; drop the partial
+      // sample rather than surfacing a corrupt activation.
+      drop_sample_locked(id);
+    }
+  }
+  return absorbed;
+}
+
 std::uint64_t ActivationCache::memory_bytes() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return memory_bytes_;

@@ -75,6 +75,10 @@ class ActivationCache : public pipeline::ActivationRecorder,
                  Tensor activation);
   // Drops a sample's blocks from this shard (after shipping them away).
   void drop_sample(std::int64_t sample_id);
+  // Salvage: loads every spilled sample file found in `directory` (another
+  // shard's on-disk cache — e.g. a dead device's flash store) into this
+  // shard, skipping samples already held.  Returns samples absorbed.
+  std::int64_t absorb_spilled_directory(const std::string& directory);
 
   std::int64_t num_blocks() const { return config_.num_blocks; }
   std::uint64_t memory_bytes() const;  // resident RAM bytes

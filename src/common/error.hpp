@@ -104,6 +104,15 @@ class CacheMissError : public Error {
   explicit CacheMissError(const std::string& what) : Error(what) {}
 };
 
+// A transport backend failed at the wire level: malformed frame, shared
+// memory segment mismatch, socket setup failure.  Distinct from the
+// rank-scoped failure types above — a TransportError means the machinery
+// itself misbehaved, not that a peer died.
+class TransportError : public Error {
+ public:
+  explicit TransportError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_check_failure(const char* cond,

@@ -259,6 +259,9 @@ SessionReport Session::run_attempt() {
       static_cast<std::size_t>(cluster_.size()), nullptr);
   if (cache_phase) {
     for (int r : alive) {
+      // Multi-process: each process materialises shards only for the ranks
+      // it hosts; remote ranks' shards live in their own processes.
+      if (!cluster_.rank_is_local(r)) continue;
       cache::CacheConfig cc;
       cc.num_blocks = blocks_per_sample;
       cc.disk_backed = config_.cache_disk_backed;
@@ -389,14 +392,40 @@ SessionReport Session::run_attempt() {
     auto shrink_after_death = [&](int dead) {
       const std::vector<int> now_alive = cluster_.alive_ranks();
       auto new_target = cache::modulo_sharding_over(now_alive);
+      // Salvage destination for blocks whose new owner is remote: the
+      // lowest surviving local rank holds them until the redistribution
+      // below ships them to their real owners.
+      int fallback = -1;
+      for (int r : now_alive) {
+        if (cluster_.rank_is_local(r)) {
+          fallback = r;
+          break;
+        }
+      }
+      PAC_CHECK(fallback >= 0, "no local survivor to salvage into");
       auto& dead_shard = shards[static_cast<std::size_t>(dead)];
       if (dead_shard != nullptr) {
         for (const auto& [sample, block] : dead_shard->held_blocks()) {
-          shards[static_cast<std::size_t>(new_target(sample))]->put_block(
+          int dest = new_target(sample);
+          if (!cluster_.rank_is_local(dest)) dest = fallback;
+          shards[static_cast<std::size_t>(dest)]->put_block(
               sample, block, dead_shard->get_block(sample, block));
         }
         dead_shard.reset();
         sources[static_cast<std::size_t>(dead)] = nullptr;
+      } else if (config_.cache_disk_backed &&
+                 cluster_.rank_is_local(now_alive.front())) {
+        // The dead rank lived in another process, so its in-memory shard is
+        // gone with it — but its flash store survives.  Exactly one process
+        // (the one hosting the lowest surviving rank) re-reads the spill
+        // files; redistribution then spreads the samples to their owners.
+        const std::string dir =
+            config_.cache_directory + "/device_" + std::to_string(dead);
+        const std::int64_t salvaged =
+            shards[static_cast<std::size_t>(now_alive.front())]
+                ->absorb_spilled_directory(dir);
+        PAC_LOG_INFO << "salvaged " << salvaged
+                     << " spilled samples from dead rank " << dead;
       }
       run_redistribution(now_alive, new_target);
       rebuild_assignments(new_target);

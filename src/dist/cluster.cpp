@@ -63,10 +63,58 @@ std::vector<int> EdgeCluster::alive_ranks() const {
   return out;
 }
 
+void EdgeCluster::set_local_ranks(std::vector<int> ranks) {
+  for (int r : ranks) {
+    PAC_CHECK(r >= 0 && r < size(), "local rank " << r << " out of range");
+  }
+  local_ranks_ = std::move(ranks);
+}
+
+bool EdgeCluster::rank_is_local(int rank) const {
+  if (local_ranks_.empty()) return true;
+  for (int r : local_ranks_) {
+    if (r == rank) return true;
+  }
+  return false;
+}
+
+Transport* EdgeCluster::transport_for(int rank) {
+  for (std::size_t i = 0; i < transports_.size(); ++i) {
+    if (transport_rank_[i] == rank || transport_rank_[i] == -1) {
+      return transports_[i].get();
+    }
+  }
+  PAC_CHECK(false, "no transport endpoint for rank " << rank);
+  return nullptr;
+}
+
+std::uint64_t EdgeCluster::last_run_total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& t : transports_) total += t->total_bytes();
+  return total;
+}
+
 void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
-  transport_ = std::make_unique<Transport>(size(), link_, fault_plan_);
-  for (int r = 0; r < size(); ++r) {
-    if (dead_[static_cast<std::size_t>(r)]) transport_->close_rank(r);
+  transports_.clear();
+  transport_rank_.clear();
+  if (factory_) {
+    for (int r = 0; r < size(); ++r) {
+      if (!rank_is_local(r) || dead_[static_cast<std::size_t>(r)]) continue;
+      transports_.push_back(factory_(size(), r, link_, fault_plan_));
+      transport_rank_.push_back(r);
+    }
+    PAC_CHECK(!transports_.empty(), "no live local ranks to run");
+  } else {
+    PAC_CHECK(local_ranks_.empty(),
+              "local-rank restriction requires a transport factory");
+    transports_.push_back(
+        std::make_unique<InProcTransport>(size(), link_, fault_plan_));
+    transport_rank_.push_back(-1);
+  }
+  for (auto& transport : transports_) {
+    for (int r = 0; r < size(); ++r) {
+      if (dead_[static_cast<std::size_t>(r)]) transport->close_rank(r);
+    }
   }
 
   std::mutex failure_mutex;
@@ -76,7 +124,8 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
 
   auto rank_main = [&](int rank) {
     obs::set_thread_name("rank" + std::to_string(rank), rank);
-    Communicator comm(*transport_, rank);
+    Transport& transport = *transport_for(rank);
+    Communicator comm(transport, rank);
     comm.set_policy(comm_policy_);
     DeviceContext ctx{rank, size(), comm,
                       *ledgers_[static_cast<std::size_t>(rank)],
@@ -92,7 +141,7 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
       }
       PAC_LOG_WARN << "device " << e.rank()
                    << " died; closing its links only";
-      transport_->close_rank(e.rank());
+      transport.close_rank(e.rank());
     } catch (const PeerDeadError& e) {
       // A peer died under this rank.  Leave the step, closing our own
       // links so ranks blocked on us cascade out the same way.
@@ -102,7 +151,7 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
       }
       PAC_LOG_INFO << "device " << rank << " unwinding: peer " << e.rank()
                    << " is dead";
-      transport_->close_rank(rank);
+      transport.close_rank(rank);
     } catch (const ChannelClosedError&) {
       // Secondary failure caused by another rank's close(); swallow.
     } catch (...) {
@@ -112,7 +161,7 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
       }
       PAC_LOG_WARN << "device " << rank
                    << " failed; closing transport to unwind peers";
-      transport_->close();
+      for (auto& t : transports_) t->close();
     }
     // An injected death can fire on the communicator's async sender thread
     // instead of here; in that case the main thread unwound with some
@@ -127,14 +176,14 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
       }
       PAC_LOG_WARN << "device " << *death
                    << " died (async sender); closing its links only";
-      transport_->close_rank(*death);
+      transport.close_rank(*death);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(size()));
   for (int r = 0; r < size(); ++r) {
-    if (dead_[static_cast<std::size_t>(r)]) continue;
+    if (dead_[static_cast<std::size_t>(r)] || !rank_is_local(r)) continue;
     threads.emplace_back(rank_main, r);
   }
   for (auto& t : threads) t.join();
@@ -152,7 +201,29 @@ void EdgeCluster::run(const std::function<void(DeviceContext&)>& fn) {
     }
   }
   if (first_failure) std::rethrow_exception(first_failure);
-  if (first_peer_dead) std::rethrow_exception(first_peer_dead);
+  if (first_peer_dead) {
+    // Cascading unwinds can record a survivor's own close before the real
+    // death; prefer the transport's root-cause record (in multi-process
+    // mode this is the world-shared view, so every process absorbs the
+    // same dead rank).
+    int root = -1;
+    for (const auto& t : transports_) {
+      root = t->first_dead_rank();
+      if (root >= 0) break;
+    }
+    if (root >= 0 && !dead_[static_cast<std::size_t>(root)]) {
+      try {
+        std::rethrow_exception(first_peer_dead);
+      } catch (const PeerDeadError& e) {
+        if (e.rank() != root) {
+          throw PeerDeadError(root, "rank " + std::to_string(root) +
+                                        " is dead (root cause)");
+        }
+        throw;
+      }
+    }
+    std::rethrow_exception(first_peer_dead);
+  }
 }
 
 }  // namespace pac::dist

@@ -45,6 +45,12 @@ struct DeviceContext {
   const DeviceSpec& spec;
 };
 
+// Builds the Transport for one rank of a run.  In multi-process mode each
+// process hosts a subset of ranks and every hosted rank gets its own
+// endpoint; the factory is called once per local live rank per run.
+using TransportFactory = std::function<std::unique_ptr<Transport>(
+    int world_size, int rank, const LinkModel& link, const FaultPlan& faults)>;
+
 class EdgeCluster {
  public:
   explicit EdgeCluster(std::vector<DeviceSpec> devices, LinkModel link = {});
@@ -71,20 +77,43 @@ class EdgeCluster {
   // rank's Communicator.
   void set_comm_policy(const CommPolicy& policy) { comm_policy_ = policy; }
 
-  // Runs fn on every live rank; blocks until all complete.  Rethrows (in
-  // priority order) the first RankDeathError, then any non-peer failure,
-  // then the first unexplained PeerDeadError raised by any rank.
+  // ---- multi-process mode ----
+  // With a factory, each run builds one Transport endpoint per local live
+  // rank instead of one shared InProcTransport for the whole world.
+  void set_transport_factory(TransportFactory factory) {
+    factory_ = std::move(factory);
+  }
+  // Restricts run() to hosting only these ranks (this process's share of
+  // the world).  Default: all ranks are local (single-process mode).
+  void set_local_ranks(std::vector<int> ranks);
+  bool rank_is_local(int rank) const;
+  bool all_ranks_local() const { return local_ranks_.empty(); }
+
+  // Runs fn on every live *local* rank; blocks until all complete.
+  // Rethrows (in priority order) the first RankDeathError, then any
+  // non-peer failure, then a PeerDeadError for the root-cause dead rank.
   void run(const std::function<void(DeviceContext&)>& fn);
 
-  // Transport of the most recent run (traffic statistics).
-  const Transport* last_transport() const { return transport_.get(); }
+  // Transport of the most recent run (traffic statistics).  In factory
+  // mode this is the lowest local rank's endpoint.
+  const Transport* last_transport() const {
+    return transports_.empty() ? nullptr : transports_.front().get();
+  }
+  // Send-side traffic across all of this process's endpoints for the most
+  // recent run.
+  std::uint64_t last_run_total_bytes() const;
 
  private:
+  Transport* transport_for(int rank);
+
   std::vector<DeviceSpec> devices_;
   LinkModel link_;
   std::vector<std::unique_ptr<MemoryLedger>> ledgers_;
-  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<Transport>> transports_;
+  std::vector<int> transport_rank_;  // rank served; -1 = whole world
   std::vector<bool> dead_;
+  std::vector<int> local_ranks_;  // empty = all local
+  TransportFactory factory_;
   FaultPlan fault_plan_;
   CommPolicy comm_policy_;
 };

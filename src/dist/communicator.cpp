@@ -107,6 +107,9 @@ Tensor Communicator::recv(int from, int tag) {
     if (result.has_value()) return std::move(*result);
     wait_ms *= 2.0;  // backoff: give a slow or congested link more time
   }
+  // Record the presumption as the root-cause death so cascading unwinds
+  // on other ranks (and other processes) absorb the same dead rank.
+  transport_->report_root_death(from);
   throw PeerDeadError(from, "rank " + std::to_string(from) +
                                 " presumed dead: recv(tag " +
                                 std::to_string(tag) + ") timed out after " +

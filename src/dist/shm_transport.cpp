@@ -1,0 +1,370 @@
+#include "dist/shm_transport.hpp"
+
+#include <fcntl.h>
+#include <semaphore.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <new>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+namespace {
+
+constexpr std::uint64_t kSealMagic = 0x5041435348'4d454dULL;  // "PACSHMEM"
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw TransportError("shm: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// Cache-line padded SPSC ring positions.  `head` is the consumer cursor,
+// `tail` the producer cursor; both grow without bound and are reduced
+// modulo the ring size on access.  The release-store of `tail` after the
+// memcpy is what makes partially written frames invisible to the reader.
+struct ShmArena::Ring {
+  std::atomic<std::uint64_t> head;
+  char pad0[56];
+  std::atomic<std::uint64_t> tail;
+  char pad1[56];
+};
+
+struct ShmArena::Header {
+  std::atomic<std::uint64_t> seal;  // kSealMagic once fully initialised
+  std::uint32_t world;
+  std::uint32_t ring_bytes;
+  std::atomic<std::uint32_t> closed;
+  std::atomic<std::int32_t> root_dead;
+  std::atomic<std::uint32_t> dead[kMaxRanks];
+  sem_t doorbells[kMaxRanks];
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free &&
+                  std::atomic<std::uint32_t>::is_always_lock_free &&
+                  std::atomic<std::int32_t>::is_always_lock_free,
+              "shared-memory flags must be lock-free to work across "
+              "processes");
+
+ShmArena::Ring& ShmArena::ring(int from, int to) const {
+  auto* rings = reinterpret_cast<Ring*>(
+      static_cast<char*>(map_) + sizeof(Header));
+  return rings[from * world_size_ + to];
+}
+
+std::uint8_t* ShmArena::ring_data(int from, int to) const {
+  auto* base = reinterpret_cast<std::uint8_t*>(
+      static_cast<char*>(map_) + sizeof(Header) +
+      sizeof(Ring) * static_cast<std::size_t>(world_size_ * world_size_));
+  return base + static_cast<std::size_t>(from * world_size_ + to) *
+                    ring_bytes_;
+}
+
+ShmArena::ShmArena(const std::string& name, int world_size,
+                   std::uint32_t ring_bytes)
+    : name_(name), world_size_(world_size), ring_bytes_(ring_bytes) {
+  PAC_CHECK(world_size > 0 && world_size <= kMaxRanks,
+            "shm arena world size " << world_size << " out of range [1, "
+                                    << kMaxRanks << "]");
+  PAC_CHECK(ring_bytes >= 4096, "shm ring too small: " << ring_bytes);
+  const std::size_t links =
+      static_cast<std::size_t>(world_size) * static_cast<std::size_t>(world_size);
+  map_len_ = sizeof(Header) + links * sizeof(Ring) +
+             links * static_cast<std::size_t>(ring_bytes);
+
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  const bool creator = fd >= 0;
+  if (!creator) {
+    if (errno != EEXIST) throw_errno("shm_open(create) " + name);
+    fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+    if (fd < 0) throw_errno("shm_open(attach) " + name);
+  }
+  if (creator) {
+    if (::ftruncate(fd, static_cast<off_t>(map_len_)) != 0) {
+      ::close(fd);
+      throw_errno("ftruncate " + name);
+    }
+  } else {
+    // The creator may still be sizing the segment; wait for it.
+    struct stat st {};
+    for (int spin = 0;; ++spin) {
+      if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw_errno("fstat " + name);
+      }
+      if (static_cast<std::size_t>(st.st_size) >= map_len_) break;
+      if (spin > 5000) {
+        ::close(fd);
+        throw TransportError("shm: arena " + name + " never reached size");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  map_ = ::mmap(nullptr, map_len_, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map_ == MAP_FAILED) {
+    map_ = nullptr;
+    throw_errno("mmap " + name);
+  }
+  header_ = static_cast<Header*>(map_);
+  if (creator) {
+    std::memset(map_, 0, map_len_);
+    new (&header_->seal) std::atomic<std::uint64_t>(0);
+    header_->world = static_cast<std::uint32_t>(world_size);
+    header_->ring_bytes = ring_bytes;
+    new (&header_->closed) std::atomic<std::uint32_t>(0);
+    new (&header_->root_dead) std::atomic<std::int32_t>(-1);
+    for (int r = 0; r < kMaxRanks; ++r) {
+      new (&header_->dead[r]) std::atomic<std::uint32_t>(0);
+    }
+    for (int r = 0; r < world_size; ++r) {
+      if (::sem_init(&header_->doorbells[r], /*pshared=*/1, 0) != 0) {
+        throw_errno("sem_init " + name);
+      }
+    }
+    for (int from = 0; from < world_size; ++from) {
+      for (int to = 0; to < world_size; ++to) {
+        Ring& r = ring(from, to);
+        new (&r.head) std::atomic<std::uint64_t>(0);
+        new (&r.tail) std::atomic<std::uint64_t>(0);
+      }
+    }
+    header_->seal.store(kSealMagic, std::memory_order_release);
+  } else {
+    for (int spin = 0;; ++spin) {
+      if (header_->seal.load(std::memory_order_acquire) == kSealMagic) break;
+      if (spin > 5000) {
+        throw TransportError("shm: arena " + name + " never initialised");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (header_->world != static_cast<std::uint32_t>(world_size) ||
+        header_->ring_bytes != ring_bytes) {
+      throw TransportError("shm: arena " + name +
+                           " layout mismatch (world/ring size)");
+    }
+  }
+}
+
+ShmArena::~ShmArena() {
+  if (map_ != nullptr) ::munmap(map_, map_len_);
+}
+
+void ShmArena::unlink(const std::string& name) { ::shm_unlink(name.c_str()); }
+
+bool ShmArena::mark_rank_dead(const std::string& name, int rank) {
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) return false;
+  void* map = ::mmap(nullptr, sizeof(Header), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) return false;
+  auto* header = static_cast<Header*>(map);
+  bool marked = false;
+  if (header->seal.load(std::memory_order_acquire) == kSealMagic &&
+      rank >= 0 && rank < static_cast<int>(header->world)) {
+    header->dead[rank].store(1);
+    std::int32_t expected = -1;
+    header->root_dead.compare_exchange_strong(expected, rank);
+    for (std::uint32_t r = 0; r < header->world; ++r) {
+      ::sem_post(&header->doorbells[r]);
+    }
+    marked = true;
+  }
+  ::munmap(map, sizeof(Header));
+  return marked;
+}
+
+bool ShmArena::write_bytes(int from, int to, const std::uint8_t* data,
+                           std::size_t len) {
+  Ring& r = ring(from, to);
+  std::uint8_t* buf = ring_data(from, to);
+  std::size_t done = 0;
+  while (done < len) {
+    const std::uint64_t head = r.head.load(std::memory_order_acquire);
+    const std::uint64_t tail = r.tail.load(std::memory_order_relaxed);
+    const std::uint64_t space = ring_bytes_ - (tail - head);
+    if (space == 0) {
+      if (is_closed() || is_dead(to) || is_dead(from)) return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    const std::size_t n =
+        std::min<std::size_t>(len - done, static_cast<std::size_t>(space));
+    const std::size_t pos = static_cast<std::size_t>(tail % ring_bytes_);
+    const std::size_t first = std::min(n, ring_bytes_ - pos);
+    std::memcpy(buf + pos, data + done, first);
+    std::memcpy(buf, data + done + first, n - first);
+    r.tail.store(tail + n, std::memory_order_release);
+    done += n;
+    post_doorbell(to);
+  }
+  return true;
+}
+
+std::size_t ShmArena::read_bytes(int from, int to, std::uint8_t* out,
+                                 std::size_t cap) {
+  Ring& r = ring(from, to);
+  const std::uint8_t* buf = ring_data(from, to);
+  const std::uint64_t tail = r.tail.load(std::memory_order_acquire);
+  const std::uint64_t head = r.head.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(avail, cap);
+  if (n == 0) return 0;
+  const std::size_t pos = static_cast<std::size_t>(head % ring_bytes_);
+  const std::size_t first = std::min(n, ring_bytes_ - pos);
+  std::memcpy(out, buf + pos, first);
+  std::memcpy(out + first, buf, n - first);
+  r.head.store(head + n, std::memory_order_release);
+  return n;
+}
+
+bool ShmArena::ring_empty(int from, int to) const {
+  Ring& r = ring(from, to);
+  return r.tail.load(std::memory_order_acquire) ==
+         r.head.load(std::memory_order_relaxed);
+}
+
+void ShmArena::set_closed() {
+  header_->closed.store(1);
+  post_all_doorbells();
+}
+
+bool ShmArena::is_closed() const { return header_->closed.load() != 0; }
+
+void ShmArena::set_dead(int rank) {
+  header_->dead[rank].store(1);
+  post_all_doorbells();
+}
+
+bool ShmArena::is_dead(int rank) const {
+  return header_->dead[rank].load() != 0;
+}
+
+void ShmArena::set_root_dead(int rank) {
+  std::int32_t expected = -1;
+  header_->root_dead.compare_exchange_strong(
+      expected, static_cast<std::int32_t>(rank));
+}
+
+int ShmArena::root_dead() const {
+  return static_cast<int>(header_->root_dead.load());
+}
+
+void ShmArena::post_doorbell(int rank) {
+  ::sem_post(&header_->doorbells[rank]);
+}
+
+void ShmArena::post_all_doorbells() {
+  for (int r = 0; r < world_size_; ++r) post_doorbell(r);
+}
+
+bool ShmArena::wait_doorbell(int rank, int timeout_ms) {
+  struct timespec deadline {};
+  ::clock_gettime(CLOCK_REALTIME, &deadline);
+  deadline.tv_nsec += static_cast<long>(timeout_ms) * 1000000L;
+  deadline.tv_sec += deadline.tv_nsec / 1000000000L;
+  deadline.tv_nsec %= 1000000000L;
+  while (::sem_timedwait(&header_->doorbells[rank], &deadline) != 0) {
+    if (errno == EINTR) continue;
+    return false;  // ETIMEDOUT (or EINVAL under clock skew): just re-poll
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ShmTransport
+
+ShmTransport::ShmTransport(std::shared_ptr<ShmArena> arena, int rank,
+                           LinkModel link, FaultPlan faults)
+    : RemoteEndpointBase(arena->world_size(), rank, link, std::move(faults)),
+      arena_(std::move(arena)),
+      decoders_(static_cast<std::size_t>(world_size()),
+                wire::FrameDecoder(world_size())) {
+  pump_ = std::thread([this] { pump_main(); });
+}
+
+ShmTransport::ShmTransport(const std::string& arena_name, int world_size,
+                           int rank, LinkModel link, FaultPlan faults)
+    : ShmTransport(std::make_shared<ShmArena>(arena_name, world_size), rank,
+                   link, std::move(faults)) {}
+
+ShmTransport::~ShmTransport() {
+  stop_.store(true);
+  arena_->post_doorbell(rank_);
+  if (pump_.joinable()) pump_.join();
+}
+
+void ShmTransport::report_root_death(int rank) {
+  arena_->set_root_dead(rank);
+  Transport::report_root_death(rank);
+}
+
+int ShmTransport::first_dead_rank() const {
+  const int shared = arena_->root_dead();
+  return shared >= 0 ? shared : Transport::first_dead_rank();
+}
+
+void ShmTransport::wire_send(int to, const std::vector<std::uint8_t>& frame) {
+  if (!arena_->write_bytes(rank_, to, frame.data(), frame.size())) {
+    if (arena_->is_closed() || closed()) {
+      throw ChannelClosedError("send on closed transport");
+    }
+    throw PeerDeadError(to, "send to dead rank " + std::to_string(to));
+  }
+}
+
+void ShmTransport::on_close_rank(int rank) { arena_->set_dead(rank); }
+
+void ShmTransport::on_close() { arena_->set_closed(); }
+
+void ShmTransport::mirror_shared_state() {
+  if (arena_->is_closed()) mark_closed_local();
+  for (int r = 0; r < world_size(); ++r) {
+    if (arena_->is_dead(r)) mark_dead_local(r);
+  }
+  const int root = arena_->root_dead();
+  if (root >= 0) Transport::report_root_death(root);
+}
+
+void ShmTransport::pump_main() {
+  std::uint8_t buf[64 * 1024];
+  try {
+    while (!stop_.load()) {
+      arena_->wait_doorbell(rank_, /*timeout_ms=*/2);
+      mirror_shared_state();
+      if (closed()) break;
+      for (int from = 0; from < world_size(); ++from) {
+        if (from == rank_) continue;
+        std::size_t n = 0;
+        while ((n = arena_->read_bytes(from, rank_, buf, sizeof(buf))) > 0) {
+          auto& decoder = decoders_[static_cast<std::size_t>(from)];
+          decoder.feed(buf, n);
+          while (auto frame = decoder.next()) handle_frame(std::move(*frame));
+        }
+        if (rank_dead(from) && !drained(from) &&
+            arena_->ring_empty(from, rank_)) {
+          // Everything the dead rank published has been delivered; any
+          // partial trailing frame in the decoder is discarded.
+          set_drained(from);
+        }
+      }
+    }
+  } catch (const Error&) {
+    // Corrupt ring or decoder poison: fail the whole world rather than
+    // hang — receivers unwind with ChannelClosedError.
+    arena_->set_closed();
+    mark_closed_local();
+  }
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,120 @@
+// POSIX shared-memory transport backend: same-host ranks in separate
+// processes exchange wire frames through fixed-size SPSC byte rings, one
+// ring per directed link, with process-shared semaphore doorbells.
+//
+// Kill-safety: a writer copies frame bytes into the ring first and
+// publishes them with a release-store of the tail afterwards, so a rank
+// killed (SIGKILL) mid-write leaves at most an unpublished or partial
+// frame; readers never observe torn tensors — the FrameDecoder simply holds
+// the partial bytes forever and the drain logic discards them.
+//
+// The arena also carries the world-shared failure state (closed flag,
+// per-rank dead flags, root-death record), so `close_rank` and `close`
+// propagate between processes without any in-band traffic, and an external
+// supervisor (the rank launcher) can mark a SIGKILLed child dead with
+// `ShmArena::mark_rank_dead`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/remote_endpoint.hpp"
+
+namespace pac::dist {
+
+// A named shared-memory segment holding the rings and shared failure
+// state for one world.  Create-or-attach: the first process to open the
+// name initialises it; later processes attach and wait for the init seal.
+class ShmArena {
+ public:
+  static constexpr int kMaxRanks = 64;
+
+  ShmArena(const std::string& name, int world_size,
+           std::uint32_t ring_bytes = 1u << 20);
+  ~ShmArena();
+
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  const std::string& name() const { return name_; }
+  int world_size() const { return world_size_; }
+
+  // Streams `len` bytes into the from->to ring, sleeping while the ring is
+  // full.  Returns false (possibly mid-frame) once the world closes or `to`
+  // dies; the receiver discards any partial frame on drain.
+  bool write_bytes(int from, int to, const std::uint8_t* data,
+                   std::size_t len);
+  // Drains up to `cap` bytes from the from->to ring; returns bytes read.
+  std::size_t read_bytes(int from, int to, std::uint8_t* buf,
+                         std::size_t cap);
+  bool ring_empty(int from, int to) const;
+
+  // Shared failure state.
+  void set_closed();
+  bool is_closed() const;
+  void set_dead(int rank);
+  bool is_dead(int rank) const;
+  void set_root_dead(int rank);
+  int root_dead() const;
+
+  // Doorbells: senders (and failure-state writers) post the receiving
+  // rank's semaphore; pumps wait with a bounded timeout so external state
+  // changes are noticed even without a post.
+  void post_doorbell(int rank);
+  void post_all_doorbells();
+  bool wait_doorbell(int rank, int timeout_ms);
+
+  // Removes the name from the namespace (existing mappings survive).
+  static void unlink(const std::string& name);
+  // Supervisor-side death marking: attaches an existing arena, flags
+  // `rank` dead (and as the root death), wakes every pump.  Returns false
+  // if no arena by that name exists.
+  static bool mark_rank_dead(const std::string& name, int rank);
+
+ private:
+  struct Header;
+  struct Ring;
+
+  Ring& ring(int from, int to) const;
+  std::uint8_t* ring_data(int from, int to) const;
+
+  std::string name_;
+  int world_size_ = 0;
+  std::uint32_t ring_bytes_ = 0;
+  std::size_t map_len_ = 0;
+  void* map_ = nullptr;
+  Header* header_ = nullptr;
+};
+
+class ShmTransport final : public RemoteEndpointBase {
+ public:
+  ShmTransport(std::shared_ptr<ShmArena> arena, int rank, LinkModel link = {},
+               FaultPlan faults = {});
+  // Convenience: create-or-attach the named arena.
+  ShmTransport(const std::string& arena_name, int world_size, int rank,
+               LinkModel link = {}, FaultPlan faults = {});
+  ~ShmTransport() override;
+
+  void report_root_death(int rank) override;
+  int first_dead_rank() const override;
+
+ protected:
+  void wire_send(int to, const std::vector<std::uint8_t>& frame) override;
+  void on_close_rank(int rank) override;
+  void on_close() override;
+
+ private:
+  void pump_main();
+  void mirror_shared_state();
+
+  std::shared_ptr<ShmArena> arena_;
+  std::vector<wire::FrameDecoder> decoders_;  // one per source rank
+  std::atomic<bool> stop_{false};
+  std::thread pump_;
+};
+
+}  // namespace pac::dist

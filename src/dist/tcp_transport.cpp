@@ -1,0 +1,311 @@
+#include "dist/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int world_size, int rank, std::uint16_t bind_port,
+                           LinkModel link, FaultPlan faults)
+    : RemoteEndpointBase(world_size, rank, link, std::move(faults)),
+      peers_(static_cast<std::size_t>(world_size)),
+      out_fd_(static_cast<std::size_t>(world_size), -1) {
+  for (int i = 0; i < world_size; ++i) {
+    io_mutex_.push_back(std::make_unique<std::mutex>());
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw TransportError("tcp: socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(bind_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("tcp: bind port " + std::to_string(bind_port) +
+                         ": " + why);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, world_size + 4) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("tcp: listen: " + why);
+  }
+  acceptor_ = std::thread([this] { accept_main(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stop_.store(true);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  {
+    std::lock_guard<std::mutex> guard(conns_mutex_);
+    for (auto& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& conn : conns_) {
+    if (conn->rx.joinable()) conn->rx.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  for (int p = 0; p < world_size(); ++p) {
+    std::lock_guard<std::mutex> guard(*io_mutex_[static_cast<std::size_t>(p)]);
+    if (out_fd_[static_cast<std::size_t>(p)] >= 0) {
+      ::close(out_fd_[static_cast<std::size_t>(p)]);
+      out_fd_[static_cast<std::size_t>(p)] = -1;
+    }
+  }
+}
+
+void TcpTransport::set_peer(int rank, TcpPeer peer) {
+  check_rank(rank, "set_peer");
+  std::lock_guard<std::mutex> guard(peers_mutex_);
+  peers_[static_cast<std::size_t>(rank)] = std::move(peer);
+}
+
+void TcpTransport::accept_main() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 50);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load()) break;
+      continue;
+    }
+    set_nodelay(fd);
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> guard(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->rx = std::thread([this, raw] { rx_main(raw); });
+  }
+}
+
+void TcpTransport::observe_peer_gone(int peer) {
+  // EOF / reset from a peer that nobody declared dead yet: the wire itself
+  // is the failure detector.
+  if (peer < 0 || peer >= world_size()) return;
+  if (!rank_dead(peer) && !closed() && !stop_.load()) {
+    report_root_death(peer);
+  }
+  mark_dead_local(peer);
+  set_drained(peer);
+}
+
+void TcpTransport::rx_main(Connection* conn) {
+  wire::FrameDecoder decoder(world_size());
+  std::uint8_t buf[64 * 1024];
+  bool hello_done = false;
+  int quiet_polls = 0;
+  while (!stop_.load() && !closed()) {
+    const int peer = conn->peer.load();
+    if (hello_done && rank_dead(peer)) {
+      // Peer is dead: two empty polls in a row ≈ the loopback wire has
+      // quiesced; everything it sent beforehand has been deposited.
+      if (quiet_polls >= 2) {
+        set_drained(peer);
+        return;
+      }
+    }
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 2);
+    if (pr <= 0) {
+      ++quiet_polls;
+      continue;
+    }
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      if (hello_done) observe_peer_gone(conn->peer.load());
+      return;
+    }
+    if (n < 0) {
+      ++quiet_polls;
+      continue;
+    }
+    quiet_polls = 0;
+    try {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      while (auto frame = decoder.next()) {
+        if (!hello_done) {
+          if (frame->type != wire::FrameType::kHello) {
+            throw TransportError("tcp: connection did not start with HELLO");
+          }
+          conn->peer.store(frame->src);
+          hello_done = true;
+          continue;
+        }
+        if (frame->type == wire::FrameType::kRankDead) {
+          note_dead_rank(frame->src);
+        } else if (frame->type == wire::FrameType::kRootDead) {
+          // Re-gossips only if this is news here (CAS guard), so the
+          // propagation terminates after one round.
+          report_root_death(frame->src);
+        } else {
+          handle_frame(std::move(*frame));
+        }
+      }
+    } catch (const Error&) {
+      // Malformed stream: drop the connection; if the peer was known,
+      // treat it like a crash.
+      if (hello_done) observe_peer_gone(conn->peer.load());
+      return;
+    }
+  }
+}
+
+void TcpTransport::note_dead_rank(int rank) {
+  if (rank < 0 || rank >= world_size()) return;
+  mark_dead_local(rank);
+  {
+    std::lock_guard<std::mutex> guard(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->peer.load() == rank) return;  // its rx thread drains
+    }
+  }
+  // No inbound link from that rank: nothing can be in flight.
+  set_drained(rank);
+}
+
+int TcpTransport::connect_to(int to) {
+  TcpPeer peer;
+  {
+    std::lock_guard<std::mutex> guard(peers_mutex_);
+    peer = peers_[static_cast<std::size_t>(to)];
+  }
+  if (peer.port == 0) return -1;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (true) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(peer.port);
+    if (::inet_pton(AF_INET, peer.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      set_nodelay(fd);
+      const auto hello =
+          wire::encode_control(wire::FrameType::kHello, rank_);
+      if (!send_all(fd, hello.data(), hello.size())) {
+        ::close(fd);
+        return -1;
+      }
+      return fd;
+    }
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline || stop_.load() ||
+        closed() || rank_dead(to)) {
+      return -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void TcpTransport::wire_send(int to, const std::vector<std::uint8_t>& frame) {
+  std::lock_guard<std::mutex> guard(*io_mutex_[static_cast<std::size_t>(to)]);
+  int& fd = out_fd_[static_cast<std::size_t>(to)];
+  if (fd < 0) fd = connect_to(to);
+  if (fd < 0) {
+    throw TransportError("tcp: no route to rank " + std::to_string(to));
+  }
+  if (!send_all(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    fd = -1;
+    observe_peer_gone(to);
+    throw PeerDeadError(to, "send to dead rank " + std::to_string(to) +
+                                " (connection lost)");
+  }
+}
+
+void TcpTransport::report_root_death(int rank) {
+  check_rank(rank, "report_root_death");
+  int expected = -1;
+  if (root_dead_.compare_exchange_strong(expected, rank)) {
+    // We hold the first report: share it.  The dead rank itself is skipped
+    // both because it has nothing to learn and because the caller may be a
+    // failed wire_send still holding that link's io mutex.
+    send_control_everywhere(
+        wire::encode_control(wire::FrameType::kRootDead, rank), rank);
+  }
+}
+
+void TcpTransport::send_control_everywhere(
+    const std::vector<std::uint8_t>& frame, int skip_rank) {
+  for (int p = 0; p < world_size(); ++p) {
+    if (p == rank_ || p == skip_rank) continue;
+    std::lock_guard<std::mutex> guard(
+        *io_mutex_[static_cast<std::size_t>(p)]);
+    int& fd = out_fd_[static_cast<std::size_t>(p)];
+    if (fd < 0) fd = connect_to(p);
+    if (fd < 0) continue;  // unreachable peer: best effort only
+    if (!send_all(fd, frame.data(), frame.size())) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+void TcpTransport::on_close_rank(int rank) {
+  send_control_everywhere(
+      wire::encode_control(wire::FrameType::kRankDead, rank));
+  note_dead_rank(rank);
+}
+
+void TcpTransport::on_close() {
+  send_control_everywhere(wire::encode_control(wire::FrameType::kClose, rank_));
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,97 @@
+// TCP socket transport backend: ranks on (potentially) different machines
+// exchange length-prefixed wire frames over stream sockets.
+//
+// Connection model: every endpoint owns a listening socket; links are
+// established lazily by the sender and identified by a HELLO frame carrying
+// the source rank, so each directed link is one connection and per-(source,
+// tag) FIFO follows from TCP's byte ordering plus the per-destination send
+// serialization in RemoteEndpointBase.  `close_rank` / `close` propagate as
+// RANK_DEAD / CLOSE control frames (best effort); an unexpected EOF or
+// connection reset from a peer marks it dead — the wire itself is the
+// failure detector, complementing the Communicator's recv-timeout
+// presumption.
+//
+// Rendezvous: construct with the world's peer list.  Ports may be 0 at
+// construction (kernel-assigned); read the actual one back with `port()`
+// and distribute it out of band (the multi-process driver uses a rendezvous
+// directory, tests just build all endpoints first and then connect them via
+// `set_peer`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/remote_endpoint.hpp"
+
+namespace pac::dist {
+
+struct TcpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = unknown yet
+};
+
+class TcpTransport final : public RemoteEndpointBase {
+ public:
+  // Binds `bind_port` (0 for kernel-assigned) on 127.0.0.1 and starts
+  // accepting.  Peer addresses can be provided now or later via set_peer.
+  TcpTransport(int world_size, int rank, std::uint16_t bind_port = 0,
+               LinkModel link = {}, FaultPlan faults = {});
+  ~TcpTransport() override;
+
+  // The port this endpoint actually listens on.
+  std::uint16_t port() const { return port_; }
+  void set_peer(int rank, TcpPeer peer);
+
+  // First report wins locally, then gossips a ROOT_DEAD control frame so
+  // every endpoint converges on the same root-cause record (the shm
+  // backend shares it through the arena header; TCP has no shared memory).
+  void report_root_death(int rank) override;
+
+ protected:
+  void wire_send(int to, const std::vector<std::uint8_t>& frame) override;
+  void on_close_rank(int rank) override;
+  void on_close() override;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::atomic<int> peer{-1};  // set once the HELLO frame arrives
+    std::thread rx;
+  };
+
+  void accept_main();
+  void rx_main(Connection* conn);
+  int connect_to(int to);  // returns connected fd with HELLO sent, or -1
+  // Best-effort control broadcast.  `skip_rank` is excluded — callers that
+  // already hold that link's io mutex (a failed wire_send reporting the
+  // peer dead) must not re-lock it.
+  void send_control_everywhere(const std::vector<std::uint8_t>& frame,
+                               int skip_rank = -1);
+  // Marks `rank` dead; sets drained immediately when no inbound link from
+  // it exists (nothing can be in flight).
+  void note_dead_rank(int rank);
+  // EOF / reset handling: an unexpected hangup marks the peer dead.
+  void observe_peer_gone(int peer);
+
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+
+  std::mutex peers_mutex_;
+  std::vector<TcpPeer> peers_;
+  // Outbound fd per destination; both guarded by the matching io_mutex_
+  // entry, which serializes every write (data and control) on that link.
+  std::vector<int> out_fd_;
+  std::vector<std::unique_ptr<std::mutex>> io_mutex_;
+
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace pac::dist

@@ -20,17 +20,14 @@ std::string link_counter(const char* what, int from, int to) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Transport (shared machinery)
+
 Transport::Transport(int world_size, LinkModel link, FaultPlan faults)
     : world_size_(world_size),
       link_(link),
       faults_(std::move(faults), world_size) {
   PAC_CHECK(world_size > 0, "transport needs at least one rank");
-  mailboxes_.reserve(static_cast<std::size_t>(world_size));
-  dead_.reserve(static_cast<std::size_t>(world_size));
-  for (int i = 0; i < world_size; ++i) {
-    mailboxes_.push_back(std::make_unique<Mailbox>());
-    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
-  }
 }
 
 void Transport::check_rank(int rank, const char* what) const {
@@ -39,16 +36,105 @@ void Transport::check_rank(int rank, const char* what) const {
                  << ")");
 }
 
+void Transport::report_root_death(int rank) {
+  check_rank(rank, "report_root_death");
+  int expected = -1;
+  root_dead_.compare_exchange_strong(expected, rank);
+}
+
 void Transport::maybe_inject_death(int rank) {
   if (!faults_.active()) return;
   if (faults_.op_kills_rank(rank)) {
+    report_root_death(rank);
     close_rank(rank);
     throw RankDeathError(rank);
   }
 }
 
-void Transport::flush_deferred(Mailbox& box,
-                               const std::pair<int, int>* key_or_null) {
+void Transport::run_send_faults(int from, int to, int tag,
+                                std::uint64_t bytes) {
+  if (faults_.active() && faults_.send_fails(from, to, tag)) {
+    throw TransientSendError("injected transient send failure on link " +
+                             std::to_string(from) + " -> " +
+                             std::to_string(to));
+  }
+  if (faults_.active()) {
+    const double ms = faults_.delay_ms(from, to, tag);
+    if (ms > 0.0) {
+      PAC_TRACE_SCOPE("fault_delay", from, to);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(ms));
+    }
+  }
+  if (link_.simulate_delay && from != to) {
+    PAC_TRACE_SCOPE("link_sleep", from, to);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(link_.transfer_seconds(bytes)));
+  }
+}
+
+void Transport::record_send(int from, int to, std::uint64_t bytes) {
+  if (obs::enabled()) {
+    auto& counters = obs::CounterRegistry::instance();
+    counters.add(link_counter("sent_bytes", from, to),
+                 static_cast<std::int64_t>(bytes));
+    counters.add(link_counter("sent_msgs", from, to), 1);
+  }
+  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+  LinkStats& s = stats_[{from, to}];
+  ++s.messages;
+  s.bytes += bytes;
+}
+
+void Transport::record_recv(int from, int to, std::uint64_t bytes) {
+  if (obs::enabled()) {
+    obs::CounterRegistry::instance().add(link_counter("recv_bytes", from, to),
+                                         static_cast<std::int64_t>(bytes));
+  }
+}
+
+Tensor Transport::recv(int to, int from, int tag) {
+  auto result = recv_impl(to, from, tag, std::nullopt);
+  PAC_CHECK(result.has_value(), "untimed recv returned without a message");
+  return std::move(*result);
+}
+
+std::optional<Tensor> Transport::recv_for(int to, int from, int tag,
+                                          std::chrono::milliseconds timeout) {
+  return recv_impl(to, from, tag, timeout);
+}
+
+LinkStats Transport::stats(int from, int to) const {
+  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+  auto it = stats_.find({from, to});
+  return it == stats_.end() ? LinkStats{} : it->second;
+}
+
+std::uint64_t Transport::total_bytes() const {
+  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [edge, s] : stats_) {
+    if (edge.first != edge.second) total += s.bytes;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// InProcTransport
+
+InProcTransport::InProcTransport(int world_size, LinkModel link,
+                                 FaultPlan faults)
+    : Transport(world_size, link, std::move(faults)) {
+  mailboxes_.reserve(static_cast<std::size_t>(world_size));
+  dead_.reserve(static_cast<std::size_t>(world_size));
+  for (int i = 0; i < world_size; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+}
+
+void InProcTransport::flush_deferred(Mailbox& box,
+                                     const std::pair<int, int>* key_or_null) {
   if (box.deferred.empty()) return;
   if (key_or_null != nullptr) {
     auto it = box.deferred.find(*key_or_null);
@@ -65,7 +151,7 @@ void Transport::flush_deferred(Mailbox& box,
   box.deferred.clear();
 }
 
-void Transport::send(int from, int to, int tag, Tensor payload) {
+void InProcTransport::send(int from, int to, int tag, Tensor payload) {
   check_rank(from, "send source");
   check_rank(to, "send destination");
   if (closed_.load()) {
@@ -78,38 +164,9 @@ void Transport::send(int from, int to, int tag, Tensor payload) {
   if (dead_[static_cast<std::size_t>(to)]->load()) {
     throw PeerDeadError(to, "send to dead rank " + std::to_string(to));
   }
-  if (faults_.active() && faults_.send_fails(from, to, tag)) {
-    throw TransientSendError("injected transient send failure on link " +
-                             std::to_string(from) + " -> " +
-                             std::to_string(to));
-  }
-  const std::uint64_t bytes =
-      payload.defined() ? payload.byte_size() : 0;
-  if (faults_.active()) {
-    const double ms = faults_.delay_ms(from, to, tag);
-    if (ms > 0.0) {
-      PAC_TRACE_SCOPE("fault_delay", from, to);
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          ms));
-    }
-  }
-  if (link_.simulate_delay && from != to) {
-    PAC_TRACE_SCOPE("link_sleep", from, to);
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(link_.transfer_seconds(bytes)));
-  }
-  if (obs::enabled()) {
-    auto& counters = obs::CounterRegistry::instance();
-    counters.add(link_counter("sent_bytes", from, to),
-                 static_cast<std::int64_t>(bytes));
-    counters.add(link_counter("sent_msgs", from, to), 1);
-  }
-  {
-    std::lock_guard<std::mutex> stats_guard(stats_mutex_);
-    LinkStats& s = stats_[{from, to}];
-    ++s.messages;
-    s.bytes += bytes;
-  }
+  const std::uint64_t bytes = payload.defined() ? payload.byte_size() : 0;
+  run_send_faults(from, to, tag, bytes);
+  record_send(from, to, bytes);
   const bool park = faults_.active() && faults_.defer(from, to, tag);
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(to)];
   const auto key = std::make_pair(from, tag);
@@ -131,7 +188,7 @@ void Transport::send(int from, int to, int tag, Tensor payload) {
   box.arrived.notify_all();
 }
 
-std::optional<Tensor> Transport::recv_impl(
+std::optional<Tensor> InProcTransport::recv_impl(
     int to, int from, int tag,
     const std::optional<std::chrono::milliseconds>& timeout) {
   check_rank(to, "recv destination");
@@ -163,30 +220,15 @@ std::optional<Tensor> Transport::recv_impl(
     // still handed out so receivers can finish in-flight work.
     Message msg = std::move(it->second.front());
     it->second.pop_front();
-    if (obs::enabled()) {
-      obs::CounterRegistry::instance().add(
-          link_counter("recv_bytes", from, to),
-          static_cast<std::int64_t>(
-              msg.payload.defined() ? msg.payload.byte_size() : 0));
-    }
+    record_recv(from, to,
+                msg.payload.defined() ? msg.payload.byte_size() : 0);
     return std::move(msg.payload);
   }
   throw PeerDeadError(from, "recv aborted: rank " + std::to_string(from) +
                                 " is dead");
 }
 
-Tensor Transport::recv(int to, int from, int tag) {
-  auto result = recv_impl(to, from, tag, std::nullopt);
-  PAC_CHECK(result.has_value(), "untimed recv returned without a message");
-  return std::move(*result);
-}
-
-std::optional<Tensor> Transport::recv_for(int to, int from, int tag,
-                                          std::chrono::milliseconds timeout) {
-  return recv_impl(to, from, tag, timeout);
-}
-
-void Transport::close() {
+void InProcTransport::close() {
   closed_.store(true);
   for (auto& box : mailboxes_) {
     // Lock/unlock pairs with waiting receivers to avoid lost wakeups.
@@ -195,9 +237,9 @@ void Transport::close() {
   for (auto& box : mailboxes_) box->arrived.notify_all();
 }
 
-bool Transport::closed() const { return closed_.load(); }
+bool InProcTransport::closed() const { return closed_.load(); }
 
-void Transport::close_rank(int rank) {
+void InProcTransport::close_rank(int rank) {
   check_rank(rank, "close_rank");
   if (dead_[static_cast<std::size_t>(rank)]->exchange(true)) return;
   for (auto& box : mailboxes_) {
@@ -206,24 +248,9 @@ void Transport::close_rank(int rank) {
   for (auto& box : mailboxes_) box->arrived.notify_all();
 }
 
-bool Transport::rank_dead(int rank) const {
+bool InProcTransport::rank_dead(int rank) const {
   check_rank(rank, "rank_dead");
   return dead_[static_cast<std::size_t>(rank)]->load();
-}
-
-LinkStats Transport::stats(int from, int to) const {
-  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
-  auto it = stats_.find({from, to});
-  return it == stats_.end() ? LinkStats{} : it->second;
-}
-
-std::uint64_t Transport::total_bytes() const {
-  std::lock_guard<std::mutex> stats_guard(stats_mutex_);
-  std::uint64_t total = 0;
-  for (const auto& [edge, s] : stats_) {
-    if (edge.first != edge.second) total += s.bytes;
-  }
-  return total;
 }
 
 }  // namespace pac::dist

@@ -1,4 +1,5 @@
-// In-process message transport between simulated edge devices.
+// Message transport between edge devices — abstract contract plus the
+// in-process reference backend.
 //
 // Cooperative message passing in the MPI style: a send deposits a message in
 // the receiver's mailbox keyed by (source, tag); a recv blocks on a
@@ -7,16 +8,26 @@
 // model; `close()` wakes every blocked receiver with ChannelClosedError so
 // one failing device cannot deadlock the cluster.
 //
-// Failure model (rank-scoped): `close_rank(r)` marks one device dead
-// without touching the rest of the world.  Receivers blocked on the dead
-// rank wake with PeerDeadError; messages the dead rank already delivered
-// remain receivable (drain semantics); links between live ranks are
-// unaffected.  `recv_for` adds a timeout so callers can detect silent
-// stalls and presume a peer dead (Communicator's retry/backoff path).
+// Failure model (rank-scoped, identical across backends): `close_rank(r)`
+// marks one device dead without touching the rest of the world.  Receivers
+// blocked on the dead rank wake with PeerDeadError; messages the dead rank
+// already delivered remain receivable (drain semantics); links between live
+// ranks are unaffected.  `recv_for` adds a timeout so callers can detect
+// silent stalls and presume a peer dead (Communicator's retry/backoff path).
 //
 // Fault injection: an optional FaultPlan makes the transport misbehave on
 // purpose — seeded delays, legal reordering, transient send failures, and
-// scheduled rank death — for the chaos tests (see dist/fault.hpp).
+// scheduled rank death — for the chaos tests (see dist/fault.hpp).  Fault
+// decisions are pure hashes of (seed, link, tag, per-link sequence), so the
+// same plan produces the same schedule on every backend.
+//
+// Backends:
+//   * InProcTransport (this header) — shared-memory-in-one-process mailboxes;
+//     the deterministic oracle every other backend must match.
+//   * ShmTransport (shm_transport.hpp) — POSIX shared-memory rings between
+//     processes on one host.
+//   * TcpTransport (tcp_transport.hpp) — length-prefixed frames over TCP
+//     sockets for cross-machine ranks.
 //
 // The optional LinkModel adds a real sleep proportional to message size,
 // emulating the paper's 128 Mbps edge LAN for wall-clock demos; tests and
@@ -62,14 +73,20 @@ struct LinkStats {
   std::uint64_t bytes = 0;
 };
 
+// Abstract transport contract.  All backends implement exactly these
+// semantics; tests/transport_conformance_test.cpp holds them to it.
 class Transport {
  public:
-  Transport(int world_size, LinkModel link = {}, FaultPlan faults = {});
+  Transport(int world_size, LinkModel link, FaultPlan faults);
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
 
   int world_size() const { return world_size_; }
   const LinkModel& link() const { return link_; }
 
-  void send(int from, int to, int tag, Tensor payload);
+  virtual void send(int from, int to, int tag, Tensor payload) = 0;
   // Blocks until a message with (from, tag) arrives at `to`.
   Tensor recv(int to, int from, int tag);
   // Bounded wait: nullopt on timeout (still throws on close / dead peer).
@@ -78,21 +95,67 @@ class Transport {
 
   // Wakes all blocked receivers with ChannelClosedError; subsequent sends
   // and recvs throw too.  Used on whole-cluster teardown.
-  void close();
-  bool closed() const;
+  virtual void close() = 0;
+  virtual bool closed() const = 0;
 
   // Marks one rank dead.  Receivers blocked on it wake with PeerDeadError;
   // already-delivered messages from it stay receivable until drained; all
   // other links keep working.  Idempotent.
-  void close_rank(int rank);
-  bool rank_dead(int rank) const;
+  virtual void close_rank(int rank) = 0;
+  virtual bool rank_dead(int rank) const = 0;
 
-  // Total traffic from `from` to `to` so far.
+  // Root-cause death bookkeeping.  Cascading failures mark several ranks
+  // dead (a survivor that unwinds closes its own links); the *root* death is
+  // the one recovery should absorb.  First report wins; -1 when none.
+  // Reported by injected deaths, recv-timeout presumption, remote peer-dead
+  // detection, and external process supervisors.
+  virtual void report_root_death(int rank);
+  virtual int first_dead_rank() const { return root_dead_.load(); }
+
+  // Total traffic from `from` to `to` so far (send-side accounting).
   LinkStats stats(int from, int to) const;
   std::uint64_t total_bytes() const;
 
   // The transport's fault injector (chaos tests inspect op counters).
   FaultInjector& fault_injector() { return faults_; }
+
+ protected:
+  void check_rank(int rank, const char* what) const;
+  // Records per-link stats and observability counters for a send.
+  void record_send(int from, int to, std::uint64_t bytes);
+  void record_recv(int from, int to, std::uint64_t bytes);
+  // If the fault plan schedules `rank`'s death at this op, closes the rank
+  // (via the backend's close_rank) and throws RankDeathError.
+  void maybe_inject_death(int rank);
+  // Runs the send-side fault pipeline shared by every backend: transient
+  // failure, injected delay, modeled link sleep.  Caller has already done
+  // closed/dead checks.  Throws TransientSendError as scheduled.
+  void run_send_faults(int from, int to, int tag, std::uint64_t bytes);
+
+  virtual std::optional<Tensor> recv_impl(
+      int to, int from, int tag,
+      const std::optional<std::chrono::milliseconds>& timeout) = 0;
+
+  int world_size_;
+  LinkModel link_;
+  FaultInjector faults_;
+  mutable std::mutex stats_mutex_;
+  std::map<std::pair<int, int>, LinkStats> stats_;
+  std::atomic<int> root_dead_{-1};
+};
+
+// The original single-process backend: every rank lives in one process and
+// shares this object.  Deterministic oracle for the conformance suite.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int world_size, LinkModel link = {},
+                           FaultPlan faults = {});
+
+  void send(int from, int to, int tag, Tensor payload) override;
+  void close() override;
+  bool closed() const override;
+  void close_rank(int rank) override;
+  bool rank_dead(int rank) const override;
 
  private:
   struct Mailbox {
@@ -103,24 +166,17 @@ class Transport {
     std::map<std::pair<int, int>, std::deque<Message>> deferred;
   };
 
-  void check_rank(int rank, const char* what) const;
-  void maybe_inject_death(int rank);
   // Moves parked messages for `key` (or all keys) into the live queues.
   // Caller must hold box.mutex.
   static void flush_deferred(Mailbox& box,
                              const std::pair<int, int>* key_or_null);
   std::optional<Tensor> recv_impl(
       int to, int from, int tag,
-      const std::optional<std::chrono::milliseconds>& timeout);
+      const std::optional<std::chrono::milliseconds>& timeout) override;
 
-  int world_size_;
-  LinkModel link_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  mutable std::mutex stats_mutex_;
-  std::map<std::pair<int, int>, LinkStats> stats_;
   std::atomic<bool> closed_{false};
   std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
-  FaultInjector faults_;
 };
 
 }  // namespace pac::dist

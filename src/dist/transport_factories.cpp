@@ -1,0 +1,67 @@
+#include "dist/transport_factories.hpp"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "dist/shm_transport.hpp"
+#include "dist/tcp_transport.hpp"
+
+namespace pac::dist {
+
+// EdgeCluster::run destroys the previous run's endpoints, then calls the
+// factory once per live local rank in ascending order — so a rank that is
+// not strictly greater than the previous call's marks a new run (the next
+// run's first live rank can never exceed the previous run's last).
+
+TransportFactory make_shm_loopback_factory(std::string base_name) {
+  struct State {
+    std::string base;
+    int generation = -1;
+    int last_rank = -1;
+    std::shared_ptr<ShmArena> arena;
+  };
+  auto state = std::make_shared<State>();
+  state->base = std::move(base_name);
+  return [state](int world, int rank, const LinkModel& link,
+                 const FaultPlan& faults) -> std::unique_ptr<Transport> {
+    if (state->arena == nullptr || rank <= state->last_rank ||
+        state->arena->world_size() != world) {
+      ++state->generation;
+      const std::string name =
+          state->base + "_g" + std::to_string(state->generation);
+      state->arena = std::make_shared<ShmArena>(name, world);
+      // All endpoints share this one mapping; dropping the name right away
+      // keeps /dev/shm clean no matter how the run ends.
+      ShmArena::unlink(name);
+    }
+    state->last_rank = rank;
+    return std::make_unique<ShmTransport>(state->arena, rank, link, faults);
+  };
+}
+
+TransportFactory make_tcp_loopback_factory() {
+  struct State {
+    int last_rank = -1;
+    // Endpoints created so far this run; raw pointers stay valid because
+    // the cluster owns them for the whole run.
+    std::vector<std::pair<int, TcpTransport*>> made;
+  };
+  auto state = std::make_shared<State>();
+  return [state](int world, int rank, const LinkModel& link,
+                 const FaultPlan& faults) -> std::unique_ptr<Transport> {
+    if (!state->made.empty() && rank <= state->last_rank) state->made.clear();
+    state->last_rank = rank;
+    auto endpoint =
+        std::make_unique<TcpTransport>(world, rank, /*bind_port=*/0, link,
+                                       faults);
+    for (auto& [peer_rank, peer] : state->made) {
+      peer->set_peer(rank, TcpPeer{"127.0.0.1", endpoint->port()});
+      endpoint->set_peer(peer_rank, TcpPeer{"127.0.0.1", peer->port()});
+    }
+    state->made.emplace_back(rank, endpoint.get());
+    return endpoint;
+  };
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,29 @@
+// Ready-made TransportFactory builders for running every rank of a world
+// inside ONE process but over a real IPC backend — the cross-backend
+// conformance suite and the loopback benchmarks use these to swap the
+// in-process mailbox for shm rings or TCP loopback without touching any
+// call sites.
+//
+// Both factories detect run boundaries from the rank sequence (EdgeCluster
+// calls the factory in ascending rank order once per run), so one factory
+// instance serves any number of cluster.run() calls, giving each run a
+// fresh arena generation / socket mesh.  They require all ranks local to
+// the calling process; the multi-process driver wires its own factories.
+#pragma once
+
+#include <string>
+
+#include "dist/cluster.hpp"
+
+namespace pac::dist {
+
+// Endpoints share a named POSIX shm arena ("<base>_g<generation>"); the
+// arena of a finished run is unlinked when its last endpoint dies.
+TransportFactory make_shm_loopback_factory(std::string base_name);
+
+// Endpoints bind kernel-assigned loopback ports; the factory exchanges
+// them in-memory as endpoints are created, so the mesh is fully wired
+// before cluster.run spawns any rank thread.
+TransportFactory make_tcp_loopback_factory();
+
+}  // namespace pac::dist

@@ -1,0 +1,167 @@
+#include "dist/wire.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace pac::dist::wire {
+
+namespace {
+
+struct Header {
+  std::uint32_t magic = 0;
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t reserved = 0;
+  std::int32_t src = 0;
+  std::int32_t tag = 0;
+  std::uint32_t body_len = 0;
+};
+
+static_assert(kHeaderBytes == 20, "wire header is 20 bytes");
+
+void pack_header(const Header& h, std::uint8_t* out) {
+  std::memcpy(out + 0, &h.magic, 4);
+  std::memcpy(out + 4, &h.type, 1);
+  std::memcpy(out + 5, &h.flags, 1);
+  std::memcpy(out + 6, &h.reserved, 2);
+  std::memcpy(out + 8, &h.src, 4);
+  std::memcpy(out + 12, &h.tag, 4);
+  std::memcpy(out + 16, &h.body_len, 4);
+}
+
+Header unpack_header(const std::uint8_t* in) {
+  Header h;
+  std::memcpy(&h.magic, in + 0, 4);
+  std::memcpy(&h.type, in + 4, 1);
+  std::memcpy(&h.flags, in + 5, 1);
+  std::memcpy(&h.reserved, in + 6, 2);
+  std::memcpy(&h.src, in + 8, 4);
+  std::memcpy(&h.tag, in + 12, 4);
+  std::memcpy(&h.body_len, in + 16, 4);
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_data(int src, int tag,
+                                      const Tensor& payload) {
+  Header h;
+  h.magic = kMagic;
+  h.type = static_cast<std::uint8_t>(FrameType::kData);
+  h.src = static_cast<std::int32_t>(src);
+  h.tag = static_cast<std::int32_t>(tag);
+  std::string body;
+  if (payload.defined()) {
+    h.flags = 1;
+    std::ostringstream os(std::ios::binary);
+    BinaryWriter w(os);
+    const auto& shape = payload.shape();
+    w.write_u32(static_cast<std::uint32_t>(shape.size()));
+    w.write_i64s(shape.data(), shape.size());
+    w.write_floats(payload.data(), static_cast<std::size_t>(payload.numel()));
+    body = os.str();
+    PAC_CHECK(body.size() <= kMaxBodyBytes,
+              "payload too large for wire frame: " << body.size() << " bytes");
+  }
+  h.body_len = static_cast<std::uint32_t>(body.size());
+  std::vector<std::uint8_t> out(kHeaderBytes + body.size());
+  pack_header(h, out.data());
+  std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
+  return out;
+}
+
+std::vector<std::uint8_t> encode_control(FrameType type, int src) {
+  Header h;
+  h.magic = kMagic;
+  h.type = static_cast<std::uint8_t>(type);
+  h.src = static_cast<std::int32_t>(src);
+  std::vector<std::uint8_t> out(kHeaderBytes);
+  pack_header(h, out.data());
+  return out;
+}
+
+void FrameDecoder::poison(const std::string& what) {
+  poisoned_ = true;
+  buffer_.clear();
+  throw TransportError("wire: " + what);
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (poisoned_) throw TransportError("wire: decoder poisoned by bad frame");
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (poisoned_) throw TransportError("wire: decoder poisoned by bad frame");
+  if (buffer_.size() < kHeaderBytes) return std::nullopt;
+  std::uint8_t raw[kHeaderBytes];
+  std::copy(buffer_.begin(), buffer_.begin() + kHeaderBytes, raw);
+  const Header h = unpack_header(raw);
+  if (h.magic != kMagic) poison("bad magic");
+  if (h.reserved != 0) poison("nonzero reserved field");
+  const auto type = static_cast<FrameType>(h.type);
+  if (type != FrameType::kData && type != FrameType::kHello &&
+      type != FrameType::kRankDead && type != FrameType::kClose &&
+      type != FrameType::kRootDead) {
+    poison("unknown frame type " + std::to_string(h.type));
+  }
+  if (h.body_len > kMaxBodyBytes) {
+    poison("oversized body: " + std::to_string(h.body_len) + " bytes");
+  }
+  const bool defined = (h.flags & 1u) != 0;
+  if (type != FrameType::kData) {
+    if (h.flags != 0) poison("flags on control frame");
+    if (h.body_len != 0) poison("control frame with body");
+  } else if (!defined && h.body_len != 0) {
+    poison("undefined payload with non-empty body");
+  }
+  if (type != FrameType::kClose && world_size_ > 0 &&
+      (h.src < 0 || h.src >= world_size_)) {
+    poison("source rank " + std::to_string(h.src) + " out of range");
+  }
+  if (buffer_.size() < kHeaderBytes + h.body_len) return std::nullopt;
+
+  Frame frame;
+  frame.type = type;
+  frame.src = static_cast<int>(h.src);
+  frame.tag = static_cast<int>(h.tag);
+  frame.payload_defined = defined;
+  if (type == FrameType::kData && defined) {
+    // Validate the tensor body step by step so every read is bounds-checked
+    // before it happens; lengths must tile the body exactly.
+    std::string body(buffer_.begin() + kHeaderBytes,
+                     buffer_.begin() + kHeaderBytes + h.body_len);
+    std::istringstream is(body, std::ios::binary);
+    BinaryReader r(is);
+    if (h.body_len < 4) poison("tensor body shorter than its rank field");
+    const std::uint32_t ndim = r.read_u32();
+    if (ndim < 1 || ndim > kMaxDims) {
+      poison("tensor rank " + std::to_string(ndim) + " out of range");
+    }
+    if (h.body_len < 4 + 8ull * ndim) poison("tensor body truncates dims");
+    Shape shape(ndim);
+    r.read_i64s(shape.data(), ndim);
+    std::uint64_t numel = 1;
+    for (std::int64_t d : shape) {
+      if (d < 0) poison("negative tensor dimension");
+      numel *= static_cast<std::uint64_t>(d);
+      if (numel > kMaxBodyBytes / 4) poison("tensor element count overflow");
+    }
+    const std::uint64_t expected = 4 + 8ull * ndim + 4ull * numel;
+    if (expected != h.body_len) {
+      poison("tensor body length mismatch: header says " +
+             std::to_string(h.body_len) + ", dims imply " +
+             std::to_string(expected));
+    }
+    Tensor payload = Tensor::zeros(shape);
+    r.read_floats(payload.data(), static_cast<std::size_t>(numel));
+    frame.payload = std::move(payload);
+  }
+  buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderBytes + h.body_len);
+  return frame;
+}
+
+}  // namespace pac::dist::wire

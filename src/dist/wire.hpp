@@ -1,0 +1,87 @@
+// Wire format shared by the multi-process transport backends (shm rings and
+// TCP sockets): length-prefixed frames over common/serialize.
+//
+// Frame layout (host byte order — same-host shm and loopback/LAN TCP between
+// homogeneous edge boxes, matching serialize.hpp's "no endianness handling"):
+//
+//   header, 20 bytes:
+//     u32 magic      0x50414346 ("PACF")
+//     u8  type       FrameType below
+//     u8  flags      bit 0: DATA payload is a defined tensor
+//     u16 reserved   must be zero
+//     i32 src        DATA: source rank · HELLO: connecting rank ·
+//                    RANK_DEAD / ROOT_DEAD: the dead rank · CLOSE: ignored
+//     i32 tag        DATA: message tag · otherwise zero
+//     u32 body_len   bytes that follow the header
+//   body (DATA with a defined payload):
+//     u32 ndim, i64 dims[ndim], f32 data[numel]
+//
+// FrameDecoder consumes an arbitrary byte stream incrementally — frames may
+// arrive truncated, split across reads, or concatenated — and yields whole
+// frames, throwing TransportError on anything malformed (bad magic, unknown
+// type, oversized length, dimension overflow).  It is the fuzz target in
+// tests/fuzz_test.cpp: garbage in must give a clean TransportError, never UB.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace pac::dist::wire {
+
+inline constexpr std::uint32_t kMagic = 0x50414346u;  // "PACF"
+inline constexpr std::size_t kHeaderBytes = 20;
+// Tensors above this size are a bug, not a workload (tiny edge models).
+inline constexpr std::uint32_t kMaxBodyBytes = 256u * 1024 * 1024;
+inline constexpr std::uint32_t kMaxDims = 8;
+
+enum class FrameType : std::uint8_t {
+  kData = 1,      // a (src, tag, tensor) message
+  kHello = 2,     // TCP connection handshake: identifies the sending rank
+  kRankDead = 3,  // control: rank `src` is dead (close_rank propagation)
+  kClose = 4,     // control: whole-world close()
+  kRootDead = 5,  // control: rank `src` is the root-cause death record
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  int src = -1;
+  int tag = 0;
+  bool payload_defined = false;
+  Tensor payload;  // defined only for DATA frames with the defined flag
+};
+
+// Serializes a frame to bytes ready for a ring or socket write.
+std::vector<std::uint8_t> encode_data(int src, int tag, const Tensor& payload);
+std::vector<std::uint8_t> encode_control(FrameType type, int src);
+
+// Incremental decoder over a byte stream.  feed() appends raw bytes; next()
+// pops the next complete frame or nullopt if more bytes are needed.  Throws
+// pac::TransportError on malformed input; after a throw the decoder is
+// poisoned (the stream has lost sync) and every later call throws too.
+class FrameDecoder {
+ public:
+  // `world_size` bounds the src field; pass 0 to skip rank validation
+  // (fuzzing arbitrary worlds).
+  explicit FrameDecoder(int world_size = 0) : world_size_(world_size) {}
+
+  void feed(const std::uint8_t* data, std::size_t len);
+  std::optional<Frame> next();
+
+  // Bytes buffered but not yet consumed as a complete frame (a trailing
+  // partial frame after a peer dies is silently discarded by the owner).
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  [[noreturn]] void poison(const std::string& what);
+
+  int world_size_;
+  bool poisoned_ = false;
+  std::deque<std::uint8_t> buffer_;
+};
+
+}  // namespace pac::dist::wire

@@ -100,6 +100,43 @@ std::pair<std::int64_t, std::int64_t> micro_rows(std::int64_t rows,
   return {begin, begin + base + (m < extra ? 1 : 0)};
 }
 
+// Result recording and RecoveryLog commits happen on one rank.  In
+// single-process mode that is the group leader; when the leader lives in
+// another process, the lowest local group member records into this
+// process's RunResult/RecoveryLog instead (the values are identical on
+// every rank: losses travel via AllReduce, params are DP-replicated or
+// synced below).
+int reporting_rank(const dist::EdgeCluster& cluster,
+                   const std::vector<int>& group) {
+  for (int r : group) {
+    if (cluster.rank_is_local(r)) return r;
+  }
+  return group[0];
+}
+
+// Parameter names ride the tensor-only transport as float-encoded bytes:
+// [length, byte0, byte1, ...].  Bytes are exactly representable in fp32.
+Tensor encode_name(const std::string& name) {
+  Tensor t = Tensor::zeros({static_cast<std::int64_t>(name.size()) + 1});
+  t.at({0}) = static_cast<float>(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    t.at({static_cast<std::int64_t>(i) + 1}) =
+        static_cast<float>(static_cast<unsigned char>(name[i]));
+  }
+  return t;
+}
+
+std::string decode_name(const Tensor& t) {
+  const auto n = static_cast<std::int64_t>(t.at({0}));
+  PAC_CHECK(n >= 0 && n + 1 <= t.numel(), "malformed name tensor");
+  std::string name;
+  for (std::int64_t i = 0; i < n; ++i) {
+    name.push_back(static_cast<char>(
+        static_cast<unsigned char>(t.at({i + 1}))));
+  }
+  return name;
+}
+
 }  // namespace
 
 RunResult run_training(dist::EdgeCluster& cluster,
@@ -114,6 +151,7 @@ RunResult run_training(dist::EdgeCluster& cluster,
   const std::vector<int> participants = config.plan.participating_ranks();
   PAC_CHECK(!participants.empty(), "plan uses no devices");
   const int leader = participants[0];
+  const int reporter = reporting_rank(cluster, participants);
 
   cluster.run([&](dist::DeviceContext& ctx) {
     std::unique_ptr<model::Model> model = factory();
@@ -166,7 +204,7 @@ RunResult run_training(dist::EdgeCluster& cluster,
         ctx.comm.allreduce_sum(loss_buf, participants, tags::kLossReduce);
         const double mean_loss = static_cast<double>(loss_buf.at({0})) /
                                  static_cast<double>(plan.num_batches());
-        if (ctx.rank == leader) {
+        if (ctx.rank == reporter) {
           std::lock_guard<std::mutex> result_guard(result_mutex);
           result.epoch_losses[static_cast<std::size_t>(e)] = mean_loss;
           if (obs::enabled()) {
@@ -184,7 +222,7 @@ RunResult run_training(dist::EdgeCluster& cluster,
                                           worker.stage_trainable_params());
           }
           ctx.comm.barrier(participants, tags::kBarrier);
-          if (ctx.rank == leader) {
+          if (ctx.rank == reporter) {
             config.recovery->commit_epoch(epoch, mean_loss);
           }
         }
@@ -258,19 +296,53 @@ RunResult run_training(dist::EdgeCluster& cluster,
       model->set_training_mode(true);
     }
 
-    // ---- export final trainables (group leaders only, to avoid dupes) ----
-    if (config.plan.index_in_group(ctx.rank) == 0) {
-      std::lock_guard<std::mutex> result_guard(result_mutex);
-      for (nn::Parameter* p : worker.stage_trainable_params()) {
-        result.trainable_values[p->name()] = p->value().clone();
+    // ---- export final trainables ----
+    if (cluster.all_ranks_local()) {
+      // Group leaders only, to avoid dupes; together they cover all stages.
+      if (config.plan.index_in_group(ctx.rank) == 0) {
+        std::lock_guard<std::mutex> result_guard(result_mutex);
+        for (nn::Parameter* p : worker.stage_trainable_params()) {
+          result.trainable_values[p->name()] = p->value().clone();
+        }
+      }
+    } else {
+      // Multi-process: each stage's params live only in the processes that
+      // hosted it, but phase 2 needs the full set everywhere.  Stage
+      // leaders broadcast their adapters to all participants.
+      std::map<std::string, Tensor> full;
+      for (std::size_t s = 0; s < config.plan.stages.size(); ++s) {
+        const int stage_leader =
+            config.plan.stages[s].devices.empty()
+                ? leader
+                : config.plan.stages[s].devices[0];
+        nn::ParameterList mine;
+        if (ctx.rank == stage_leader) mine = worker.stage_trainable_params();
+        Tensor count = ctx.comm.broadcast(
+            Tensor::full({1}, static_cast<float>(mine.size())), stage_leader,
+            participants, tags::kTrainableSync);
+        const auto n = static_cast<std::int64_t>(count.at({0}));
+        for (std::int64_t i = 0; i < n; ++i) {
+          nn::Parameter* p =
+              ctx.rank == stage_leader ? mine[static_cast<std::size_t>(i)]
+                                       : nullptr;
+          Tensor name_t = ctx.comm.broadcast(
+              p != nullptr ? encode_name(p->name()) : Tensor(), stage_leader,
+              participants, tags::kTrainableSync);
+          Tensor value = ctx.comm.broadcast(
+              p != nullptr ? p->value().clone() : Tensor(), stage_leader,
+              participants, tags::kTrainableSync);
+          full[decode_name(name_t)] = std::move(value);
+        }
+      }
+      if (ctx.rank == reporter) {
+        std::lock_guard<std::mutex> result_guard(result_mutex);
+        result.trainable_values = std::move(full);
       }
     }
   });
 
   result.wall_seconds = timer.seconds();
-  if (cluster.last_transport() != nullptr) {
-    result.comm_bytes = cluster.last_transport()->total_bytes();
-  }
+  result.comm_bytes = cluster.last_run_total_bytes();
   for (int r = 0; r < cluster.size(); ++r) {
     result.peak_memory_per_device.push_back(cluster.ledger(r).peak_total());
   }
@@ -296,6 +368,7 @@ RunResult run_cached_data_parallel(
   const std::vector<int> group = cluster.alive_ranks();
   PAC_CHECK(!group.empty(), "cached training with no live devices");
   const int leader = group[0];
+  const int reporter = reporting_rank(cluster, group);
 
   // Ranks step in lockstep; all must issue the same number of AllReduces.
   std::int64_t max_steps = 0;
@@ -437,12 +510,12 @@ RunResult run_cached_data_parallel(
       ctx.comm.allreduce_sum(loss_buf, group, tags::kLossReduce);
       const double mean_loss = static_cast<double>(loss_buf.at({0})) /
                                static_cast<double>(total_samples);
-      if (ctx.rank == leader) {
+      if (ctx.rank == reporter) {
         std::lock_guard<std::mutex> result_guard(result_mutex);
         result.epoch_losses[static_cast<std::size_t>(e)] = mean_loss;
         // Pure DP: every rank holds the full trainable set and the loss
-        // AllReduce already proves all ranks finished the epoch, so the
-        // leader alone stages and commits the restore point.
+        // AllReduce already proves all ranks finished the epoch, so one
+        // rank per process stages and commits the restore point.
         if (config.recovery != nullptr) {
           config.recovery->stage_params(epoch, trainable);
           config.recovery->commit_epoch(epoch, mean_loss);
@@ -478,6 +551,11 @@ RunResult run_cached_data_parallel(
         result.eval_metric =
             compute_task_metric(dataset.info(), all_logits, labels, targets);
       }
+    }
+    if (ctx.rank == reporter) {
+      // Pure DP: every rank holds the full trainable set, so the local
+      // reporting rank can export it even when the leader is remote.
+      std::lock_guard<std::mutex> result_guard(result_mutex);
       for (nn::Parameter* p : trainable) {
         result.trainable_values[p->name()] = p->value().clone();
       }
@@ -485,9 +563,7 @@ RunResult run_cached_data_parallel(
   });
 
   result.wall_seconds = timer.seconds();
-  if (cluster.last_transport() != nullptr) {
-    result.comm_bytes = cluster.last_transport()->total_bytes();
-  }
+  result.comm_bytes = cluster.last_run_total_bytes();
   for (int r = 0; r < cluster.size(); ++r) {
     result.peak_memory_per_device.push_back(cluster.ledger(r).peak_total());
   }

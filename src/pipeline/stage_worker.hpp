@@ -58,6 +58,7 @@ inline constexpr int kMaxGradBuckets = 64;
 inline constexpr int kLossReduce = 1300;
 inline constexpr int kEvalLogits = 1400;
 inline constexpr int kBarrier = 1500;
+inline constexpr int kTrainableSync = 1600;
 inline constexpr int kRedistParams = 2000;
 inline constexpr int kRedistCacheBase = 2100;  // + destination rank
 }  // namespace tags

@@ -25,7 +25,7 @@ namespace pac {
 namespace {
 
 using dist::Communicator;
-using dist::Transport;
+using dist::InProcTransport;
 
 Tensor scalar(float v) { return Tensor::full({1}, v); }
 
@@ -34,7 +34,7 @@ Tensor scalar(float v) { return Tensor::full({1}, v); }
 // ---------------------------------------------------------------------------
 
 TEST(AsyncCommTest, IsendPreservesPerLinkFifo) {
-  Transport t(2);
+  InProcTransport t(2);
   Communicator comm(t, 0);
   constexpr int kMessages = 32;
   for (int i = 0; i < kMessages; ++i) {
@@ -54,7 +54,7 @@ TEST(AsyncCommTest, IsendReturnsBeforeTheLinkDelay) {
   dist::LinkModel slow;
   slow.latency_s = 20e-3;
   slow.simulate_delay = true;
-  Transport t(2, slow);
+  InProcTransport t(2, slow);
   Communicator comm(t, 0);
 
   constexpr int kMessages = 5;
@@ -81,7 +81,7 @@ TEST(AsyncCommTest, IsendReturnsBeforeTheLinkDelay) {
 }
 
 TEST(AsyncCommTest, BlockingSendDoesNotOvertakeQueuedIsends) {
-  Transport t(2);
+  InProcTransport t(2);
   Communicator comm(t, 0);
   comm.isend(1, /*tag=*/7, scalar(1.0F));
   comm.isend(1, /*tag=*/7, scalar(2.0F));
@@ -95,7 +95,7 @@ TEST(AsyncCommTest, AbandonSendsDropsQueuedMessages) {
   dist::LinkModel slow;
   slow.latency_s = 30e-3;
   slow.simulate_delay = true;
-  Transport t(2, slow);
+  InProcTransport t(2, slow);
   Communicator comm(t, 0);
   for (int i = 0; i < 4; ++i) comm.isend(1, 1, scalar(0.0F));
   comm.abandon_sends();  // queued (not in-flight) messages are dropped
@@ -112,7 +112,7 @@ TEST(AsyncCommTest, ExhaustedTransientRetriesSurfaceOnFlush) {
   dist::FaultPlan plan;
   plan.send_failure_probability = 1.0;
   plan.max_transient_failures = 1000;  // more than the send retry budget
-  Transport t(2, dist::LinkModel{}, plan);
+  InProcTransport t(2, dist::LinkModel{}, plan);
   Communicator comm(t, 0);
   dist::CommPolicy policy;
   policy.max_send_retries = 2;
@@ -128,7 +128,7 @@ TEST(AsyncCommTest, ExhaustedTransientRetriesSurfaceOnFlush) {
 }
 
 TEST(AsyncCommTest, IsendToDeadRankSurfacesPeerDeathOnFlush) {
-  Transport t(3);
+  InProcTransport t(3);
   t.close_rank(2);
   Communicator comm(t, 0);
   comm.isend(2, /*tag=*/1, scalar(1.0F));
@@ -146,7 +146,7 @@ TEST(AsyncCommTest, InjectedDeathIsDeferredAndReported) {
   // with the dead rank recorded for EdgeCluster::run.
   dist::FaultPlan plan;
   plan.death_after_ops = {{0, 1}};
-  Transport t(2, dist::LinkModel{}, plan);
+  InProcTransport t(2, dist::LinkModel{}, plan);
   Communicator comm(t, 0);
   comm.isend(1, /*tag=*/1, scalar(1.0F));
   EXPECT_THROW(comm.flush_sends(), RankDeathError);
@@ -159,7 +159,7 @@ TEST(AsyncCommTest, InjectedDeathIsDeferredAndReported) {
 // ---------------------------------------------------------------------------
 
 TEST(AsyncCommTest, PendingRecvDeliversInPostingOrder) {
-  Transport t(2);
+  InProcTransport t(2);
   Communicator receiver(t, 0);
   Communicator sender(t, 1);
 
@@ -180,7 +180,7 @@ TEST(AsyncCommTest, PendingRecvDeliversInPostingOrder) {
 }
 
 TEST(AsyncCommTest, PendingRecvSurfacesPeerDeathOnWait) {
-  Transport t(2);
+  InProcTransport t(2);
   Communicator comm(t, 0);
   dist::PendingRecv pending = comm.irecv(1, /*tag=*/4);  // never throws
   t.close_rank(1);
@@ -193,7 +193,7 @@ TEST(AsyncCommTest, PendingRecvSurfacesPeerDeathOnWait) {
 // ---------------------------------------------------------------------------
 
 TEST(AsyncCommTest, ConcurrentIsendersKeepPerSourceFifoAndStats) {
-  Transport t(3);
+  InProcTransport t(3);
   Communicator c0(t, 0);
   Communicator c1(t, 1);
   constexpr int kMessages = 50;

@@ -543,7 +543,7 @@ TEST(ChaosTest, ElasticDisabledPaysLongerThrottledCriticalPath) {
 // ---- rank-scoped failure semantics (no collateral ChannelClosedError) ----
 
 TEST(ChaosTest, RankDeathDoesNotCloseUnrelatedLinks) {
-  dist::Transport t(4);
+  dist::InProcTransport t(4);
   t.send(0, 1, /*tag=*/7, Tensor::full({1}, 1.0F));
   t.send(2, 1, /*tag=*/7, Tensor::full({1}, 2.0F));  // queued before death
 
@@ -573,7 +573,7 @@ TEST(ChaosTest, RankDeathDoesNotCloseUnrelatedLinks) {
 }
 
 TEST(ChaosTest, RecvTimeoutPresumesPeerDead) {
-  dist::Transport t(2);
+  dist::InProcTransport t(2);
   dist::Communicator comm(t, 0);
   dist::CommPolicy policy;
   policy.recv_timeout_ms = 2.0;
@@ -588,7 +588,7 @@ TEST(ChaosTest, RecvTimeoutPresumesPeerDead) {
 }
 
 TEST(ChaosTest, RecvForReturnsNulloptOnTimeoutOnly) {
-  dist::Transport t(2);
+  dist::InProcTransport t(2);
   EXPECT_EQ(t.recv_for(0, 1, 3, std::chrono::milliseconds(5)),
             std::nullopt);
   t.send(1, 0, 3, Tensor::full({1}, 9.0F));
@@ -639,7 +639,7 @@ TEST(ChaosTest, ReorderingPreservesPerKeyFifo) {
   dist::FaultPlan plan;
   plan.seed = 0xF1F0;
   plan.reorder_probability = 0.6;
-  dist::Transport t(2, dist::LinkModel{}, plan);
+  dist::InProcTransport t(2, dist::LinkModel{}, plan);
   constexpr int kMessages = 40;
   for (int i = 0; i < kMessages; ++i) {
     t.send(0, 1, /*tag=*/1, Tensor::full({1}, static_cast<float>(i)));

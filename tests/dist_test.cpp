@@ -57,7 +57,7 @@ TEST(MemoryLedgerTest, ScopedAllocReleasesOnScopeExit) {
 }
 
 TEST(TransportTest, PointToPointDelivery) {
-  Transport t(2);
+  InProcTransport t(2);
   t.send(0, 1, 7, Tensor::from_vector({2}, {1.0F, 2.0F}));
   Tensor r = t.recv(1, 0, 7);
   EXPECT_FLOAT_EQ(r.at({0}), 1.0F);
@@ -66,7 +66,7 @@ TEST(TransportTest, PointToPointDelivery) {
 }
 
 TEST(TransportTest, TagAndSourceIsolation) {
-  Transport t(3);
+  InProcTransport t(3);
   t.send(0, 2, 1, Tensor::full({1}, 10.0F));
   t.send(1, 2, 1, Tensor::full({1}, 20.0F));
   t.send(0, 2, 9, Tensor::full({1}, 30.0F));
@@ -76,7 +76,7 @@ TEST(TransportTest, TagAndSourceIsolation) {
 }
 
 TEST(TransportTest, FifoPerEdgeAndTag) {
-  Transport t(2);
+  InProcTransport t(2);
   for (int i = 0; i < 5; ++i) {
     t.send(0, 1, 0, Tensor::full({1}, static_cast<float>(i)));
   }
@@ -86,7 +86,7 @@ TEST(TransportTest, FifoPerEdgeAndTag) {
 }
 
 TEST(TransportTest, CloseWakesBlockedReceiver) {
-  Transport t(2);
+  InProcTransport t(2);
   std::atomic<bool> threw{false};
   std::thread receiver([&] {
     try {
@@ -102,7 +102,7 @@ TEST(TransportTest, CloseWakesBlockedReceiver) {
 }
 
 TEST(TransportTest, RankRangeChecks) {
-  Transport t(2);
+  InProcTransport t(2);
   EXPECT_THROW(t.send(0, 5, 0, Tensor::zeros({1})), InvalidArgument);
   EXPECT_THROW(t.recv(2, 0, 0), InvalidArgument);
 }
@@ -304,14 +304,14 @@ TEST(CollectiveTest, PropertyAllReduceMatchesReferenceBitForBit) {
 TEST(TransportTest, CloseDiscardsQueuedMessages) {
   // close() is whole-world teardown: even messages that were already
   // queued are no longer handed out — every recv reports the closure.
-  Transport t(2);
+  InProcTransport t(2);
   t.send(0, 1, 4, Tensor::full({1}, 5.0F));
   t.close();
   EXPECT_THROW(t.recv(1, 0, 4), ChannelClosedError);
 }
 
 TEST(TransportTest, CloseWakesAllConcurrentReceivers) {
-  Transport t(4);
+  InProcTransport t(4);
   std::atomic<int> woke{0};
   std::vector<std::thread> receivers;
   for (int r = 1; r < 4; ++r) {
@@ -330,7 +330,7 @@ TEST(TransportTest, CloseWakesAllConcurrentReceivers) {
 }
 
 TEST(TransportTest, SendAndRecvAfterCloseThrow) {
-  Transport t(2);
+  InProcTransport t(2);
   t.close();
   EXPECT_TRUE(t.closed());
   EXPECT_THROW(t.send(0, 1, 0, Tensor::zeros({1})), ChannelClosedError);
@@ -341,7 +341,7 @@ TEST(TransportTest, SendAndRecvAfterCloseThrow) {
 }
 
 TEST(TransportTest, CloseIsIdempotent) {
-  Transport t(2);
+  InProcTransport t(2);
   t.close();
   t.close();
   EXPECT_TRUE(t.closed());

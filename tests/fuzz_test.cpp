@@ -8,11 +8,13 @@
 // must still produce the single-device gradients.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <numeric>
 
 #include "cache/activation_cache.hpp"
 #include "data/dataset.hpp"
+#include "dist/wire.hpp"
 #include "pipeline/runners.hpp"
 #include "planner/planner.hpp"
 #include "sim/event_sim.hpp"
@@ -270,6 +272,232 @@ TEST(FuzzTest, CollectivesRandomShapesAndGroups) {
     for (int r : group) {
       EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(r)], expect)
           << "world=" << world << " n=" << n;
+    }
+  }
+}
+
+// ---- wire frame decoder fuzzing (dist/wire.hpp) -------------------------
+//
+// The decoder sits on the trust boundary of the multi-process transports:
+// whatever a ring or socket delivers — truncated, split, concatenated,
+// corrupted — must either decode exactly or raise a clean TransportError.
+// Never UB (these tests are part of the sanitizer CI runs).
+
+using dist::wire::Frame;
+using dist::wire::FrameDecoder;
+using dist::wire::FrameType;
+
+// A random valid frame; records the expectation in `expect`.
+std::vector<std::uint8_t> random_wire_frame(Rng& rng, int world,
+                                            std::vector<Frame>& expect) {
+  Frame f;
+  f.src = static_cast<int>(rng.integer(0, world - 1));
+  if (rng.bernoulli(0.6)) {
+    f.type = FrameType::kData;
+    f.tag = static_cast<int>(rng.integer(0, 5000));
+    if (rng.bernoulli(0.85)) {
+      const std::int64_t ndim = rng.integer(1, 3);
+      Shape shape;
+      for (std::int64_t i = 0; i < ndim; ++i) shape.push_back(rng.integer(1, 5));
+      f.payload = Tensor::randn(shape, rng);
+      f.payload_defined = true;
+    }
+    auto bytes = dist::wire::encode_data(f.src, f.tag, f.payload);
+    expect.push_back(std::move(f));
+    return bytes;
+  }
+  const FrameType controls[] = {FrameType::kHello, FrameType::kRankDead,
+                                FrameType::kClose, FrameType::kRootDead};
+  f.type = controls[rng.integer(0, 3)];
+  auto bytes = dist::wire::encode_control(f.type, f.src);
+  expect.push_back(std::move(f));
+  return bytes;
+}
+
+TEST(FuzzTest, WireDecoderReassemblesArbitrarySplits) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int world = static_cast<int>(rng.integer(1, 8));
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> stream;
+    const std::int64_t frames = rng.integer(1, 10);
+    for (std::int64_t i = 0; i < frames; ++i) {
+      const auto bytes = random_wire_frame(rng, world, sent);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    FrameDecoder dec(world);
+    std::vector<Frame> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      // Feed in adversarially small random chunks: frames arrive split
+      // mid-header, mid-dims, mid-payload.
+      const std::size_t n = std::min<std::size_t>(
+          stream.size() - pos, static_cast<std::size_t>(rng.integer(1, 37)));
+      dec.feed(stream.data() + pos, n);
+      pos += n;
+      while (auto f = dec.next()) got.push_back(std::move(*f));
+    }
+    ASSERT_EQ(got.size(), sent.size());
+    EXPECT_EQ(dec.pending_bytes(), 0U);
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(got[i].type, sent[i].type);
+      EXPECT_EQ(got[i].src, sent[i].src);
+      if (sent[i].type == FrameType::kData) {
+        EXPECT_EQ(got[i].tag, sent[i].tag);
+        ASSERT_EQ(got[i].payload_defined, sent[i].payload_defined);
+        if (sent[i].payload_defined) {
+          ASSERT_EQ(got[i].payload.shape(), sent[i].payload.shape());
+          EXPECT_EQ(ops::max_abs_diff(got[i].payload, sent[i].payload), 0.0F);
+        }
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, WireDecoderTruncationYieldsExactPrefix) {
+  Rng rng(515253);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int world = static_cast<int>(rng.integer(1, 6));
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> stream;
+    std::vector<std::size_t> boundaries;  // cumulative end offset per frame
+    const std::int64_t frames = rng.integer(1, 8);
+    for (std::int64_t i = 0; i < frames; ++i) {
+      const auto bytes = random_wire_frame(rng, world, sent);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+      boundaries.push_back(stream.size());
+    }
+    // Cut the stream anywhere (a peer SIGKILLed mid-write): the decoder
+    // yields every complete frame and silently holds the tail.
+    const auto cut =
+        static_cast<std::size_t>(rng.integer(0, static_cast<std::int64_t>(
+                                                    stream.size())));
+    std::size_t expect_frames = 0;
+    while (expect_frames < boundaries.size() &&
+           boundaries[expect_frames] <= cut) {
+      ++expect_frames;
+    }
+    FrameDecoder dec(world);
+    dec.feed(stream.data(), cut);
+    std::size_t got = 0;
+    while (dec.next()) ++got;
+    EXPECT_EQ(got, expect_frames);
+    const std::size_t consumed =
+        expect_frames == 0 ? 0 : boundaries[expect_frames - 1];
+    EXPECT_EQ(dec.pending_bytes(), cut - consumed);
+  }
+}
+
+TEST(FuzzTest, WireDecoderRejectsMalformedHeaders) {
+  const int kWorld = 4;
+  const auto valid =
+      dist::wire::encode_data(1, 5, Tensor::full({2, 2}, 1.0F));
+
+  auto expect_rejected = [&](std::vector<std::uint8_t> bytes,
+                             const char* what) {
+    FrameDecoder dec(kWorld);
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_THROW(dec.next(), TransportError) << what;
+    // Poisoned: the stream has lost sync, everything after throws too.
+    EXPECT_THROW(dec.next(), TransportError) << what;
+    EXPECT_THROW(dec.feed(bytes.data(), 1), TransportError) << what;
+  };
+
+  auto mutate = [&](std::size_t offset, std::uint8_t value) {
+    auto bytes = valid;
+    bytes[offset] = value;
+    return bytes;
+  };
+
+  expect_rejected(mutate(0, 0x00), "bad magic");
+  expect_rejected(mutate(4, 0), "frame type zero");
+  expect_rejected(mutate(4, 9), "unknown frame type");
+  expect_rejected(mutate(6, 1), "nonzero reserved field");
+  expect_rejected(mutate(11, 0x80), "source rank out of range (negative)");
+  expect_rejected(mutate(8, kWorld), "source rank out of range (high)");
+
+  {  // oversized body_len
+    auto bytes = valid;
+    const std::uint32_t huge = dist::wire::kMaxBodyBytes + 1;
+    std::memcpy(bytes.data() + 16, &huge, 4);
+    expect_rejected(bytes, "oversized body");
+  }
+  {  // control frame with flags / with a body
+    auto ctrl = dist::wire::encode_control(FrameType::kRankDead, 1);
+    auto with_flags = ctrl;
+    with_flags[5] = 1;
+    expect_rejected(with_flags, "flags on control frame");
+    auto with_body = ctrl;
+    const std::uint32_t four = 4;
+    std::memcpy(with_body.data() + 16, &four, 4);
+    expect_rejected(with_body, "control frame with body");
+  }
+  {  // data frame: defined flag cleared but body kept
+    auto bytes = valid;
+    bytes[5] = 0;
+    expect_rejected(bytes, "undefined payload with non-empty body");
+  }
+  {  // tensor rank out of range
+    auto bytes = valid;
+    const std::uint32_t ndim = dist::wire::kMaxDims + 1;
+    std::memcpy(bytes.data() + 20, &ndim, 4);
+    expect_rejected(bytes, "tensor rank out of range");
+  }
+  {  // negative dimension
+    auto bytes = valid;
+    const std::int64_t neg = -1;
+    std::memcpy(bytes.data() + 24, &neg, 8);
+    expect_rejected(bytes, "negative tensor dimension");
+  }
+  {  // dims imply a different body length than the header claims
+    auto bytes = valid;
+    const std::int64_t wrong = 3;
+    std::memcpy(bytes.data() + 24, &wrong, 8);
+    expect_rejected(bytes, "tensor body length mismatch");
+  }
+  {  // element-count overflow is caught before any multiplication damage
+    auto bytes = valid;
+    const std::int64_t big = std::int64_t{1} << 40;
+    std::memcpy(bytes.data() + 24, &big, 8);
+    std::memcpy(bytes.data() + 32, &big, 8);
+    expect_rejected(bytes, "tensor element count overflow");
+  }
+}
+
+TEST(FuzzTest, WireDecoderSurvivesRandomGarbageAndBitFlips) {
+  Rng rng(987654);
+  // Pure garbage: must throw TransportError (or yield nothing), never UB.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.integer(1, 256)));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.integer(0, 255));
+    FrameDecoder dec(4);
+    try {
+      dec.feed(junk.data(), junk.size());
+      while (dec.next()) {
+      }
+    } catch (const TransportError&) {
+      // expected for almost every stream (magic is 1-in-2^32)
+    }
+  }
+  // Single bit flips in an otherwise valid stream: either decodes (payload
+  // bits) or raises a clean TransportError (structure bits).
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Frame> sent;
+    std::vector<std::uint8_t> stream;
+    for (int i = 0; i < 3; ++i) {
+      const auto bytes = random_wire_frame(rng, 4, sent);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    const auto bit = static_cast<std::size_t>(
+        rng.integer(0, static_cast<std::int64_t>(stream.size()) * 8 - 1));
+    stream[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameDecoder dec(4);
+    try {
+      dec.feed(stream.data(), stream.size());
+      while (dec.next()) {
+      }
+    } catch (const TransportError&) {
     }
   }
 }

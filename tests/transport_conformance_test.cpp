@@ -1,0 +1,521 @@
+// Cross-backend Transport conformance suite.
+//
+// Every semantic test here runs against all three backends — the
+// in-process mailbox (the deterministic oracle), POSIX shm rings, and TCP
+// loopback — through one parameterized fixture.  The point is the contract
+// in dist/transport.hpp: if a behavior differs between backends it is a
+// transport bug, not a scheduling quirk, because recovery and elastic
+// re-planning are written against the contract, not a backend.
+//
+// Remote backends observe control-plane changes (close, close_rank)
+// asynchronously via their pump / rx threads, so tests that assert a
+// *subsequent* call throws first poll the observing endpoint until the
+// state change lands; blocked receivers need no polling — waking them is
+// exactly the semantics under test.
+//
+// Under TSan the TCP cases can be excluded with --gtest_filter=-*Tcp*
+// (param names are InProc / Shm / Tcp).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "dist/shm_transport.hpp"
+#include "dist/tcp_transport.hpp"
+#include "dist/transport_factories.hpp"
+#include "tensor/ops.hpp"
+
+namespace pac::dist {
+namespace {
+
+enum class Backend { kInProc, kShm, kTcp };
+
+std::string backend_name(Backend b) {
+  switch (b) {
+    case Backend::kInProc: return "InProc";
+    case Backend::kShm: return "Shm";
+    case Backend::kTcp: return "Tcp";
+  }
+  return "Unknown";
+}
+
+std::string unique_arena_base() {
+  static std::atomic<int> counter{0};
+  return "/pac_conf_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1));
+}
+
+// One world's endpoints for a backend.  `at(r)` is the transport rank r
+// must use — the shared object for in-proc, rank r's own endpoint for the
+// remote backends (whose send() enforces from == endpoint rank).
+class World {
+ public:
+  World(Backend backend, int n, LinkModel link = {}, FaultPlan faults = {}) {
+    switch (backend) {
+      case Backend::kInProc:
+        shared_ = std::make_unique<InProcTransport>(n, link, faults);
+        break;
+      case Backend::kShm: {
+        const std::string name = unique_arena_base();
+        auto arena = std::make_shared<ShmArena>(name, n);
+        ShmArena::unlink(name);  // single-process: nobody attaches by name
+        for (int r = 0; r < n; ++r) {
+          endpoints_.push_back(
+              std::make_unique<ShmTransport>(arena, r, link, faults));
+        }
+        break;
+      }
+      case Backend::kTcp: {
+        std::vector<TcpTransport*> raw;
+        for (int r = 0; r < n; ++r) {
+          auto t = std::make_unique<TcpTransport>(n, r, /*bind_port=*/0, link,
+                                                  faults);
+          raw.push_back(t.get());
+          endpoints_.push_back(std::move(t));
+        }
+        for (int a = 0; a < n; ++a) {
+          for (int b = 0; b < n; ++b) {
+            if (a == b) continue;
+            raw[static_cast<std::size_t>(a)]->set_peer(
+                b, TcpPeer{"127.0.0.1", raw[static_cast<std::size_t>(b)]->port()});
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  Transport& at(int rank) {
+    return shared_ ? *shared_ : *endpoints_[static_cast<std::size_t>(rank)];
+  }
+
+  // Polls until `pred` holds on some endpoint — remote backends propagate
+  // control-plane state asynchronously.
+  static bool eventually(const std::function<bool()>& pred,
+                         int timeout_ms = 5000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<InProcTransport> shared_;
+  std::vector<std::unique_ptr<Transport>> endpoints_;
+};
+
+void install_backend(EdgeCluster& cluster, Backend backend) {
+  switch (backend) {
+    case Backend::kInProc:
+      break;  // default path: one shared InProcTransport
+    case Backend::kShm:
+      cluster.set_transport_factory(
+          make_shm_loopback_factory(unique_arena_base()));
+      break;
+    case Backend::kTcp:
+      cluster.set_transport_factory(make_tcp_loopback_factory());
+      break;
+  }
+}
+
+class ConformanceTest : public ::testing::TestWithParam<Backend> {};
+
+// ---- point-to-point contract ----
+
+TEST_P(ConformanceTest, PointToPointRoundTrip) {
+  World w(GetParam(), 2);
+  w.at(0).send(0, 1, 7, Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6}));
+  Tensor r = w.at(1).recv(1, 0, 7);
+  ASSERT_EQ(r.shape(), (std::vector<std::int64_t>{2, 3}));
+  for (std::int64_t i = 0; i < 2; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      EXPECT_FLOAT_EQ(r.at({i, j}), static_cast<float>(i * 3 + j + 1));
+    }
+  }
+  // Payload-byte accounting is part of the contract (the comm model and
+  // BENCH numbers depend on it being backend-independent).
+  EXPECT_EQ(w.at(0).stats(0, 1).messages, 1U);
+  EXPECT_EQ(w.at(0).stats(0, 1).bytes, 6U * sizeof(float));
+}
+
+TEST_P(ConformanceTest, TagAndSourceIsolation) {
+  World w(GetParam(), 3);
+  w.at(0).send(0, 2, 1, Tensor::full({1}, 10.0F));
+  w.at(1).send(1, 2, 1, Tensor::full({1}, 20.0F));
+  w.at(0).send(0, 2, 9, Tensor::full({1}, 30.0F));
+  // Receive in an order unrelated to arrival: keyed by (source, tag).
+  EXPECT_FLOAT_EQ(w.at(2).recv(2, 1, 1).at({0}), 20.0F);
+  EXPECT_FLOAT_EQ(w.at(2).recv(2, 0, 9).at({0}), 30.0F);
+  EXPECT_FLOAT_EQ(w.at(2).recv(2, 0, 1).at({0}), 10.0F);
+}
+
+TEST_P(ConformanceTest, FifoPerLinkAndTag) {
+  World w(GetParam(), 2);
+  for (int i = 0; i < 32; ++i) {
+    const int tag = 3 + (i % 2);
+    w.at(0).send(0, 1, tag, Tensor::full({1}, static_cast<float>(i)));
+  }
+  // Per-(source, tag) order is arrival order even with two interleaved
+  // tags on the link.
+  for (int tag : {3, 4}) {
+    float prev = -1.0F;
+    for (int i = 0; i < 16; ++i) {
+      const float v = w.at(1).recv(1, 0, tag).at({0});
+      EXPECT_GT(v, prev);
+      EXPECT_EQ(static_cast<int>(v) % 2, tag - 3);
+      prev = v;
+    }
+  }
+}
+
+TEST_P(ConformanceTest, RecvForTimesOutThenDelivers) {
+  World w(GetParam(), 2);
+  EXPECT_FALSE(
+      w.at(1).recv_for(1, 0, 5, std::chrono::milliseconds(30)).has_value());
+  w.at(0).send(0, 1, 5, Tensor::full({1}, 3.5F));
+  auto got = w.at(1).recv_for(1, 0, 5, std::chrono::milliseconds(5000));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_FLOAT_EQ(got->at({0}), 3.5F);
+}
+
+TEST_P(ConformanceTest, RankRangeChecks) {
+  World w(GetParam(), 2);
+  EXPECT_THROW(w.at(0).send(0, 5, 0, Tensor::zeros({1})), InvalidArgument);
+  EXPECT_THROW(w.at(1).recv(1, 7, 0), InvalidArgument);
+}
+
+// ---- whole-world close ----
+
+TEST_P(ConformanceTest, CloseWakesBlockedReceiverEverywhere) {
+  World w(GetParam(), 2);
+  std::atomic<bool> threw{false};
+  std::thread receiver([&] {
+    try {
+      w.at(1).recv(1, 0, 0);
+    } catch (const ChannelClosedError&) {
+      threw.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.at(0).close();
+  receiver.join();
+  EXPECT_TRUE(threw.load());
+  // Every endpoint observes the close, not just the one that called it.
+  EXPECT_TRUE(World::eventually([&] { return w.at(1).closed(); }));
+  EXPECT_THROW(w.at(1).send(1, 0, 0, Tensor::zeros({1})), ChannelClosedError);
+  EXPECT_THROW(w.at(1).recv(1, 0, 0), ChannelClosedError);
+}
+
+// ---- rank-scoped death ----
+
+TEST_P(ConformanceTest, CloseRankDrainsDeliveredMessagesFirst) {
+  World w(GetParam(), 3);
+  w.at(2).send(2, 1, 5, Tensor::full({1}, 1.0F));
+  w.at(2).send(2, 1, 5, Tensor::full({1}, 2.0F));
+  w.at(2).close_rank(2);  // the dying rank closes its own links
+  ASSERT_TRUE(World::eventually([&] { return w.at(1).rank_dead(2); }));
+  // Messages the dead rank already delivered drain in order...
+  EXPECT_FLOAT_EQ(w.at(1).recv(1, 2, 5).at({0}), 1.0F);
+  EXPECT_FLOAT_EQ(w.at(1).recv(1, 2, 5).at({0}), 2.0F);
+  // ...then the link reports the death.
+  EXPECT_THROW(w.at(1).recv(1, 2, 5), PeerDeadError);
+  // Links between live ranks are untouched.
+  w.at(0).send(0, 1, 8, Tensor::full({1}, 9.0F));
+  EXPECT_FLOAT_EQ(w.at(1).recv(1, 0, 8).at({0}), 9.0F);
+}
+
+TEST_P(ConformanceTest, CloseRankWakesBlockedReceiverWithPeerDead) {
+  World w(GetParam(), 3);
+  std::atomic<int> dead_rank{-1};
+  std::thread receiver([&] {
+    try {
+      w.at(1).recv(1, 2, 6);
+    } catch (const PeerDeadError& e) {
+      dead_rank.store(e.rank());
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.at(2).close_rank(2);
+  receiver.join();
+  EXPECT_EQ(dead_rank.load(), 2);
+}
+
+TEST_P(ConformanceTest, SendToDeadRankThrowsOnEveryEndpoint) {
+  World w(GetParam(), 3);
+  w.at(2).close_rank(2);
+  ASSERT_TRUE(World::eventually([&] { return w.at(0).rank_dead(2); }));
+  EXPECT_THROW(w.at(0).send(0, 2, 1, Tensor::zeros({1})), PeerDeadError);
+  // close_rank is idempotent, from any endpoint.
+  w.at(0).close_rank(2);
+  w.at(2).close_rank(2);
+  EXPECT_TRUE(w.at(0).rank_dead(2));
+}
+
+TEST_P(ConformanceTest, RootDeathRecordIsSharedAndFirstWins) {
+  World w(GetParam(), 3);
+  EXPECT_EQ(w.at(0).first_dead_rank(), -1);
+  w.at(1).report_root_death(1);
+  ASSERT_TRUE(World::eventually([&] { return w.at(0).first_dead_rank() == 1; }));
+  w.at(2).report_root_death(2);  // too late: first report wins
+  EXPECT_EQ(w.at(0).first_dead_rank(), 1);
+  EXPECT_EQ(w.at(2).first_dead_rank(), 1);
+}
+
+// ---- failure detection through the Communicator (policy layer) ----
+
+TEST_P(ConformanceTest, RecvTimeoutPresumesPeerDead) {
+  World w(GetParam(), 2);
+  Communicator comm(w.at(1), 1);
+  CommPolicy policy;
+  policy.recv_timeout_ms = 20.0;
+  policy.max_recv_retries = 2;
+  comm.set_policy(policy);
+  try {
+    comm.recv(0, 99);
+    FAIL() << "expected PeerDeadError";
+  } catch (const PeerDeadError& e) {
+    EXPECT_EQ(e.rank(), 0);
+  }
+  // The presumption is recorded as the root-cause death (recovery absorbs
+  // it); closing the links is the cluster's unwind job, not the policy's.
+  EXPECT_EQ(w.at(1).first_dead_rank(), 0);
+}
+
+TEST_P(ConformanceTest, TransientSendFaultsAreRetriedToDelivery) {
+  FaultPlan faults;
+  faults.send_failure_probability = 1.0;  // every message glitches...
+  faults.max_transient_failures = 2;      // ...twice, then goes through
+  World w(GetParam(), 2, LinkModel{}, faults);
+  Communicator sender(w.at(0), 0);
+  for (int i = 0; i < 4; ++i) {
+    sender.send(1, 3, Tensor::full({2}, static_cast<float>(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(w.at(1).recv(1, 0, 3).at({0}), static_cast<float>(i));
+  }
+}
+
+// ---- async engine over each backend ----
+
+TEST_P(ConformanceTest, AsyncSendAndPostedRecv) {
+  World w(GetParam(), 2);
+  Communicator sender(w.at(0), 0);
+  Communicator receiver(w.at(1), 1);
+  PendingRecv posted = receiver.irecv(0, 11);
+  sender.isend(1, 11, Tensor::full({1}, 42.0F));
+  EXPECT_FLOAT_EQ(posted.wait().at({0}), 42.0F);
+  // FIFO: async deliveries to one destination keep posting order.
+  for (int i = 0; i < 16; ++i) {
+    sender.isend(1, 12, Tensor::full({1}, static_cast<float>(i)));
+  }
+  sender.flush_sends();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(receiver.recv(0, 12).at({0}), static_cast<float>(i));
+  }
+}
+
+// ---- concurrent all-pairs traffic ----
+
+TEST_P(ConformanceTest, ConcurrentAllToAllKeepsEveryLinkOrdered) {
+  constexpr int kWorld = 4;
+  constexpr int kMessages = 8;
+  World w(GetParam(), kWorld);
+  std::vector<std::string> errors(kWorld);
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&, r] {
+      try {
+        for (int i = 0; i < kMessages; ++i) {
+          for (int to = 0; to < kWorld; ++to) {
+            if (to == r) continue;
+            // Value encodes (from, sequence) so both routing and order are
+            // checkable at the receiver.
+            w.at(r).send(r, to, 21,
+                         Tensor::full({1}, static_cast<float>(r * 100 + i)));
+          }
+        }
+        for (int from = 0; from < kWorld; ++from) {
+          if (from == r) continue;
+          for (int i = 0; i < kMessages; ++i) {
+            const float v = w.at(r).recv(r, from, 21).at({0});
+            if (v != static_cast<float>(from * 100 + i)) {
+              errors[static_cast<std::size_t>(r)] =
+                  "rank " + std::to_string(r) + " from " +
+                  std::to_string(from) + " msg " + std::to_string(i) +
+                  " got " + std::to_string(v);
+              return;
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = e.what();
+      }
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (const auto& e : errors) EXPECT_EQ(e, "");
+}
+
+// ---- cluster-level conformance ----
+
+TEST_P(ConformanceTest, CollectivesMatchAcrossBackends) {
+  constexpr int kWorld = 4;
+  EdgeCluster cluster(kWorld, std::numeric_limits<std::uint64_t>::max());
+  install_backend(cluster, GetParam());
+  std::vector<int> group(kWorld);
+  std::iota(group.begin(), group.end(), 0);
+
+  std::vector<float> reduced(kWorld), naive(kWorld), bcast(kWorld);
+  std::vector<std::vector<float>> gathered(kWorld);
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor t = Tensor::full({13}, static_cast<float>(ctx.rank + 1));
+    ctx.comm.allreduce_sum(t, group, 100, AllReduceAlgo::kRing);
+    reduced[static_cast<std::size_t>(ctx.rank)] = t.at({5});
+
+    Tensor u = Tensor::full({5}, static_cast<float>(10 * (ctx.rank + 1)));
+    ctx.comm.allreduce_sum(u, group, 200, AllReduceAlgo::kNaive);
+    naive[static_cast<std::size_t>(ctx.rank)] = u.at({0});
+
+    Tensor b = ctx.rank == 2 ? Tensor::full({3}, 7.0F) : Tensor();
+    b = ctx.comm.broadcast(std::move(b), 2, group, 300);
+    bcast[static_cast<std::size_t>(ctx.rank)] = b.at({1});
+
+    auto all = ctx.comm.allgather(
+        Tensor::full({1}, static_cast<float>(ctx.rank * 10)), group, 400);
+    for (const Tensor& g : all) {
+      gathered[static_cast<std::size_t>(ctx.rank)].push_back(g.at({0}));
+    }
+    ctx.comm.barrier(group, 500);
+  });
+
+  for (int r = 0; r < kWorld; ++r) {
+    EXPECT_FLOAT_EQ(reduced[static_cast<std::size_t>(r)], 10.0F);
+    EXPECT_FLOAT_EQ(naive[static_cast<std::size_t>(r)], 100.0F);
+    EXPECT_FLOAT_EQ(bcast[static_cast<std::size_t>(r)], 7.0F);
+    ASSERT_EQ(gathered[static_cast<std::size_t>(r)].size(),
+              static_cast<std::size_t>(kWorld));
+    for (int g = 0; g < kWorld; ++g) {
+      EXPECT_FLOAT_EQ(gathered[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(g)],
+                      static_cast<float>(g * 10));
+    }
+  }
+}
+
+// The strongest statement in the suite: a multi-round SPMD program (local
+// update + ring allreduce each round, like an epoch of DP adapter sync)
+// must be *bit-for-bit* identical on every backend, because ring order is
+// rank-structured and no backend may perturb arithmetic.
+TEST_P(ConformanceTest, MultiRoundSpmdTrajectoryIsBitIdenticalToOracle) {
+  constexpr int kWorld = 3;
+  constexpr int kRounds = 5;
+  constexpr std::int64_t kDim = 16;
+  std::vector<int> group(kWorld);
+  std::iota(group.begin(), group.end(), 0);
+
+  auto run_world = [&](EdgeCluster& cluster) {
+    std::vector<std::vector<float>> finals(kWorld);
+    cluster.run([&](DeviceContext& ctx) {
+      Tensor state = Tensor::full({kDim}, 0.1F * static_cast<float>(ctx.rank));
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::int64_t i = 0; i < kDim; ++i) {
+          state.at({i}) = state.at({i}) * 0.9F +
+                          0.01F * static_cast<float>(ctx.rank + round + 1);
+        }
+        ctx.comm.allreduce_sum(state, group, 1000 + round);
+        for (std::int64_t i = 0; i < kDim; ++i) {
+          state.at({i}) /= static_cast<float>(kWorld);
+        }
+      }
+      for (std::int64_t i = 0; i < kDim; ++i) {
+        finals[static_cast<std::size_t>(ctx.rank)].push_back(state.at({i}));
+      }
+    });
+    return finals;
+  };
+
+  EdgeCluster oracle_cluster(kWorld, std::numeric_limits<std::uint64_t>::max());
+  const auto oracle = run_world(oracle_cluster);
+
+  EdgeCluster backend_cluster(kWorld,
+                              std::numeric_limits<std::uint64_t>::max());
+  install_backend(backend_cluster, GetParam());
+  const auto got = run_world(backend_cluster);
+
+  for (int r = 0; r < kWorld; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(),
+              oracle[static_cast<std::size_t>(r)].size());
+    for (std::size_t i = 0; i < oracle[static_cast<std::size_t>(r)].size();
+         ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][i],
+                oracle[static_cast<std::size_t>(r)][i])
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+// Re-plan flow: a factory-backed cluster must survive a rank death and a
+// shrunken re-run, exactly like the in-process transport does for the
+// recovery paths.
+TEST_P(ConformanceTest, ClusterSurvivesDeathAndRerunsOnSurvivors) {
+  constexpr int kWorld = 3;
+  EdgeCluster cluster(kWorld, std::numeric_limits<std::uint64_t>::max());
+  install_backend(cluster, GetParam());
+  FaultPlan faults;
+  faults.death_after_ops[1] = 3;  // rank 1 dies on its 3rd transport op
+  cluster.set_fault_plan(faults);
+
+  std::vector<int> group(kWorld);
+  std::iota(group.begin(), group.end(), 0);
+  try {
+    cluster.run([&](DeviceContext& ctx) {
+      for (int round = 0; round < 10; ++round) {
+        Tensor t = Tensor::full({4}, 1.0F);
+        ctx.comm.allreduce_sum(t, group, 700 + round);
+      }
+    });
+    FAIL() << "expected the injected death to surface";
+  } catch (const RankDeathError& e) {
+    EXPECT_EQ(e.rank(), 1);
+  } catch (const PeerDeadError& e) {
+    EXPECT_EQ(e.rank(), 1);
+  }
+  cluster.mark_dead(1);
+  cluster.set_fault_plan(FaultPlan{});
+
+  // Survivors re-plan and re-run on the same cluster (fresh transports).
+  const std::vector<int> survivors = cluster.alive_ranks();
+  ASSERT_EQ(survivors, (std::vector<int>{0, 2}));
+  std::vector<float> results(kWorld, 0.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor t = Tensor::full({4}, static_cast<float>(ctx.rank + 1));
+    ctx.comm.allreduce_sum(t, survivors, 900);
+    results[static_cast<std::size_t>(ctx.rank)] = t.at({0});
+  });
+  EXPECT_FLOAT_EQ(results[0], 4.0F);
+  EXPECT_FLOAT_EQ(results[2], 4.0F);
+  EXPECT_FLOAT_EQ(results[1], 0.0F);  // dead rank never ran
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ConformanceTest,
+                         ::testing::Values(Backend::kInProc, Backend::kShm,
+                                           Backend::kTcp),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return backend_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace pac::dist

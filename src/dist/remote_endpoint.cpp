@@ -138,8 +138,17 @@ void RemoteEndpointBase::handle_frame(wire::Frame frame) {
     case wire::FrameType::kClose:
       mark_closed_local();
       break;
+    case wire::FrameType::kRootDead:
+      // Backends that gossip root-death in-band (TCP) intercept this before
+      // handle_frame; any other route still lands on the shared recorder so
+      // a valid frame is never silently dropped.
+      report_root_death(frame.src);
+      break;
     case wire::FrameType::kHello:
       throw TransportError("unexpected HELLO frame past the handshake");
+    default:
+      throw TransportError("unhandled frame type " +
+                           std::to_string(static_cast<int>(frame.type)));
   }
 }
 

@@ -144,12 +144,21 @@ void TcpTransport::rx_main(Connection* conn) {
   wire::FrameDecoder decoder(world_size());
   std::uint8_t buf[64 * 1024];
   bool hello_done = false;
+  bool death_seen = false;
   int quiet_polls = 0;
   while (!stop_.load() && !closed()) {
     const int peer = conn->peer.load();
     if (hello_done && rank_dead(peer)) {
       // Peer is dead: two empty polls in a row ≈ the loopback wire has
-      // quiesced; everything it sent beforehand has been deposited.
+      // quiesced; everything it sent beforehand has been deposited.  The
+      // count starts at the first poll issued AFTER the death is known —
+      // quiet stretches before that (e.g. death arrived as gossip on
+      // another connection during an idle period) prove nothing about
+      // bytes still sitting in this socket's buffer.
+      if (!death_seen) {
+        death_seen = true;
+        quiet_polls = 0;
+      }
       if (quiet_polls >= 2) {
         set_drained(peer);
         return;

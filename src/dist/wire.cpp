@@ -138,7 +138,8 @@ std::optional<Frame> FrameDecoder::next() {
     BinaryReader r(is);
     if (h.body_len < 4) poison("tensor body shorter than its rank field");
     const std::uint32_t ndim = r.read_u32();
-    if (ndim < 1 || ndim > kMaxDims) {
+    // ndim == 0 is a rank-0 scalar (numel 1), legal on both ends.
+    if (ndim > kMaxDims) {
       poison("tensor rank " + std::to_string(ndim) + " out of range");
     }
     if (h.body_len < 4 + 8ull * ndim) poison("tensor body truncates dims");
@@ -147,8 +148,13 @@ std::optional<Frame> FrameDecoder::next() {
     std::uint64_t numel = 1;
     for (std::int64_t d : shape) {
       if (d < 0) poison("negative tensor dimension");
-      numel *= static_cast<std::uint64_t>(d);
-      if (numel > kMaxBodyBytes / 4) poison("tensor element count overflow");
+      const auto ud = static_cast<std::uint64_t>(d);
+      // Guard BEFORE multiplying: dims like [2^26, 2^38] would wrap numel
+      // modulo 2^64 and sneak past an after-the-fact check.
+      if (ud != 0 && numel > (kMaxBodyBytes / 4) / ud) {
+        poison("tensor element count overflow");
+      }
+      numel *= ud;
     }
     const std::uint64_t expected = 4 + 8ull * ndim + 4ull * numel;
     if (expected != h.body_len) {

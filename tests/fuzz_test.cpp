@@ -296,7 +296,8 @@ std::vector<std::uint8_t> random_wire_frame(Rng& rng, int world,
     f.type = FrameType::kData;
     f.tag = static_cast<int>(rng.integer(0, 5000));
     if (rng.bernoulli(0.85)) {
-      const std::int64_t ndim = rng.integer(1, 3);
+      // ndim 0 is a rank-0 scalar: legal payload, must survive the wire.
+      const std::int64_t ndim = rng.integer(0, 3);
       Shape shape;
       for (std::int64_t i = 0; i < ndim; ++i) shape.push_back(rng.integer(1, 5));
       f.payload = Tensor::randn(shape, rng);
@@ -462,6 +463,39 @@ TEST(FuzzTest, WireDecoderRejectsMalformedHeaders) {
     std::memcpy(bytes.data() + 32, &big, 8);
     expect_rejected(bytes, "tensor element count overflow");
   }
+  {  // dims whose product wraps to 0 modulo 2^64, with body_len forged to
+     // match the wrapped count: must be rejected by the pre-multiply guard,
+     // never reach allocation (or signed-overflow UB in shape_numel)
+    auto bytes = valid;
+    const std::uint32_t wrapped_body = 4 + 8 * 2;  // rank + dims, "0" elems
+    std::memcpy(bytes.data() + 16, &wrapped_body, 4);
+    const std::int64_t d0 = std::int64_t{1} << 26;
+    const std::int64_t d1 = std::int64_t{1} << 38;
+    std::memcpy(bytes.data() + 24, &d0, 8);
+    std::memcpy(bytes.data() + 32, &d1, 8);
+    expect_rejected(bytes, "wrapping element count");
+  }
+}
+
+TEST(FuzzTest, WireScalarTensorRoundTrips) {
+  // Rank-0 tensors are valid in-process payloads (Tensor::zeros({}) has
+  // numel 1); the wire must agree or the backends silently diverge.
+  Tensor scalar = Tensor::full({}, 7.5F);
+  const auto bytes = dist::wire::encode_data(2, 9, scalar);
+  FrameDecoder dec(4);
+  dec.feed(bytes.data(), bytes.size());
+  auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->type, FrameType::kData);
+  EXPECT_EQ(f->src, 2);
+  EXPECT_EQ(f->tag, 9);
+  ASSERT_TRUE(f->payload_defined);
+  ASSERT_TRUE(f->payload.defined());
+  EXPECT_EQ(f->payload.shape(), Shape{});
+  EXPECT_EQ(f->payload.numel(), 1);
+  EXPECT_EQ(f->payload.data()[0], 7.5F);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.pending_bytes(), 0U);
 }
 
 TEST(FuzzTest, WireDecoderSurvivesRandomGarbageAndBitFlips) {

@@ -151,6 +151,22 @@ TEST_P(ConformanceTest, PointToPointRoundTrip) {
   EXPECT_EQ(w.at(0).stats(0, 1).bytes, 6U * sizeof(float));
 }
 
+TEST_P(ConformanceTest, ScalarAndUndefinedPayloadsRoundTrip) {
+  // Rank-0 tensors (numel 1) and undefined payloads are legal on the
+  // in-process oracle; the wire encodes them as ndim = 0 and an empty body
+  // respectively, and every backend must deliver them identically.
+  World w(GetParam(), 2);
+  w.at(0).send(0, 1, 3, Tensor::full({}, 2.5F));
+  w.at(0).send(0, 1, 4, Tensor());
+  Tensor scalar = w.at(1).recv(1, 0, 3);
+  ASSERT_TRUE(scalar.defined());
+  EXPECT_EQ(scalar.shape(), Shape{});
+  ASSERT_EQ(scalar.numel(), 1);
+  EXPECT_FLOAT_EQ(scalar.data()[0], 2.5F);
+  Tensor undef = w.at(1).recv(1, 0, 4);
+  EXPECT_FALSE(undef.defined());
+}
+
 TEST_P(ConformanceTest, TagAndSourceIsolation) {
   World w(GetParam(), 3);
   w.at(0).send(0, 2, 1, Tensor::full({1}, 10.0F));

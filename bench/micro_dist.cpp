@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "cache/activation_cache.hpp"
+#include "core/session.hpp"
 #include "data/dataset.hpp"
 #include "dist/cluster.hpp"
 #include "dist/transport_factories.hpp"
@@ -19,6 +20,7 @@
 #include "obs/trace.hpp"
 #include "pipeline/runners.hpp"
 #include "planner/planner.hpp"
+#include "tensor/quant.hpp"
 
 namespace {
 
@@ -281,6 +283,83 @@ void BM_CommCachePrefetch(benchmark::State& state) {
 BENCHMARK(BM_CommCachePrefetch)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Quantized cache codec: encode + decode of one cached activation block
+// (the same [64, 256] shape the prefetch bench stores) per storage dtype.
+// Arg is the quant::Dtype value — 0 fp32 (repack floor), 1 fp16, 2 int8 —
+// and bytes/s counts fp32 bytes through the codec, so the fp16/int8 rows
+// are the per-block conversion cost the compressed cache pays on every
+// record + fetch.
+// ---------------------------------------------------------------------------
+
+void BM_CacheQuantizeRoundTrip(benchmark::State& state) {
+  const auto dtype = static_cast<quant::Dtype>(state.range(0));
+  Rng rng(11);
+  Tensor block = Tensor::randn({64, 256}, rng);
+  std::vector<float> out(static_cast<std::size_t>(block.numel()));
+  for (auto _ : state) {
+    quant::QTensor q = quant::quantize_rows(block.data(), block.shape(),
+                                            dtype);
+    quant::dequantize_into(q, out.data());
+    benchmark::DoNotOptimize(q.data.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * block.numel() * 4);
+  state.SetLabel(quant::dtype_name(dtype));
+}
+BENCHMARK(BM_CacheQuantizeRoundTrip)->Arg(0)->Arg(1)->Arg(2);
+
+// ---------------------------------------------------------------------------
+// The compressed cache end-to-end: a full PAC session per storage dtype —
+// phase 1 records into quantized shards, redistribution ships compressed
+// frames, phase 2 trains from dequantized fetches.  Two counters carry the
+// acceptance numbers into BENCH_comm.json: cache_bytes (resident shard
+// bytes after redistribution) and redist_bytes (payload bytes the
+// all-to-all actually sent).  fp16 must show >= 1.9x less of both than the
+// Arg 0 fp32 baseline; int8 lands near 3.5x (its scales cost one f32 per
+// [T, H] row).
+// ---------------------------------------------------------------------------
+
+void BM_CommPipelineMiniBatchQuantCache(benchmark::State& state) {
+  const auto dtype = static_cast<quant::Dtype>(state.range(0));
+  data::DatasetConfig dcfg;
+  dcfg.task = data::GlueTask::kSst2;
+  dcfg.train_samples = 32;
+  dcfg.eval_samples = 8;
+  dcfg.seq_len = 32;
+  dcfg.vocab = 32;
+  data::SyntheticGlueDataset ds(dcfg);
+  core::SessionConfig cfg;
+  cfg.model = model::tiny(4, 64, 2, 32, 32);
+  cfg.technique.technique = model::Technique::kParallelAdapters;
+  cfg.technique.pa_reduction = 4;
+  cfg.batch_size = 16;
+  cfg.num_micro_batches = 4;
+  cfg.epochs = 3;
+  cfg.run_eval = false;
+  cfg.cache_dtype = dtype;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t redist_bytes = 0;
+  for (auto _ : state) {
+    dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max());
+    core::Session session(cluster, ds, cfg);
+    core::SessionReport report = session.run();
+    cache_bytes = report.cache_bytes_total;
+    redist_bytes = report.redistribution.payload_bytes_sent;
+    benchmark::DoNotOptimize(report.epoch_losses.data());
+  }
+  state.counters["cache_bytes"] = static_cast<double>(cache_bytes);
+  state.counters["redist_bytes"] = static_cast<double>(redist_bytes);
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(quant::dtype_name(dtype));
+}
+BENCHMARK(BM_CommPipelineMiniBatchQuantCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -8,9 +8,11 @@
 #                    bench suites compiling and running); no JSON written.
 #   --suite kernels  micro_kernels -> BENCH_kernels.json (default)
 #   --suite comm     micro_dist BM_Comm* (sync-vs-async overlap pair on the
-#                    simulated 128 Mbps link + cache prefetch) and
-#                    BM_ElasticReplan (straggler verdict + planner re-run)
-#                    -> BENCH_comm.json
+#                    simulated 128 Mbps link, cache prefetch, and the
+#                    quantized-cache session with its cache/redistribution
+#                    byte counters), BM_CacheQuantizeRoundTrip (codec
+#                    throughput per dtype), and BM_ElasticReplan (straggler
+#                    verdict + planner re-run) -> BENCH_comm.json
 #
 # To regenerate a tracked baseline after a change:
 #   scripts/bench.sh BENCH_kernels.json
@@ -39,7 +41,7 @@ case "$SUITE" in
     ;;
   comm)
     TARGET=micro_dist
-    FILTER="BM_Comm|BM_ElasticReplan"
+    FILTER="BM_Comm|BM_CacheQuantize|BM_ElasticReplan"
     OUT="${OUT:-BENCH_comm.json}"
     # Comm iterations are link-sleep dominated (~100 ms wall each), so a
     # longer window is needed for stable medians.

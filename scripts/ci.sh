@@ -36,10 +36,12 @@ run_tests() {
 # hold under shuffle and TSan too).  chaos_test carries the straggler
 # schedules; elastic_test the monitor/sharding/replan units;
 # transport_conformance_test runs the identical contract suite against
-# the in-process, shm-ring, and TCP-loopback backends.
+# the in-process, shm-ring, and TCP-loopback backends; quant_test covers
+# the compressed cache/wire path (codecs, quantized redistribution, the
+# int8 session quality gate).
 CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test
                    planner_test obs_test elastic_test
-                   transport_conformance_test)
+                   transport_conformance_test quant_test)
 
 # Extra gtest args per suite under TSan.  The TCP backend's accept/connect
 # timing is dilated enough by the instrumented scheduler to be flaky, so

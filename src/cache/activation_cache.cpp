@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <istream>
 
 #include "common/serialize.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 
 namespace pac::cache {
+
+namespace {
+
+// First u64 of a compressed spill file.  The legacy fp32 format starts with
+// the block count (a small integer), so this sentinel can never collide.
+constexpr std::uint64_t kQuantSpillMagic = 0x5041435153504C31ull;  // PACQSPL1
+
+}  // namespace
 
 ActivationCache::ActivationCache(CacheConfig config)
     : config_(std::move(config)) {
@@ -40,6 +49,8 @@ void ActivationCache::charge(std::uint64_t bytes) {
     config_.ledger->allocate(dist::MemClass::kCache, bytes);
   }
   memory_bytes_ += bytes;
+  obs::CounterRegistry::instance().high_water(
+      "cache.bytes_resident", static_cast<std::int64_t>(memory_bytes_));
 }
 
 void ActivationCache::refund(std::uint64_t bytes) {
@@ -56,12 +67,22 @@ void ActivationCache::record(const std::vector<std::int64_t>& sample_ids,
             "record: " << sample_ids.size() << " ids for " << hidden.size(0)
                        << " rows");
   PAC_TRACE_SCOPE("cache_store", block_index);
+  const std::int64_t t = hidden.size(1);
+  const std::int64_t h = hidden.size(2);
   std::lock_guard<std::mutex> lk(mutex_);
   for (std::size_t r = 0; r < sample_ids.size(); ++r) {
+    if (quantized()) {
+      // Quantize straight off the batch row — no fp32 clone on the way in.
+      const float* row =
+          hidden.data() + static_cast<std::int64_t>(r) * t * h;
+      put_qblock_locked(sample_ids[r], block_index,
+                        quant::quantize_rows(row, {t, h}, config_.dtype));
+      continue;
+    }
     Tensor row = hidden.slice0(static_cast<std::int64_t>(r),
                                static_cast<std::int64_t>(r) + 1)
                      .clone()
-                     .reshape({hidden.size(1), hidden.size(2)});
+                     .reshape({t, h});
     put_block_locked(sample_ids[r], block_index, std::move(row));
   }
 }
@@ -75,6 +96,11 @@ void ActivationCache::put_block(std::int64_t sample_id,
 void ActivationCache::put_block_locked(std::int64_t sample_id,
                                        std::int64_t block_index,
                                        Tensor activation) {
+  if (quantized()) {
+    put_qblock_locked(sample_id, block_index,
+                      quant::quantize(activation, config_.dtype));
+    return;
+  }
   PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
             "block index " << block_index << " out of range");
   Entry& entry = entries_[sample_id];
@@ -91,6 +117,48 @@ void ActivationCache::put_block_locked(std::int64_t sample_id,
   maybe_spill(sample_id, entry);
 }
 
+void ActivationCache::put_qblock_locked(std::int64_t sample_id,
+                                        std::int64_t block_index,
+                                        quant::QTensor q) {
+  PAC_CHECK(quantized(), "quantized insert into an fp32 cache shard");
+  PAC_CHECK(q.dtype == config_.dtype,
+            "dtype mismatch: shard stores " << quant::dtype_name(config_.dtype)
+                                            << ", got "
+                                            << quant::dtype_name(q.dtype));
+  PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
+            "block index " << block_index << " out of range");
+  Entry& entry = entries_[sample_id];
+  if (entry.qblocks.empty()) {
+    entry.qblocks.resize(static_cast<std::size_t>(config_.num_blocks));
+  }
+  PAC_CHECK(!entry.spilled, "put_block on spilled sample " << sample_id);
+  auto& slot = entry.qblocks[static_cast<std::size_t>(block_index)];
+  PAC_CHECK(!slot.has_value(), "duplicate record for sample "
+                                   << sample_id << " block " << block_index);
+  const std::uint64_t fp32_bytes =
+      static_cast<std::uint64_t>(q.numel()) * 4;
+  charge(q.byte_size());
+  obs::CounterRegistry::instance().add(
+      "cache.bytes_quantized_saved",
+      static_cast<std::int64_t>(fp32_bytes - q.byte_size()));
+  slot = std::move(q);
+  ++entry.present;
+  maybe_spill(sample_id, entry);
+}
+
+void ActivationCache::put_block_q(std::int64_t sample_id,
+                                  std::int64_t block_index,
+                                  quant::QTensor payload) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (quantized() && payload.dtype == config_.dtype) {
+    put_qblock_locked(sample_id, block_index, std::move(payload));
+    return;
+  }
+  // Mismatched representation: go through fp32 (bit-exact for kF32
+  // payloads into fp32 shards; one requantization otherwise).
+  put_block_locked(sample_id, block_index, quant::dequantize(payload));
+}
+
 void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
   if (!config_.disk_backed || entry.present < config_.num_blocks) return;
   PAC_TRACE_SCOPE("cache_spill", sample_id);
@@ -98,14 +166,33 @@ void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
   std::ofstream out(sample_path(sample_id), std::ios::binary);
   PAC_CHECK(out.good(), "cannot open spill file for sample " << sample_id);
   BinaryWriter w(out);
-  w.write_u64(static_cast<std::uint64_t>(config_.num_blocks));
   std::uint64_t freed = 0;
-  for (Tensor& block : entry.blocks) {
-    w.write_u64(static_cast<std::uint64_t>(block.size(0)));
-    w.write_u64(static_cast<std::uint64_t>(block.size(1)));
-    w.write_floats(block.data(), static_cast<std::size_t>(block.numel()));
-    freed += block.byte_size();
-    block = Tensor();
+  if (!entry.qblocks.empty()) {
+    // Compressed spill format: sentinel, dtype, then per-block dims,
+    // scales, and raw element bytes.
+    w.write_u64(kQuantSpillMagic);
+    w.write_u32(static_cast<std::uint32_t>(config_.dtype));
+    w.write_u64(static_cast<std::uint64_t>(config_.num_blocks));
+    for (auto& slot : entry.qblocks) {
+      quant::QTensor& q = *slot;
+      w.write_u64(static_cast<std::uint64_t>(q.shape[0]));
+      w.write_u64(static_cast<std::uint64_t>(q.shape[1]));
+      w.write_u64(static_cast<std::uint64_t>(q.scales.size()));
+      w.write_floats(q.scales.data(), q.scales.size());
+      w.write_u64(static_cast<std::uint64_t>(q.data.size()));
+      w.write_bytes(q.data.data(), q.data.size());
+      freed += q.byte_size();
+      slot.reset();
+    }
+  } else {
+    w.write_u64(static_cast<std::uint64_t>(config_.num_blocks));
+    for (Tensor& block : entry.blocks) {
+      w.write_u64(static_cast<std::uint64_t>(block.size(0)));
+      w.write_u64(static_cast<std::uint64_t>(block.size(1)));
+      w.write_floats(block.data(), static_cast<std::size_t>(block.numel()));
+      freed += block.byte_size();
+      block = Tensor();
+    }
   }
   refund(freed);
   entry.spilled = true;
@@ -113,17 +200,39 @@ void ActivationCache::maybe_spill(std::int64_t sample_id, Entry& entry) {
   spilled_bytes_ += freed;
 }
 
-ActivationCache::Entry ActivationCache::load_spilled(
-    std::int64_t sample_id) const {
-  PAC_TRACE_SCOPE("cache_load", sample_id);
-  std::ifstream in(sample_path(sample_id), std::ios::binary);
-  if (!in.good()) {
-    throw CacheMissError("spill file missing for sample " +
-                         std::to_string(sample_id));
-  }
+ActivationCache::Entry ActivationCache::read_spilled_entry(std::istream& in) {
   BinaryReader r(in);
-  const std::uint64_t blocks = r.read_u64();
+  const std::uint64_t head = r.read_u64();
   Entry entry;
+  if (head == kQuantSpillMagic) {
+    const auto dtype = static_cast<quant::Dtype>(r.read_u32());
+    PAC_CHECK(dtype == quant::Dtype::kF16 || dtype == quant::Dtype::kI8,
+              "compressed spill file with bad dtype");
+    const std::uint64_t blocks = r.read_u64();
+    entry.qblocks.resize(blocks);
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      quant::QTensor q;
+      q.dtype = dtype;
+      const std::int64_t t = static_cast<std::int64_t>(r.read_u64());
+      const std::int64_t h = static_cast<std::int64_t>(r.read_u64());
+      q.shape = {t, h};
+      const std::uint64_t nscales = r.read_u64();
+      q.scales.resize(nscales);
+      r.read_floats(q.scales.data(), q.scales.size());
+      const std::uint64_t nbytes = r.read_u64();
+      // A torn file can carry a bogus length; cap the resize to what the
+      // shape implies so we fail via the stream, not a huge allocation.
+      PAC_CHECK(nbytes == static_cast<std::uint64_t>(q.numel()) *
+                              quant::element_bytes(dtype),
+                "compressed spill block length mismatch");
+      q.data.resize(nbytes);
+      r.read_bytes(q.data.data(), q.data.size());
+      entry.qblocks[b] = std::move(q);
+    }
+    entry.present = static_cast<std::int64_t>(blocks);
+    return entry;
+  }
+  const std::uint64_t blocks = head;
   entry.blocks.resize(blocks);
   for (std::uint64_t b = 0; b < blocks; ++b) {
     const std::int64_t t = static_cast<std::int64_t>(r.read_u64());
@@ -134,6 +243,17 @@ ActivationCache::Entry ActivationCache::load_spilled(
   }
   entry.present = static_cast<std::int64_t>(blocks);
   return entry;
+}
+
+ActivationCache::Entry ActivationCache::load_spilled(
+    std::int64_t sample_id) const {
+  PAC_TRACE_SCOPE("cache_load", sample_id);
+  std::ifstream in(sample_path(sample_id), std::ios::binary);
+  if (!in.good()) {
+    throw CacheMissError("spill file missing for sample " +
+                         std::to_string(sample_id));
+  }
+  return read_spilled_entry(in);
 }
 
 // ---- background prefetcher ---------------------------------------------
@@ -265,7 +385,8 @@ std::vector<Tensor> ActivationCache::fetch(
     loaded[id] = std::move(entry);
   }
 
-  // Pass 2 (lock held throughout): assemble per-block batches [n, T, H].
+  // Pass 2 (lock held throughout): assemble per-block batches [n, T, H],
+  // dequantizing compressed entries straight into the batch rows.
   std::vector<const Entry*> sources;
   for (std::int64_t id : sample_ids) {
     auto it = entries_.find(id);
@@ -283,16 +404,30 @@ std::vector<Tensor> ActivationCache::fetch(
       sources.push_back(&it->second);
     }
   }
+  auto block_shape = [](const Entry* e, std::int64_t b) {
+    if (!e->qblocks.empty()) {
+      const auto& q = e->qblocks[static_cast<std::size_t>(b)];
+      return std::make_pair(q->shape[0], q->shape[1]);
+    }
+    const Tensor& t = e->blocks[static_cast<std::size_t>(b)];
+    return std::make_pair(t.size(0), t.size(1));
+  };
   std::vector<Tensor> out;
   const std::int64_t n = static_cast<std::int64_t>(sample_ids.size());
   for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
-    const Tensor& ref =
-        sources[0]->blocks[static_cast<std::size_t>(b)];
-    Tensor batch({n, ref.size(0), ref.size(1)});
+    const auto [bt, bh] = block_shape(sources[0], b);
+    Tensor batch({n, bt, bh});
     for (std::int64_t r = 0; r < n; ++r) {
-      const Tensor& row = sources[static_cast<std::size_t>(r)]
-                              ->blocks[static_cast<std::size_t>(b)];
-      PAC_CHECK(row.numel() == ref.numel(),
+      const Entry* src = sources[static_cast<std::size_t>(r)];
+      if (!src->qblocks.empty()) {
+        const auto& q = src->qblocks[static_cast<std::size_t>(b)];
+        PAC_CHECK(q->numel() == bt * bh,
+                  "inconsistent cached shapes across samples");
+        quant::dequantize_into(*q, batch.data() + r * bt * bh);
+        continue;
+      }
+      const Tensor& row = src->blocks[static_cast<std::size_t>(b)];
+      PAC_CHECK(row.numel() == bt * bh,
                 "inconsistent cached shapes across samples");
       batch.slice0(r, r + 1).copy_from(row.reshape({1, row.size(0),
                                                     row.size(1)}));
@@ -309,6 +444,10 @@ bool ActivationCache::has_block(std::int64_t sample_id,
   if (it == entries_.end()) return false;
   if (it->second.spilled) return true;  // spill implies complete
   if (block_index < 0 || block_index >= config_.num_blocks) return false;
+  if (!it->second.qblocks.empty()) {
+    return it->second.qblocks[static_cast<std::size_t>(block_index)]
+        .has_value();
+  }
   return it->second.blocks[static_cast<std::size_t>(block_index)].defined();
 }
 
@@ -339,9 +478,11 @@ ActivationCache::held_blocks() const {
       continue;
     }
     for (std::int64_t b = 0; b < config_.num_blocks; ++b) {
-      if (entry.blocks[static_cast<std::size_t>(b)].defined()) {
-        out.emplace_back(id, b);
-      }
+      const bool held =
+          entry.qblocks.empty()
+              ? entry.blocks[static_cast<std::size_t>(b)].defined()
+              : entry.qblocks[static_cast<std::size_t>(b)].has_value();
+      if (held) out.emplace_back(id, b);
     }
   }
   return out;
@@ -349,6 +490,11 @@ ActivationCache::held_blocks() const {
 
 Tensor ActivationCache::get_block(std::int64_t sample_id,
                                   std::int64_t block_index) const {
+  return quant::dequantize(get_block_q(sample_id, block_index));
+}
+
+quant::QTensor ActivationCache::get_block_q(std::int64_t sample_id,
+                                            std::int64_t block_index) const {
   std::lock_guard<std::mutex> lk(mutex_);
   auto it = entries_.find(sample_id);
   if (it == entries_.end()) {
@@ -357,18 +503,30 @@ Tensor ActivationCache::get_block(std::int64_t sample_id,
   }
   PAC_CHECK(block_index >= 0 && block_index < config_.num_blocks,
             "block index out of range");
+  auto block_of = [&](const Entry& entry) -> quant::QTensor {
+    if (!entry.qblocks.empty()) {
+      const auto& q = entry.qblocks[static_cast<std::size_t>(block_index)];
+      if (!q.has_value()) {
+        throw CacheMissError("block " + std::to_string(block_index) +
+                             " of sample " + std::to_string(sample_id) +
+                             " not recorded");
+      }
+      return *q;
+    }
+    const Tensor& block =
+        entry.blocks[static_cast<std::size_t>(block_index)];
+    if (!block.defined()) {
+      throw CacheMissError("block " + std::to_string(block_index) +
+                           " of sample " + std::to_string(sample_id) +
+                           " not recorded");
+    }
+    return quant::quantize(block, quant::Dtype::kF32);
+  };
   if (it->second.spilled) {
-    Entry entry = load_spilled(sample_id);
-    return entry.blocks[static_cast<std::size_t>(block_index)];
+    // Compressed shards hand spilled blocks out exactly as stored on disk.
+    return block_of(load_spilled(sample_id));
   }
-  const Tensor& block =
-      it->second.blocks[static_cast<std::size_t>(block_index)];
-  if (!block.defined()) {
-    throw CacheMissError("block " + std::to_string(block_index) +
-                         " of sample " + std::to_string(sample_id) +
-                         " not recorded");
-  }
-  return block;
+  return block_of(it->second);
 }
 
 void ActivationCache::drop_sample(std::int64_t sample_id) {
@@ -382,6 +540,9 @@ void ActivationCache::drop_sample_locked(std::int64_t sample_id) {
   std::uint64_t resident = 0;
   for (const Tensor& block : it->second.blocks) {
     if (block.defined()) resident += block.byte_size();
+  }
+  for (const auto& q : it->second.qblocks) {
+    if (q.has_value()) resident += q->byte_size();
   }
   refund(resident);
   if (it->second.spilled) {
@@ -421,14 +582,22 @@ std::int64_t ActivationCache::absorb_spilled_directory(
                      std::ios::binary);
     if (!in.good()) continue;
     try {
-      BinaryReader r(in);
-      const std::uint64_t blocks = r.read_u64();
-      for (std::uint64_t b = 0; b < blocks; ++b) {
-        const std::int64_t t = static_cast<std::int64_t>(r.read_u64());
-        const std::int64_t h = static_cast<std::int64_t>(r.read_u64());
-        Tensor block({t, h});
-        r.read_floats(block.data(), static_cast<std::size_t>(block.numel()));
-        put_block_locked(id, static_cast<std::int64_t>(b), std::move(block));
+      Entry loaded = read_spilled_entry(in);
+      for (std::size_t b = 0; b < loaded.qblocks.size(); ++b) {
+        auto& q = loaded.qblocks[b];
+        if (!q.has_value()) continue;
+        if (quantized() && q->dtype == config_.dtype) {
+          put_qblock_locked(id, static_cast<std::int64_t>(b),
+                            std::move(*q));
+        } else {
+          put_block_locked(id, static_cast<std::int64_t>(b),
+                           quant::dequantize(*q));
+        }
+      }
+      for (std::size_t b = 0; b < loaded.blocks.size(); ++b) {
+        if (!loaded.blocks[b].defined()) continue;
+        put_block_locked(id, static_cast<std::int64_t>(b),
+                         std::move(loaded.blocks[b]));
       }
       ++absorbed;
     } catch (...) {

@@ -10,6 +10,14 @@
 //            flash-storage cache ("reloaded from disk per micro-batch",
 //            storage §5.2) and keeps the DRAM ledger honest.
 //
+// Storage dtype (CacheConfig::dtype): fp32 entries are stored exactly as
+// recorded; fp16/int8 entries are quantized on insert (see tensor/quant.hpp
+// for the format) and dequantized on fetch, so RAM, the ledger charge, the
+// spill files, and redistribution traffic all shrink 2-4x.  The fp32 path
+// is byte-for-byte the original code path.  get_block_q/put_block_q move
+// entries between shards in their stored representation — redistribution
+// never requantizes, so shipping a block is lossless.
+//
 // Disk-backed shards additionally support prefetch(): a background reader
 // thread reloads the announced samples into a staging buffer while the
 // trainer computes the current step, and the next fetch() consumes the
@@ -24,12 +32,14 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dist/memory_ledger.hpp"
 #include "pipeline/activation_io.hpp"
+#include "tensor/quant.hpp"
 
 namespace pac::cache {
 
@@ -37,6 +47,9 @@ struct CacheConfig {
   std::int64_t num_blocks = 0;  // activations per sample (= L + 1)
   bool disk_backed = false;
   std::string directory;  // required when disk_backed
+  // Storage precision for cached activations.  kF32 keeps the original
+  // bit-exact behaviour; kF16/kI8 quantize on insert.
+  quant::Dtype dtype = quant::Dtype::kF32;
   // Optional ledger to charge in-memory cache bytes against.
   dist::MemoryLedger* ledger = nullptr;
 };
@@ -69,27 +82,43 @@ class ActivationCache : public pipeline::ActivationRecorder,
   std::vector<std::int64_t> sample_ids() const;
   // (sample, block) pairs currently held (complete or not).
   std::vector<std::pair<std::int64_t, std::int64_t>> held_blocks() const;
-  // Single cached activation [T, H]; throws CacheMissError if absent.
+  // Single cached activation [T, H] as fp32 (dequantized when the shard is
+  // compressed); throws CacheMissError if absent.
   Tensor get_block(std::int64_t sample_id, std::int64_t block_index) const;
   void put_block(std::int64_t sample_id, std::int64_t block_index,
                  Tensor activation);
+  // The stored representation of a block: compressed shards return the
+  // quantized bytes verbatim, fp32 shards a bit-exact kF32 repack.  The
+  // lossless pair for shard-to-shard moves (redistribution, salvage).
+  quant::QTensor get_block_q(std::int64_t sample_id,
+                             std::int64_t block_index) const;
+  // Stores a block in its wire representation.  A payload matching the
+  // shard dtype is stored verbatim; a mismatched one is converted through
+  // fp32 (at most one requantization).
+  void put_block_q(std::int64_t sample_id, std::int64_t block_index,
+                   quant::QTensor payload);
   // Drops a sample's blocks from this shard (after shipping them away).
   void drop_sample(std::int64_t sample_id);
   // Salvage: loads every spilled sample file found in `directory` (another
   // shard's on-disk cache — e.g. a dead device's flash store) into this
-  // shard, skipping samples already held.  Returns samples absorbed.
+  // shard, skipping samples already held.  Handles both the fp32 and the
+  // compressed spill formats.  Returns samples absorbed.
   std::int64_t absorb_spilled_directory(const std::string& directory);
 
   std::int64_t num_blocks() const { return config_.num_blocks; }
+  quant::Dtype dtype() const { return config_.dtype; }
   std::uint64_t memory_bytes() const;  // resident RAM bytes
   std::uint64_t total_bytes() const;   // RAM + spilled
   void clear();
 
  private:
   struct Entry {
-    std::vector<Tensor> blocks;     // per-block activations [T, H]
-    std::int64_t present = 0;       // how many blocks are defined
-    bool spilled = false;           // on disk, RAM copy evicted
+    // Exactly one of blocks/qblocks is populated: blocks for fp32 shards,
+    // qblocks for fp16/int8 shards (and for salvaged compressed entries).
+    std::vector<Tensor> blocks;  // per-block activations [T, H]
+    std::vector<std::optional<quant::QTensor>> qblocks;
+    std::int64_t present = 0;  // how many blocks are defined
+    bool spilled = false;      // on disk, RAM copy evicted
     std::uint64_t spilled_bytes = 0;
   };
 
@@ -108,14 +137,19 @@ class ActivationCache : public pipeline::ActivationRecorder,
     std::thread thread;
   };
 
+  bool quantized() const { return config_.dtype != quant::Dtype::kF32; }
   std::string sample_path(std::int64_t sample_id) const;
   void maybe_spill(std::int64_t sample_id, Entry& entry);
   Entry load_spilled(std::int64_t sample_id) const;
+  // Parses one spill stream (either format) into a RAM entry.
+  static Entry read_spilled_entry(std::istream& in);
   void charge(std::uint64_t bytes);
   void refund(std::uint64_t bytes);
 
   void put_block_locked(std::int64_t sample_id, std::int64_t block_index,
                         Tensor activation);
+  void put_qblock_locked(std::int64_t sample_id, std::int64_t block_index,
+                         quant::QTensor q);
   void drop_sample_locked(std::int64_t sample_id);
   void prefetch_main() const;
   void stop_prefetcher();

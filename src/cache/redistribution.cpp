@@ -36,7 +36,10 @@ RedistStats redistribute_cache(
   }
 
   // Announce counts, then stream items.  Sends never block, so issuing all
-  // sends before any recv is deadlock-free.
+  // sends before any recv is deadlock-free.  Compressed shards ship their
+  // stored representation (losslessly — no requantization on the move);
+  // fp32 shards keep the original frames byte-for-byte.
+  const bool compressed = shard.dtype() != quant::Dtype::kF32;
   for (int peer : group) {
     if (peer == me) continue;
     const auto it = outgoing.find(peer);
@@ -49,11 +52,18 @@ RedistStats redistribute_cache(
     for (const auto& [sample, block] : it->second) {
       Tensor header = Tensor::from_vector(
           {2}, {static_cast<float>(sample), static_cast<float>(block)});
-      Tensor payload = shard.get_block(sample, block);
-      stats.payload_bytes_sent += payload.byte_size();
-      ++stats.items_sent;
       ctx.comm.send(peer, tag_header, std::move(header));
-      ctx.comm.send(peer, tag_payload, payload.clone());
+      if (compressed) {
+        quant::QTensor payload = shard.get_block_q(sample, block);
+        stats.payload_bytes_sent += payload.byte_size();
+        ++stats.items_sent;
+        ctx.comm.send_q(peer, tag_payload, std::move(payload));
+      } else {
+        Tensor payload = shard.get_block(sample, block);
+        stats.payload_bytes_sent += payload.byte_size();
+        ++stats.items_sent;
+        ctx.comm.send(peer, tag_payload, std::move(payload));
+      }
     }
   }
 
@@ -64,10 +74,13 @@ RedistStats redistribute_cache(
         ctx.comm.recv(peer, tag_count).at({0}));
     for (std::int64_t i = 0; i < n; ++i) {
       Tensor header = ctx.comm.recv(peer, tag_header);
-      Tensor payload = ctx.comm.recv(peer, tag_payload);
       const auto sample = static_cast<std::int64_t>(header.at({0}));
       const auto block = static_cast<std::int64_t>(header.at({1}));
-      shard.put_block(sample, block, std::move(payload));
+      if (compressed) {
+        shard.put_block_q(sample, block, ctx.comm.recv_q(peer, tag_payload));
+      } else {
+        shard.put_block(sample, block, ctx.comm.recv(peer, tag_payload));
+      }
       ++stats.items_received;
     }
   }

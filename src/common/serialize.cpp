@@ -38,6 +38,11 @@ void BinaryWriter::write_i64s(const std::int64_t* data, std::size_t count) {
              static_cast<std::streamsize>(count * sizeof(std::int64_t)));
 }
 
+void BinaryWriter::write_bytes(const void* data, std::size_t count) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(count));
+}
+
 namespace {
 
 void check_stream(const std::istream& in, const char* what) {
@@ -95,6 +100,11 @@ void BinaryReader::read_i64s(std::int64_t* data, std::size_t count) {
   in_.read(reinterpret_cast<char*>(data),
            static_cast<std::streamsize>(count * sizeof(std::int64_t)));
   check_stream(in_, "i64 block");
+}
+
+void BinaryReader::read_bytes(void* data, std::size_t count) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(count));
+  check_stream(in_, "byte block");
 }
 
 }  // namespace pac

@@ -21,6 +21,7 @@ class BinaryWriter {
   void write_string(const std::string& s);
   void write_floats(const float* data, std::size_t count);
   void write_i64s(const std::int64_t* data, std::size_t count);
+  void write_bytes(const void* data, std::size_t count);
 
  private:
   std::ostream& out_;
@@ -37,6 +38,7 @@ class BinaryReader {
   std::string read_string();
   void read_floats(float* data, std::size_t count);
   void read_i64s(std::int64_t* data, std::size_t count);
+  void read_bytes(void* data, std::size_t count);
 
  private:
   std::istream& in_;

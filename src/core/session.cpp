@@ -265,6 +265,7 @@ SessionReport Session::run_attempt() {
       cache::CacheConfig cc;
       cc.num_blocks = blocks_per_sample;
       cc.disk_backed = config_.cache_disk_backed;
+      cc.dtype = config_.cache_dtype;
       if (cc.disk_backed) {
         PAC_CHECK(!config_.cache_directory.empty(),
                   "disk-backed cache needs cache_directory");
@@ -408,8 +409,10 @@ SessionReport Session::run_attempt() {
         for (const auto& [sample, block] : dead_shard->held_blocks()) {
           int dest = new_target(sample);
           if (!cluster_.rank_is_local(dest)) dest = fallback;
-          shards[static_cast<std::size_t>(dest)]->put_block(
-              sample, block, dead_shard->get_block(sample, block));
+          // Move the stored representation: lossless for compressed shards
+          // (no requantization) and bit-exact for fp32 ones.
+          shards[static_cast<std::size_t>(dest)]->put_block_q(
+              sample, block, dead_shard->get_block_q(sample, block));
         }
         dead_shard.reset();
         sources[static_cast<std::size_t>(dead)] = nullptr;

@@ -46,6 +46,11 @@ struct SessionConfig {
   bool use_activation_cache = true;
   bool cache_disk_backed = false;
   std::string cache_directory;  // required when disk-backed
+  // Storage precision for cached activations.  kF32 (default) keeps every
+  // existing run bit-identical; kF16/kI8 compress cache RAM, spill files,
+  // and redistribution traffic 2-4x (phase-2 trains on the dequantized
+  // activations).
+  quant::Dtype cache_dtype = quant::Dtype::kF32;
 
   pipeline::ScheduleKind schedule = pipeline::ScheduleKind::k1F1B;
   dist::AllReduceAlgo allreduce = dist::AllReduceAlgo::kRing;

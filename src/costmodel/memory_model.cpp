@@ -185,12 +185,20 @@ MemoryBreakdown standalone_memory(const model::ModelConfig& config,
 }
 
 std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
-                                     std::int64_t seq, bool include_decoder) {
+                                     std::int64_t seq, bool include_decoder,
+                                     std::uint64_t bytes_per_element) {
   const std::uint64_t layers = static_cast<std::uint64_t>(
       config.encoder_layers +
       (include_decoder ? config.decoder_layers : 0));
-  return kF32 * (layers + 1) * static_cast<std::uint64_t>(seq) *
-         static_cast<std::uint64_t>(config.hidden);
+  const std::uint64_t numel = (layers + 1) *
+                              static_cast<std::uint64_t>(seq) *
+                              static_cast<std::uint64_t>(config.hidden);
+  std::uint64_t bytes = bytes_per_element * numel;
+  if (bytes_per_element == 1) {
+    // int8 entries carry one fp32 absmax scale per [T, H] row.
+    bytes += kF32 * (layers + 1) * static_cast<std::uint64_t>(seq);
+  }
+  return bytes;
 }
 
 }  // namespace pac::costmodel

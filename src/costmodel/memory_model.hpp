@@ -55,9 +55,12 @@ MemoryBreakdown standalone_memory(const model::ModelConfig& config,
                                   bool include_decoder,
                                   bool cached_phase = false);
 
-// Activation-cache storage per sample: (L+1) tensors of T x H fp32
-// (paper §5.2 storage analysis).
+// Activation-cache storage per sample: (L+1) tensors of T x H at
+// `bytes_per_element` each (paper §5.2 storage analysis).  4 = fp32
+// (default, the uncompressed cache), 2 = fp16, 1 = int8 (which adds one
+// fp32 scale per row to match the cache's stored format).
 std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
-                                     std::int64_t seq, bool include_decoder);
+                                     std::int64_t seq, bool include_decoder,
+                                     std::uint64_t bytes_per_element = 4);
 
 }  // namespace pac::costmodel

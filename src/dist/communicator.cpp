@@ -85,6 +85,59 @@ void Communicator::send(int to, int tag, Tensor payload) {
   send_with_retry(to, tag, std::move(payload));
 }
 
+void Communicator::send_q(int to, int tag, quant::QTensor payload) {
+  {
+    std::unique_lock<std::mutex> lk(async_mutex_);
+    rethrow_deferred_error();
+    drained_cv_.wait(lk, [&] {
+      return deferred_error_ || !has_pending_locked(to, tag);
+    });
+    rethrow_deferred_error();
+  }
+  for (int attempt = 0;; ++attempt) {
+    try {
+      // QTensor copies are deep, but retries only happen under injected
+      // transient faults — never on the clean path.
+      quant::QTensor copy = payload;
+      transport_->send_q(rank_, to, tag, std::move(copy));
+      return;
+    } catch (const TransientSendError&) {
+      if (attempt >= policy_.max_send_retries) throw;
+      obs::CounterRegistry::instance().add("comm.transient_retries", 1);
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          policy_.send_backoff_ms * static_cast<double>(attempt + 1) *
+          backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt)));
+    }
+  }
+}
+
+quant::QTensor Communicator::recv_q(int from, int tag) {
+  {
+    std::lock_guard<std::mutex> lk(async_mutex_);
+    rethrow_deferred_error();
+  }
+  if (policy_.recv_timeout_ms <= 0.0) {
+    return transport_->recv_q(rank_, from, tag);
+  }
+  double wait_ms = policy_.recv_timeout_ms;
+  for (int attempt = 0; attempt <= policy_.max_recv_retries; ++attempt) {
+    const double jittered =
+        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt);
+    auto result = transport_->recv_q_for(
+        rank_, from, tag,
+        std::chrono::milliseconds(
+            std::max<std::int64_t>(1, static_cast<std::int64_t>(jittered))));
+    if (result.has_value()) return std::move(*result);
+    wait_ms *= 2.0;
+  }
+  transport_->report_root_death(from);
+  throw PeerDeadError(from, "rank " + std::to_string(from) +
+                                " presumed dead: recv_q(tag " +
+                                std::to_string(tag) + ") timed out after " +
+                                std::to_string(policy_.max_recv_retries + 1) +
+                                " attempts");
+}
+
 Tensor Communicator::recv(int from, int tag) {
   {
     std::lock_guard<std::mutex> lk(async_mutex_);

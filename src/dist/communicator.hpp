@@ -120,6 +120,13 @@ class Communicator {
   // with backoff and presumes the peer dead once the budget is exhausted.
   Tensor recv(int from, int tag);
 
+  // Compressed point-to-point (cache redistribution, prefetch): identical
+  // retry/backoff/FIFO semantics, but the payload ships and is charged at
+  // its compressed size.  recv_q of a plain fp32 send returns a bit-exact
+  // kF32 repack; recv of a compressed send dequantizes.
+  void send_q(int to, int tag, quant::QTensor payload);
+  quant::QTensor recv_q(int from, int tag);
+
   // ---- async engine ----
   // Enqueues the message on the background sender thread and returns
   // immediately.  Messages to the same destination are delivered in

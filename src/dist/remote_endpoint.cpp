@@ -35,16 +35,18 @@ void RemoteEndpointBase::flush_deferred(Mailbox& box,
   box.deferred.clear();
 }
 
-void RemoteEndpointBase::deposit(int from, int tag, Tensor payload) {
+void RemoteEndpointBase::deposit(Message msg) {
+  const int from = msg.source;
+  const int tag = msg.tag;
   const bool park = faults_.active() && faults_.defer(from, rank_, tag);
   const auto key = std::make_pair(from, tag);
   {
     std::lock_guard<std::mutex> guard(box_.mutex);
     if (park) {
-      box_.deferred[key].push_back(Message{from, tag, std::move(payload)});
+      box_.deferred[key].push_back(std::move(msg));
     } else {
       flush_deferred(box_, &key);
-      box_.queues[key].push_back(Message{from, tag, std::move(payload)});
+      box_.queues[key].push_back(std::move(msg));
       flush_deferred(box_, nullptr);
     }
   }
@@ -52,7 +54,9 @@ void RemoteEndpointBase::deposit(int from, int tag, Tensor payload) {
   box_.arrived.notify_all();
 }
 
-void RemoteEndpointBase::send(int from, int to, int tag, Tensor payload) {
+void RemoteEndpointBase::send_framed(
+    int from, int to, int tag, Message msg, std::uint64_t bytes,
+    std::vector<std::uint8_t> (*encode)(const Message&)) {
   check_rank(from, "send source");
   check_rank(to, "send destination");
   PAC_CHECK(from == rank_, "endpoint of rank " << rank_
@@ -67,15 +71,14 @@ void RemoteEndpointBase::send(int from, int to, int tag, Tensor payload) {
   if (dead_[static_cast<std::size_t>(to)]->load()) {
     throw PeerDeadError(to, "send to dead rank " + std::to_string(to));
   }
-  const std::uint64_t bytes = payload.defined() ? payload.byte_size() : 0;
   run_send_faults(from, to, tag, bytes);
   record_send(from, to, bytes);
   if (to == rank_) {
     // Self-send: deposit locally; the deposit advances the fault sequence.
-    deposit(from, tag, std::move(payload));
+    deposit(std::move(msg));
     return;
   }
-  const auto frame = wire::encode_data(from, tag, payload);
+  const auto frame = encode(msg);
   {
     std::lock_guard<std::mutex> guard(
         *send_mutex_[static_cast<std::size_t>(to)]);
@@ -84,7 +87,30 @@ void RemoteEndpointBase::send(int from, int to, int tag, Tensor payload) {
   faults_.message_delivered(from, to, tag);
 }
 
-std::optional<Tensor> RemoteEndpointBase::recv_impl(
+void RemoteEndpointBase::send(int from, int to, int tag, Tensor payload) {
+  Message msg;
+  msg.source = from;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  const std::uint64_t bytes = msg.payload_bytes();
+  send_framed(from, to, tag, std::move(msg), bytes, [](const Message& m) {
+    return wire::encode_data(m.source, m.tag, m.payload);
+  });
+}
+
+void RemoteEndpointBase::send_q(int from, int to, int tag,
+                                quant::QTensor payload) {
+  Message msg;
+  msg.source = from;
+  msg.tag = tag;
+  msg.q = std::move(payload);
+  const std::uint64_t bytes = msg.payload_bytes();
+  send_framed(from, to, tag, std::move(msg), bytes, [](const Message& m) {
+    return wire::encode_data_q(m.source, m.tag, *m.q);
+  });
+}
+
+std::optional<Message> RemoteEndpointBase::recv_impl(
     int to, int from, int tag,
     const std::optional<std::chrono::milliseconds>& timeout) {
   check_rank(to, "recv destination");
@@ -118,9 +144,8 @@ std::optional<Tensor> RemoteEndpointBase::recv_impl(
   if (it != box_.queues.end() && !it->second.empty()) {
     Message msg = std::move(it->second.front());
     it->second.pop_front();
-    record_recv(from, to,
-                msg.payload.defined() ? msg.payload.byte_size() : 0);
-    return std::move(msg.payload);
+    record_recv(from, to, msg.payload_bytes());
+    return msg;
   }
   throw PeerDeadError(from, "recv aborted: rank " + std::to_string(from) +
                                 " is dead");
@@ -128,10 +153,18 @@ std::optional<Tensor> RemoteEndpointBase::recv_impl(
 
 void RemoteEndpointBase::handle_frame(wire::Frame frame) {
   switch (frame.type) {
-    case wire::FrameType::kData:
-      deposit(frame.src, frame.tag,
-              frame.payload_defined ? std::move(frame.payload) : Tensor());
+    case wire::FrameType::kData: {
+      Message msg;
+      msg.source = frame.src;
+      msg.tag = frame.tag;
+      if (frame.qpayload.has_value()) {
+        msg.q = std::move(*frame.qpayload);
+      } else if (frame.payload_defined) {
+        msg.payload = std::move(frame.payload);
+      }
+      deposit(std::move(msg));
       break;
+    }
     case wire::FrameType::kRankDead:
       mark_dead_local(frame.src);
       break;

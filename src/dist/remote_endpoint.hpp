@@ -42,6 +42,7 @@ class RemoteEndpointBase : public Transport {
   int rank() const { return rank_; }
 
   void send(int from, int to, int tag, Tensor payload) override;
+  void send_q(int from, int to, int tag, quant::QTensor payload) override;
   void close() override;
   bool closed() const override { return closed_.load(); }
   void close_rank(int rank) override;
@@ -72,7 +73,7 @@ class RemoteEndpointBase : public Transport {
   // Wakes every blocked receiver so it re-evaluates its predicate.
   void wake_all();
 
-  std::optional<Tensor> recv_impl(
+  std::optional<Message> recv_impl(
       int to, int from, int tag,
       const std::optional<std::chrono::milliseconds>& timeout) override;
 
@@ -89,7 +90,12 @@ class RemoteEndpointBase : public Transport {
 
   static void flush_deferred(Mailbox& box,
                              const std::pair<int, int>* key_or_null);
-  void deposit(int from, int tag, Tensor payload);
+  void deposit(Message msg);
+  // Shared body of send/send_q: prechecks, fault pipeline, stats, then
+  // either a local deposit (self-send) or a wire_send of `frame`.
+  void send_framed(int from, int to, int tag, Message msg,
+                   std::uint64_t bytes,
+                   std::vector<std::uint8_t> (*encode)(const Message&));
 
   Mailbox box_;
   std::vector<std::unique_ptr<std::atomic<bool>>> dead_;

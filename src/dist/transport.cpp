@@ -79,6 +79,10 @@ void Transport::record_send(int from, int to, std::uint64_t bytes) {
     counters.add(link_counter("sent_bytes", from, to),
                  static_cast<std::int64_t>(bytes));
     counters.add(link_counter("sent_msgs", from, to), 1);
+    // Aggregate data bytes on the wire (payload bytes as charged to the
+    // link — compressed sends count their compressed size), so one counter
+    // shows the whole-run traffic and the quantization win.
+    counters.add("wire.data_bytes_tx", static_cast<std::int64_t>(bytes));
   }
   std::lock_guard<std::mutex> stats_guard(stats_mutex_);
   LinkStats& s = stats_[{from, to}];
@@ -93,15 +97,48 @@ void Transport::record_recv(int from, int to, std::uint64_t bytes) {
   }
 }
 
+namespace {
+
+// A compressed message is decompressed only here, at the fp32 consumption
+// point; recv_q callers get the stored bytes untouched.
+Tensor message_to_tensor(Message&& msg) {
+  if (msg.q.has_value()) return quant::dequantize(*msg.q);
+  return std::move(msg.payload);
+}
+
+quant::QTensor message_to_q(Message&& msg) {
+  if (msg.q.has_value()) return std::move(*msg.q);
+  PAC_CHECK(msg.payload.defined(),
+            "recv_q on a message with an undefined payload");
+  return quant::quantize(msg.payload, quant::Dtype::kF32);
+}
+
+}  // namespace
+
 Tensor Transport::recv(int to, int from, int tag) {
   auto result = recv_impl(to, from, tag, std::nullopt);
   PAC_CHECK(result.has_value(), "untimed recv returned without a message");
-  return std::move(*result);
+  return message_to_tensor(std::move(*result));
 }
 
 std::optional<Tensor> Transport::recv_for(int to, int from, int tag,
                                           std::chrono::milliseconds timeout) {
-  return recv_impl(to, from, tag, timeout);
+  auto result = recv_impl(to, from, tag, timeout);
+  if (!result.has_value()) return std::nullopt;
+  return message_to_tensor(std::move(*result));
+}
+
+quant::QTensor Transport::recv_q(int to, int from, int tag) {
+  auto result = recv_impl(to, from, tag, std::nullopt);
+  PAC_CHECK(result.has_value(), "untimed recv returned without a message");
+  return message_to_q(std::move(*result));
+}
+
+std::optional<quant::QTensor> Transport::recv_q_for(
+    int to, int from, int tag, std::chrono::milliseconds timeout) {
+  auto result = recv_impl(to, from, tag, timeout);
+  if (!result.has_value()) return std::nullopt;
+  return message_to_q(std::move(*result));
 }
 
 LinkStats Transport::stats(int from, int to) const {
@@ -152,6 +189,26 @@ void InProcTransport::flush_deferred(Mailbox& box,
 }
 
 void InProcTransport::send(int from, int to, int tag, Tensor payload) {
+  Message msg;
+  msg.source = from;
+  msg.tag = tag;
+  msg.payload = std::move(payload);
+  const std::uint64_t bytes = msg.payload_bytes();
+  send_message(from, to, tag, std::move(msg), bytes);
+}
+
+void InProcTransport::send_q(int from, int to, int tag,
+                             quant::QTensor payload) {
+  Message msg;
+  msg.source = from;
+  msg.tag = tag;
+  msg.q = std::move(payload);
+  const std::uint64_t bytes = msg.payload_bytes();
+  send_message(from, to, tag, std::move(msg), bytes);
+}
+
+void InProcTransport::send_message(int from, int to, int tag, Message msg,
+                                   std::uint64_t bytes) {
   check_rank(from, "send source");
   check_rank(to, "send destination");
   if (closed_.load()) {
@@ -164,7 +221,6 @@ void InProcTransport::send(int from, int to, int tag, Tensor payload) {
   if (dead_[static_cast<std::size_t>(to)]->load()) {
     throw PeerDeadError(to, "send to dead rank " + std::to_string(to));
   }
-  const std::uint64_t bytes = payload.defined() ? payload.byte_size() : 0;
   run_send_faults(from, to, tag, bytes);
   record_send(from, to, bytes);
   const bool park = faults_.active() && faults_.defer(from, to, tag);
@@ -175,11 +231,11 @@ void InProcTransport::send(int from, int to, int tag, Tensor payload) {
     if (park) {
       // Parked until a later message (or a matching receiver) flushes it —
       // a legal reorder: only cross-key messages can overtake it.
-      box.deferred[key].push_back(Message{from, tag, std::move(payload)});
+      box.deferred[key].push_back(std::move(msg));
     } else {
       // Same-key parked messages must keep their FIFO position.
       flush_deferred(box, &key);
-      box.queues[key].push_back(Message{from, tag, std::move(payload)});
+      box.queues[key].push_back(std::move(msg));
       // Everything parked on other keys has now been overtaken; deliver.
       flush_deferred(box, nullptr);
     }
@@ -188,7 +244,7 @@ void InProcTransport::send(int from, int to, int tag, Tensor payload) {
   box.arrived.notify_all();
 }
 
-std::optional<Tensor> InProcTransport::recv_impl(
+std::optional<Message> InProcTransport::recv_impl(
     int to, int from, int tag,
     const std::optional<std::chrono::milliseconds>& timeout) {
   check_rank(to, "recv destination");
@@ -220,9 +276,8 @@ std::optional<Tensor> InProcTransport::recv_impl(
     // still handed out so receivers can finish in-flight work.
     Message msg = std::move(it->second.front());
     it->second.pop_front();
-    record_recv(from, to,
-                msg.payload.defined() ? msg.payload.byte_size() : 0);
-    return std::move(msg.payload);
+    record_recv(from, to, msg.payload_bytes());
+    return msg;
   }
   throw PeerDeadError(from, "recv aborted: rank " + std::to_string(from) +
                                 " is dead");

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "dist/fault.hpp"
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pac::dist {
@@ -66,6 +67,15 @@ struct Message {
   int source = -1;
   int tag = 0;
   Tensor payload;
+  // Compressed payload (fp16/int8): set instead of `payload`, carried
+  // verbatim through mailboxes and wire frames so a quantized tensor
+  // round-trips bit-identically.  recv() dequantizes at the consumer.
+  std::optional<quant::QTensor> q;
+
+  std::uint64_t payload_bytes() const {
+    if (q.has_value()) return q->byte_size();
+    return payload.defined() ? payload.byte_size() : 0;
+  }
 };
 
 struct LinkStats {
@@ -87,11 +97,19 @@ class Transport {
   const LinkModel& link() const { return link_; }
 
   virtual void send(int from, int to, int tag, Tensor payload) = 0;
-  // Blocks until a message with (from, tag) arrives at `to`.
+  // Ships a compressed payload; the link is charged the compressed bytes.
+  virtual void send_q(int from, int to, int tag, quant::QTensor payload) = 0;
+  // Blocks until a message with (from, tag) arrives at `to`.  A compressed
+  // message is dequantized here, at the consumption point.
   Tensor recv(int to, int from, int tag);
   // Bounded wait: nullopt on timeout (still throws on close / dead peer).
   std::optional<Tensor> recv_for(int to, int from, int tag,
                                  std::chrono::milliseconds timeout);
+  // Compressed receive: returns the QTensor exactly as sent (a plain fp32
+  // send arrives as a bit-exact kF32 repack).
+  quant::QTensor recv_q(int to, int from, int tag);
+  std::optional<quant::QTensor> recv_q_for(int to, int from, int tag,
+                                           std::chrono::milliseconds timeout);
 
   // Wakes all blocked receivers with ChannelClosedError; subsequent sends
   // and recvs throw too.  Used on whole-cluster teardown.
@@ -132,7 +150,7 @@ class Transport {
   // closed/dead checks.  Throws TransientSendError as scheduled.
   void run_send_faults(int from, int to, int tag, std::uint64_t bytes);
 
-  virtual std::optional<Tensor> recv_impl(
+  virtual std::optional<Message> recv_impl(
       int to, int from, int tag,
       const std::optional<std::chrono::milliseconds>& timeout) = 0;
 
@@ -152,6 +170,7 @@ class InProcTransport final : public Transport {
                            FaultPlan faults = {});
 
   void send(int from, int to, int tag, Tensor payload) override;
+  void send_q(int from, int to, int tag, quant::QTensor payload) override;
   void close() override;
   bool closed() const override;
   void close_rank(int rank) override;
@@ -170,7 +189,10 @@ class InProcTransport final : public Transport {
   // Caller must hold box.mutex.
   static void flush_deferred(Mailbox& box,
                              const std::pair<int, int>* key_or_null);
-  std::optional<Tensor> recv_impl(
+  // Shared body of send/send_q: fault pipeline, stats, mailbox deposit.
+  void send_message(int from, int to, int tag, Message msg,
+                    std::uint64_t bytes);
+  std::optional<Message> recv_impl(
       int to, int from, int tag,
       const std::optional<std::chrono::milliseconds>& timeout) override;
 

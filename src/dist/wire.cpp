@@ -14,7 +14,8 @@ struct Header {
   std::uint32_t magic = 0;
   std::uint8_t type = 0;
   std::uint8_t flags = 0;
-  std::uint16_t reserved = 0;
+  std::uint8_t dtype = 0;
+  std::uint8_t reserved = 0;
   std::int32_t src = 0;
   std::int32_t tag = 0;
   std::uint32_t body_len = 0;
@@ -26,7 +27,8 @@ void pack_header(const Header& h, std::uint8_t* out) {
   std::memcpy(out + 0, &h.magic, 4);
   std::memcpy(out + 4, &h.type, 1);
   std::memcpy(out + 5, &h.flags, 1);
-  std::memcpy(out + 6, &h.reserved, 2);
+  std::memcpy(out + 6, &h.dtype, 1);
+  std::memcpy(out + 7, &h.reserved, 1);
   std::memcpy(out + 8, &h.src, 4);
   std::memcpy(out + 12, &h.tag, 4);
   std::memcpy(out + 16, &h.body_len, 4);
@@ -37,11 +39,22 @@ Header unpack_header(const std::uint8_t* in) {
   std::memcpy(&h.magic, in + 0, 4);
   std::memcpy(&h.type, in + 4, 1);
   std::memcpy(&h.flags, in + 5, 1);
-  std::memcpy(&h.reserved, in + 6, 2);
+  std::memcpy(&h.dtype, in + 6, 1);
+  std::memcpy(&h.reserved, in + 7, 1);
   std::memcpy(&h.src, in + 8, 4);
   std::memcpy(&h.tag, in + 12, 4);
   std::memcpy(&h.body_len, in + 16, 4);
   return h;
+}
+
+std::vector<std::uint8_t> finish_frame(Header h, const std::string& body) {
+  PAC_CHECK(body.size() <= kMaxBodyBytes,
+            "payload too large for wire frame: " << body.size() << " bytes");
+  h.body_len = static_cast<std::uint32_t>(body.size());
+  std::vector<std::uint8_t> out(kHeaderBytes + body.size());
+  pack_header(h, out.data());
+  std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
+  return out;
 }
 
 }  // namespace
@@ -63,14 +76,28 @@ std::vector<std::uint8_t> encode_data(int src, int tag,
     w.write_i64s(shape.data(), shape.size());
     w.write_floats(payload.data(), static_cast<std::size_t>(payload.numel()));
     body = os.str();
-    PAC_CHECK(body.size() <= kMaxBodyBytes,
-              "payload too large for wire frame: " << body.size() << " bytes");
   }
-  h.body_len = static_cast<std::uint32_t>(body.size());
-  std::vector<std::uint8_t> out(kHeaderBytes + body.size());
-  pack_header(h, out.data());
-  std::memcpy(out.data() + kHeaderBytes, body.data(), body.size());
-  return out;
+  return finish_frame(h, body);
+}
+
+std::vector<std::uint8_t> encode_data_q(int src, int tag,
+                                        const quant::QTensor& payload) {
+  Header h;
+  h.magic = kMagic;
+  h.type = static_cast<std::uint8_t>(FrameType::kData);
+  h.flags = 1;
+  h.dtype = static_cast<std::uint8_t>(payload.dtype);
+  h.src = static_cast<std::int32_t>(src);
+  h.tag = static_cast<std::int32_t>(tag);
+  std::ostringstream os(std::ios::binary);
+  BinaryWriter w(os);
+  w.write_u32(static_cast<std::uint32_t>(payload.shape.size()));
+  w.write_i64s(payload.shape.data(), payload.shape.size());
+  if (payload.dtype == quant::Dtype::kI8) {
+    w.write_floats(payload.scales.data(), payload.scales.size());
+  }
+  w.write_bytes(payload.data.data(), payload.data.size());
+  return finish_frame(h, os.str());
 }
 
 std::vector<std::uint8_t> encode_control(FrameType type, int src) {
@@ -102,6 +129,9 @@ std::optional<Frame> FrameDecoder::next() {
   const Header h = unpack_header(raw);
   if (h.magic != kMagic) poison("bad magic");
   if (h.reserved != 0) poison("nonzero reserved field");
+  if (h.dtype > static_cast<std::uint8_t>(quant::Dtype::kI8)) {
+    poison("unknown payload dtype " + std::to_string(h.dtype));
+  }
   const auto type = static_cast<FrameType>(h.type);
   if (type != FrameType::kData && type != FrameType::kHello &&
       type != FrameType::kRankDead && type != FrameType::kClose &&
@@ -114,9 +144,11 @@ std::optional<Frame> FrameDecoder::next() {
   const bool defined = (h.flags & 1u) != 0;
   if (type != FrameType::kData) {
     if (h.flags != 0) poison("flags on control frame");
+    if (h.dtype != 0) poison("dtype on control frame");
     if (h.body_len != 0) poison("control frame with body");
-  } else if (!defined && h.body_len != 0) {
-    poison("undefined payload with non-empty body");
+  } else if (!defined) {
+    if (h.dtype != 0) poison("dtype on undefined payload");
+    if (h.body_len != 0) poison("undefined payload with non-empty body");
   }
   if (type != FrameType::kClose && world_size_ > 0 &&
       (h.src < 0 || h.src >= world_size_)) {
@@ -129,6 +161,7 @@ std::optional<Frame> FrameDecoder::next() {
   frame.src = static_cast<int>(h.src);
   frame.tag = static_cast<int>(h.tag);
   frame.payload_defined = defined;
+  frame.dtype = static_cast<quant::Dtype>(h.dtype);
   if (type == FrameType::kData && defined) {
     // Validate the tensor body step by step so every read is bounds-checked
     // before it happens; lengths must tile the body exactly.
@@ -145,26 +178,48 @@ std::optional<Frame> FrameDecoder::next() {
     if (h.body_len < 4 + 8ull * ndim) poison("tensor body truncates dims");
     Shape shape(ndim);
     r.read_i64s(shape.data(), ndim);
+    const std::uint64_t elem_bytes = quant::element_bytes(frame.dtype);
     std::uint64_t numel = 1;
     for (std::int64_t d : shape) {
       if (d < 0) poison("negative tensor dimension");
       const auto ud = static_cast<std::uint64_t>(d);
       // Guard BEFORE multiplying: dims like [2^26, 2^38] would wrap numel
       // modulo 2^64 and sneak past an after-the-fact check.
-      if (ud != 0 && numel > (kMaxBodyBytes / 4) / ud) {
+      if (ud != 0 && numel > (kMaxBodyBytes / elem_bytes) / ud) {
         poison("tensor element count overflow");
       }
       numel *= ud;
     }
-    const std::uint64_t expected = 4 + 8ull * ndim + 4ull * numel;
+    // Per-row scale count for int8 (rows of the last dim; a rank-0 scalar
+    // is one row).  Zero-numel tensors carry no rows and no scales.
+    const std::uint64_t row_len =
+        ndim == 0 ? 1 : static_cast<std::uint64_t>(shape.back());
+    const std::uint64_t rows = row_len == 0 ? 0 : numel / row_len;
+    const std::uint64_t scale_bytes =
+        frame.dtype == quant::Dtype::kI8 ? 4ull * rows : 0;
+    const std::uint64_t expected =
+        4 + 8ull * ndim + scale_bytes + elem_bytes * numel;
     if (expected != h.body_len) {
       poison("tensor body length mismatch: header says " +
              std::to_string(h.body_len) + ", dims imply " +
              std::to_string(expected));
     }
-    Tensor payload = Tensor::zeros(shape);
-    r.read_floats(payload.data(), static_cast<std::size_t>(numel));
-    frame.payload = std::move(payload);
+    if (frame.dtype == quant::Dtype::kF32) {
+      Tensor payload = Tensor::zeros(shape);
+      r.read_floats(payload.data(), static_cast<std::size_t>(numel));
+      frame.payload = std::move(payload);
+    } else {
+      quant::QTensor q;
+      q.dtype = frame.dtype;
+      q.shape = std::move(shape);
+      if (frame.dtype == quant::Dtype::kI8) {
+        q.scales.resize(static_cast<std::size_t>(rows));
+        r.read_floats(q.scales.data(), q.scales.size());
+      }
+      q.data.resize(static_cast<std::size_t>(elem_bytes * numel));
+      r.read_bytes(q.data.data(), q.data.size());
+      frame.qpayload = std::move(q);
+    }
   }
   buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderBytes + h.body_len);
   return frame;

@@ -8,13 +8,20 @@
 //     u32 magic      0x50414346 ("PACF")
 //     u8  type       FrameType below
 //     u8  flags      bit 0: DATA payload is a defined tensor
-//     u16 reserved   must be zero
+//     u8  dtype      quant::Dtype of a defined DATA payload (0 = fp32,
+//                    1 = fp16, 2 = int8); must be zero otherwise.  fp32
+//                    frames are byte-identical to the original format,
+//                    which reserved this byte as zero.
+//     u8  reserved   must be zero
 //     i32 src        DATA: source rank · HELLO: connecting rank ·
 //                    RANK_DEAD / ROOT_DEAD: the dead rank · CLOSE: ignored
 //     i32 tag        DATA: message tag · otherwise zero
 //     u32 body_len   bytes that follow the header
 //   body (DATA with a defined payload):
-//     u32 ndim, i64 dims[ndim], f32 data[numel]
+//     fp32: u32 ndim, i64 dims[ndim], f32 data[numel]
+//     fp16: u32 ndim, i64 dims[ndim], u16 data[numel]
+//     int8: u32 ndim, i64 dims[ndim], f32 scales[rows], i8 data[numel]
+//           (rows = numel / dims[ndim-1], the per-row scale count)
 //
 // FrameDecoder consumes an arbitrary byte stream incrementally — frames may
 // arrive truncated, split across reads, or concatenated — and yields whole
@@ -29,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace pac::dist::wire {
@@ -52,11 +60,19 @@ struct Frame {
   int src = -1;
   int tag = 0;
   bool payload_defined = false;
-  Tensor payload;  // defined only for DATA frames with the defined flag
+  quant::Dtype dtype = quant::Dtype::kF32;
+  Tensor payload;  // defined only for fp32 DATA frames with the defined flag
+  // Compressed payload for fp16/int8 DATA frames (payload stays undefined;
+  // the receiving endpoint dequantizes only if the consumer asks for fp32).
+  std::optional<quant::QTensor> qpayload;
 };
 
 // Serializes a frame to bytes ready for a ring or socket write.
 std::vector<std::uint8_t> encode_data(int src, int tag, const Tensor& payload);
+// Compressed variant; a kF32 QTensor encodes byte-identically to
+// encode_data of the equivalent fp32 tensor.
+std::vector<std::uint8_t> encode_data_q(int src, int tag,
+                                        const quant::QTensor& payload);
 std::vector<std::uint8_t> encode_control(FrameType type, int src);
 
 // Incremental decoder over a byte stream.  feed() appends raw bytes; next()

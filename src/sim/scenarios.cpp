@@ -134,10 +134,8 @@ struct Phase2Step {
 Phase2Step pac_phase2_step(const ScenarioConfig& cfg,
                            const model::TechniqueConfig& tc) {
   Phase2Step out;
-  out.cache_per_sample = static_cast<std::uint64_t>(
-      static_cast<double>(costmodel::cache_bytes_per_sample(
-          cfg.model, cfg.seq, true)) *
-      cfg.cache_wire_factor);
+  out.cache_per_sample = costmodel::cache_bytes_per_sample(
+      cfg.model, cfg.seq, true, cfg.cache_bytes_per_element);
   const int d = cfg.num_devices;
   out.minibatch = cfg.per_device_batch * static_cast<std::int64_t>(d);
   const costmodel::SeqShape dev_shape{cfg.per_device_batch, cfg.seq, 16};

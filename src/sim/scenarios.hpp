@@ -40,8 +40,10 @@ struct ScenarioConfig {
   std::int64_t seq = 128;
   std::int64_t pac_micro_batches = 16;
   bool pac_use_cache = true;
-  // Cache is stored/shipped as fp16: half the fp32 activation bytes.
-  double cache_wire_factor = 0.5;
+  // Cache storage/wire precision in bytes per element: 4 = fp32, 2 = fp16
+  // (default — matches CacheConfig::dtype = kF16), 1 = int8 (adds the
+  // per-row scale overhead).  See costmodel::cache_bytes_per_sample.
+  std::uint64_t cache_bytes_per_element = 2;
   costmodel::DeviceModel device = costmodel::jetson_nano();
   costmodel::NetworkModel network = costmodel::edge_lan();
   // Overrides; <= 0 means "use the paper's numbers for the task".

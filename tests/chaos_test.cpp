@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <functional>
 #include <thread>
 
@@ -199,6 +200,44 @@ TEST(ChaosTest, RankDeathInPhase2ResumesFromLastCommittedEpoch) {
   EXPECT_LT(recovered.epoch_losses.back(), recovered.epoch_losses.front());
   EXPECT_GE(recovered.eval_metric, 0.0);
   EXPECT_LE(recovered.eval_metric, 1.0);
+}
+
+TEST(ChaosTest, Phase2DeathSalvagesCompressedDiskShardAndConverges) {
+  // Same phase-2 kill schedule, but with an int8 disk-backed cache: the
+  // dead device's blocks live in compressed spill files, so salvage and
+  // re-sharding move quantized bytes (get_block_q reloads the compressed
+  // shard from flash, redistribution ships it verbatim).  Recovery must
+  // converge exactly like the fp32 variant above.
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "pac_chaos_quant_cache").string();
+  fs::remove_all(dir);
+  auto ds = small_dataset();
+  dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  dist::FaultPlan death;
+  death.seed = 0xDEAD2;
+  death.death_after_ops = {{3, 160}};
+  cluster.set_fault_plan(death);
+  SessionConfig cfg = chaos_session_config();
+  cfg.epochs = 6;
+  cfg.cache_disk_backed = true;
+  cfg.cache_directory = dir;
+  cfg.cache_dtype = quant::Dtype::kI8;
+  SessionReport recovered = Session(cluster, ds, cfg).run();
+
+  EXPECT_EQ(recovered.rank_deaths, 1);
+  ASSERT_EQ(recovered.dead_ranks.size(), 1U);
+  EXPECT_EQ(recovered.dead_ranks[0], 3);
+  ASSERT_EQ(recovered.epoch_losses.size(), 6U);
+  EXPECT_EQ(recovered.phase2.epoch_losses.size(), 5U);
+  for (double l : recovered.epoch_losses) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_TRUE(std::isfinite(l));
+  }
+  EXPECT_LT(recovered.epoch_losses.back(), recovered.epoch_losses.front());
+  EXPECT_GE(recovered.eval_metric, 0.0);
+  EXPECT_LE(recovered.eval_metric, 1.0);
+  fs::remove_all(dir);
 }
 
 TEST(ChaosTest, DeathBeyondRecoveryBudgetRethrows) {

@@ -300,7 +300,18 @@ std::vector<std::uint8_t> random_wire_frame(Rng& rng, int world,
       const std::int64_t ndim = rng.integer(0, 3);
       Shape shape;
       for (std::int64_t i = 0; i < ndim; ++i) shape.push_back(rng.integer(1, 5));
-      f.payload = Tensor::randn(shape, rng);
+      Tensor payload = Tensor::randn(shape, rng);
+      if (rng.bernoulli(0.4)) {
+        // Compressed frame: fp16 or int8 body with per-row scales.
+        const auto dt = rng.bernoulli(0.5) ? quant::Dtype::kF16
+                                           : quant::Dtype::kI8;
+        f.dtype = dt;
+        f.qpayload = quant::quantize(payload, dt);
+        auto bytes = dist::wire::encode_data_q(f.src, f.tag, *f.qpayload);
+        expect.push_back(std::move(f));
+        return bytes;
+      }
+      f.payload = std::move(payload);
       f.payload_defined = true;
     }
     auto bytes = dist::wire::encode_data(f.src, f.tag, f.payload);
@@ -345,6 +356,17 @@ TEST(FuzzTest, WireDecoderReassemblesArbitrarySplits) {
       EXPECT_EQ(got[i].src, sent[i].src);
       if (sent[i].type == FrameType::kData) {
         EXPECT_EQ(got[i].tag, sent[i].tag);
+        EXPECT_EQ(got[i].dtype, sent[i].dtype);
+        ASSERT_EQ(got[i].qpayload.has_value(), sent[i].qpayload.has_value());
+        if (sent[i].qpayload.has_value()) {
+          // Compressed frames must reassemble byte-exactly: same dtype,
+          // shape, scales, and element bytes.
+          EXPECT_EQ(got[i].qpayload->dtype, sent[i].qpayload->dtype);
+          EXPECT_EQ(got[i].qpayload->shape, sent[i].qpayload->shape);
+          EXPECT_EQ(got[i].qpayload->scales, sent[i].qpayload->scales);
+          EXPECT_EQ(got[i].qpayload->data, sent[i].qpayload->data);
+          continue;
+        }
         ASSERT_EQ(got[i].payload_defined, sent[i].payload_defined);
         if (sent[i].payload_defined) {
           ASSERT_EQ(got[i].payload.shape(), sent[i].payload.shape());
@@ -413,9 +435,25 @@ TEST(FuzzTest, WireDecoderRejectsMalformedHeaders) {
   expect_rejected(mutate(0, 0x00), "bad magic");
   expect_rejected(mutate(4, 0), "frame type zero");
   expect_rejected(mutate(4, 9), "unknown frame type");
-  expect_rejected(mutate(6, 1), "nonzero reserved field");
+  expect_rejected(mutate(6, 3), "unknown payload dtype");
+  expect_rejected(mutate(6, 0xFF), "dtype byte far out of range");
+  expect_rejected(mutate(7, 1), "nonzero reserved field");
   expect_rejected(mutate(11, 0x80), "source rank out of range (negative)");
   expect_rejected(mutate(8, kWorld), "source rank out of range (high)");
+  {  // known dtype whose body no longer matches the fp32 body length
+    expect_rejected(mutate(6, 1), "fp16 dtype on an fp32-sized body");
+    expect_rejected(mutate(6, 2), "int8 dtype on an fp32-sized body");
+  }
+  {  // dtype on a control frame
+    auto ctrl = dist::wire::encode_control(FrameType::kRankDead, 1);
+    ctrl[6] = 2;
+    expect_rejected(ctrl, "dtype on control frame");
+  }
+  {  // dtype on a data frame with no payload
+    auto empty = dist::wire::encode_data(1, 5, Tensor());
+    empty[6] = 1;
+    expect_rejected(empty, "dtype on undefined payload");
+  }
 
   {  // oversized body_len
     auto bytes = valid;

@@ -167,6 +167,64 @@ TEST_P(ConformanceTest, ScalarAndUndefinedPayloadsRoundTrip) {
   EXPECT_FALSE(undef.defined());
 }
 
+TEST_P(ConformanceTest, QuantizedPayloadsRoundTripBitIdentical) {
+  // Compressed cache frames (fp16 / int8 + per-row scales) must cross
+  // every backend byte-exactly: the redistribution contract is that a
+  // shipped block is the SAME bytes the sender's shard stored, so moving
+  // a block never requantizes.
+  World w(GetParam(), 2);
+  Rng rng(6406);
+  Tensor src = Tensor::randn({5, 7}, rng);
+  for (auto dt : {quant::Dtype::kF16, quant::Dtype::kI8}) {
+    const quant::QTensor q = quant::quantize(src, dt);
+    w.at(0).send_q(0, 1, 11, q);
+    const quant::QTensor got = w.at(1).recv_q(1, 0, 11);
+    EXPECT_EQ(got.dtype, q.dtype);
+    EXPECT_EQ(got.shape, q.shape);
+    EXPECT_EQ(got.scales, q.scales);
+    EXPECT_EQ(got.data, q.data);
+    // recv of a compressed send dequantizes at the consumption point.
+    w.at(0).send_q(0, 1, 12, q);
+    Tensor deq = w.at(1).recv(1, 0, 12);
+    EXPECT_EQ(ops::max_abs_diff(deq, quant::dequantize(q)), 0.0F);
+  }
+  // recv_q of a plain fp32 send is a bit-exact kF32 repack.
+  w.at(0).send(0, 1, 13, src.clone());
+  const quant::QTensor asq = w.at(1).recv_q(1, 0, 13);
+  EXPECT_EQ(asq.dtype, quant::Dtype::kF32);
+  EXPECT_EQ(asq.shape, src.shape());
+  EXPECT_EQ(ops::max_abs_diff(quant::dequantize(asq), src), 0.0F);
+  // Byte accounting charges the compressed size, uniformly per backend.
+  const quant::QTensor half = quant::quantize(src, quant::Dtype::kF16);
+  const std::uint64_t before = w.at(0).stats(0, 1).bytes;
+  w.at(0).send_q(0, 1, 14, half);
+  EXPECT_EQ(w.at(0).stats(0, 1).bytes - before, half.byte_size());
+  w.at(1).recv_q(1, 0, 14);
+}
+
+TEST_P(ConformanceTest, QuantizedCloseRankDrainsDeliveredMessagesFirst) {
+  // Death-drain semantics hold for compressed frames too: blocks the dead
+  // rank already shipped survive bit-exactly, then the link reports death.
+  World w(GetParam(), 3);
+  Rng rng(6407);
+  const quant::QTensor q1 =
+      quant::quantize(Tensor::randn({3, 4}, rng), quant::Dtype::kI8);
+  const quant::QTensor q2 =
+      quant::quantize(Tensor::randn({3, 4}, rng), quant::Dtype::kF16);
+  w.at(2).send_q(2, 1, 5, q1);
+  w.at(2).send_q(2, 1, 5, q2);
+  w.at(2).close_rank(2);
+  ASSERT_TRUE(World::eventually([&] { return w.at(1).rank_dead(2); }));
+  const quant::QTensor g1 = w.at(1).recv_q(1, 2, 5);
+  EXPECT_EQ(g1.dtype, q1.dtype);
+  EXPECT_EQ(g1.scales, q1.scales);
+  EXPECT_EQ(g1.data, q1.data);
+  const quant::QTensor g2 = w.at(1).recv_q(1, 2, 5);
+  EXPECT_EQ(g2.dtype, q2.dtype);
+  EXPECT_EQ(g2.data, q2.data);
+  EXPECT_THROW(w.at(1).recv_q(1, 2, 5), PeerDeadError);
+}
+
 TEST_P(ConformanceTest, TagAndSourceIsolation) {
   World w(GetParam(), 3);
   w.at(0).send(0, 2, 1, Tensor::full({1}, 10.0F));
@@ -458,6 +516,64 @@ TEST_P(ConformanceTest, MultiRoundSpmdTrajectoryIsBitIdenticalToOracle) {
       }
       for (std::int64_t i = 0; i < kDim; ++i) {
         finals[static_cast<std::size_t>(ctx.rank)].push_back(state.at({i}));
+      }
+    });
+    return finals;
+  };
+
+  EdgeCluster oracle_cluster(kWorld, std::numeric_limits<std::uint64_t>::max());
+  const auto oracle = run_world(oracle_cluster);
+
+  EdgeCluster backend_cluster(kWorld,
+                              std::numeric_limits<std::uint64_t>::max());
+  install_backend(backend_cluster, GetParam());
+  const auto got = run_world(backend_cluster);
+
+  for (int r = 0; r < kWorld; ++r) {
+    ASSERT_EQ(got[static_cast<std::size_t>(r)].size(),
+              oracle[static_cast<std::size_t>(r)].size());
+    for (std::size_t i = 0; i < oracle[static_cast<std::size_t>(r)].size();
+         ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][i],
+                oracle[static_cast<std::size_t>(r)][i])
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+// Same statement for the compressed path: a multi-round SPMD program that
+// ships quantized state ring-wise each round (like phase-2 cache traffic)
+// must be bit-for-bit identical on every backend — quantize, the wire, and
+// dequantize are all deterministic, so the backend cannot perturb a bit.
+TEST_P(ConformanceTest, QuantizedMultiRoundSpmdTrajectoryIsBitIdentical) {
+  constexpr int kWorld = 3;
+  constexpr int kRounds = 5;
+  constexpr std::int64_t kRowsDim = 4;
+  constexpr std::int64_t kColsDim = 8;
+
+  auto run_world = [&](EdgeCluster& cluster) {
+    std::vector<std::vector<float>> finals(kWorld);
+    cluster.run([&](DeviceContext& ctx) {
+      const int next = (ctx.rank + 1) % kWorld;
+      const int prev = (ctx.rank + kWorld - 1) % kWorld;
+      Tensor state = Tensor::full({kRowsDim, kColsDim},
+                                  0.3F * static_cast<float>(ctx.rank + 1));
+      for (int round = 0; round < kRounds; ++round) {
+        // Alternate element precisions round-to-round so both wire body
+        // formats sit inside the same trajectory.
+        const auto dt = (round % 2 == 0) ? quant::Dtype::kI8
+                                         : quant::Dtype::kF16;
+        ctx.comm.send_q(next, 2000 + round, quant::quantize(state, dt));
+        const Tensor incoming =
+            quant::dequantize(ctx.comm.recv_q(prev, 2000 + round));
+        for (std::int64_t i = 0; i < state.numel(); ++i) {
+          state.data()[i] =
+              0.5F * (state.data()[i] + incoming.data()[i]) +
+              0.01F * static_cast<float>(round + 1);
+        }
+      }
+      for (std::int64_t i = 0; i < state.numel(); ++i) {
+        finals[static_cast<std::size_t>(ctx.rank)].push_back(state.data()[i]);
       }
     });
     return finals;

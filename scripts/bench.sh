@@ -2,7 +2,7 @@
 # Benchmark runner: builds the Release tree and records a micro-benchmark
 # suite as google-benchmark JSON.
 #
-# Usage: scripts/bench.sh [--quick] [--suite kernels|comm] [output.json]
+# Usage: scripts/bench.sh [--quick] [--suite kernels|comm|service] [output.json]
 #   --quick          smoke mode: one short repetition per benchmark,
 #                    results discarded (used by scripts/ci.sh to keep the
 #                    bench suites compiling and running); no JSON written.
@@ -13,6 +13,11 @@
 #                    byte counters), BM_CacheQuantizeRoundTrip (codec
 #                    throughput per dtype), and BM_ElasticReplan (straggler
 #                    verdict + planner re-run) -> BENCH_comm.json
+#   --suite service  micro_service BM_Service* (dispatcher control-plane
+#                    round trips, and the 16-job-burst makespan pair —
+#                    packed fleet vs max_concurrent_jobs=1 serial baseline,
+#                    with the dispatcher's makespan gauge exported as a
+#                    counter) -> BENCH_service.json
 #
 # To regenerate a tracked baseline after a change:
 #   scripts/bench.sh BENCH_kernels.json
@@ -47,8 +52,15 @@ case "$SUITE" in
     # longer window is needed for stable medians.
     MIN_TIME=0.5
     ;;
+  service)
+    TARGET=micro_service
+    FILTER="BM_Service"
+    OUT="${OUT:-BENCH_service.json}"
+    # Makespan iterations sleep real simulated time (tens of ms each).
+    MIN_TIME=0.5
+    ;;
   *)
-    echo "unknown suite: $SUITE (expected kernels|comm)" >&2
+    echo "unknown suite: $SUITE (expected kernels|comm|service)" >&2
     exit 2
     ;;
 esac

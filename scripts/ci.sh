@@ -39,9 +39,12 @@ run_tests() {
 # the in-process, shm-ring, and TCP-loopback backends; quant_test covers
 # the compressed cache/wire path (codecs, quantized redistribution, the
 # int8 session quality gate).
+# service_test adds the multi-tenant dispatcher: concurrent submit/cancel/
+# complete races, worker-pool completion, and the seeded admission
+# property — all of which must hold under shuffle and TSan.
 CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test
                    planner_test obs_test elastic_test
-                   transport_conformance_test quant_test)
+                   transport_conformance_test quant_test service_test)
 
 # Extra gtest args per suite under TSan.  The TCP backend's accept/connect
 # timing is dilated enough by the instrumented scheduler to be flaky, so
@@ -84,6 +87,7 @@ case "$MODE" in
     run_tests build
     scripts/bench.sh --quick
     scripts/bench.sh --quick --suite comm
+    scripts/bench.sh --quick --suite service
     ;;
   stress)
     build build
@@ -112,6 +116,7 @@ case "$MODE" in
     run_tests build
     scripts/bench.sh --quick
     scripts/bench.sh --quick --suite comm
+    scripts/bench.sh --quick --suite service
     stress_pass build
     build build-tsan -DPAC_SANITIZE=thread
     tsan_pass

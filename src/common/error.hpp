@@ -98,6 +98,16 @@ class RankDeathError : public Error {
   int rank_;
 };
 
+// A cooperative cancellation request was honored: the operation stopped
+// at a safe boundary (between phases / at an epoch commit) and its partial
+// results were discarded.  Raised by core::Session when the cancellation
+// flag wired through SessionConfig::cancel is set, and by the service
+// dispatcher's job runners.
+class OperationCancelledError : public Error {
+ public:
+  explicit OperationCancelledError(const std::string& what) : Error(what) {}
+};
+
 // Requested activation-cache entry does not exist.
 class CacheMissError : public Error {
  public:

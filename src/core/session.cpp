@@ -138,6 +138,13 @@ bool Session::absorb_straggler(const elastic::StragglerVerdict& verdict) {
   return true;
 }
 
+void Session::check_cancelled() const {
+  if (config_.cancel != nullptr &&
+      config_.cancel->load(std::memory_order_acquire)) {
+    throw OperationCancelledError("session cancelled");
+  }
+}
+
 SessionReport Session::run() {
   // One recording window over every attempt: faulted runs restart inside
   // the same session, so the post-mortem dump (written by the destructor
@@ -161,6 +168,7 @@ SessionReport Session::run() {
   int retries = 0;
   for (;;) {
     try {
+      check_cancelled();
       SessionReport report = run_attempt();
       report.oom_retries = retries;
       report.rank_deaths = recoveries_used_;
@@ -325,6 +333,7 @@ SessionReport Session::run_attempt() {
   }
 
   // ---- step 5a: redistribute cache shards + adapter parameters ----
+  check_cancelled();
   auto target = cache::modulo_sharding_over(alive);
   auto run_redistribution = [&](const std::vector<int>& group,
                                 const std::function<int(std::int64_t)>& t) {
@@ -451,6 +460,7 @@ SessionReport Session::run_attempt() {
     };
 
     for (;;) {
+      check_cancelled();
       // Fresh watchdog per resume: one DP group of all survivors, budget
       // shrunk by re-plans already spent.
       std::unique_ptr<elastic::HealthMonitor> monitor;

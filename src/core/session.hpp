@@ -18,6 +18,7 @@
 // under the hybrid plan, like the paper's baselines).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -94,6 +95,13 @@ struct SessionConfig {
   // un-triggered run is bit-identical to elastic disabled.
   elastic::ElasticPolicy elastic;
 
+  // Cooperative cancellation (the service dispatcher's cancel path).  When
+  // non-null, run() polls the flag at safe boundaries — attempt start,
+  // between phase 1 and phase 2, and at every phase-2 resume — and throws
+  // OperationCancelledError once it reads true.  Mid-epoch state is
+  // discarded; committed epochs stay committed.
+  const std::atomic<bool>* cancel = nullptr;
+
   // Deterministic per-block profiles (bypasses the wall-clock profiler).
   // Chaos/recovery tests set this so the plan — and therefore the whole
   // training trajectory — is reproducible across runs.
@@ -149,6 +157,8 @@ class Session {
 
  private:
   SessionReport run_attempt();
+  // Throws OperationCancelledError when config_.cancel reads true.
+  void check_cancelled() const;
   pipeline::ModelFactory make_factory(
       const std::map<std::string, Tensor>* overrides) const;
   std::vector<planner::BlockProfile> profile();

@@ -201,4 +201,23 @@ std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
   return bytes;
 }
 
+std::uint64_t job_reservation_bytes(const model::ModelConfig& config,
+                                    const model::TechniqueConfig& technique,
+                                    const SeqShape& shape,
+                                    bool include_decoder, int num_devices,
+                                    std::int64_t cached_samples_per_device,
+                                    std::uint64_t cache_bytes_per_element) {
+  PAC_CHECK(num_devices >= 1, "job needs at least one device");
+  const MemoryBreakdown standalone =
+      standalone_memory(config, technique, shape, include_decoder);
+  const std::uint64_t n = static_cast<std::uint64_t>(num_devices);
+  const std::uint64_t split = (standalone.total() + n - 1) / n;
+  const std::uint64_t cache =
+      static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, cached_samples_per_device)) *
+      cache_bytes_per_sample(config, shape.seq, include_decoder,
+                             cache_bytes_per_element);
+  return split + cache;
+}
+
 }  // namespace pac::costmodel

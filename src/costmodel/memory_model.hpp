@@ -63,4 +63,19 @@ std::uint64_t cache_bytes_per_sample(const model::ModelConfig& config,
                                      std::int64_t seq, bool include_decoder,
                                      std::uint64_t bytes_per_element = 4);
 
+// Per-device admission charge for one fine-tuning job spread over
+// `num_devices`: an even split of the standalone footprint plus this
+// device's activation-cache share.  Deliberately a *reservation* estimate
+// (stage boundaries split weights unevenly; the planner prices exact
+// per-stage memory once a device group is carved) — the service dispatcher
+// charges this against each device's MemoryLedger headroom before
+// scheduling, so a job that does not fit is queued or rejected instead of
+// OOMing mid-run.
+std::uint64_t job_reservation_bytes(const model::ModelConfig& config,
+                                    const model::TechniqueConfig& technique,
+                                    const SeqShape& shape,
+                                    bool include_decoder, int num_devices,
+                                    std::int64_t cached_samples_per_device,
+                                    std::uint64_t cache_bytes_per_element = 4);
+
 }  // namespace pac::costmodel

@@ -15,6 +15,7 @@ const char* mem_class_name(MemClass c) {
     case MemClass::kActivations: return "activations";
     case MemClass::kCache: return "cache";
     case MemClass::kComm: return "comm";
+    case MemClass::kReserved: return "reserved";
     case MemClass::kNumClasses: break;
   }
   return "?";

@@ -24,6 +24,12 @@ enum class MemClass : int {
   kActivations,
   kCache,
   kComm,
+  // Admission reservations: bytes promised to a fine-tuning job by the
+  // service dispatcher before the job's own allocations materialize.  The
+  // fleet charges a device's ledger here while a job owns the device, so
+  // co-tenant admission decisions see the committed headroom, not just
+  // what is currently resident.
+  kReserved,
   kNumClasses,
 };
 

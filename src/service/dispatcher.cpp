@@ -1,0 +1,463 @@
+#include "service/dispatcher.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "planner/planner.hpp"
+#include "service/session_runner.hpp"
+
+namespace pac::service {
+namespace {
+
+// Counter mirror; the dispatcher keeps its own always-on stats, obs gets a
+// copy when a recording session is active.
+void bump(const char* name, std::int64_t delta = 1) {
+  if (obs::enabled()) obs::CounterRegistry::instance().add(name, delta);
+}
+
+void gauge(const char* name, std::int64_t value) {
+  if (obs::enabled()) obs::CounterRegistry::instance().high_water(name, value);
+}
+
+}  // namespace
+
+JobDispatcher::JobDispatcher(Fleet& fleet, DispatcherConfig config)
+    : fleet_(fleet), config_(config) {
+  PAC_CHECK(config_.num_workers >= 0, "bad worker count");
+  PAC_CHECK(config_.max_concurrent_jobs >= 0, "bad concurrency cap");
+  PAC_CHECK(config_.sim_time_scale >= 0.0, "bad sim time scale");
+  if (!config_.manual_completion) {
+    PAC_CHECK(config_.num_workers >= 1,
+              "worker-driven dispatcher needs at least one worker");
+    for (int w = 0; w < config_.num_workers; ++w) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+}
+
+JobDispatcher::~JobDispatcher() {
+  {
+    std::lock_guard<std::mutex> dispatch_guard(mutex_);
+    stopping_ = true;
+  }
+  ready_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+JobDispatcher::Job* JobDispatcher::find_locked(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second.get();
+}
+
+bool JobDispatcher::starving_locked(const Job& job) const {
+  return config_.starvation_limit > 0 &&
+         completions_ - job.completions_at_enqueue >=
+             config_.starvation_limit;
+}
+
+void JobDispatcher::reject_locked(Job& job, const std::string& reason,
+                                  bool busy) {
+  job.state = JobState::kRejected;
+  job.reject_reason = reason;
+  job.finish_t = clock_.seconds();
+  if (busy) {
+    ++stats_.rejected_busy;
+  } else {
+    ++stats_.rejected_infeasible;
+  }
+  bump("service.jobs_rejected");
+}
+
+JobId JobDispatcher::submit(JobSpec spec) {
+  PAC_CHECK(spec.request.min_devices >= 1 &&
+                spec.request.max_devices >= spec.request.min_devices,
+            "bad resource request for job '"
+                << spec.name << "': min " << spec.request.min_devices
+                << " max " << spec.request.max_devices);
+  PAC_CHECK(spec.dataset == nullptr || spec.session.has_value(),
+            "session job '" << spec.name << "' has a dataset but no config");
+  PAC_CHECK(!spec.session.has_value() || spec.dataset != nullptr,
+            "session job '" << spec.name << "' has a config but no dataset");
+
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  const JobId id = next_id_++;
+  auto owned = std::make_unique<Job>();
+  Job& job = *owned;
+  job.id = id;
+  job.spec = std::move(spec);
+  job.submit_seq = id;
+  job.completions_at_enqueue = completions_;
+  job.submit_t = clock_.seconds();
+  if (first_submit_t_ < 0.0) first_submit_t_ = job.submit_t;
+  jobs_.emplace(id, std::move(owned));
+  ++stats_.submitted;
+  bump("service.jobs_submitted");
+
+  // Statically infeasible requests can never be admitted, with any set of
+  // co-tenants gone — fail them now rather than queueing forever.
+  if (fleet_.potential_fit_count(job.spec.request.bytes_per_device) <
+      job.spec.request.min_devices) {
+    reject_locked(job, "infeasible: request can never fit this fleet",
+                  /*busy=*/false);
+    return id;
+  }
+  // Busy-rejection is purely a capacity verdict: admitting the job at this
+  // instant would have overrun some device's ledger headroom.
+  if (job.spec.reject_if_busy && !fleet_.can_fit(job.spec.request)) {
+    reject_locked(job, "busy: insufficient headroom at submission",
+                  /*busy=*/true);
+    return id;
+  }
+
+  ++active_;
+  queue_.push_back(id);
+  stats_.queue_depth_high_water = std::max(
+      stats_.queue_depth_high_water,
+      static_cast<std::int64_t>(queue_.size()));
+  gauge("service.queue_depth",
+        static_cast<std::int64_t>(queue_.size()));
+  schedule_locked();
+  return id;
+}
+
+planner::PlanEstimate JobDispatcher::plan_for_group_locked(
+    const Job& job, const std::vector<int>& group) {
+  planner::PlannerInput input;
+  input.blocks = job.spec.profile;
+  input.num_devices = static_cast<int>(group.size());
+  input.num_micro_batches = job.spec.profile_micro_batches;
+  input.network = costmodel::in_process_network();
+  std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+  for (int d : group) {
+    budget = std::min(budget, fleet_.reserved(d));
+    input.device_scales.push_back(fleet_.spec(d).compute_scale);
+  }
+  input.device_budget_bytes = budget;
+  // The PR-5 re-plan entry point; unit scales here, runtime-observed
+  // per-device slowdowns would fold in the same way.
+  return planner::replan_hybrid(
+      std::move(input), std::vector<double>(group.size(), 1.0));
+}
+
+bool JobDispatcher::try_admit_locked(Job& job) {
+  auto group = fleet_.carve(job.id, job.spec.request);
+  if (!group.has_value()) return false;
+  if (!job.spec.profile.empty()) {
+    const planner::PlanEstimate est = plan_for_group_locked(job, *group);
+    if (!est.feasible) {
+      // The carve fits the reservation but no stage split fits the plan's
+      // per-stage memory — undo and leave the job queued.
+      fleet_.release(job.id);
+      ++stats_.plan_infeasible;
+      bump("service.plan_infeasible");
+      return false;
+    }
+    job.work_units = static_cast<double>(job.spec.sim_minibatches);
+    job.rate = 1.0 / std::max(est.minibatch_seconds, 1e-12);
+  } else {
+    job.work_units = job.spec.work_seconds;
+    double scale_sum = 0.0;
+    for (int d : *group) scale_sum += fleet_.spec(d).compute_scale;
+    job.rate = std::max(scale_sum, 1e-12);
+  }
+  job.devices = std::move(*group);
+  job.state = JobState::kRunning;
+  job.admit_seq = admit_seq_++;
+  job.admit_t = clock_.seconds();
+  admission_order_.push_back(job.id);
+  ++running_;
+  ++stats_.admitted;
+  stats_.running_high_water = std::max(
+      stats_.running_high_water, static_cast<std::int64_t>(running_));
+  const double wait = job.admit_t - job.submit_t;
+  stats_.max_queue_wait_seconds =
+      std::max(stats_.max_queue_wait_seconds, wait);
+  stats_.total_queue_wait_seconds += wait;
+  bump("service.jobs_admitted");
+  gauge("service.queue_wait_us", static_cast<std::int64_t>(wait * 1e6));
+  gauge("service.running_jobs", running_);
+  if (!config_.manual_completion) {
+    ready_.push_back(job.id);
+    ready_cv_.notify_one();
+  }
+  return true;
+}
+
+void JobDispatcher::schedule_locked() {
+  // Scan order: starving jobs first (oldest submission first), then
+  // priority bands descending with FIFO inside each band.
+  std::vector<Job*> order;
+  order.reserve(queue_.size());
+  for (JobId id : queue_) order.push_back(find_locked(id));
+  std::stable_sort(order.begin(), order.end(),
+                   [this](const Job* a, const Job* b) {
+                     const bool sa = starving_locked(*a);
+                     const bool sb = starving_locked(*b);
+                     if (sa != sb) return sa;
+                     if (sa) return a->submit_seq < b->submit_seq;
+                     if (a->spec.priority != b->spec.priority) {
+                       return a->spec.priority > b->spec.priority;
+                     }
+                     return a->submit_seq < b->submit_seq;
+                   });
+  for (Job* job : order) {
+    if (config_.max_concurrent_jobs > 0 &&
+        running_ >= config_.max_concurrent_jobs) {
+      break;
+    }
+    if (try_admit_locked(*job)) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), job->id));
+    } else if (starving_locked(*job)) {
+      // Head-of-line drain: nothing backfills past a starving job, so the
+      // fleet empties toward it as running jobs finish.
+      break;
+    }
+  }
+}
+
+void JobDispatcher::maybe_expand_locked() {
+  if (!config_.elastic_groups || !queue_.empty()) return;
+  // Grant freed devices to running simulated jobs, best priority first.
+  std::vector<Job*> running;
+  for (auto& [id, job] : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    if (job->spec.session.has_value()) continue;  // fixed cluster mid-run
+    if (static_cast<int>(job->devices.size()) >=
+        job->spec.request.max_devices) {
+      continue;
+    }
+    running.push_back(job.get());
+  }
+  std::stable_sort(running.begin(), running.end(),
+                   [](const Job* a, const Job* b) {
+                     if (a->spec.priority != b->spec.priority) {
+                       return a->spec.priority > b->spec.priority;
+                     }
+                     return a->admit_seq < b->admit_seq;
+                   });
+  for (Job* job : running) {
+    const int extra = job->spec.request.max_devices -
+                      static_cast<int>(job->devices.size());
+    std::vector<int> granted =
+        fleet_.expand(job->id, job->spec.request, extra);
+    if (granted.empty()) continue;
+    std::vector<int> grown = job->devices;
+    grown.insert(grown.end(), granted.begin(), granted.end());
+    if (!job->spec.profile.empty()) {
+      // Re-plan on the grown group; an infeasible grown plan (a granted
+      // device may carry a smaller reservation) reverts the grant.
+      const planner::PlanEstimate est = plan_for_group_locked(*job, grown);
+      if (!est.feasible) {
+        fleet_.release_devices(job->id, granted);
+        continue;
+      }
+      job->rate = 1.0 / std::max(est.minibatch_seconds, 1e-12);
+    } else {
+      double scale_sum = 0.0;
+      for (int d : grown) scale_sum += fleet_.spec(d).compute_scale;
+      job->rate = std::max(scale_sum, 1e-12);
+    }
+    job->devices = std::move(grown);
+    ++stats_.group_expansions;
+    bump("service.group_expansions");
+  }
+}
+
+void JobDispatcher::finish_locked(Job& job, JobOutcome outcome) {
+  fleet_.release(job.id);
+  for (int local : outcome.dead_local_ranks) {
+    if (local < 0 || local >= static_cast<int>(job.devices.size())) continue;
+    fleet_.quarantine(job.devices[static_cast<std::size_t>(local)]);
+    ++stats_.devices_quarantined;
+    bump("service.devices_quarantined");
+  }
+  job.state = job.cancel_requested
+                  ? JobState::kCancelled
+                  : (outcome.ok ? JobState::kCompleted : JobState::kFailed);
+  job.outcome = std::move(outcome);
+  job.finish_t = clock_.seconds();
+  ++completions_;
+  --running_;
+  --active_;
+  switch (job.state) {
+    case JobState::kCompleted:
+      ++stats_.completed;
+      bump("service.jobs_completed");
+      break;
+    case JobState::kFailed:
+      ++stats_.failed;
+      bump("service.jobs_failed");
+      break;
+    default:
+      ++stats_.cancelled;
+      bump("service.jobs_cancelled");
+      break;
+  }
+  if (job.finish_t - job.submit_t > job.spec.deadline_hint_s) {
+    ++stats_.deadline_misses;
+    bump("service.deadline_misses");
+  }
+  stats_.makespan_seconds = job.finish_t - first_submit_t_;
+  gauge("service.makespan_us",
+        static_cast<std::int64_t>(stats_.makespan_seconds * 1e6));
+  schedule_locked();
+  maybe_expand_locked();
+  idle_cv_.notify_all();
+}
+
+bool JobDispatcher::on_complete(JobId id, JobOutcome outcome) {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr || job->state != JobState::kRunning) return false;
+  finish_locked(*job, std::move(outcome));
+  return true;
+}
+
+bool JobDispatcher::complete(JobId id, JobOutcome outcome) {
+  return on_complete(id, std::move(outcome));
+}
+
+bool JobDispatcher::cancel(JobId id) {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  Job* job = find_locked(id);
+  if (job == nullptr) return false;
+  if (job->state == JobState::kQueued) {
+    queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+    job->state = JobState::kCancelled;
+    job->finish_t = clock_.seconds();
+    ++stats_.cancelled;
+    --active_;
+    bump("service.jobs_cancelled");
+    idle_cv_.notify_all();
+    return true;
+  }
+  if (job->state == JobState::kRunning && !job->cancel_requested) {
+    job->cancel_requested = true;
+    job->cancel_flag.store(true, std::memory_order_release);
+    return true;
+  }
+  return false;
+}
+
+JobInfo JobDispatcher::info(JobId id) const {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  const Job* job = find_locked(id);
+  PAC_CHECK(job != nullptr, "unknown job " << id);
+  JobInfo out;
+  out.id = job->id;
+  out.state = job->state;
+  out.priority = job->spec.priority;
+  out.submit_seq = job->submit_seq;
+  out.admit_seq = job->admit_seq;
+  out.starving = job->state == JobState::kQueued && starving_locked(*job);
+  out.devices = job->devices;
+  if (job->state == JobState::kQueued) {
+    out.queue_wait_seconds = clock_.seconds() - job->submit_t;
+  } else if (job->admit_seq >= 0) {
+    out.queue_wait_seconds = job->admit_t - job->submit_t;
+  }
+  out.reject_reason = job->reject_reason;
+  if (job_state_terminal(job->state)) out.outcome = job->outcome;
+  return out;
+}
+
+DispatcherStats JobDispatcher::stats() const {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  return stats_;
+}
+
+std::vector<JobId> JobDispatcher::admission_order() const {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  return admission_order_;
+}
+
+int JobDispatcher::queue_depth() const {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+int JobDispatcher::num_running() const {
+  std::lock_guard<std::mutex> dispatch_guard(mutex_);
+  return running_;
+}
+
+void JobDispatcher::wait_idle() {
+  std::unique_lock<std::mutex> dispatch_lock(mutex_);
+  idle_cv_.wait(dispatch_lock, [this] { return active_ == 0; });
+}
+
+JobOutcome JobDispatcher::run_sim_job(JobId id) {
+  JobOutcome outcome;
+  double remaining = 0.0;
+  double rate = 1.0;
+  {
+    std::lock_guard<std::mutex> dispatch_guard(mutex_);
+    const Job* job = find_locked(id);
+    remaining = job->work_units;
+    rate = job->rate;
+  }
+  if (config_.sim_time_scale <= 0.0) {
+    outcome.sim_seconds = remaining / rate;
+    return outcome;
+  }
+  // Sleep in short quanta, re-reading the rate each slice so an elastic
+  // group expansion speeds up the remainder of the job mid-flight.
+  constexpr double kQuantumSeconds = 2e-3;
+  while (remaining > 1e-12) {
+    {
+      std::lock_guard<std::mutex> dispatch_guard(mutex_);
+      const Job* job = find_locked(id);
+      if (job->cancel_requested) return outcome;
+      rate = job->rate;
+    }
+    const double sim_to_finish = remaining / rate;
+    const double real_dt =
+        std::min(kQuantumSeconds, sim_to_finish * config_.sim_time_scale);
+    std::this_thread::sleep_for(std::chrono::duration<double>(real_dt));
+    const double sim_step = real_dt / config_.sim_time_scale;
+    outcome.sim_seconds += sim_step;
+    remaining -= sim_step * rate;
+  }
+  return outcome;
+}
+
+void JobDispatcher::worker_main() {
+  for (;;) {
+    JobId id = -1;
+    const JobSpec* spec = nullptr;
+    std::vector<dist::DeviceSpec> group_specs;
+    std::vector<std::uint64_t> reservations;
+    std::atomic<bool>* cancel = nullptr;
+    bool is_session = false;
+    {
+      std::unique_lock<std::mutex> dispatch_lock(mutex_);
+      ready_cv_.wait(dispatch_lock,
+                     [this] { return stopping_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping, nothing left to run
+      id = ready_.front();
+      ready_.pop_front();
+      Job* job = find_locked(id);
+      // Job specs are immutable after submit and the jobs_ map never
+      // erases, so the pointers stay valid outside the lock.
+      spec = &job->spec;
+      cancel = &job->cancel_flag;
+      is_session = job->spec.session.has_value();
+      if (is_session) {
+        for (int d : job->devices) {
+          group_specs.push_back(fleet_.spec(d));
+          reservations.push_back(fleet_.reserved(d));
+        }
+      }
+    }
+    JobOutcome outcome =
+        is_session ? run_session_job(*spec, group_specs, reservations, cancel)
+                   : run_sim_job(id);
+    on_complete(id, std::move(outcome));
+  }
+}
+
+}  // namespace pac::service

@@ -1,0 +1,184 @@
+// The multi-tenant job dispatcher: admission control + fleet packing.
+//
+// Lifecycle (see job.hpp for the states):
+//
+//   submit ──(statically infeasible / busy-rejected)──> kRejected
+//   submit ──> kQueued ──(admission: carve + optional DP plan)──> kRunning
+//   kRunning ──> kCompleted | kFailed | kCancelled
+//
+// Admission rule.  A scheduling pass runs under the dispatcher lock on
+// every submit and every completion.  Queued jobs are scanned in order
+// (starving jobs first by age, then priority descending, FIFO within a
+// band) and each is admitted iff the fleet can carve min..max devices
+// whose ledger headroom covers the per-device reservation — and, for
+// profile-carrying jobs, the hybrid DP planner finds a feasible plan
+// *within the carved group* (the multi-job extension of the planner: each
+// job plans only over its own allotment).  A job that does not fit is
+// skipped and later jobs may backfill around it, except past a *starving*
+// job: once a queued job has watched starvation_limit completions, it
+// blocks all backfill until it admits, which bounds its wait by
+// starvation_limit + (jobs running at escalation) completions.
+//
+// Group resizing.  When a completion frees devices and the queue is
+// drained, elastic_groups offers the freed devices to running simulated
+// jobs below their max_devices; profile jobs re-run the planner on the
+// grown group (the PR-5 re-plan path — runtime-observed scales would slot
+// in here) and their completion rate is recomputed mid-flight.
+//
+// Concurrency.  All public methods are thread-safe.  Admitted jobs run on
+// a small worker pool (or stay kRunning until an external complete() in
+// manual_completion mode — the deterministic harness the property tests
+// drive).  cancel() is idempotent: queued jobs cancel immediately, running
+// jobs cooperatively (simulated payloads between quanta, sessions at phase
+// boundaries via SessionConfig::cancel).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "service/fleet.hpp"
+#include "service/job.hpp"
+
+namespace pac::service {
+
+struct DispatcherConfig {
+  int num_workers = 4;
+  // Admitted jobs stay kRunning until complete(id, outcome) — no worker
+  // threads touch them.  The deterministic test-harness mode.
+  bool manual_completion = false;
+  // 0 = unbounded.  1 is the serial one-job-at-a-time baseline the
+  // makespan bench compares packing against.
+  int max_concurrent_jobs = 0;
+  // Completions a queued job may watch before it escalates past every
+  // priority band and blocks backfill (<= 0 disables aging).
+  int starvation_limit = 16;
+  // Offer freed devices to running simulated jobs when the queue drains.
+  bool elastic_groups = false;
+  // Real seconds slept per simulated second of work; 0 completes
+  // simulated payloads instantly.
+  double sim_time_scale = 1.0;
+};
+
+struct DispatcherStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected_busy = 0;
+  std::int64_t rejected_infeasible = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t plan_infeasible = 0;   // carves reverted by the group DP
+  std::int64_t group_expansions = 0;  // elastic growth events
+  std::int64_t devices_quarantined = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t queue_depth_high_water = 0;
+  std::int64_t running_high_water = 0;
+  double max_queue_wait_seconds = 0.0;
+  double total_queue_wait_seconds = 0.0;  // over admitted jobs
+  // First submission to latest completion (wall clock).
+  double makespan_seconds = 0.0;
+};
+
+class JobDispatcher {
+ public:
+  explicit JobDispatcher(Fleet& fleet, DispatcherConfig config = {});
+  // Joins the workers.  Queued jobs are abandoned; call wait_idle() first
+  // for a graceful drain.
+  ~JobDispatcher();
+
+  JobDispatcher(const JobDispatcher&) = delete;
+  JobDispatcher& operator=(const JobDispatcher&) = delete;
+
+  // Never throws on full/busy fleets — the returned job's state says what
+  // happened (kQueued, kRunning, or kRejected).  Throws InvalidArgument
+  // only on malformed specs.
+  JobId submit(JobSpec spec);
+
+  // Idempotent.  True exactly once: when this call cancelled a queued job
+  // or requested cancellation of a running one.
+  bool cancel(JobId id);
+
+  // Completes a running job (manual_completion harnesses; also safe to
+  // race against worker completion — whoever is second is a no-op).
+  // Returns false when the job is unknown or not running.
+  bool complete(JobId id, JobOutcome outcome);
+
+  JobInfo info(JobId id) const;
+  DispatcherStats stats() const;
+  // Jobs in admission order (the fairness tests' ground truth).
+  std::vector<JobId> admission_order() const;
+  int queue_depth() const;
+  int num_running() const;
+
+  // Blocks until no job is queued or running.
+  void wait_idle();
+
+  Fleet& fleet() { return fleet_; }
+
+ private:
+  struct Job {
+    JobId id = -1;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::int64_t submit_seq = -1;
+    std::int64_t admit_seq = -1;
+    std::int64_t completions_at_enqueue = 0;
+    std::vector<int> devices;
+    double submit_t = 0.0;
+    double admit_t = 0.0;
+    double finish_t = 0.0;
+    bool cancel_requested = false;
+    std::atomic<bool> cancel_flag{false};  // wired into session payloads
+    // Simulated-payload bookkeeping: total work units and the current
+    // completion rate (units/s); expansion re-plans update the rate.
+    double work_units = 0.0;
+    double rate = 1.0;
+    std::string reject_reason;
+    JobOutcome outcome;
+  };
+
+  Job* find_locked(JobId id) const;
+  bool starving_locked(const Job& job) const;
+  void schedule_locked();
+  bool try_admit_locked(Job& job);
+  // Plans spec.profile over `group`; per-device budget = the smallest
+  // reservation taken on the group.
+  planner::PlanEstimate plan_for_group_locked(const Job& job,
+                                              const std::vector<int>& group);
+  void maybe_expand_locked();
+  void finish_locked(Job& job, JobOutcome outcome);
+  bool on_complete(JobId id, JobOutcome outcome);
+  void reject_locked(Job& job, const std::string& reason, bool busy);
+  void worker_main();
+  JobOutcome run_sim_job(JobId id);
+
+  Fleet& fleet_;
+  DispatcherConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_cv_;  // workers: ready_ or stopping_
+  std::condition_variable idle_cv_;   // wait_idle: active_ == 0
+  bool stopping_ = false;
+
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  std::vector<JobId> queue_;  // kQueued, submission order
+  std::deque<JobId> ready_;   // admitted, awaiting a worker
+  std::vector<std::thread> workers_;
+
+  JobId next_id_ = 1;
+  std::int64_t admit_seq_ = 0;
+  std::int64_t completions_ = 0;  // running -> terminal transitions
+  int active_ = 0;                // queued + running
+  int running_ = 0;
+  double first_submit_t_ = -1.0;
+  WallTimer clock_;
+  DispatcherStats stats_;
+  std::vector<JobId> admission_order_;
+};
+
+}  // namespace pac::service

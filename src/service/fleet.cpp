@@ -1,0 +1,192 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+
+namespace pac::service {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+Fleet::Fleet(std::vector<dist::DeviceSpec> devices)
+    : specs_(std::move(devices)) {
+  PAC_CHECK(!specs_.empty(), "fleet needs at least one device");
+  const int n = static_cast<int>(specs_.size());
+  for (int d = 0; d < n; ++d) {
+    ledgers_.push_back(
+        std::make_unique<dist::MemoryLedger>(d, specs_[d].memory_budget));
+  }
+  owner_.assign(specs_.size(), -1);
+  reserved_.assign(specs_.size(), 0);
+  quarantined_.assign(specs_.size(), false);
+}
+
+Fleet::Fleet(int n, std::uint64_t memory_budget_bytes)
+    : Fleet(std::vector<dist::DeviceSpec>(
+          static_cast<std::size_t>(n),
+          dist::DeviceSpec{1.0, memory_budget_bytes})) {}
+
+const dist::DeviceSpec& Fleet::spec(int device) const {
+  PAC_CHECK(device >= 0 && device < size(), "device out of range");
+  return specs_[static_cast<std::size_t>(device)];
+}
+
+dist::MemoryLedger& Fleet::ledger(int device) {
+  PAC_CHECK(device >= 0 && device < size(), "device out of range");
+  return *ledgers_[static_cast<std::size_t>(device)];
+}
+
+std::uint64_t Fleet::headroom_locked(int device) const {
+  const auto& l = *ledgers_[static_cast<std::size_t>(device)];
+  const std::uint64_t used = l.current_total();
+  return used >= l.budget() ? 0 : l.budget() - used;
+}
+
+bool Fleet::carvable_locked(int device, std::uint64_t bytes) const {
+  const std::size_t i = static_cast<std::size_t>(device);
+  if (owner_[i] != -1 || quarantined_[i]) return false;
+  const std::uint64_t head = headroom_locked(device);
+  return bytes == 0 ? head > 0 : head >= bytes;
+}
+
+void Fleet::charge_locked(int device, JobId job, std::uint64_t bytes) {
+  const std::size_t i = static_cast<std::size_t>(device);
+  // 0 = exclusive use: reserve the whole remaining headroom.
+  const std::uint64_t charge = bytes == 0 ? headroom_locked(device) : bytes;
+  ledgers_[i]->allocate(dist::MemClass::kReserved, charge);
+  owner_[i] = job;
+  reserved_[i] = charge;
+}
+
+int Fleet::fit_count(std::uint64_t bytes_per_device) const {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  int n = 0;
+  for (int d = 0; d < size(); ++d) {
+    if (carvable_locked(d, bytes_per_device)) ++n;
+  }
+  return n;
+}
+
+bool Fleet::can_fit(const ResourceRequest& request) const {
+  return fit_count(request.bytes_per_device) >= request.min_devices;
+}
+
+int Fleet::potential_fit_count(std::uint64_t bytes_per_device) const {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  int n = 0;
+  for (int d = 0; d < size(); ++d) {
+    const std::size_t i = static_cast<std::size_t>(d);
+    if (quarantined_[i]) continue;
+    const std::uint64_t potential = headroom_locked(d) + reserved_[i];
+    if (bytes_per_device == 0 ? potential > 0
+                              : potential >= bytes_per_device) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<std::vector<int>> Fleet::carve(JobId job,
+                                             const ResourceRequest& request) {
+  PAC_CHECK(request.min_devices >= 1 &&
+                request.max_devices >= request.min_devices,
+            "bad resource request: min " << request.min_devices << " max "
+                                         << request.max_devices);
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  std::vector<int> group;
+  for (int d = 0; d < size() &&
+                  static_cast<int>(group.size()) < request.max_devices;
+       ++d) {
+    if (carvable_locked(d, request.bytes_per_device)) group.push_back(d);
+  }
+  if (static_cast<int>(group.size()) < request.min_devices) {
+    return std::nullopt;
+  }
+  for (int d : group) charge_locked(d, job, request.bytes_per_device);
+  return group;
+}
+
+std::vector<int> Fleet::expand(JobId job, const ResourceRequest& request,
+                               int extra) {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  std::vector<int> granted;
+  for (int d = 0;
+       d < size() && static_cast<int>(granted.size()) < extra; ++d) {
+    if (carvable_locked(d, request.bytes_per_device)) granted.push_back(d);
+  }
+  for (int d : granted) charge_locked(d, job, request.bytes_per_device);
+  return granted;
+}
+
+void Fleet::release(JobId job) {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  for (std::size_t i = 0; i < owner_.size(); ++i) {
+    if (owner_[i] != job) continue;
+    ledgers_[i]->release(dist::MemClass::kReserved, reserved_[i]);
+    owner_[i] = -1;
+    reserved_[i] = 0;
+  }
+}
+
+void Fleet::release_devices(JobId job, const std::vector<int>& devices) {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  for (int d : devices) {
+    PAC_CHECK(d >= 0 && d < size(), "device out of range");
+    const std::size_t i = static_cast<std::size_t>(d);
+    if (owner_[i] != job) continue;
+    ledgers_[i]->release(dist::MemClass::kReserved, reserved_[i]);
+    owner_[i] = -1;
+    reserved_[i] = 0;
+  }
+}
+
+std::uint64_t Fleet::reserved(int device) const {
+  PAC_CHECK(device >= 0 && device < size(), "device out of range");
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  return reserved_[static_cast<std::size_t>(device)];
+}
+
+void Fleet::quarantine(int device) {
+  PAC_CHECK(device >= 0 && device < size(), "device out of range");
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  quarantined_[static_cast<std::size_t>(device)] = true;
+}
+
+int Fleet::num_quarantined() const {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  return static_cast<int>(
+      std::count(quarantined_.begin(), quarantined_.end(), true));
+}
+
+JobId Fleet::owner(int device) const {
+  PAC_CHECK(device >= 0 && device < size(), "device out of range");
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  return owner_[static_cast<std::size_t>(device)];
+}
+
+std::vector<Fleet::DeviceView> Fleet::snapshot() const {
+  std::lock_guard<std::mutex> fleet_guard(mutex_);
+  std::vector<DeviceView> out;
+  for (int d = 0; d < size(); ++d) {
+    const std::size_t i = static_cast<std::size_t>(d);
+    DeviceView v;
+    v.device = d;
+    v.spec = specs_[i];
+    v.owner = owner_[i];
+    v.quarantined = quarantined_[i];
+    v.reserved = reserved_[i];
+    v.headroom = headroom_locked(d);
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pac::service

@@ -1,0 +1,102 @@
+// The shared device fleet the dispatcher packs jobs onto.
+//
+// Each device carries a dist::DeviceSpec (speed, byte budget) and a
+// MemoryLedger.  Admission charges a job's per-device reservation to the
+// ledger (MemClass::kReserved) for as long as the job owns the device, so
+// headroom questions ("does this request fit right now?") and the OOM rule
+// ("never promise past a device's budget") are answered by the same
+// accounting that the runtime itself uses.  Ownership is exclusive — a
+// device hosts at most one job at a time, so concurrently admitted jobs
+// always occupy disjoint device subsets — and devices lost to hardware
+// death are quarantined out of future carves.
+//
+// Thread-safe; every query/mutation takes the fleet mutex.  The dispatcher
+// holds its own lock across carve+admit so its admission decisions are
+// atomic, but the Fleet is also safe to inspect concurrently from tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "dist/memory_ledger.hpp"
+#include "service/job.hpp"
+
+namespace pac::service {
+
+class Fleet {
+ public:
+  explicit Fleet(std::vector<dist::DeviceSpec> devices);
+  // Homogeneous fleet of `n` reference-speed devices.
+  Fleet(int n, std::uint64_t memory_budget_bytes);
+
+  int size() const { return static_cast<int>(specs_.size()); }
+  const dist::DeviceSpec& spec(int device) const;
+  // The admission ledger.  Pre-charge baseline residents (OS share, a
+  // pinned backbone) here to model devices that start less than empty.
+  dist::MemoryLedger& ledger(int device);
+
+  // Devices a carve could take right now for this per-device charge:
+  // unowned, not quarantined, ledger headroom covers the charge (any
+  // nonzero headroom when bytes == 0).
+  int fit_count(std::uint64_t bytes_per_device) const;
+  bool can_fit(const ResourceRequest& request) const;
+
+  // Devices that could ever host this charge: not quarantined, and the
+  // headroom a release of the current owner would restore covers it.  A
+  // request needing more than this many devices is statically infeasible
+  // and rejected at submit instead of queueing forever.
+  int potential_fit_count(std::uint64_t bytes_per_device) const;
+
+  // Carves min..max devices (lowest ids first), charging each device's
+  // ledger with the reservation.  nullopt when fewer than min fit — the
+  // fleet is untouched in that case.
+  std::optional<std::vector<int>> carve(JobId job,
+                                        const ResourceRequest& request);
+  // Grants up to `extra` more devices to a job that already owns some
+  // (elastic group growth); returns the granted ids, possibly empty.
+  std::vector<int> expand(JobId job, const ResourceRequest& request,
+                          int extra);
+  // Releases every device `job` owns and refunds its reservations.
+  void release(JobId job);
+  // Releases only these devices (used to revert a failed expansion).
+  void release_devices(JobId job, const std::vector<int>& devices);
+
+  // Bytes currently reserved on `device` by its owning job (0 when free).
+  std::uint64_t reserved(int device) const;
+
+  // Permanently removes a device from future carves (it keeps its owner
+  // until that job releases).  Idempotent.
+  void quarantine(int device);
+  int num_quarantined() const;
+
+  JobId owner(int device) const;  // owning job, or -1 when free
+
+  struct DeviceView {
+    int device = -1;
+    dist::DeviceSpec spec;
+    JobId owner = -1;
+    bool quarantined = false;
+    std::uint64_t reserved = 0;  // bytes charged by the owning job
+    std::uint64_t headroom = 0;  // budget - current ledger total
+  };
+  std::vector<DeviceView> snapshot() const;
+
+ private:
+  // Callers hold mutex_.
+  std::uint64_t headroom_locked(int device) const;
+  bool carvable_locked(int device, std::uint64_t bytes) const;
+  void charge_locked(int device, JobId job, std::uint64_t bytes);
+
+  mutable std::mutex mutex_;
+  std::vector<dist::DeviceSpec> specs_;
+  std::vector<std::unique_ptr<dist::MemoryLedger>> ledgers_;
+  std::vector<JobId> owner_;
+  std::vector<std::uint64_t> reserved_;
+  std::vector<bool> quarantined_;
+};
+
+}  // namespace pac::service

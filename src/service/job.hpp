@@ -1,0 +1,115 @@
+// Multi-tenant fine-tuning service: job types.
+//
+// A job wraps one personal-LLM fine-tuning request — a core::Session spec
+// plus service metadata (priority, deadline hint, resource request).  The
+// dispatcher admits jobs against per-device MemoryLedger headroom, carves
+// a disjoint device group out of the shared fleet, and runs the payload:
+//   - session jobs train a real core::Session on the carved devices;
+//   - profile jobs run the DP planner on the carved group (admission
+//     requires a feasible plan) and simulate minibatch_seconds x
+//     sim_minibatches of work;
+//   - plain jobs simulate work_seconds of single-reference-device work,
+//     scaled by the group's summed compute speed.
+// Simulated payloads are what the load-generator tests and the makespan
+// bench drive by the hundreds; real sessions are the production path.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "dist/fault.hpp"
+#include "planner/profile.hpp"
+
+namespace pac::service {
+
+using JobId = std::int64_t;
+
+enum class JobState {
+  kQueued,     // submitted, waiting for admission
+  kRunning,    // admitted; holds its carved device group
+  kCompleted,  // terminal: ran to completion
+  kFailed,     // terminal: the payload threw
+  kCancelled,  // terminal: cancelled while queued or running
+  kRejected,   // terminal: never admitted (infeasible, or busy-rejected)
+};
+
+const char* job_state_name(JobState s);
+inline bool job_state_terminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+struct ResourceRequest {
+  int min_devices = 1;  // fewer than this and the job cannot start
+  int max_devices = 1;  // the dispatcher never carves more than this
+  // Ledger charge per carved device (MemClass::kReserved) for the job's
+  // lifetime — derive it from costmodel::job_reservation_bytes for real
+  // models.  0 reserves each carved device's full remaining headroom
+  // (exclusive use).
+  std::uint64_t bytes_per_device = 0;
+};
+
+struct JobSpec {
+  std::string name;
+  // Higher admits first; FIFO within a band.  Aging guards starvation: a
+  // queued job escalates past every band after starvation_limit
+  // completions (see DispatcherConfig).
+  int priority = 0;
+  // Advisory completion target measured from submission; completions past
+  // it count toward DispatcherStats::deadline_misses.
+  double deadline_hint_s = std::numeric_limits<double>::infinity();
+  // Reject at submit time when the job is not admissible right now,
+  // instead of queueing it.
+  bool reject_if_busy = false;
+  ResourceRequest request;
+
+  // ---- plain simulated payload ----
+  // Total work on one reference-speed device; the simulated runner divides
+  // by the carved group's summed compute scale (perfect DP scaling).
+  double work_seconds = 0.0;
+
+  // ---- DP-planned simulated payload ----
+  // When non-empty, admission runs the hybrid planner over the carved
+  // group (per-device budget = the reservation) and requires a feasible
+  // plan; the job then costs minibatch_seconds x sim_minibatches.
+  std::vector<planner::BlockProfile> profile;
+  std::int64_t profile_micro_batches = 4;
+  std::int64_t sim_minibatches = 1;
+
+  // ---- real session payload ----
+  // When both are set, the job builds an EdgeCluster over the carved
+  // devices and runs core::Session end to end.  `faults` arms the carved
+  // cluster's transport (chaos injection); devices the session loses are
+  // quarantined in the fleet when the job finishes.
+  const data::Dataset* dataset = nullptr;
+  std::optional<core::SessionConfig> session;
+  dist::FaultPlan faults;
+};
+
+struct JobOutcome {
+  bool ok = true;
+  std::string error;          // when !ok
+  double sim_seconds = 0.0;   // simulated duration (simulated payloads)
+  // Carved-group-local ranks that died during a session run; the
+  // dispatcher maps them to fleet devices and quarantines those.
+  std::vector<int> dead_local_ranks;
+  std::optional<core::SessionReport> report;  // session payloads
+};
+
+struct JobInfo {
+  JobId id = -1;
+  JobState state = JobState::kQueued;
+  int priority = 0;
+  std::int64_t submit_seq = -1;  // global submission order
+  std::int64_t admit_seq = -1;   // global admission order; -1 never admitted
+  bool starving = false;         // aged past the starvation limit
+  std::vector<int> devices;      // carved fleet devices (running/terminal)
+  double queue_wait_seconds = 0.0;
+  std::string reject_reason;     // kRejected only
+  JobOutcome outcome;            // terminal states only
+};
+
+}  // namespace pac::service

@@ -1,0 +1,60 @@
+#include "service/load_generator.hpp"
+
+namespace pac::service {
+
+LoadGenerator::LoadGenerator(LoadGenConfig config)
+    : config_(config), rng_(config.seed) {
+  PAC_CHECK(config_.mean_interarrival_s > 0.0 && config_.burst_factor >= 1.0,
+            "bad arrival process");
+  PAC_CHECK(config_.min_devices_max >= 1 && config_.extra_devices_max >= 0,
+            "bad device ranges");
+  PAC_CHECK(config_.bytes_min > 0 && config_.bytes_max >= config_.bytes_min,
+            "bad byte range");
+  PAC_CHECK(config_.work_min_s > 0.0 &&
+                config_.work_max_s >= config_.work_min_s,
+            "bad work range");
+}
+
+Arrival LoadGenerator::next() {
+  // State transition first, then the gap under the new state: a burst's
+  // first arrival already lands close to its predecessor.
+  if (in_burst_) {
+    if (rng_.bernoulli(config_.burst_exit_probability)) in_burst_ = false;
+  } else {
+    if (rng_.bernoulli(config_.burst_entry_probability)) in_burst_ = true;
+  }
+  const double mean = in_burst_
+                          ? config_.mean_interarrival_s / config_.burst_factor
+                          : config_.mean_interarrival_s;
+  now_ += rng_.exponential(mean);
+
+  Arrival arrival;
+  arrival.time_s = now_;
+  JobSpec& spec = arrival.spec;
+  spec.name = "job-" + std::to_string(count_++);
+  spec.priority = static_cast<int>(rng_.range(0, config_.max_priority));
+  spec.request.min_devices =
+      static_cast<int>(rng_.range(1, config_.min_devices_max));
+  spec.request.max_devices =
+      spec.request.min_devices +
+      static_cast<int>(rng_.range(0, config_.extra_devices_max));
+  spec.request.bytes_per_device = static_cast<std::uint64_t>(
+      rng_.log_uniform(static_cast<double>(config_.bytes_min),
+                       static_cast<double>(config_.bytes_max)));
+  spec.work_seconds =
+      rng_.log_uniform(config_.work_min_s, config_.work_max_s);
+  spec.reject_if_busy = rng_.bernoulli(config_.reject_if_busy_fraction);
+  if (rng_.bernoulli(config_.deadline_fraction)) {
+    spec.deadline_hint_s = spec.work_seconds * (2.0 + 6.0 * rng_.uniform());
+  }
+  return arrival;
+}
+
+std::vector<Arrival> LoadGenerator::generate(int n) {
+  std::vector<Arrival> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace pac::service

@@ -1,0 +1,102 @@
+// Seeded load generator: bursty Poisson-like arrivals of heterogeneous
+// fine-tuning jobs, for driving the dispatcher by the hundreds.
+//
+// Everything is drawn from one SplitMix64 stream, so a seed fully
+// determines the arrival process — the admission property tests replay
+// identical streams across trials and implementations.  Arrivals follow a
+// two-state modulated Poisson process: exponential inter-arrival gaps
+// whose mean shrinks by burst_factor while the process is inside a burst,
+// with seeded transitions between the calm and bursty states.  Job shapes
+// (priority, device range, per-device bytes, work) are log/uniform draws
+// spanning the configured ranges.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace pac::service {
+
+// Standalone SplitMix64 (same constants as Rng::fork): tiny state, every
+// draw independent of platform library implementations.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1) with 53 random bits.
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    PAC_CHECK(hi >= lo, "bad range [" << lo << ", " << hi << "]");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  double exponential(double mean) { return -mean * std::log1p(-uniform()); }
+
+  // Log-uniform in [lo, hi] (lo > 0).
+  double log_uniform(double lo, double hi) {
+    return lo * std::exp(uniform() * std::log(hi / lo));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct LoadGenConfig {
+  std::uint64_t seed = 0x10adULL;
+  // Calm-state mean inter-arrival gap; inside a burst the mean divides by
+  // burst_factor.
+  double mean_interarrival_s = 0.01;
+  double burst_factor = 8.0;
+  double burst_entry_probability = 0.15;  // calm -> burst, per arrival
+  double burst_exit_probability = 0.30;   // burst -> calm, per arrival
+  // Job shape ranges (inclusive).
+  int max_priority = 3;
+  int min_devices_max = 2;   // request.min_devices in [1, this]
+  int extra_devices_max = 2; // request.max_devices = min + [0, this]
+  std::uint64_t bytes_min = 1ULL << 20;
+  std::uint64_t bytes_max = 1ULL << 28;
+  double work_min_s = 0.05;
+  double work_max_s = 5.0;
+  double reject_if_busy_fraction = 0.2;
+  // Deadline hint = work x [2, 8); infinity when <= 0 fraction drawn.
+  double deadline_fraction = 0.5;
+};
+
+struct Arrival {
+  double time_s = 0.0;  // absolute arrival time from stream start
+  JobSpec spec;
+};
+
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenConfig config);
+
+  // The next arrival in the stream (strictly increasing time).
+  Arrival next();
+  std::vector<Arrival> generate(int n);
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  LoadGenConfig config_;
+  SplitMix64 rng_;
+  double now_ = 0.0;
+  bool in_burst_ = false;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace pac::service

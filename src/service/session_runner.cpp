@@ -1,0 +1,51 @@
+#include "service/session_runner.hpp"
+
+#include "common/logging.hpp"
+
+namespace pac::service {
+
+JobOutcome run_session_job(const JobSpec& spec,
+                           const std::vector<dist::DeviceSpec>& group_specs,
+                           const std::vector<std::uint64_t>& reservations,
+                           const std::atomic<bool>* cancel) {
+  JobOutcome outcome;
+  PAC_CHECK(spec.dataset != nullptr && spec.session.has_value(),
+            "session job without dataset/session spec");
+  PAC_CHECK(group_specs.size() == reservations.size(),
+            "group/reservation size mismatch");
+  try {
+    // The job's sandbox: same speeds as the fleet devices, budgets capped
+    // at what admission reserved.
+    std::vector<dist::DeviceSpec> sandbox = group_specs;
+    for (std::size_t i = 0; i < sandbox.size(); ++i) {
+      sandbox[i].memory_budget = reservations[i];
+    }
+    dist::EdgeCluster cluster(std::move(sandbox));
+    if (spec.faults.any_faults()) cluster.set_fault_plan(spec.faults);
+
+    core::SessionConfig cfg = *spec.session;
+    cfg.cancel = cancel;
+    core::Session session(cluster, *spec.dataset, cfg);
+    core::SessionReport report = session.run();
+    outcome.dead_local_ranks = report.dead_ranks;
+    outcome.report = std::move(report);
+  } catch (const OperationCancelledError& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  } catch (const RankDeathError& e) {
+    // Death past the session's recovery budget: the job fails, and the
+    // dead device must still be quarantined.
+    outcome.ok = false;
+    outcome.error = e.what();
+    outcome.dead_local_ranks.push_back(e.rank());
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+  }
+  if (!outcome.ok) {
+    PAC_LOG_WARN << "job '" << spec.name << "' failed: " << outcome.error;
+  }
+  return outcome;
+}
+
+}  // namespace pac::service

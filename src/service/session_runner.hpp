@@ -1,0 +1,28 @@
+// Runs a session-backed job on its carved device group.
+//
+// The carved devices become a fresh EdgeCluster whose per-rank memory
+// budgets equal the admission reservation — a job that under-declared its
+// request OOMs inside its own sandbox (and takes the session's normal
+// halve-batch retry path) instead of eating a co-tenant's headroom.  Rank
+// deaths the session survives are reported back as group-local ranks so
+// the dispatcher can quarantine the corresponding fleet devices.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "dist/cluster.hpp"
+#include "service/job.hpp"
+
+namespace pac::service {
+
+// `reservations[i]` is the ledger charge taken on group device i; `cancel`
+// is polled by the session at phase boundaries.  Never throws: failures
+// (including cancellation) come back as !outcome.ok.
+JobOutcome run_session_job(const JobSpec& spec,
+                           const std::vector<dist::DeviceSpec>& group_specs,
+                           const std::vector<std::uint64_t>& reservations,
+                           const std::atomic<bool>* cancel);
+
+}  // namespace pac::service

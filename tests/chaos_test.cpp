@@ -15,6 +15,7 @@
 
 #include "core/session.hpp"
 #include "obs/counters.hpp"
+#include "service/dispatcher.hpp"
 #include "tensor/ops.hpp"
 
 namespace pac::core {
@@ -577,6 +578,95 @@ TEST(ChaosTest, ElasticDisabledPaysLongerThrottledCriticalPath) {
 
   EXPECT_GT(elastic_sleep_us, 0);
   EXPECT_GT(rigid_sleep_us, 2 * elastic_sleep_us);
+}
+
+// ---- schedule 6: multi-tenant fault isolation ----
+//
+// Three fine-tuning jobs share one fleet through the service dispatcher;
+// one rank of one job is killed mid-run.  Only the owning job pays the
+// recovery, and the co-tenants' trajectories must match their solo runs
+// bit for bit — co-tenancy on disjoint device groups leaks nothing, not
+// even a rounding difference.
+
+TEST(ChaosTest, MultiTenantRankDeathIsolatedToOwningJob) {
+  const auto ds = small_dataset();
+
+  // Per-tenant seeds so the three jobs train genuinely different models
+  // on different shuffles — identical trajectories could mask cross-talk.
+  auto tenant_config = [](std::uint64_t tenant) {
+    SessionConfig cfg = chaos_session_config();
+    cfg.model_seed = 42 + tenant;
+    cfg.shuffle_seed = 77 + tenant;
+    return cfg;
+  };
+  dist::FaultPlan death;
+  death.seed = 0xDEAD;
+  death.death_after_ops = {{2, 20}};  // rank 2 *of the owning job's group*
+
+  // Solo references, each on its own private cluster of the same size the
+  // dispatcher will carve.
+  auto solo = [&](int devices, std::uint64_t tenant,
+                  const dist::FaultPlan& faults) {
+    dist::EdgeCluster cluster(devices,
+                              std::numeric_limits<std::uint64_t>::max());
+    if (faults.any_faults()) cluster.set_fault_plan(faults);
+    Session session(cluster, ds, tenant_config(tenant));
+    return session.run();
+  };
+  const SessionReport solo0 = solo(4, 0, death);
+  const SessionReport solo1 = solo(2, 1, dist::FaultPlan{});
+  const SessionReport solo2 = solo(2, 2, dist::FaultPlan{});
+
+  // The shared run: 4+2+2 devices carved from one 8-device fleet, all
+  // three jobs training concurrently, job 0 suffering the death.
+  service::Fleet fleet(8, std::numeric_limits<std::uint64_t>::max());
+  service::DispatcherConfig cfg;
+  cfg.num_workers = 3;
+  service::JobDispatcher dispatcher(fleet, cfg);
+
+  auto submit = [&](std::uint64_t tenant, int devices,
+                    const dist::FaultPlan& faults) {
+    service::JobSpec spec;
+    spec.name = "tenant-" + std::to_string(tenant);
+    spec.request.min_devices = devices;
+    spec.request.max_devices = devices;
+    spec.dataset = &ds;
+    spec.session = tenant_config(tenant);
+    spec.faults = faults;
+    return dispatcher.submit(spec);
+  };
+  const service::JobId j0 = submit(0, 4, death);
+  const service::JobId j1 = submit(1, 2, dist::FaultPlan{});
+  const service::JobId j2 = submit(2, 2, dist::FaultPlan{});
+  dispatcher.wait_idle();
+
+  const service::JobInfo i0 = dispatcher.info(j0);
+  const service::JobInfo i1 = dispatcher.info(j1);
+  const service::JobInfo i2 = dispatcher.info(j2);
+  ASSERT_EQ(i0.state, service::JobState::kCompleted);
+  ASSERT_EQ(i1.state, service::JobState::kCompleted);
+  ASSERT_EQ(i2.state, service::JobState::kCompleted);
+
+  // Only the owning job paid the recovery...
+  ASSERT_TRUE(i0.outcome.report.has_value());
+  EXPECT_EQ(i0.outcome.report->rank_deaths, 1);
+  ASSERT_EQ(i0.outcome.report->dead_ranks.size(), 1U);
+  EXPECT_EQ(i0.outcome.report->dead_ranks[0], 2);
+  EXPECT_EQ(i1.outcome.report->rank_deaths, 0);
+  EXPECT_EQ(i2.outcome.report->rank_deaths, 0);
+  // ...and it matches its solo run through the same schedule, while the
+  // co-tenants match their fault-free solo runs to the last bit.
+  expect_same_trajectory(*i0.outcome.report, solo0, 0.0);
+  expect_same_trajectory(*i1.outcome.report, solo1, 0.0);
+  expect_same_trajectory(*i2.outcome.report, solo2, 0.0);
+
+  // The dead device (group-local rank 2 of job 0's carve) is quarantined
+  // in the fleet; the other seven devices stay in rotation.
+  EXPECT_EQ(fleet.num_quarantined(), 1);
+  ASSERT_EQ(i0.devices.size(), 4U);
+  EXPECT_TRUE(fleet.snapshot()[static_cast<std::size_t>(i0.devices[2])]
+                  .quarantined);
+  EXPECT_EQ(dispatcher.stats().devices_quarantined, 1);
 }
 
 // ---- rank-scoped failure semantics (no collateral ChannelClosedError) ----

@@ -126,7 +126,7 @@ BENCHMARK(BM_PipelineGPipe);
 enum class CommBackend { kInProc, kTcpLoopback };
 
 void run_comm_pipeline_bench(benchmark::State& state, bool async_comm,
-                             CommBackend backend) {
+                             CommBackend backend, double shape_mbps = 0.0) {
   data::DatasetConfig dcfg;
   dcfg.task = data::GlueTask::kSst2;
   dcfg.train_samples = 32;
@@ -145,12 +145,20 @@ void run_comm_pipeline_bench(benchmark::State& state, bool async_comm,
   pipeline::StageAssignment s1{13, 14, {1}, {}};
   dist::LinkModel lan;  // paper testbed: 128 Mbps, 1 ms — slept for real
   lan.simulate_delay = true;
+  dist::FaultPlan faults;
+  if (shape_mbps > 0.0) {
+    // WAN token-bucket shaping on top of the modeled link: bursts ride the
+    // bucket, sustained traffic is throttled to the configured rate.
+    faults.shape_bandwidth_bps = shape_mbps * 1e6;
+    faults.shape_burst_bytes = 16 * 1024;
+  }
   for (auto _ : state) {
     dist::EdgeCluster cluster(2, std::numeric_limits<std::uint64_t>::max(),
                               lan);
     if (backend == CommBackend::kTcpLoopback) {
       cluster.set_transport_factory(dist::make_tcp_loopback_factory());
     }
+    cluster.set_fault_plan(faults);
     pipeline::RunConfig cfg;
     cfg.plan.stages = {s0, s1};
     cfg.plan.num_micro_batches = 16;
@@ -180,13 +188,20 @@ BENCHMARK(BM_CommPipelineMiniBatch)
 // endpoint, frames through the kernel): the delta against the matching
 // BM_CommPipelineMiniBatch arg is the wire cost of the transport backend —
 // framing, syscalls, loopback copies — on top of the modeled link.
+// range(1) is WAN token-bucket shaping in Mbps (0 = unshaped): the shaped
+// rows price the same mini-batch on a constrained cross-machine link, and
+// the async-vs-sync delta shows how much of that cost overlap hides.
 void BM_CommPipelineMiniBatchTcp(benchmark::State& state) {
   run_comm_pipeline_bench(state, state.range(0) == 1,
-                          CommBackend::kTcpLoopback);
+                          CommBackend::kTcpLoopback,
+                          static_cast<double>(state.range(1)));
 }
 BENCHMARK(BM_CommPipelineMiniBatchTcp)
-    ->Arg(0)
-    ->Arg(1)
+    ->ArgNames({"async", "shape_mbps"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 64})
+    ->Args({1, 64})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

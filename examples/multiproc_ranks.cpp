@@ -11,7 +11,14 @@
 // compares against an in-process oracle run.
 //
 //   multiproc_ranks --transport shm|tcp --world N --workdir DIR
-//                   [--epochs E] [--kill-rank R --kill-phase 1|2]
+//                   [--epochs E] [--kill-rank R --kill-phase 1|2] [--auth]
+//
+// TCP wiring goes through the rendezvous service: the launcher binds the
+// server socket before forking, runs the serve loop in a dedicated child
+// process, and every rank announces/resolves through it — the same flow a
+// true multi-machine launch uses (point --transport tcp ranks at a shared
+// rendezvous host instead of the forked one).  --auth additionally fetches
+// the run's shared frame-auth key so every frame is MAC-verified.
 //
 // Internal: --child-rank R re-enters the same binary as rank R's process.
 #include <signal.h>
@@ -33,8 +40,10 @@
 
 #include "common/logging.hpp"
 #include "core/session.hpp"
+#include "dist/rendezvous.hpp"
 #include "dist/shm_transport.hpp"
 #include "dist/tcp_transport.hpp"
+#include "dist/transport_factories.hpp"
 
 namespace {
 
@@ -49,9 +58,11 @@ struct Options {
   int kill_rank = -1;
   int kill_phase = 1;
   double link_delay_ms = 0.0;  // >0: emulate link latency in realtime
+  bool auth = false;           // tcp: MAC-verify every frame
   bool verbose = false;
   int child_rank = -1;  // >= 0: this process is a rank, not the launcher
   std::string base;     // arena / rendezvous namespace (set by launcher)
+  std::uint16_t rdv_port = 0;  // rendezvous server port (set by launcher)
 };
 
 Options parse(int argc, char** argv) {
@@ -79,6 +90,8 @@ Options parse(int argc, char** argv) {
       o.kill_phase = std::stoi(next());
     } else if (a == "--link-delay-ms") {
       o.link_delay_ms = std::stod(next());
+    } else if (a == "--auth") {
+      o.auth = true;
     } else if (a == "--verbose") {
       o.verbose = true;
     } else if (a == "--child-rank") {
@@ -167,11 +180,9 @@ int child_main(const Options& o) {
   // One transport generation per cluster.run() call.  Control flow is
   // deterministic across processes (same session decisions everywhere), so
   // every process counts the same generations and rendezvouses on the same
-  // arena / port-file names.
+  // arena names / rendezvous run ids.
   auto generation = std::make_shared<int>(0);
   const std::string base = o.base;
-  const std::string workdir = o.workdir;
-  pac::dist::EdgeCluster* cluster_ptr = &cluster;
   if (o.transport == "shm") {
     cluster.set_transport_factory(
         [generation, base](int world, int rank, const pac::dist::LinkModel& lm,
@@ -181,45 +192,16 @@ int child_main(const Options& o) {
               base + "_g" + std::to_string(gen), world, rank, lm, fp);
         });
   } else {
+    // Announce + resolve through the launcher's rendezvous service; peer
+    // addresses are looked up lazily at first dial, so dead ranks are
+    // never waited on.  The factory appends "_g<generation>" itself.
+    pac::dist::TcpRendezvousOptions ropts;
+    ropts.server_host = "127.0.0.1";
+    ropts.server_port = o.rdv_port;
+    ropts.run_id = o.base;
+    ropts.fetch_auth_key = o.auth;
     cluster.set_transport_factory(
-        [generation, workdir, cluster_ptr](
-            int world, int rank, const pac::dist::LinkModel& lm,
-            const pac::dist::FaultPlan& fp) {
-          const int gen = (*generation)++;
-          auto t = std::make_unique<pac::dist::TcpTransport>(
-              world, rank, /*bind_port=*/0, lm, fp);
-          // Publish our port, then collect every live peer's.
-          const std::string prefix =
-              workdir + "/g" + std::to_string(gen) + "_port_";
-          {
-            const std::string tmp =
-                prefix + std::to_string(rank) + ".tmp";
-            std::ofstream out(tmp);
-            out << t->port() << "\n";
-            out.close();
-            fs::rename(tmp, prefix + std::to_string(rank));
-          }
-          const auto deadline =
-              std::chrono::steady_clock::now() + std::chrono::seconds(30);
-          for (int r = 0; r < world; ++r) {
-            if (r == rank || cluster_ptr->is_dead(r)) continue;
-            for (;;) {
-              std::ifstream in(prefix + std::to_string(r));
-              int port = 0;
-              if (in.good() && (in >> port) && port > 0) {
-                t->set_peer(r, {"127.0.0.1",
-                                static_cast<std::uint16_t>(port)});
-                break;
-              }
-              if (std::chrono::steady_clock::now() > deadline) {
-                throw pac::TransportError("rendezvous timeout for rank " +
-                                          std::to_string(r));
-              }
-              std::this_thread::sleep_for(2ms);
-            }
-          }
-          return t;
-        });
+        pac::dist::make_tcp_rendezvous_factory(ropts));
   }
 
   // Backup failure detector: if the supervisor's death marking (or TCP's
@@ -268,6 +250,26 @@ int launcher_main(Options o, char** argv) {
   // Children are forked (never exec'd), so the Options copy — including
   // this pid-derived namespace — rides into every rank's process.
   o.base = "/pac_mp_" + std::to_string(static_cast<long>(getpid()));
+
+  // TCP: bind the rendezvous socket BEFORE forking (no listen race), then
+  // serve it from a dedicated child process — the single-threaded poll
+  // loop is fork-safe by construction.
+  std::unique_ptr<pac::dist::RendezvousServer> rdv;
+  pid_t rdv_pid = -1;
+  if (o.transport == "tcp") {
+    rdv = std::make_unique<pac::dist::RendezvousServer>();
+    o.rdv_port = rdv->port();
+    rdv_pid = fork();
+    if (rdv_pid < 0) {
+      std::cerr << "fork (rendezvous) failed: " << std::strerror(errno)
+                << "\n";
+      return 1;
+    }
+    if (rdv_pid == 0) {
+      rdv->serve_forever();
+      _exit(0);
+    }
+  }
 
   std::vector<pid_t> pids(static_cast<std::size_t>(o.world), -1);
   for (int r = 0; r < o.world; ++r) {
@@ -343,6 +345,10 @@ int launcher_main(Options o, char** argv) {
   }
   for (int gen = 0; gen < 64; ++gen) {
     pac::dist::ShmArena::unlink(base + "_g" + std::to_string(gen));
+  }
+  if (rdv_pid > 0) {
+    kill(rdv_pid, SIGKILL);
+    waitpid(rdv_pid, nullptr, 0);
   }
   return failures == 0 ? 0 : 1;
 }

@@ -49,10 +49,14 @@ CONCURRENT_SUITES=(dist_test pipeline_test chaos_test async_comm_test
 # Extra gtest args per suite under TSan.  The TCP backend's accept/connect
 # timing is dilated enough by the instrumented scheduler to be flaky, so
 # TSan keeps full coverage of the in-process and shm backends and leaves
-# the TCP parameterization to the regular and stress passes.
+# the TCP parameterization to the regular and stress passes.  The same
+# -*Tcp* convention covers the socket-bound tests that landed with the
+# reconnect work: TcpRobustness.*, the WAN-shaped chaos schedule, and the
+# rendezvous-wired TCP mesh (all carry "Tcp" in their names).
 tsan_suite_args() {
   case "$1" in
-    transport_conformance_test) echo "--gtest_filter=-*Tcp*" ;;
+    transport_conformance_test|chaos_test|dist_test)
+      echo "--gtest_filter=-*Tcp*" ;;
     *) echo "" ;;
   esac
 }
@@ -79,6 +83,15 @@ stress_pass() {
   # costs ~20s of wall clock.
   echo "=== multi-process chaos pass ==="
   "${dir}/tests/proc_chaos_test" --gtest_brief=1
+  # Reconnect chaos: the WAN-shaped TCP trainer schedule plus the forced
+  # link-cut / MAC-tamper / resync conformance cases as one focused pass
+  # (not x3 — every run already reconnects at scheduler-chosen instants,
+  # so each pass is a fresh sample).
+  echo "=== reconnect chaos pass ==="
+  "${dir}/tests/chaos_test" --gtest_filter='*WanShapedTcp*' --gtest_brief=1
+  "${dir}/tests/transport_conformance_test" \
+    --gtest_filter='*LinkCut*:*ReconnectPreserves*:TcpRobustness.*' \
+    --gtest_brief=1
 }
 
 case "$MODE" in

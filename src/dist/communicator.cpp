@@ -120,14 +120,22 @@ quant::QTensor Communicator::recv_q(int from, int tag) {
     return transport_->recv_q(rank_, from, tag);
   }
   double wait_ms = policy_.recv_timeout_ms;
-  for (int attempt = 0; attempt <= policy_.max_recv_retries; ++attempt) {
+  int degraded_windows = 0;
+  for (int attempt = 0; attempt <= policy_.max_recv_retries;) {
     const double jittered =
-        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt);
+        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_,
+                                 attempt + degraded_windows);
     auto result = transport_->recv_q_for(
         rank_, from, tag,
         std::chrono::milliseconds(
             std::max<std::int64_t>(1, static_cast<std::int64_t>(jittered))));
     if (result.has_value()) return std::move(*result);
+    if (transport_->link_degraded(from) &&
+        degraded_windows < policy_.max_degraded_windows) {
+      ++degraded_windows;  // reconnect window: the presumption clock freezes
+      continue;
+    }
+    ++attempt;
     wait_ms *= 2.0;
   }
   transport_->report_root_death(from);
@@ -147,17 +155,27 @@ Tensor Communicator::recv(int from, int tag) {
     return transport_->recv(rank_, from, tag);
   }
   double wait_ms = policy_.recv_timeout_ms;
-  for (int attempt = 0; attempt <= policy_.max_recv_retries; ++attempt) {
+  int degraded_windows = 0;
+  for (int attempt = 0; attempt <= policy_.max_recv_retries;) {
     // The doubling base stays deterministic; only the waited duration is
     // jittered, so the retry *budget* is unchanged while concurrent ranks
     // de-synchronize their probes.
     const double jittered =
-        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_, attempt);
+        wait_ms * backoff_jitter(policy_.backoff_jitter_seed, rank_,
+                                 attempt + degraded_windows);
     auto result = transport_->recv_for(
         rank_, from, tag,
         std::chrono::milliseconds(
             std::max<std::int64_t>(1, static_cast<std::int64_t>(jittered))));
     if (result.has_value()) return std::move(*result);
+    if (transport_->link_degraded(from) &&
+        degraded_windows < policy_.max_degraded_windows) {
+      // A degraded link is mid-reconnect: this window proves nothing about
+      // the peer being dead, so it does not consume a retry attempt.
+      ++degraded_windows;
+      continue;
+    }
+    ++attempt;
     wait_ms *= 2.0;  // backoff: give a slow or congested link more time
   }
   // Record the presumption as the root-cause death so cascading unwinds

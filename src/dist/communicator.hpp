@@ -62,6 +62,12 @@ struct CommPolicy {
   // [0.5, 1.5) that is a deterministic function of (seed, rank, attempt),
   // so per-rank schedules diverge but stay reproducible.  0 disables.
   std::uint64_t backoff_jitter_seed = 0xBAC0FF5EEDULL;
+  // A recv timeout that expires while the transport reports the link
+  // *degraded* (mid-reconnect) does not consume a retry attempt: link loss
+  // under an active reconnect budget is not evidence of a dead peer.  The
+  // cap bounds how many frozen windows a wedged reconnect can buy before
+  // the normal presumption clock resumes.
+  int max_degraded_windows = 64;
 };
 
 // The jittered backoff multiplier in [0.5, 1.5): a SplitMix64-style hash

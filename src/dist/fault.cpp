@@ -32,6 +32,20 @@ FaultInjector::FaultInjector(FaultPlan plan, int world_size)
                                              << world_size);
     (void)ops;
   }
+  PAC_CHECK(plan_.shape_bandwidth_bps >= 0.0,
+            "shape_bandwidth_bps must be >= 0");
+  PAC_CHECK(plan_.shape_burst_bytes > 0, "shape_burst_bytes must be > 0");
+  PAC_CHECK((plan_.loss_burst_period == 0) == (plan_.loss_burst_len == 0),
+            "loss bursts need both loss_burst_period and loss_burst_len");
+  for (const auto& [link, every] : plan_.tcp_cut_every_frames) {
+    PAC_CHECK(link.first >= 0 && link.first < world_size && link.second >= 0 &&
+                  link.second < world_size,
+              "tcp cut scheduled on link " << link.first << " -> "
+                                           << link.second
+                                           << " outside world of "
+                                           << world_size);
+    PAC_CHECK(every > 0, "tcp_cut_every_frames interval must be > 0");
+  }
 }
 
 std::uint64_t FaultInjector::event_hash(int from, int to, int tag,
@@ -125,6 +139,48 @@ double FaultInjector::throttle_of(int rank) {
 std::uint64_t FaultInjector::ops_of_rank(int rank) {
   std::lock_guard<std::mutex> guard(mutex_);
   return ops_by_rank_[static_cast<std::size_t>(rank)];
+}
+
+double FaultInjector::shape_delay_s(int from, std::uint64_t bytes) {
+  if (plan_.shape_bandwidth_bps <= 0.0) return 0.0;
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  ShapeState& s = shape_[from];
+  const auto burst = static_cast<double>(plan_.shape_burst_bytes);
+  if (!s.primed) {
+    // A fresh bucket starts full: the first burst rides the configured
+    // burst allowance, then the refill rate takes over.
+    s.primed = true;
+    s.tokens = burst;
+  } else {
+    const double dt = std::chrono::duration<double>(now - s.last).count();
+    s.tokens = std::min(burst, s.tokens + dt * plan_.shape_bandwidth_bps / 8.0);
+  }
+  s.last = now;
+  const auto need = static_cast<double>(bytes);
+  if (need <= s.tokens) {
+    s.tokens -= need;
+    return 0.0;
+  }
+  const double deficit = need - s.tokens;
+  s.tokens = 0.0;
+  return deficit * 8.0 / plan_.shape_bandwidth_bps;
+}
+
+bool FaultInjector::in_loss_burst(int from, int to) {
+  if (plan_.loss_burst_len == 0) return false;
+  std::lock_guard<std::mutex> guard(mutex_);
+  const std::uint64_t attempt = loss_attempts_[{from, to}]++;
+  const std::uint64_t cycle = plan_.loss_burst_period + plan_.loss_burst_len;
+  return attempt % cycle >= plan_.loss_burst_period;
+}
+
+bool FaultInjector::tcp_cut_due(int from, int to) {
+  const auto it = plan_.tcp_cut_every_frames.find({from, to});
+  if (it == plan_.tcp_cut_every_frames.end()) return false;
+  std::lock_guard<std::mutex> guard(mutex_);
+  const std::uint64_t frames = ++cut_frames_[{from, to}];
+  return frames % it->second == 0;
 }
 
 }  // namespace pac::dist

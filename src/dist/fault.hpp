@@ -13,10 +13,12 @@
 // regardless of thread interleaving.  The chaos tests rely on this.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 namespace pac::dist {
@@ -55,10 +57,31 @@ struct FaultPlan {
   std::map<int, std::uint64_t> throttle_after_ops;
   double throttle_factor = 4.0;
 
+  // WAN bandwidth shaping: a per-sender token bucket caps the modeled send
+  // rate; a send that outruns the bucket sleeps off its deficit.  Timing
+  // only — values and per-link ordering are untouched, so shaped runs stay
+  // bit-identical to unshaped ones.
+  double shape_bandwidth_bps = 0.0;  // 0 = off
+  std::uint64_t shape_burst_bytes = 256 * 1024;
+
+  // Burst loss episodes: counting each directed link's send attempts, every
+  // cycle of (loss_burst_period + loss_burst_len) attempts ends with
+  // `loss_burst_len` transient failures — a WAN loss *episode* rather than
+  // the i.i.d. drops of send_failure_probability.
+  std::uint64_t loss_burst_period = 0;  // attempts between episodes; 0 = off
+  std::uint64_t loss_burst_len = 0;     // failing attempts per episode
+
+  // Forced link cut: the TCP socket of directed link (from, to) is dropped
+  // every N wire frames, exercising the reconnect/resync path.  Interpreted
+  // only by TcpTransport; the in-proc and shm backends ignore it, so cut
+  // runs can be compared bit-for-bit against the in-proc oracle.
+  std::map<std::pair<int, int>, std::uint64_t> tcp_cut_every_frames;
+
   bool any_faults() const {
     return delay_probability > 0.0 || reorder_probability > 0.0 ||
            send_failure_probability > 0.0 || !death_after_ops.empty() ||
-           !throttle_after_ops.empty();
+           !throttle_after_ops.empty() || shape_bandwidth_bps > 0.0 ||
+           loss_burst_len > 0 || !tcp_cut_every_frames.empty();
   }
 };
 
@@ -100,10 +123,30 @@ class FaultInjector {
   // death and throttle schedules inside a specific training phase).
   std::uint64_t ops_of_rank(int rank);
 
+  // Seconds the sender must sleep to fit `bytes` under the token-bucket
+  // bandwidth cap (0 when shaping is off or the bucket has room).
+  double shape_delay_s(int from, std::uint64_t bytes);
+
+  // True when this send attempt on (from -> to) falls inside a scheduled
+  // loss episode (the caller throws TransientSendError).  Every call counts
+  // one attempt.
+  bool in_loss_burst(int from, int to);
+
+  // True when the wire frame about to go out on TCP link (from -> to) hits
+  // a scheduled cut (the transport drops its socket first).  Every call
+  // counts one frame.
+  bool tcp_cut_due(int from, int to);
+
  private:
   struct LinkState {
     std::uint64_t seq = 0;       // delivered messages on this link+tag
     int failed_attempts = 0;     // transient failures of the current message
+  };
+
+  struct ShapeState {
+    bool primed = false;
+    double tokens = 0.0;
+    std::chrono::steady_clock::time_point last{};
   };
 
   std::uint64_t event_hash(int from, int to, int tag, std::uint64_t seq,
@@ -114,6 +157,9 @@ class FaultInjector {
   std::mutex mutex_;
   std::map<std::tuple<int, int, int>, LinkState> links_;
   std::vector<std::uint64_t> ops_by_rank_;
+  std::map<int, ShapeState> shape_;  // token bucket per sending rank
+  std::map<std::pair<int, int>, std::uint64_t> loss_attempts_;
+  std::map<std::pair<int, int>, std::uint64_t> cut_frames_;
 };
 
 }  // namespace pac::dist

@@ -179,6 +179,10 @@ void RemoteEndpointBase::handle_frame(wire::Frame frame) {
       break;
     case wire::FrameType::kHello:
       throw TransportError("unexpected HELLO frame past the handshake");
+    case wire::FrameType::kResync:
+      // Resync/ack frames are connection-scoped (TCP intercepts them in its
+      // rx loop); one reaching the shared dispatcher is a protocol bug.
+      throw TransportError("unexpected RESYNC frame past the handshake");
     default:
       throw TransportError("unhandled frame type " +
                            std::to_string(static_cast<int>(frame.type)));

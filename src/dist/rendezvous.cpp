@@ -1,0 +1,345 @@
+#include "dist/rendezvous.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace pac::dist {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// A run id / host is one whitespace-free token on the wire.
+bool valid_token(const std::string& s) {
+  return !s.empty() &&
+         s.find_first_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+
+RendezvousServer::RendezvousServer(std::uint16_t port, std::uint64_t key_seed)
+    : key_seed_(key_seed) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw TransportError("rendezvous: socket: " +
+                         std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("rendezvous: bind port " + std::to_string(port) +
+                         ": " + why);
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    throw TransportError("rendezvous: listen: " + why);
+  }
+  set_nonblocking(listen_fd_);
+}
+
+RendezvousServer::~RendezvousServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (auto& client : clients_) {
+    if (client.fd >= 0) ::close(client.fd);
+  }
+}
+
+std::string RendezvousServer::handle_request(const std::string& line) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  if (verb == "PUT") {
+    std::string run, host;
+    int rank = -1;
+    int peer_port = -1;
+    in >> run >> rank >> host >> peer_port;
+    if (!in || !valid_token(run) || !valid_token(host) || rank < 0 ||
+        peer_port <= 0 || peer_port > 65535) {
+      return "ERR\n";
+    }
+    runs_[run].peers[rank] =
+        TcpPeer{host, static_cast<std::uint16_t>(peer_port)};
+    return "OK\n";
+  }
+  if (verb == "GET") {
+    std::string run;
+    int rank = -1;
+    in >> run >> rank;
+    if (!in || !valid_token(run) || rank < 0) return "ERR\n";
+    const auto run_it = runs_.find(run);
+    if (run_it == runs_.end()) return "NONE\n";
+    const auto peer_it = run_it->second.peers.find(rank);
+    if (peer_it == run_it->second.peers.end()) return "NONE\n";
+    return "PEER " + peer_it->second.host + " " +
+           std::to_string(peer_it->second.port) + "\n";
+  }
+  if (verb == "KEY") {
+    std::string run;
+    in >> run;
+    if (!in || !valid_token(run)) return "ERR\n";
+    Run& r = runs_[run];
+    if (r.key_hex.empty()) {
+      // Mint once per run; every later KEY returns the same secret.
+      std::uint64_t state = key_seed_;
+      if (state == 0) {
+        std::random_device rd;
+        state = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+      }
+      // Perturb by the run id so one seed still yields per-run keys.
+      for (const char c : run) {
+        state ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        state = splitmix64(state);
+      }
+      wire::AuthKey key{};
+      const std::uint64_t lo = splitmix64(state);
+      const std::uint64_t hi = splitmix64(state);
+      std::memcpy(key.data(), &lo, 8);
+      std::memcpy(key.data() + 8, &hi, 8);
+      r.key_hex = wire::key_to_hex(key);
+    }
+    return "KEY " + r.key_hex + "\n";
+  }
+  return "ERR\n";
+}
+
+void RendezvousServer::pump_client(Client& client) {
+  if (client.out.empty()) {
+    char buf[512];
+    const ssize_t n = ::recv(client.fd, buf, sizeof(buf), 0);
+    if (n == 0 ||
+        (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+         errno != EINTR)) {
+      ::close(client.fd);
+      client.fd = -1;
+      return;
+    }
+    if (n > 0) {
+      client.in.append(buf, static_cast<std::size_t>(n));
+      if (client.in.size() > 4096) {  // garbage flood: drop it
+        ::close(client.fd);
+        client.fd = -1;
+        return;
+      }
+      const auto eol = client.in.find('\n');
+      if (eol != std::string::npos) {
+        client.out = handle_request(client.in.substr(0, eol));
+      }
+    }
+    return;
+  }
+  const ssize_t n = ::send(client.fd, client.out.data() + client.out_off,
+                           client.out.size() - client.out_off, MSG_NOSIGNAL);
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+    return;
+  }
+  if (n <= 0) {
+    ::close(client.fd);
+    client.fd = -1;
+    return;
+  }
+  client.out_off += static_cast<std::size_t>(n);
+  if (client.out_off >= client.out.size()) {
+    // One request per connection: reply sent, we are done.
+    ::close(client.fd);
+    client.fd = -1;
+  }
+}
+
+void RendezvousServer::serve_forever() {
+  while (!stop_.load()) {
+    std::vector<pollfd> pfds;
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& client : clients_) {
+      pfds.push_back(
+          {client.fd, client.out.empty() ? POLLIN : POLLOUT, 0});
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(), 50);
+    if (stop_.load()) break;
+    if (pr <= 0) continue;
+    if (pfds[0].revents != 0) {
+      while (true) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        Client client;
+        client.fd = fd;
+        clients_.push_back(std::move(client));
+      }
+    }
+    for (std::size_t i = 0; i + 1 < pfds.size() && i < clients_.size();
+         ++i) {
+      if (pfds[i + 1].revents != 0) pump_client(clients_[i]);
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const Client& c) { return c.fd < 0; }),
+                   clients_.end());
+  }
+}
+
+void RendezvousServer::start() {
+  PAC_CHECK(!thread_.joinable(), "rendezvous server already started");
+  stop_.store(false);
+  thread_ = std::thread([this] { serve_forever(); });
+}
+
+void RendezvousServer::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+std::optional<std::string> RendezvousClient::request(const std::string& line,
+                                                     int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::send(fd, line.data(), line.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(line.size())) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string reply;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, 10) <= 0) continue;
+    char buf[512];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+    const auto eol = reply.find('\n');
+    if (eol != std::string::npos) {
+      ::close(fd);
+      return reply.substr(0, eol);
+    }
+  }
+  ::close(fd);
+  return std::nullopt;
+}
+
+void RendezvousClient::announce(const std::string& run_id, int rank,
+                                const TcpPeer& self, int timeout_ms) {
+  const std::string line = "PUT " + run_id + " " + std::to_string(rank) +
+                           " " + self.host + " " +
+                           std::to_string(self.port) + "\n";
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    const auto reply = request(line, 500);
+    if (reply.has_value() && *reply == "OK") return;
+    if (reply.has_value() && *reply == "ERR") {
+      // Definitive rejection (malformed run id / host / rank) — retrying
+      // the same request can never succeed.
+      throw TransportError("rendezvous: announce of rank " +
+                           std::to_string(rank) + " for run '" + run_id +
+                           "' rejected by the server");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError("rendezvous: announce of rank " +
+                           std::to_string(rank) + " for run '" + run_id +
+                           "' failed (server unreachable?)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+std::optional<TcpPeer> RendezvousClient::lookup(const std::string& run_id,
+                                                int rank) {
+  const auto reply =
+      request("GET " + run_id + " " + std::to_string(rank) + "\n", 500);
+  if (!reply.has_value()) return std::nullopt;
+  std::istringstream in(*reply);
+  std::string verb;
+  in >> verb;
+  if (verb != "PEER") return std::nullopt;
+  std::string host;
+  int port = 0;
+  in >> host >> port;
+  if (!in || host.empty() || port <= 0 || port > 65535) return std::nullopt;
+  return TcpPeer{host, static_cast<std::uint16_t>(port)};
+}
+
+std::optional<TcpPeer> RendezvousClient::wait_peer(const std::string& run_id,
+                                                   int rank, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (auto peer = lookup(run_id, rank); peer.has_value()) return peer;
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+wire::AuthKey RendezvousClient::fetch_key(const std::string& run_id) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (true) {
+    const auto reply = request("KEY " + run_id + "\n", 500);
+    if (reply.has_value() && reply->rfind("KEY ", 0) == 0) {
+      return wire::key_from_hex(reply->substr(4));
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw TransportError("rendezvous: key fetch for run '" + run_id +
+                           "' failed (server unreachable?)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace pac::dist

@@ -1,0 +1,113 @@
+// Rendezvous service for cross-machine runs: a tiny TCP daemon where every
+// rank of a run registers its listening address and fetches its peers',
+// replacing the same-filesystem port-file handshake (which cannot work
+// across machines).
+//
+// Protocol: line-based, one request per connection, newline-terminated:
+//
+//   PUT <run_id> <rank> <host> <port>\n   ->  OK\n
+//   GET <run_id> <rank>\n                 ->  PEER <host> <port>\n | NONE\n
+//   KEY <run_id>\n                        ->  KEY <32 hex chars>\n
+//   anything else                         ->  ERR\n
+//
+// PUT upserts (a rank that restarts on a new port simply re-announces).
+// KEY mints a fresh 128-bit frame-auth key per run on first request and
+// returns the same key afterwards, so ranks that opt into authentication
+// converge on one shared secret without any out-of-band channel.
+//
+// The server is deliberately single-threaded: `serve_forever()` is one
+// poll loop over the listener plus in-flight client connections, so the
+// multi-process launcher can bind the socket in the parent, fork, and run
+// the loop in a child with no thread/fork hazards.  `start()`/`stop()`
+// wrap the same loop in a background thread for in-process use (tests,
+// single-host launches).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/tcp_transport.hpp"
+#include "dist/wire.hpp"
+
+namespace pac::dist {
+
+class RendezvousServer {
+ public:
+  // Binds immediately (port 0 = kernel-assigned; read it back via port())
+  // so callers can hand the address to workers before the loop runs.
+  // `key_seed` makes minted auth keys deterministic (0 = random_device).
+  explicit RendezvousServer(std::uint16_t port = 0,
+                            std::uint64_t key_seed = 0);
+  ~RendezvousServer();
+
+  RendezvousServer(const RendezvousServer&) = delete;
+  RendezvousServer& operator=(const RendezvousServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocking poll loop; returns only after stop() (or process death — the
+  // forked-launcher mode just kills the child).
+  void serve_forever();
+
+  // Background-thread convenience wrappers around serve_forever.
+  void start();
+  void stop();
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+  };
+  struct Run {
+    std::map<int, TcpPeer> peers;
+    std::string key_hex;
+  };
+
+  std::string handle_request(const std::string& line);
+  void pump_client(Client& client);
+
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::uint64_t key_seed_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::map<std::string, Run> runs_;
+  std::vector<Client> clients_;
+};
+
+// One request per call; every call opens a fresh connection, so a client
+// is safe to share across threads and survives server restarts.
+class RendezvousClient {
+ public:
+  RendezvousClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  // Registers (upserts) this rank's listening address; retries the
+  // connection for `timeout_ms` (the server may still be starting).
+  // Throws TransportError when the server stays unreachable.
+  void announce(const std::string& run_id, int rank, const TcpPeer& self,
+                int timeout_ms = 5000);
+  // Single query: the peer's address if it has announced yet.
+  std::optional<TcpPeer> lookup(const std::string& run_id, int rank);
+  // Polls lookup until the peer appears or `timeout_ms` elapses.
+  std::optional<TcpPeer> wait_peer(const std::string& run_id, int rank,
+                                   int timeout_ms);
+  // The run's shared frame-auth key (minted server-side on first request).
+  wire::AuthKey fetch_key(const std::string& run_id);
+
+ private:
+  std::optional<std::string> request(const std::string& line,
+                                     int timeout_ms);
+
+  std::string host_;
+  std::uint16_t port_;
+};
+
+}  // namespace pac::dist

@@ -6,24 +6,44 @@
 // the source rank, so each directed link is one connection and per-(source,
 // tag) FIFO follows from TCP's byte ordering plus the per-destination send
 // serialization in RemoteEndpointBase.  `close_rank` / `close` propagate as
-// RANK_DEAD / CLOSE control frames (best effort); an unexpected EOF or
-// connection reset from a peer marks it dead — the wire itself is the
-// failure detector, complementing the Communicator's recv-timeout
-// presumption.
+// RANK_DEAD / CLOSE control frames (best effort).
 //
-// Rendezvous: construct with the world's peer list.  Ports may be 0 at
-// construction (kernel-assigned); read the actual one back with `port()`
-// and distribute it out of band (the multi-process driver uses a rendezvous
-// directory, tests just build all endpoints first and then connect them via
-// `set_peer`).
+// Link loss vs rank death (the reconnect state machine, DESIGN.md §5h):
+// with a nonzero reconnect budget an unexpected EOF / connection reset
+// marks the link DEGRADED, not the peer dead.  The sender keeps every
+// un-acknowledged frame in a bounded retransmit buffer; on the next send it
+// re-dials with seeded exponential backoff + jitter, re-HELLOs with a fresh
+// per-link session *epoch*, and the receiver replies with the count of
+// logical frames it has delivered from that link — the sender replays
+// exactly the suffix the receiver never saw, so no frame is lost or
+// duplicated and per-(source, tag) FIFO survives the reconnect.  Stale
+// connections (an older epoch still draining) stop delivering the moment a
+// newer epoch is adopted.  Only after the budget is exhausted — or a
+// RANK_DEAD / ROOT_DEAD control frame arrives — does the link collapse into
+// the ordinary PeerDeadError / recovery path.  Budget 0 restores the legacy
+// behavior where the wire itself is the failure detector (EOF = death).
+//
+// Frame authentication: with an AuthKey configured every outbound frame is
+// MAC-tagged (SipHash-2-4 over header+body, see wire.hpp) and every inbound
+// decoder requires a valid tag — a tampered or unauthenticated frame
+// poisons that connection's decoder and never reaches a mailbox.
+//
+// Rendezvous: construct with the world's peer list, or install a peer
+// resolver that maps rank -> address on demand (the rendezvous client in
+// dist/rendezvous.hpp).  Ports may be 0 at construction (kernel-assigned);
+// read the actual one back with `port()`.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "dist/remote_endpoint.hpp"
@@ -35,17 +55,55 @@ struct TcpPeer {
   std::uint16_t port = 0;  // 0 = unknown yet
 };
 
+// Survivability knobs for a TCP endpoint.  The defaults give every link a
+// small reconnect budget; set reconnect_budget = 0 for the legacy
+// EOF-means-death wire.
+struct TcpTuning {
+  // Reconnect attempts per link loss before the link collapses into the
+  // rank-death path.  0 disables reconnection entirely.
+  int reconnect_budget = 4;
+  // Exponential backoff between attempts: base * 2^attempt, capped, then
+  // scaled by backoff_jitter(seed, peer, attempt) in [0.5, 1.5).
+  double backoff_base_ms = 5.0;
+  double backoff_max_ms = 200.0;
+  std::uint64_t backoff_seed = 0xF1A5EEDULL;
+  // Dial deadline for the FIRST connection on a link (the peer may still
+  // be binding its listener).
+  int connect_timeout_ms = 5000;
+  // Per-attempt deadline for a reconnect dial + resync reply.
+  int reconnect_timeout_ms = 500;
+  // Sender-side in-flight bound: frames kept for retransmission until the
+  // receiver acknowledges them.  A full buffer blocks the sender on acks.
+  std::size_t retransmit_buffer_frames = 256;
+  // The receiver acks its cumulative delivery count every N logical frames.
+  std::uint32_t ack_interval = 8;
+  // Frame-auth key; all frames on all links of this endpoint are tagged
+  // and verified when set (distributed out of band or via rendezvous).
+  std::optional<wire::AuthKey> auth_key;
+};
+
 class TcpTransport final : public RemoteEndpointBase {
  public:
   // Binds `bind_port` (0 for kernel-assigned) on 127.0.0.1 and starts
   // accepting.  Peer addresses can be provided now or later via set_peer.
   TcpTransport(int world_size, int rank, std::uint16_t bind_port = 0,
-               LinkModel link = {}, FaultPlan faults = {});
+               LinkModel link = {}, FaultPlan faults = {},
+               TcpTuning tuning = {});
   ~TcpTransport() override;
 
   // The port this endpoint actually listens on.
   std::uint16_t port() const { return port_; }
   void set_peer(int rank, TcpPeer peer);
+  // Lazy address resolution: consulted (with retry, under the dial
+  // deadline) whenever a link must be established and no address is known.
+  // The rendezvous factory installs a client lookup here.
+  using PeerResolver = std::function<std::optional<TcpPeer>(int rank)>;
+  void set_peer_resolver(PeerResolver resolver);
+
+  const TcpTuning& tuning() const { return tuning_; }
+
+  // True while the link to `rank` is lost but within its reconnect budget.
+  bool link_degraded(int rank) const override;
 
   // First report wins locally, then gossips a ROOT_DEAD control frame so
   // every endpoint converges on the same root-cause record (the shm
@@ -61,12 +119,66 @@ class TcpTransport final : public RemoteEndpointBase {
   struct Connection {
     int fd = -1;
     std::atomic<int> peer{-1};  // set once the HELLO frame arrives
+    std::uint32_t epoch = 0;    // session epoch adopted for this connection
+    std::atomic<bool> done{false};  // rx thread has exited
     std::thread rx;
   };
 
+  // Sender-side per-destination state, guarded by the matching io_mutex_.
+  struct OutLink {
+    int fd = -1;
+    bool ever_connected = false;
+    std::uint32_t epoch = 0;   // last session epoch announced to the peer
+    std::uint64_t tx_seq = 0;  // logical frames appended to the stream
+    std::uint64_t acked = 0;   // receiver-confirmed cumulative deliveries
+    // (seq, frame bytes) awaiting acknowledgement, oldest first.
+    std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> unacked;
+    wire::FrameDecoder acks{0};  // parses ack frames read back from fd
+  };
+
+  // Receiver-side per-source state, guarded by rx_mutex_.
+  struct RxState {
+    std::uint64_t delivered = 0;  // logical frames deposited from this src
+    std::uint32_t epoch = 0;      // newest adopted session epoch
+    Connection* live = nullptr;   // the connection allowed to deliver
+  };
+
+  bool reconnect_enabled() const { return tuning_.reconnect_budget > 0; }
+  wire::FrameDecoder make_decoder() const;
+
   void accept_main();
   void rx_main(Connection* conn);
-  int connect_to(int to);  // returns connected fd with HELLO sent, or -1
+  void rx_loop(Connection* conn);
+  // Adopt `conn` as the live connection for `src` (epoch 0 = initial
+  // connection, >0 = resync).  Returns the delivered count snapshot, or
+  // nullopt when the connection is stale and must be dropped.
+  std::optional<std::uint64_t> adopt_connection(Connection* conn, int src,
+                                                std::uint32_t epoch);
+  // Count + dispatch one logical frame from the live connection; false when
+  // the connection went stale (caller exits its rx loop).
+  bool deliver_logical(Connection* conn, int src, wire::Frame frame);
+  // Push a cumulative-delivery ack / resync reply back to the sender
+  // (best effort; the socket is non-blocking).
+  void send_ack(Connection* conn, std::uint64_t delivered);
+
+  // Raw dial (no HELLO): resolves the peer address (via resolver when
+  // unknown) and connects within `deadline_ms`.  -1 on failure.
+  int dial(int to, int deadline_ms);
+  // First connection on a link: dial + HELLO.  Throws TransportError when
+  // no route exists (legacy contract).
+  void establish_fresh_locked(OutLink& l, int to);
+  // Reconnect + resync + replay.  False once the budget is exhausted.
+  bool reconnect_locked(OutLink& l, int to);
+  std::optional<std::uint64_t> await_resync_reply(int fd, int to,
+                                                  std::uint32_t epoch);
+  // Opportunistically consume acks the receiver pushed back on this link.
+  void drain_acks_locked(OutLink& l, int to);
+  bool wait_buffer_space_locked(OutLink& l, int to, bool allow_reconnect);
+  // Buffer + transmit one logical frame (everything in the per-link
+  // stream: data AND control).  False = the link is lost for good.
+  bool send_logical_locked(OutLink& l, int to, std::vector<std::uint8_t> bytes,
+                           bool allow_reconnect);
+
   // Best-effort control broadcast.  `skip_rank` is excluded — callers that
   // already hold that link's io mutex (a failed wire_send reporting the
   // peer dead) must not re-lock it.
@@ -75,9 +187,16 @@ class TcpTransport final : public RemoteEndpointBase {
   // Marks `rank` dead; sets drained immediately when no inbound link from
   // it exists (nothing can be in flight).
   void note_dead_rank(int rank);
-  // EOF / reset handling: an unexpected hangup marks the peer dead.
+  // Sets drained(rank) once no live rx thread for it remains.
+  void maybe_set_drained(int rank);
+  // Collapse: an unexpected hangup (or exhausted budget) marks the peer
+  // dead.
   void observe_peer_gone(int peer);
+  // EOF on an inbound connection: degraded under a reconnect budget,
+  // legacy death otherwise.
+  void observe_link_eof(Connection* conn);
 
+  TcpTuning tuning_;
   std::uint16_t port_ = 0;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
@@ -85,10 +204,15 @@ class TcpTransport final : public RemoteEndpointBase {
 
   std::mutex peers_mutex_;
   std::vector<TcpPeer> peers_;
-  // Outbound fd per destination; both guarded by the matching io_mutex_
+  PeerResolver resolver_;
+  // Outbound link state per destination, guarded by the matching io_mutex_
   // entry, which serializes every write (data and control) on that link.
-  std::vector<int> out_fd_;
+  std::vector<std::unique_ptr<OutLink>> out_;
   std::vector<std::unique_ptr<std::mutex>> io_mutex_;
+
+  std::mutex rx_mutex_;
+  std::vector<RxState> rx_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> degraded_;
 
   std::mutex conns_mutex_;
   std::vector<std::unique_ptr<Connection>> conns_;

@@ -58,12 +58,28 @@ void Transport::run_send_faults(int from, int to, int tag,
                              std::to_string(from) + " -> " +
                              std::to_string(to));
   }
+  if (faults_.active() && from != to && faults_.in_loss_burst(from, to)) {
+    throw TransientSendError("injected loss episode on link " +
+                             std::to_string(from) + " -> " +
+                             std::to_string(to));
+  }
   if (faults_.active()) {
     const double ms = faults_.delay_ms(from, to, tag);
     if (ms > 0.0) {
       PAC_TRACE_SCOPE("fault_delay", from, to);
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(ms));
+    }
+  }
+  if (faults_.active() && from != to) {
+    // Token-bucket WAN shaping: sleep off the bandwidth deficit.  Timing
+    // only, so shaped trajectories stay bit-identical to unshaped ones.
+    const double s = faults_.shape_delay_s(from, bytes);
+    if (s > 0.0) {
+      PAC_TRACE_SCOPE("wan_shape", from, to);
+      obs::CounterRegistry::instance().add(
+          "wire.shape_sleep_us", static_cast<std::int64_t>(s * 1e6));
+      std::this_thread::sleep_for(std::chrono::duration<double>(s));
     }
   }
   if (link_.simulate_delay && from != to) {

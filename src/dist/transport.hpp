@@ -122,6 +122,15 @@ class Transport {
   virtual void close_rank(int rank) = 0;
   virtual bool rank_dead(int rank) const = 0;
 
+  // True while the link to `rank` is known-lost but still inside its
+  // reconnect budget (TCP only; other backends never degrade).  The
+  // Communicator freezes its death-presumption clock while this holds — a
+  // slow reconnect must not be misread as a dead peer.
+  virtual bool link_degraded(int rank) const {
+    (void)rank;
+    return false;
+  }
+
   // Root-cause death bookkeeping.  Cascading failures mark several ranks
   // dead (a survivor that unwinds closes its own links); the *root* death is
   // the one recovery should absorb.  First report wins; -1 when none.

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "dist/cluster.hpp"
+#include "dist/tcp_transport.hpp"
 
 namespace pac::dist {
 
@@ -23,7 +24,28 @@ TransportFactory make_shm_loopback_factory(std::string base_name);
 
 // Endpoints bind kernel-assigned loopback ports; the factory exchanges
 // them in-memory as endpoints are created, so the mesh is fully wired
-// before cluster.run spawns any rank thread.
-TransportFactory make_tcp_loopback_factory();
+// before cluster.run spawns any rank thread.  `tuning` applies to every
+// endpoint (reconnect budget, frame auth, ...).
+TransportFactory make_tcp_loopback_factory(TcpTuning tuning = {});
+
+// Cross-machine wiring through a rendezvous service (dist/rendezvous.hpp):
+// each endpoint binds a kernel-assigned port, announces itself under
+// "<run_id>_g<generation>", and resolves peers lazily through the service
+// the first time it dials them — no shared filesystem or in-memory
+// exchange needed, so the same factory works in every process of a
+// multi-machine run.
+struct TcpRendezvousOptions {
+  std::string server_host = "127.0.0.1";
+  std::uint16_t server_port = 0;
+  // Address peers should dial to reach THIS process (the host carried in
+  // the announcement).
+  std::string advertise_host = "127.0.0.1";
+  std::string run_id = "pac";
+  // Fetch the run's shared frame-auth key from the service and enable MAC
+  // verification on every endpoint.
+  bool fetch_auth_key = false;
+  TcpTuning tuning;
+};
+TransportFactory make_tcp_rendezvous_factory(TcpRendezvousOptions options);
 
 }  // namespace pac::dist

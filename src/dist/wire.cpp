@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/serialize.hpp"
+#include "obs/counters.hpp"
 
 namespace pac::dist::wire {
 
@@ -57,6 +58,10 @@ std::vector<std::uint8_t> finish_frame(Header h, const std::string& body) {
   return out;
 }
 
+inline std::uint64_t rotl64(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_data(int src, int tag,
@@ -68,7 +73,7 @@ std::vector<std::uint8_t> encode_data(int src, int tag,
   h.tag = static_cast<std::int32_t>(tag);
   std::string body;
   if (payload.defined()) {
-    h.flags = 1;
+    h.flags = kFlagDefinedPayload;
     std::ostringstream os(std::ios::binary);
     BinaryWriter w(os);
     const auto& shape = payload.shape();
@@ -85,7 +90,7 @@ std::vector<std::uint8_t> encode_data_q(int src, int tag,
   Header h;
   h.magic = kMagic;
   h.type = static_cast<std::uint8_t>(FrameType::kData);
-  h.flags = 1;
+  h.flags = kFlagDefinedPayload;
   h.dtype = static_cast<std::uint8_t>(payload.dtype);
   h.src = static_cast<std::int32_t>(src);
   h.tag = static_cast<std::int32_t>(tag);
@@ -108,6 +113,116 @@ std::vector<std::uint8_t> encode_control(FrameType type, int src) {
   std::vector<std::uint8_t> out(kHeaderBytes);
   pack_header(h, out.data());
   return out;
+}
+
+std::vector<std::uint8_t> encode_resync(int src, std::uint32_t epoch,
+                                        std::uint64_t delivered) {
+  Header h;
+  h.magic = kMagic;
+  h.type = static_cast<std::uint8_t>(FrameType::kResync);
+  h.src = static_cast<std::int32_t>(src);
+  h.body_len = kResyncBodyBytes;
+  std::vector<std::uint8_t> out(kHeaderBytes + kResyncBodyBytes);
+  pack_header(h, out.data());
+  std::memcpy(out.data() + kHeaderBytes, &epoch, 4);
+  std::memcpy(out.data() + kHeaderBytes + 4, &delivered, 8);
+  return out;
+}
+
+std::uint64_t siphash24(const AuthKey& key, const std::uint8_t* data,
+                        std::size_t len) {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+  std::memcpy(&k0, key.data(), 8);
+  std::memcpy(&k1, key.data() + 8, 8);
+  std::uint64_t v0 = k0 ^ 0x736f6d6570736575ULL;
+  std::uint64_t v1 = k1 ^ 0x646f72616e646f6dULL;
+  std::uint64_t v2 = k0 ^ 0x6c7967656e657261ULL;
+  std::uint64_t v3 = k1 ^ 0x7465646279746573ULL;
+  const auto sipround = [&] {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  };
+  const std::size_t tail = len & 7;
+  const std::uint8_t* end = data + (len - tail);
+  for (const std::uint8_t* p = data; p != end; p += 8) {
+    std::uint64_t m = 0;
+    std::memcpy(&m, p, 8);
+    v3 ^= m;
+    sipround();
+    sipround();
+    v0 ^= m;
+  }
+  std::uint64_t b = static_cast<std::uint64_t>(len) << 56;
+  for (std::size_t i = 0; i < tail; ++i) {
+    b |= static_cast<std::uint64_t>(end[i]) << (8 * i);
+  }
+  v3 ^= b;
+  sipround();
+  sipround();
+  v0 ^= b;
+  v2 ^= 0xff;
+  sipround();
+  sipround();
+  sipround();
+  sipround();
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+void authenticate(std::vector<std::uint8_t>& frame, const AuthKey& key) {
+  PAC_CHECK(frame.size() >= kHeaderBytes, "authenticate on a short frame");
+  // The tag covers the header with the auth bit already set, so the flag
+  // itself is tamper-evident.
+  frame[5] |= kFlagAuthenticated;
+  const std::uint64_t tag = siphash24(key, frame.data(), frame.size());
+  const std::size_t off = frame.size();
+  frame.resize(off + kAuthTagBytes);
+  std::memcpy(frame.data() + off, &tag, kAuthTagBytes);
+}
+
+AuthKey key_from_hex(const std::string& hex) {
+  if (hex.size() != 2 * kAuthKeyBytes) {
+    throw TransportError("wire: auth key hex must be " +
+                         std::to_string(2 * kAuthKeyBytes) + " chars, got " +
+                         std::to_string(hex.size()));
+  }
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  AuthKey key{};
+  for (std::size_t i = 0; i < kAuthKeyBytes; ++i) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) throw TransportError("wire: bad hex in auth key");
+    key[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return key;
+}
+
+std::string key_to_hex(const AuthKey& key) {
+  static const char* digits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(2 * kAuthKeyBytes);
+  for (const std::uint8_t b : key) {
+    hex.push_back(digits[b >> 4]);
+    hex.push_back(digits[b & 0xF]);
+  }
+  return hex;
 }
 
 void FrameDecoder::poison(const std::string& what) {
@@ -135,15 +250,37 @@ std::optional<Frame> FrameDecoder::next() {
   const auto type = static_cast<FrameType>(h.type);
   if (type != FrameType::kData && type != FrameType::kHello &&
       type != FrameType::kRankDead && type != FrameType::kClose &&
-      type != FrameType::kRootDead) {
+      type != FrameType::kRootDead && type != FrameType::kResync) {
     poison("unknown frame type " + std::to_string(h.type));
   }
   if (h.body_len > kMaxBodyBytes) {
     poison("oversized body: " + std::to_string(h.body_len) + " bytes");
   }
-  const bool defined = (h.flags & 1u) != 0;
-  if (type != FrameType::kData) {
-    if (h.flags != 0) poison("flags on control frame");
+  if ((h.flags & ~(kFlagDefinedPayload | kFlagAuthenticated)) != 0) {
+    poison("unknown flag bits " + std::to_string(h.flags));
+  }
+  const bool defined = (h.flags & kFlagDefinedPayload) != 0;
+  const bool authed = (h.flags & kFlagAuthenticated) != 0;
+  // An authenticated link rejects bare frames (tag stripping) and a bare
+  // link rejects authenticated frames (no key to verify them with) — both
+  // BEFORE waiting for the body, so a forged length can't stall the check.
+  if (authed && !key_.has_value()) {
+    poison("authenticated frame without a configured key");
+  }
+  if (!authed && key_.has_value()) {
+    ++auth_failures_;
+    obs::CounterRegistry::instance().add("wire.auth_fail", 1);
+    poison("unauthenticated frame on an authenticated link");
+  }
+  if (type == FrameType::kResync) {
+    if (defined) poison("flags on control frame");
+    if (h.dtype != 0) poison("dtype on control frame");
+    if (h.body_len != kResyncBodyBytes) {
+      poison("resync body must be " + std::to_string(kResyncBodyBytes) +
+             " bytes, got " + std::to_string(h.body_len));
+    }
+  } else if (type != FrameType::kData) {
+    if (defined) poison("flags on control frame");
     if (h.dtype != 0) poison("dtype on control frame");
     if (h.body_len != 0) poison("control frame with body");
   } else if (!defined) {
@@ -154,7 +291,27 @@ std::optional<Frame> FrameDecoder::next() {
       (h.src < 0 || h.src >= world_size_)) {
     poison("source rank " + std::to_string(h.src) + " out of range");
   }
-  if (buffer_.size() < kHeaderBytes + h.body_len) return std::nullopt;
+  const std::size_t total =
+      kHeaderBytes + h.body_len + (authed ? kAuthTagBytes : 0);
+  if (buffer_.size() < total) return std::nullopt;
+  if (authed) {
+    // Verify the MAC over header+body BEFORE any body parsing: a tampered
+    // frame must never reach a mailbox (or even the tensor validator).
+    std::vector<std::uint8_t> signed_bytes(
+        buffer_.begin(), buffer_.begin() + kHeaderBytes + h.body_len);
+    const std::uint64_t want =
+        siphash24(*key_, signed_bytes.data(), signed_bytes.size());
+    std::uint8_t tag_raw[kAuthTagBytes];
+    std::copy(buffer_.begin() + kHeaderBytes + h.body_len,
+              buffer_.begin() + static_cast<std::ptrdiff_t>(total), tag_raw);
+    std::uint64_t got = 0;
+    std::memcpy(&got, tag_raw, kAuthTagBytes);
+    if (got != want) {
+      ++auth_failures_;
+      obs::CounterRegistry::instance().add("wire.auth_fail", 1);
+      poison("frame authentication failed");
+    }
+  }
 
   Frame frame;
   frame.type = type;
@@ -162,7 +319,13 @@ std::optional<Frame> FrameDecoder::next() {
   frame.tag = static_cast<int>(h.tag);
   frame.payload_defined = defined;
   frame.dtype = static_cast<quant::Dtype>(h.dtype);
-  if (type == FrameType::kData && defined) {
+  if (type == FrameType::kResync) {
+    std::uint8_t body[kResyncBodyBytes];
+    std::copy(buffer_.begin() + kHeaderBytes,
+              buffer_.begin() + kHeaderBytes + kResyncBodyBytes, body);
+    std::memcpy(&frame.resync_epoch, body, 4);
+    std::memcpy(&frame.resync_delivered, body + 4, 8);
+  } else if (type == FrameType::kData && defined) {
     // Validate the tensor body step by step so every read is bounds-checked
     // before it happens; lengths must tile the body exactly.
     std::string body(buffer_.begin() + kHeaderBytes,
@@ -221,7 +384,8 @@ std::optional<Frame> FrameDecoder::next() {
       frame.qpayload = std::move(q);
     }
   }
-  buffer_.erase(buffer_.begin(), buffer_.begin() + kHeaderBytes + h.body_len);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(total));
   return frame;
 }
 

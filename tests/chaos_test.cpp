@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "core/session.hpp"
+#include "dist/transport_factories.hpp"
 #include "obs/counters.hpp"
 #include "service/dispatcher.hpp"
 #include "tensor/ops.hpp"
@@ -699,6 +700,45 @@ TEST(ChaosTest, RankDeathDoesNotCloseUnrelatedLinks) {
   EXPECT_THROW(t.send(0, 2, 7, Tensor::full({1}, 4.0F)), PeerDeadError);
   EXPECT_THROW(t.recv(1, 2, 7), PeerDeadError);
   EXPECT_THROW(t.send(2, 0, 7, Tensor::full({1}, 5.0F)), PeerDeadError);
+}
+
+// ---- schedule 7: WAN link — bandwidth shaping + forced TCP reconnects ----
+
+// The full trainer over real loopback TCP with a WAN-shaped fault plan:
+// token-bucket bandwidth shaping on every send plus repeated mid-run link
+// cuts.  Shaping changes timing only; cuts are healed by reconnect+resync
+// with exactly-once redelivery — so the trajectory must match the fault-free
+// in-proc oracle bit-for-bit ("Tcp" in the name keeps it off the TSan pass).
+TEST(ChaosTest, WanShapedTcpLinkCutsMatchOracleBitForBit) {
+  SessionReport clean = run_with_faults(dist::FaultPlan{});
+
+  auto& counters = obs::CounterRegistry::instance();
+  const std::int64_t reconnects_before = counters.value("wire.reconnects");
+  const std::int64_t shape_before = counters.value("wire.shape_sleep_us");
+
+  dist::FaultPlan wan;
+  wan.seed = 0x7A57E;
+  wan.shape_bandwidth_bps = 16.0 * 1024 * 1024;  // bits/s — ~WAN, test-sized
+  wan.shape_burst_bytes = 256;  // below one frame: every send pays the rate
+  for (int a = 0; a < 4; ++a) {     // cut every link, repeatedly
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) wan.tcp_cut_every_frames[{a, b}] = 6;
+    }
+  }
+
+  auto ds = small_dataset();
+  dist::EdgeCluster cluster(4, std::numeric_limits<std::uint64_t>::max());
+  cluster.set_transport_factory(dist::make_tcp_loopback_factory());
+  cluster.set_fault_plan(wan);
+  SessionConfig cfg = chaos_session_config();
+  cfg.obs_enabled = true;  // arms the wire.* counters for the run
+  Session session(cluster, ds, cfg);
+  SessionReport shaped = session.run();
+
+  expect_same_trajectory(shaped, clean, 0.0);  // bit-for-bit
+  EXPECT_EQ(shaped.rank_deaths, 0);
+  EXPECT_GE(counters.value("wire.reconnects") - reconnects_before, 2);
+  EXPECT_GT(counters.value("wire.shape_sleep_us") - shape_before, 0);
 }
 
 TEST(ChaosTest, RecvTimeoutPresumesPeerDead) {

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <thread>
 #include <vector>
 
 #include "dist/cluster.hpp"
+#include "dist/rendezvous.hpp"
+#include "dist/transport_factories.hpp"
 #include "tensor/ops.hpp"
 
 namespace pac::dist {
@@ -403,6 +407,113 @@ TEST(LinkModelTest, TransferTimeFollowsBandwidth) {
   // 16 MB at 128 Mbps = 1 s (+ latency).
   EXPECT_NEAR(link.transfer_seconds(16'000'000), 1.001, 1e-3);
   EXPECT_NEAR(link.transfer_seconds(0), 0.001, 1e-9);
+}
+
+// ---- rendezvous service (cross-machine peer discovery) ----
+
+TEST(RendezvousTest, AnnounceLookupRoundTrip) {
+  RendezvousServer server;
+  server.start();
+  RendezvousClient client("127.0.0.1", server.port());
+  EXPECT_FALSE(client.lookup("runA", 0).has_value());
+  client.announce("runA", 0, TcpPeer{"10.0.0.7", 4242});
+  const auto peer = client.lookup("runA", 0);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->host, "10.0.0.7");
+  EXPECT_EQ(peer->port, 4242);
+  // Runs are isolated namespaces.
+  EXPECT_FALSE(client.lookup("runB", 0).has_value());
+  // PUT upserts: a restarted rank re-announces on a new port.
+  client.announce("runA", 0, TcpPeer{"10.0.0.7", 4243});
+  EXPECT_EQ(client.lookup("runA", 0)->port, 4243);
+  server.stop();
+}
+
+TEST(RendezvousTest, WaitPeerBlocksUntilAnnounced) {
+  RendezvousServer server;
+  server.start();
+  RendezvousClient client("127.0.0.1", server.port());
+  EXPECT_FALSE(client.wait_peer("run", 1, /*timeout_ms=*/60).has_value());
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    RendezvousClient other("127.0.0.1", server.port());
+    other.announce("run", 1, TcpPeer{"127.0.0.1", 9999});
+  });
+  const auto peer = client.wait_peer("run", 1, /*timeout_ms=*/5000);
+  late.join();
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_EQ(peer->port, 9999);
+  server.stop();
+}
+
+TEST(RendezvousTest, KeyIsStablePerRunAndSeedDeterministic) {
+  RendezvousServer server(/*port=*/0, /*key_seed=*/0xABCDEF);
+  server.start();
+  RendezvousClient client("127.0.0.1", server.port());
+  const auto k1 = client.fetch_key("run1");
+  const auto k1_again = client.fetch_key("run1");
+  const auto k2 = client.fetch_key("run2");
+  EXPECT_EQ(k1, k1_again);  // one shared secret per run
+  EXPECT_NE(k1, k2);        // distinct runs get distinct keys
+  server.stop();
+
+  // Same seed, fresh server: the same key is minted for the same run.
+  RendezvousServer replay(/*port=*/0, /*key_seed=*/0xABCDEF);
+  replay.start();
+  RendezvousClient rclient("127.0.0.1", replay.port());
+  EXPECT_EQ(rclient.fetch_key("run1"), k1);
+  replay.stop();
+}
+
+TEST(RendezvousTest, UnreachableServerThrowsFromAnnounce) {
+  // Bind-then-close to get a port that is very likely unbound.
+  std::uint16_t dead_port = 0;
+  {
+    RendezvousServer probe;
+    dead_port = probe.port();
+  }
+  RendezvousClient client("127.0.0.1", dead_port);
+  EXPECT_THROW(
+      client.announce("run", 0, TcpPeer{"127.0.0.1", 1}, /*timeout_ms=*/100),
+      TransportError);
+  EXPECT_FALSE(client.lookup("run", 0).has_value());
+}
+
+TEST(RendezvousTest, MalformedRequestsGetErrNotCrash) {
+  RendezvousServer server;
+  server.start();
+  RendezvousClient client("127.0.0.1", server.port());
+  // A run id with whitespace breaks the line protocol: the server answers
+  // ERR and announce rejects immediately instead of retrying a hopeless
+  // request until its deadline.
+  EXPECT_THROW(client.announce("has space", 0, TcpPeer{"127.0.0.1", 1}),
+               TransportError);
+  // ...and a healthy request still works after garbage hit the server.
+  client.announce("ok", 0, TcpPeer{"127.0.0.1", 1});
+  EXPECT_TRUE(client.lookup("ok", 0).has_value());
+  server.stop();
+}
+
+// End-to-end: a full TCP mesh wired through the rendezvous service (with
+// frame auth fetched from it) runs real collectives. ("Tcp" in the name
+// keeps it off the TSan pass with the other socket tests.)
+TEST(RendezvousTest, TcpRendezvousFactoryRunsCollectives) {
+  RendezvousServer server(/*port=*/0, /*key_seed=*/0x5EED);
+  server.start();
+  EdgeCluster cluster(3, std::numeric_limits<std::uint64_t>::max());
+  TcpRendezvousOptions opts;
+  opts.server_port = server.port();
+  opts.run_id = "rdv_e2e";
+  opts.fetch_auth_key = true;
+  cluster.set_transport_factory(make_tcp_rendezvous_factory(opts));
+  std::vector<float> sums(3, 0.0F);
+  cluster.run([&](DeviceContext& ctx) {
+    Tensor t = Tensor::full({4}, static_cast<float>(ctx.rank + 1));
+    ctx.comm.allreduce_sum(t, {0, 1, 2}, 7);
+    sums[static_cast<std::size_t>(ctx.rank)] = t.at({0});
+  });
+  for (float s : sums) EXPECT_FLOAT_EQ(s, 6.0F);  // 1+2+3
+  server.stop();
 }
 
 }  // namespace

@@ -536,6 +536,197 @@ TEST(FuzzTest, WireScalarTensorRoundTrips) {
   EXPECT_EQ(dec.pending_bytes(), 0U);
 }
 
+// ---- frame authentication (SipHash-2-4 MAC) ----
+
+// The MAC primitive against the published SipHash-2-4 reference vectors:
+// key 00 01 .. 0f over messages 00 01 .. (n-1).
+TEST(FuzzTest, WireSipHash24MatchesReferenceVectors) {
+  dist::wire::AuthKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i);
+  }
+  const std::uint64_t want[] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL, 0x93f5f5799a932462ULL,
+  };
+  std::uint8_t msg[8];
+  for (std::size_t i = 0; i < sizeof(msg); ++i) {
+    msg[i] = static_cast<std::uint8_t>(i);
+  }
+  for (std::size_t len = 0; len <= sizeof(msg); ++len) {
+    EXPECT_EQ(dist::wire::siphash24(key, msg, len), want[len]) << len;
+  }
+}
+
+TEST(FuzzTest, WireAuthTagMutationsAllPoisonCleanly) {
+  dist::wire::AuthKey key{};
+  dist::wire::AuthKey other{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(0x10 + i);
+    other[i] = static_cast<std::uint8_t>(0x20 + i);
+  }
+  const Tensor payload = Tensor::full({2, 2}, 3.5F);
+  auto authed = dist::wire::encode_data(1, 5, payload);
+  dist::wire::authenticate(authed, key);
+
+  {  // round trip: an authenticated frame decodes on a keyed link
+    FrameDecoder dec(4);
+    dec.set_auth_key(key);
+    dec.feed(authed.data(), authed.size());
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->src, 1);
+    EXPECT_EQ(f->tag, 5);
+    EXPECT_EQ(ops::max_abs_diff(f->payload, payload), 0.0F);
+    EXPECT_EQ(dec.auth_failures(), 0U);
+    EXPECT_EQ(dec.pending_bytes(), 0U);
+  }
+
+  auto expect_auth_rejected = [&](std::vector<std::uint8_t> bytes,
+                                  const char* what) {
+    FrameDecoder dec(4);
+    dec.set_auth_key(key);
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_THROW(dec.next(), TransportError) << what;
+    EXPECT_THROW(dec.next(), TransportError) << what;  // poisoned for good
+    EXPECT_EQ(dec.auth_failures(), 1U) << what;
+  };
+
+  {  // flipped tag bit
+    auto bytes = authed;
+    bytes.back() ^= 0x01;
+    expect_auth_rejected(bytes, "flipped tag bit");
+  }
+  {  // flipped body bit (tag no longer matches)
+    auto bytes = authed;
+    bytes[dist::wire::kHeaderBytes] ^= 0x80;
+    expect_auth_rejected(bytes, "flipped body bit");
+  }
+  {  // flipped header bit (the tag covers the header too)
+    auto bytes = authed;
+    bytes[12] ^= 0x01;  // message tag field
+    expect_auth_rejected(bytes, "flipped header bit");
+  }
+  {  // signed under the wrong key
+    auto bytes = dist::wire::encode_data(1, 5, payload);
+    dist::wire::authenticate(bytes, other);
+    expect_auth_rejected(bytes, "wrong key");
+  }
+  {  // auth flag with no tag, another frame following: the decoder reads
+     // the next frame's first bytes as the tag and must reject — a frame
+     // boundary can never be silently resynthesized.
+    std::vector<std::uint8_t> stripped(
+        authed.begin(), authed.end() - dist::wire::kAuthTagBytes);
+    stripped.insert(stripped.end(), authed.begin(), authed.end());
+    expect_auth_rejected(stripped, "auth flag with no tag");
+  }
+  {  // unauthenticated frame on a keyed link (tag stripping)
+    expect_auth_rejected(dist::wire::encode_data(1, 5, payload),
+                         "unauthenticated frame on keyed link");
+  }
+  {  // truncated tag is an incomplete frame, not a decode
+    std::vector<std::uint8_t> bytes(authed.begin(), authed.end() - 1);
+    FrameDecoder dec(4);
+    dec.set_auth_key(key);
+    dec.feed(bytes.data(), bytes.size());
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_EQ(dec.pending_bytes(), bytes.size());
+    EXPECT_EQ(dec.auth_failures(), 0U);
+  }
+  {  // authenticated frame on a keyless link is rejected outright
+    FrameDecoder dec(4);
+    dec.feed(authed.data(), authed.size());
+    EXPECT_THROW(dec.next(), TransportError);
+  }
+  {  // control frames carry tags too: round trip + tamper
+    auto ctrl = dist::wire::encode_control(FrameType::kRankDead, 2);
+    dist::wire::authenticate(ctrl, key);
+    FrameDecoder dec(4);
+    dec.set_auth_key(key);
+    dec.feed(ctrl.data(), ctrl.size());
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::kRankDead);
+    EXPECT_EQ(f->src, 2);
+    auto tampered = ctrl;
+    tampered.back() ^= 0x10;
+    expect_auth_rejected(tampered, "tampered control tag");
+  }
+}
+
+// ---- RESYNC frames (reconnect handshake) ----
+
+TEST(FuzzTest, WireResyncRoundTripsAndRejectsMalformed) {
+  const auto bytes =
+      dist::wire::encode_resync(2, 0xDEADBEEFu, 0x1122334455667788ULL);
+  {
+    FrameDecoder dec(4);
+    dec.feed(bytes.data(), bytes.size());
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->type, FrameType::kResync);
+    EXPECT_EQ(f->src, 2);
+    EXPECT_EQ(f->resync_epoch, 0xDEADBEEFu);
+    EXPECT_EQ(f->resync_delivered, 0x1122334455667788ULL);
+    EXPECT_FALSE(dec.next().has_value());
+  }
+  {  // authenticated resync round-trips as well (reconnects on keyed links)
+    dist::wire::AuthKey key{};
+    key[0] = 0x42;
+    auto authed = bytes;
+    dist::wire::authenticate(authed, key);
+    FrameDecoder dec(4);
+    dec.set_auth_key(key);
+    dec.feed(authed.data(), authed.size());
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->resync_epoch, 0xDEADBEEFu);
+    EXPECT_EQ(f->resync_delivered, 0x1122334455667788ULL);
+  }
+  auto expect_rejected = [&](std::vector<std::uint8_t> b, const char* what) {
+    FrameDecoder dec(4);
+    dec.feed(b.data(), b.size());
+    EXPECT_THROW(dec.next(), TransportError) << what;
+  };
+  {  // wrong body length (short and long)
+    auto b = bytes;
+    std::uint32_t len = dist::wire::kResyncBodyBytes - 1;
+    std::memcpy(b.data() + 16, &len, 4);
+    expect_rejected(b, "short resync body");
+    len = dist::wire::kResyncBodyBytes + 1;
+    std::memcpy(b.data() + 16, &len, 4);
+    expect_rejected(b, "long resync body");
+    len = 0;
+    std::memcpy(b.data() + 16, &len, 4);
+    expect_rejected(b, "empty resync body");
+  }
+  {  // payload flag / dtype on a resync frame
+    auto b = bytes;
+    b[5] |= 0x01;  // defined-payload flag
+    expect_rejected(b, "payload flag on resync");
+    b = bytes;
+    b[6] = 1;  // dtype byte
+    expect_rejected(b, "dtype on resync");
+  }
+  {  // random single-byte mutations: decode or clean TransportError only
+    Rng rng(606060);
+    for (int trial = 0; trial < 200; ++trial) {
+      auto b = bytes;
+      const auto at = static_cast<std::size_t>(
+          rng.integer(0, static_cast<std::int64_t>(b.size()) - 1));
+      b[at] = static_cast<std::uint8_t>(rng.integer(0, 255));
+      FrameDecoder dec(4);
+      try {
+        dec.feed(b.data(), b.size());
+        while (dec.next()) {
+        }
+      } catch (const TransportError&) {
+      }
+    }
+  }
+}
+
 TEST(FuzzTest, WireDecoderSurvivesRandomGarbageAndBitFlips) {
   Rng rng(987654);
   // Pure garbage: must throw TransportError (or yield nothing), never UB.
